@@ -1,0 +1,32 @@
+// Section 6.2.1: "Madeleine II achieves approximately the same performance
+// on top of Myrinet and SCI for messages of size 16 kB ... which suggests
+// that the correct packet size should be set to 16 kB". This bench prints
+// the per-network curves around the crossover: SCI wins below it, Myrinet
+// above it.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mad2;
+  const auto sizes = geometric_sizes(1024, 256 * 1024, /*per_octave=*/2);
+  PerfSeries sci =
+      bench::mad_sweep("Madeleine/SISCI", mad::NetworkKind::kSisci, sizes);
+  PerfSeries myri =
+      bench::mad_sweep("Madeleine/BIP", mad::NetworkKind::kBip, sizes);
+  print_perf_series(
+      "Ablation — SCI vs Myrinet crossover (gateway MTU choice)",
+      {sci, myri});
+
+  // Locate the crossover: the first size where Myrinet's one-way time
+  // beats SCI's.
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    if (myri.points[i].latency_us < sci.points[i].latency_us) {
+      std::printf("crossover at %s (paper: ~16 kB)\n",
+                  format_bytes(sizes[i]).c_str());
+      break;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Ablation (Section 4.1): the cost of TM switches. When consecutive
+// blocks select different Transmission Modules, the Switch must flush
+// (commit) the previous BMM to preserve delivery order. This bench sends
+// messages whose blocks alternate between the short and bulk TMs, vs the
+// same bytes in TM-sorted order (one switch instead of many).
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+double mixed_message_one_way_us(mad2::mad::NetworkKind kind,
+                                bool alternating) {
+  using namespace mad2;
+  // 8 small (64 B) + 8 large (16 kB) blocks, interleaved or sorted.
+  std::vector<std::size_t> blocks;
+  for (int i = 0; i < 8; ++i) {
+    if (alternating) {
+      blocks.push_back(64);
+      blocks.push_back(16 * 1024);
+    }
+  }
+  if (!alternating) {
+    blocks.assign(8, 64);
+    blocks.insert(blocks.end(), 8, 16 * 1024);
+  }
+
+  mad::Session session(bench::two_node_config(kind));
+  const int iterations = 10;
+  sim::Time start = 0;
+  sim::Time end = 0;
+  session.spawn(0, "ping", [&](mad::NodeRuntime& rt) {
+    std::vector<std::vector<std::byte>> payloads;
+    for (std::size_t size : blocks) {
+      payloads.emplace_back(size, std::byte{1});
+    }
+    std::byte ack;
+    start = rt.simulator().now();
+    for (int i = 0; i < iterations; ++i) {
+      auto& out = rt.channel("ch").begin_packing(1);
+      for (auto& block : payloads) out.pack(block);
+      out.end_packing();
+      auto& in = rt.channel("ch").begin_unpacking();
+      in.unpack(std::span(&ack, 1));
+      in.end_unpacking();
+    }
+    end = rt.simulator().now();
+  });
+  session.spawn(1, "pong", [&](mad::NodeRuntime& rt) {
+    std::vector<std::vector<std::byte>> sinks;
+    for (std::size_t size : blocks) sinks.emplace_back(size);
+    std::byte ack{1};
+    for (int i = 0; i < iterations; ++i) {
+      auto& in = rt.channel("ch").begin_unpacking();
+      for (auto& sink : sinks) in.unpack(sink);
+      in.end_unpacking();
+      auto& out = rt.channel("ch").begin_packing(0);
+      out.pack(std::span(&ack, 1));
+      out.end_packing();
+    }
+  });
+  MAD2_CHECK(session.run().is_ok(), "switch bench failed");
+  return mad2::sim::to_us(end - start) / (2.0 * iterations);
+}
+
+}  // namespace
+
+int main() {
+  using namespace mad2;
+  Table table({"network", "alternating TMs (us)", "sorted TMs (us)",
+               "switch overhead"});
+  for (auto kind : {mad::NetworkKind::kBip, mad::NetworkKind::kSisci,
+                    mad::NetworkKind::kVia}) {
+    const double alternating = mixed_message_one_way_us(kind, true);
+    const double sorted = mixed_message_one_way_us(kind, false);
+    char overhead[32];
+    std::snprintf(overhead, sizeof overhead, "%+.1f%%",
+                  (alternating / sorted - 1.0) * 100.0);
+    table.add_row({std::string(to_string(kind)), format_us(alternating),
+                   format_us(sorted), overhead});
+  }
+  std::printf("== Ablation — Switch/TM-flush cost (8x64B + 8x16kB blocks) "
+              "==\n");
+  table.print();
+  return 0;
+}

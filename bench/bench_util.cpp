@@ -1,0 +1,349 @@
+#include "bench_util.hpp"
+
+#include "mpi/ch_mad.hpp"
+#include "mpi/sci_baselines.hpp"
+#include "net/bip.hpp"
+#include "net/sisci.hpp"
+#include "nexus/nexus.hpp"
+#include "util/bytes.hpp"
+
+namespace mad2::bench {
+
+mad::SessionConfig two_node_config(mad::NetworkKind kind) {
+  mad::SessionConfig config;
+  config.node_count = 2;
+  mad::NetworkDef net;
+  net.name = "net0";
+  net.kind = kind;
+  net.nodes = {0, 1};
+  config.networks.push_back(net);
+  config.channels.push_back(mad::ChannelDef{"ch", "net0"});
+  return config;
+}
+
+double mad_one_way_us(mad::NetworkKind kind, std::size_t size,
+                      int iterations) {
+  mad::Session session(two_node_config(kind));
+  sim::Time start = 0;
+  sim::Time end = 0;
+  session.spawn(0, "ping", [&](mad::NodeRuntime& rt) {
+    std::vector<std::byte> payload(size, std::byte{1});
+    std::vector<std::byte> back(size);
+    start = rt.simulator().now();
+    for (int i = 0; i < iterations; ++i) {
+      auto& out = rt.channel("ch").begin_packing(1);
+      out.pack(payload);
+      out.end_packing();
+      auto& in = rt.channel("ch").begin_unpacking();
+      in.unpack(back);
+      in.end_unpacking();
+    }
+    end = rt.simulator().now();
+  });
+  session.spawn(1, "pong", [&](mad::NodeRuntime& rt) {
+    std::vector<std::byte> data(size);
+    for (int i = 0; i < iterations; ++i) {
+      auto& in = rt.channel("ch").begin_unpacking();
+      in.unpack(data);
+      in.end_unpacking();
+      auto& out = rt.channel("ch").begin_packing(0);
+      out.pack(data);
+      out.end_packing();
+    }
+  });
+  MAD2_CHECK(session.run().is_ok(), "bench session failed");
+  return sim::to_us(end - start) / (2.0 * iterations);
+}
+
+namespace {
+
+PerfSeries sweep_with(const std::string& label,
+                      const std::vector<std::uint64_t>& sizes,
+                      const std::function<double(std::size_t)>& one_way_us) {
+  PerfSeries series;
+  series.label = label;
+  for (std::uint64_t size : sizes) {
+    const double latency = one_way_us(size);
+    series.points.push_back(PerfPoint{
+        size, latency, static_cast<double>(size) / latency});
+  }
+  return series;
+}
+
+}  // namespace
+
+PerfSeries mad_sweep(const std::string& label, mad::NetworkKind kind,
+                     const std::vector<std::uint64_t>& sizes) {
+  return sweep_with(label, sizes, [kind](std::size_t size) {
+    return mad_one_way_us(kind, size);
+  });
+}
+
+PerfSeries raw_bip_sweep(const std::vector<std::uint64_t>& sizes) {
+  return sweep_with("raw BIP", sizes, [](std::size_t size) {
+    sim::Simulator simulator;
+    std::vector<std::unique_ptr<hw::Node>> nodes;
+    for (int i = 0; i < 2; ++i) {
+      nodes.push_back(std::make_unique<hw::Node>(
+          &simulator, i, "n" + std::to_string(i),
+          hw::HostParams::pentium_ii_450()));
+    }
+    net::BipNetwork network(&simulator, {nodes[0].get(), nodes[1].get()},
+                            net::BipParams::myrinet_lanai43());
+    const std::uint32_t short_max =
+        network.params().short_max_bytes;
+    const int iterations = 20;
+    sim::Time start = 0;
+    sim::Time end = 0;
+    for (int me = 0; me < 2; ++me) {
+      simulator.spawn("p" + std::to_string(me), [&, me] {
+        const std::uint32_t other = 1 - me;
+        std::vector<std::byte> payload(size, std::byte{1});
+        std::vector<std::byte> incoming(size);
+        if (me == 0) start = simulator.now();
+        for (int i = 0; i < iterations; ++i) {
+          auto do_send = [&] {
+            if (size <= short_max) {
+              network.port(me).send_short(other, 0, payload);
+            } else {
+              std::vector<std::byte> ready(1);
+              network.port(me).recv_short_copy(1, ready);
+              network.port(me).send_long(other, 0, payload);
+            }
+          };
+          auto do_recv = [&] {
+            if (size <= short_max) {
+              network.port(me).recv_short_copy(0, incoming);
+            } else {
+              network.port(me).post_recv_long(other, 0, incoming);
+              std::vector<std::byte> ready{std::byte{1}};
+              network.port(me).send_short(other, 1, ready);
+              network.port(me).wait_recv_long(other, 0);
+            }
+          };
+          if (me == 0) {
+            do_send();
+            do_recv();
+          } else {
+            do_recv();
+            do_send();
+          }
+        }
+        if (me == 0) end = simulator.now();
+      });
+    }
+    MAD2_CHECK(simulator.run().is_ok(), "raw BIP bench failed");
+    return sim::to_us(end - start) / (2.0 * iterations);
+  });
+}
+
+PerfSeries raw_sisci_sweep(const std::vector<std::uint64_t>& sizes) {
+  return sweep_with("raw SISCI", sizes, [](std::size_t size) {
+    sim::Simulator simulator;
+    std::vector<std::unique_ptr<hw::Node>> nodes;
+    for (int i = 0; i < 2; ++i) {
+      nodes.push_back(std::make_unique<hw::Node>(
+          &simulator, i, "n" + std::to_string(i),
+          hw::HostParams::pentium_ii_450()));
+    }
+    net::SciNetwork network(&simulator, {nodes[0].get(), nodes[1].get()},
+                            net::SciParams::dolphin_d310());
+    // Raw SISCI ping-pong through one exported segment per direction,
+    // with a sequence flag after the payload.
+    const int iterations = 20;
+    net::SegmentId seg[2];
+    seg[0] = network.port(0).create_segment(size + 8);
+    seg[1] = network.port(1).create_segment(size + 8);
+    sim::Time start = 0;
+    sim::Time end = 0;
+    for (int me = 0; me < 2; ++me) {
+      simulator.spawn("p" + std::to_string(me), [&, me] {
+        const std::uint32_t other = 1 - me;
+        auto remote = network.port(me).connect(other, seg[other]);
+        auto local = network.port(me).segment_memory(seg[me]);
+        std::vector<std::byte> payload(size, std::byte{1});
+        if (me == 0) start = simulator.now();
+        for (int i = 0; i < iterations; ++i) {
+          auto do_send = [&, i] {
+            if (size > 0) network.port(me).pio_write(remote, 0, payload);
+            std::byte flag[4];
+            store_u32(flag, static_cast<std::uint32_t>(i + 1));
+            network.port(me).pio_write(remote, size, flag);
+          };
+          auto do_recv = [&, i] {
+            network.port(me).wait_segment(seg[me], [&] {
+              return load_u32(local.data() + size) ==
+                     static_cast<std::uint32_t>(i + 1);
+            });
+            // Drain the payload to host memory like a real consumer.
+            nodes[me]->charge_memcpy(size);
+          };
+          if (me == 0) {
+            do_send();
+            do_recv();
+          } else {
+            do_recv();
+            do_send();
+          }
+        }
+        if (me == 0) end = simulator.now();
+      });
+    }
+    MAD2_CHECK(simulator.run().is_ok(), "raw SISCI bench failed");
+    return sim::to_us(end - start) / (2.0 * iterations);
+  });
+}
+
+PerfSeries mpi_sweep(const std::string& label, MpiImpl impl,
+                     const std::vector<std::uint64_t>& sizes) {
+  return sweep_with(label, sizes, [impl](std::size_t size) {
+    mad::Session session(two_node_config(mad::NetworkKind::kSisci));
+    std::unique_ptr<mpi::ChMadWorld> chmad;
+    std::unique_ptr<mpi::SciBaselineWorld> baseline;
+    mpi::Comm* a = nullptr;
+    mpi::Comm* b = nullptr;
+    switch (impl) {
+      case MpiImpl::kChMad:
+        chmad = std::make_unique<mpi::ChMadWorld>(session, "ch");
+        a = &chmad->comm(0);
+        b = &chmad->comm(1);
+        break;
+      case MpiImpl::kScampiLike:
+        baseline = std::make_unique<mpi::SciBaselineWorld>(
+            *session.network("net0").sci,
+            mpi::SciBaselineParams::scampi_like());
+        a = &baseline->comm(0);
+        b = &baseline->comm(1);
+        break;
+      case MpiImpl::kScimpichLike:
+        baseline = std::make_unique<mpi::SciBaselineWorld>(
+            *session.network("net0").sci,
+            mpi::SciBaselineParams::scimpich_like());
+        a = &baseline->comm(0);
+        b = &baseline->comm(1);
+        break;
+    }
+    const int iterations = 10;
+    sim::Time start = 0;
+    sim::Time end = 0;
+    session.spawn(0, "ping", [&](mad::NodeRuntime& rt) {
+      std::vector<std::byte> payload(size, std::byte{1});
+      std::vector<std::byte> back(size);
+      start = rt.simulator().now();
+      for (int i = 0; i < iterations; ++i) {
+        a->send(payload, 1, 0);
+        a->recv(back, 1, 0);
+      }
+      end = rt.simulator().now();
+    });
+    session.spawn(1, "pong", [&](mad::NodeRuntime&) {
+      std::vector<std::byte> data(size);
+      for (int i = 0; i < iterations; ++i) {
+        b->recv(data, 0, 0);
+        b->send(data, 0, 0);
+      }
+    });
+    MAD2_CHECK(session.run().is_ok(), "mpi bench failed");
+    return sim::to_us(end - start) / (2.0 * iterations);
+  });
+}
+
+PerfSeries nexus_sweep(const std::string& label, mad::NetworkKind kind,
+                       const std::vector<std::uint64_t>& sizes) {
+  return sweep_with(label, sizes, [kind](std::size_t size) {
+    mad::Session session(two_node_config(kind));
+    nexus::NexusWorld world(session, "ch");
+    const int iterations = 10;
+    sim::Time start = 0;
+    sim::Time end = 0;
+    int remaining = iterations;
+    auto payload = make_pattern_buffer(size, 1);
+    world.context(1).register_handler(
+        1, [&](std::uint32_t src, nexus::ReadBuffer& buffer) {
+          world.context(1).rsr(src, 2,
+                               buffer.get_bytes(buffer.remaining()));
+        });
+    world.context(0).register_handler(
+        2, [&](std::uint32_t, nexus::ReadBuffer&) {
+          if (--remaining == 0) {
+            end = session.simulator().now();
+            session.simulator().stop();
+            return;
+          }
+          world.context(0).rsr(1, 1, payload);
+        });
+    session.spawn(0, "client", [&](mad::NodeRuntime& rt) {
+      start = rt.simulator().now();
+      world.context(0).rsr(1, 1, payload);
+    });
+    MAD2_CHECK(session.run().is_ok(), "nexus bench failed");
+    return sim::to_us(end - start) / (2.0 * iterations);
+  });
+}
+
+std::vector<FwdResult> forwarding_sweep(
+    mad::NetworkKind from, mad::NetworkKind to, std::size_t mtu,
+    const std::vector<std::uint64_t>& message_sizes,
+    std::size_t pipeline_depth, double sender_rate_mbs) {
+  std::vector<FwdResult> results;
+  for (std::uint64_t message : message_sizes) {
+    mad::SessionConfig config;
+    config.node_count = 3;
+    mad::NetworkDef left;
+    left.name = "left";
+    left.kind = from;
+    left.nodes = {0, 1};
+    mad::NetworkDef right;
+    right.name = "right";
+    right.kind = to;
+    right.nodes = {1, 2};
+    config.networks = {left, right};
+    config.channels = {mad::ChannelDef{"vleft", "left"},
+                       mad::ChannelDef{"vright", "right"}};
+    mad::Session session(std::move(config));
+    fwd::VirtualChannelDef def;
+    def.name = "vc";
+    def.hops = {"vleft", "vright"};
+    def.mtu = mtu;
+    def.pipeline_depth = pipeline_depth;
+    def.sender_rate_mbs = sender_rate_mbs;
+    fwd::VirtualChannel vc(session, def);
+
+    const int iterations = 4;
+    sim::Time start = 0;
+    sim::Time end = 0;
+    session.spawn(0, "sender", [&](mad::NodeRuntime& rt) {
+      std::vector<std::byte> payload(message, std::byte{1});
+      start = rt.simulator().now();
+      for (int i = 0; i < iterations; ++i) {
+        auto& conn = vc.endpoint(0).begin_packing(2);
+        conn.pack(payload);
+        conn.end_packing();
+      }
+      auto& in = vc.endpoint(0).begin_unpacking();
+      std::byte ack;
+      in.unpack(std::span(&ack, 1));
+      in.end_unpacking();
+      end = rt.simulator().now();
+    });
+    session.spawn(2, "receiver", [&](mad::NodeRuntime&) {
+      std::vector<std::byte> out(message);
+      for (int i = 0; i < iterations; ++i) {
+        auto& conn = vc.endpoint(2).begin_unpacking();
+        conn.unpack(out);
+        conn.end_unpacking();
+      }
+      auto& reply = vc.endpoint(2).begin_packing(0);
+      std::byte ack{1};
+      reply.pack(std::span(&ack, 1));
+      reply.end_packing();
+    });
+    MAD2_CHECK(session.run().is_ok(), "forwarding bench failed");
+    results.push_back(FwdResult{
+        message, static_cast<double>(message) * iterations /
+                     (sim::to_seconds(end - start) * 1e6)});
+  }
+  return results;
+}
+
+}  // namespace mad2::bench

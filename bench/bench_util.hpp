@@ -1,0 +1,56 @@
+// Shared measurement harness for the figure benchmarks.
+//
+// All measurements follow the paper's methodology: one-way transfer time
+// from ping-pong round trips (Section 5.1, "latency measurements are
+// one-way transfer time measurements"), message sizes swept on a log
+// scale. Time is virtual (simulator) time; bandwidth is decimal MB/s.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fwd/virtual_channel.hpp"
+#include "mad/madeleine.hpp"
+#include "mpi/comm.hpp"
+#include "util/stats.hpp"
+
+namespace mad2::bench {
+
+/// A fresh two-node session with one network of `kind` and one channel
+/// named "ch".
+mad::SessionConfig two_node_config(mad::NetworkKind kind);
+
+/// One-way latency (us) of `size`-byte Madeleine messages over `kind`.
+double mad_one_way_us(mad::NetworkKind kind, std::size_t size,
+                      int iterations = 20);
+
+/// Full latency/bandwidth sweep for Madeleine over `kind`.
+PerfSeries mad_sweep(const std::string& label, mad::NetworkKind kind,
+                     const std::vector<std::uint64_t>& sizes);
+
+/// Raw driver sweeps (the "without Madeleine" reference curves).
+PerfSeries raw_bip_sweep(const std::vector<std::uint64_t>& sizes);
+PerfSeries raw_sisci_sweep(const std::vector<std::uint64_t>& sizes);
+
+/// MPI implementations for Figure 6.
+enum class MpiImpl { kChMad, kScampiLike, kScimpichLike };
+PerfSeries mpi_sweep(const std::string& label, MpiImpl impl,
+                     const std::vector<std::uint64_t>& sizes);
+
+/// Nexus over Madeleine for Figure 7.
+PerfSeries nexus_sweep(const std::string& label, mad::NetworkKind kind,
+                       const std::vector<std::uint64_t>& sizes);
+
+/// Inter-cluster forwarding bandwidth through a gateway (Figures 10/11):
+/// clusters {0,gateway} on `from` and {gateway,2} on `to`.
+struct FwdResult {
+  std::uint64_t message_bytes;
+  double bandwidth_mbs;
+};
+std::vector<FwdResult> forwarding_sweep(
+    mad::NetworkKind from, mad::NetworkKind to, std::size_t mtu,
+    const std::vector<std::uint64_t>& message_sizes,
+    std::size_t pipeline_depth = 2, double sender_rate_mbs = 0.0);
+
+}  // namespace mad2::bench

@@ -1,0 +1,43 @@
+// Figure 10: inter-cluster forwarding bandwidth from SISCI/SCI to
+// BIP/Myrinet through the gateway, for packet (MTU) sizes 8-128 kB.
+// Paper shape: ~36.5 MB/s with 8 kB packets, rising toward ~49.5 MB/s
+// with 128 kB packets; the ceiling is the gateway's shared PCI bus
+// (theoretical one-way max 66 MB/s, eroded by full-duplex conflicts).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mad2;
+  const std::vector<std::uint64_t> mtus{8 * 1024, 16 * 1024, 32 * 1024,
+                                        64 * 1024, 128 * 1024};
+  const auto messages = geometric_sizes(32 * 1024, 2 * 1024 * 1024);
+
+  std::vector<std::string> headers{"message"};
+  for (std::uint64_t mtu : mtus) {
+    headers.push_back(format_bytes(mtu) + " pkts (MB/s)");
+  }
+  Table table(std::move(headers));
+
+  std::vector<std::vector<bench::FwdResult>> columns;
+  for (std::uint64_t mtu : mtus) {
+    columns.push_back(bench::forwarding_sweep(
+        mad::NetworkKind::kSisci, mad::NetworkKind::kBip, mtu, messages));
+  }
+  for (std::size_t row = 0; row < messages.size(); ++row) {
+    std::vector<std::string> cells{format_bytes(messages[row])};
+    for (const auto& column : columns) {
+      cells.push_back(format_mbs(column[row].bandwidth_mbs));
+    }
+    table.add_row(std::move(cells));
+  }
+  std::printf("== Figure 10 — forwarding bandwidth: SCI -> Myrinet ==\n");
+  table.print();
+  std::printf(
+      "\nasymptotic: 8kB pkts=%.1f MB/s (paper: 36.5), 128kB pkts=%.1f "
+      "MB/s (paper: ~49.5)\n",
+      columns.front().back().bandwidth_mbs,
+      columns.back().back().bandwidth_mbs);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 11: inter-cluster forwarding bandwidth from BIP/Myrinet to
+// SISCI/SCI — the bad direction. Paper shape: only ~29 MB/s with 8 kB
+// packets and an asymptote below ~36.5 MB/s, because the Myrinet NIC's
+// receive DMA has priority on the gateway PCI bus over the CPU's SCI PIO
+// sends (Section 6.2.3).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mad2;
+  const std::vector<std::uint64_t> mtus{8 * 1024, 16 * 1024, 32 * 1024,
+                                        64 * 1024, 128 * 1024};
+  const auto messages = geometric_sizes(32 * 1024, 2 * 1024 * 1024);
+
+  std::vector<std::string> headers{"message"};
+  for (std::uint64_t mtu : mtus) {
+    headers.push_back(format_bytes(mtu) + " pkts (MB/s)");
+  }
+  Table table(std::move(headers));
+
+  std::vector<std::vector<bench::FwdResult>> columns;
+  for (std::uint64_t mtu : mtus) {
+    columns.push_back(bench::forwarding_sweep(
+        mad::NetworkKind::kBip, mad::NetworkKind::kSisci, mtu, messages));
+  }
+  for (std::size_t row = 0; row < messages.size(); ++row) {
+    std::vector<std::string> cells{format_bytes(messages[row])};
+    for (const auto& column : columns) {
+      cells.push_back(format_mbs(column[row].bandwidth_mbs));
+    }
+    table.add_row(std::move(cells));
+  }
+  std::printf("== Figure 11 — forwarding bandwidth: Myrinet -> SCI ==\n");
+  table.print();
+  std::printf(
+      "\nasymptotic: 8kB pkts=%.1f MB/s (paper: 29), 128kB pkts=%.1f MB/s "
+      "(paper: <= 36.5)\n",
+      columns.front().back().bandwidth_mbs,
+      columns.back().back().bandwidth_mbs);
+  return 0;
+}

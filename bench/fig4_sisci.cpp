@@ -1,0 +1,26 @@
+// Figure 4: latency and bandwidth of Madeleine II over SISCI/SCI, with
+// the raw SISCI curve for reference. Paper headline numbers: 3.9 us
+// minimal latency, 82 MB/s asymptotic bandwidth, dual-buffering visible
+// above 8 kB.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mad2;
+  const auto sizes = geometric_sizes(4, 1 << 20);
+  std::vector<PerfSeries> series;
+  series.push_back(bench::raw_sisci_sweep(sizes));
+  series.push_back(
+      bench::mad_sweep("Madeleine/SISCI", mad::NetworkKind::kSisci, sizes));
+  print_perf_series("Figure 4 — SISCI/SCI latency and bandwidth", series);
+
+  std::printf("min latency: raw=%.2f us, Madeleine=%.2f us (paper: 3.9)\n",
+              series[0].min_latency_us(), series[1].min_latency_us());
+  std::printf("peak bandwidth: raw=%.1f MB/s, Madeleine=%.1f MB/s "
+              "(paper: 82)\n",
+              series[0].peak_bandwidth_mbs(),
+              series[1].peak_bandwidth_mbs());
+  return 0;
+}

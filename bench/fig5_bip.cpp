@@ -1,0 +1,26 @@
+// Figure 5: latency and bandwidth of Madeleine II over BIP/Myrinet vs the
+// raw BIP interface. Paper headline numbers: raw BIP 5 us / 126 MB/s,
+// Madeleine 7 us / 122 MB/s.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mad2;
+  const auto sizes = geometric_sizes(4, 1 << 20);
+  std::vector<PerfSeries> series;
+  series.push_back(bench::raw_bip_sweep(sizes));
+  series.push_back(
+      bench::mad_sweep("Madeleine/BIP", mad::NetworkKind::kBip, sizes));
+  print_perf_series("Figure 5 — BIP/Myrinet latency and bandwidth", series);
+
+  std::printf(
+      "min latency: raw=%.2f us (paper: 5), Madeleine=%.2f us (paper: 7)\n",
+      series[0].min_latency_us(), series[1].min_latency_us());
+  std::printf(
+      "peak bandwidth: raw=%.1f MB/s (paper: 126), Madeleine=%.1f MB/s "
+      "(paper: 122)\n",
+      series[0].peak_bandwidth_mbs(), series[1].peak_bandwidth_mbs());
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 6: comparison of MPI implementations over SCI — MPICH/Madeleine
+// (ch_mad) vs SCI-MPICH-like and ScaMPI-like baselines, with raw
+// Madeleine/SISCI for reference. Paper shape: the direct MPIs win on
+// small-message latency, ch_mad delivers the best bandwidth for messages
+// of 32 kB and above and tracks Madeleine's bandwidth at large sizes.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mad2;
+  const auto sizes = geometric_sizes(4, 1 << 20);
+  std::vector<PerfSeries> series;
+  series.push_back(
+      bench::mad_sweep("Madeleine/SISCI", mad::NetworkKind::kSisci, sizes));
+  series.push_back(
+      bench::mpi_sweep("MPICH/Mad", bench::MpiImpl::kChMad, sizes));
+  series.push_back(
+      bench::mpi_sweep("SCI-MPICH", bench::MpiImpl::kScimpichLike, sizes));
+  series.push_back(
+      bench::mpi_sweep("ScaMPI", bench::MpiImpl::kScampiLike, sizes));
+  print_perf_series("Figure 6 — MPI implementations over SCI", series);
+
+  std::printf("min latency (us): MPICH/Mad=%.2f  SCI-MPICH=%.2f  "
+              "ScaMPI=%.2f (paper: ch_mad worst)\n",
+              series[1].min_latency_us(), series[2].min_latency_us(),
+              series[3].min_latency_us());
+  std::printf("bandwidth at 256 kB (MB/s): MPICH/Mad=%.1f  SCI-MPICH=%.1f  "
+              "ScaMPI=%.1f (paper: ch_mad best >= 32 kB)\n",
+              series[1].bandwidth_at(256 * 1024),
+              series[2].bandwidth_at(256 * 1024),
+              series[3].bandwidth_at(256 * 1024));
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Figure 7: Nexus/Madeleine II performance over TCP and over SISCI, with
+// raw Madeleine/SISCI for reference. Paper headline: minimal RSR latency
+// below 25 us on SCI — far better than Nexus over commodity TCP,
+// justifying Madeleine as Nexus's cluster-level protocol.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mad2;
+  const auto sizes = geometric_sizes(4, 1 << 20);
+  std::vector<PerfSeries> series;
+  series.push_back(
+      bench::mad_sweep("Madeleine/SISCI", mad::NetworkKind::kSisci, sizes));
+  series.push_back(bench::nexus_sweep("Nexus/Mad/SISCI",
+                                      mad::NetworkKind::kSisci, sizes));
+  series.push_back(
+      bench::nexus_sweep("Nexus/Mad/TCP", mad::NetworkKind::kTcp, sizes));
+  print_perf_series("Figure 7 — Nexus/Madeleine II performance", series);
+
+  std::printf("Nexus/Mad/SISCI min latency: %.2f us (paper: < 25)\n",
+              series[1].min_latency_us());
+  std::printf("Nexus/Mad/TCP min latency: %.2f us\n",
+              series[2].min_latency_us());
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Host-time microbenchmarks (google-benchmark): the real CPU cost of the
+// simulator substrate and the Madeleine hot paths. These measure wall
+// clock, not virtual time — they answer "how fast does the simulation
+// itself run", which bounds how large an experiment the harness can
+// sweep.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "mad/madeleine.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sync.hpp"
+#include "util/bytes.hpp"
+
+namespace {
+
+using namespace mad2;
+
+void BM_FiberSpawnAndJoin(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    for (int i = 0; i < 100; ++i) {
+      simulator.spawn("f", [] {});
+    }
+    benchmark::DoNotOptimize(simulator.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_FiberSpawnAndJoin);
+
+void BM_FiberContextSwitch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    simulator.spawn("a", [&] {
+      for (int i = 0; i < 1000; ++i) simulator.yield_fiber();
+    });
+    simulator.spawn("b", [&] {
+      for (int i = 0; i < 1000; ++i) simulator.yield_fiber();
+    });
+    benchmark::DoNotOptimize(simulator.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_FiberContextSwitch);
+
+void BM_SessionSetup(benchmark::State& state) {
+  for (auto _ : state) {
+    mad::Session session(
+        bench::two_node_config(mad::NetworkKind::kSisci));
+    benchmark::DoNotOptimize(&session);
+  }
+}
+BENCHMARK(BM_SessionSetup);
+
+void BM_MadMessageRoundTrip(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    // One full simulated ping-pong, measured in host time.
+    benchmark::DoNotOptimize(
+        bench::mad_one_way_us(mad::NetworkKind::kBip, size,
+                              /*iterations=*/1));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(size) * 2);
+}
+BENCHMARK(BM_MadMessageRoundTrip)->Arg(64)->Arg(64 * 1024);
+
+void BM_PatternFillVerify(benchmark::State& state) {
+  std::vector<std::byte> buffer(64 * 1024);
+  for (auto _ : state) {
+    fill_pattern(buffer, 42);
+    benchmark::DoNotOptimize(verify_pattern(buffer, 42));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(buffer.size()) * 2);
+}
+BENCHMARK(BM_PatternFillVerify);
+
+}  // namespace
+
+BENCHMARK_MAIN();

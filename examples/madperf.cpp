@@ -1,0 +1,209 @@
+// madperf — a netperf-style benchmarking utility for Madeleine II.
+//
+// Runs a latency/bandwidth sweep over any supported network and layer and
+// prints the same table format the figure harnesses use. Examples:
+//
+//   madperf                                   # Madeleine over SISCI
+//   madperf --network bip --max 262144
+//   madperf --layer nexus --network tcp
+//   madperf --config cluster.cfg --channel ch # sweep a configured session
+//
+// Options:
+//   --network bip|sisci|tcp|via|sbp   (default sisci)
+//   --layer   mad|nexus               (default mad)
+//   --min N   smallest message, bytes (default 4)
+//   --max N   largest message, bytes  (default 1 MiB)
+//   --iters N ping-pong iterations    (default 20)
+//   --config FILE --channel NAME      use a session config file; the
+//                                     sweep runs between the channel's
+//                                     first two nodes (layer mad only)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "mad/config_parser.hpp"
+#include "mad/madeleine.hpp"
+#include "nexus/nexus.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace mad2;
+
+namespace {
+
+struct Options {
+  std::string network = "sisci";
+  std::string layer = "mad";
+  std::uint64_t min_bytes = 4;
+  std::uint64_t max_bytes = 1 << 20;
+  int iterations = 20;
+  std::string config_path;
+  std::string channel = "ch";
+};
+
+bool parse_args(int argc, char** argv, Options* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--network") {
+      const char* v = next();
+      if (!v) return false;
+      options->network = v;
+    } else if (arg == "--layer") {
+      const char* v = next();
+      if (!v) return false;
+      options->layer = v;
+    } else if (arg == "--min") {
+      const char* v = next();
+      if (!v) return false;
+      options->min_bytes = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--max") {
+      const char* v = next();
+      if (!v) return false;
+      options->max_bytes = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--iters") {
+      const char* v = next();
+      if (!v) return false;
+      options->iterations = std::atoi(v);
+    } else if (arg == "--config") {
+      const char* v = next();
+      if (!v) return false;
+      options->config_path = v;
+    } else if (arg == "--channel") {
+      const char* v = next();
+      if (!v) return false;
+      options->channel = v;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  return options->min_bytes > 0 && options->max_bytes >= options->min_bytes &&
+         options->iterations > 0;
+}
+
+Result<mad::SessionConfig> build_config(const Options& options) {
+  if (!options.config_path.empty()) {
+    std::ifstream file(options.config_path);
+    if (!file) {
+      return invalid_argument("cannot open config file '" +
+                              options.config_path + "'");
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    return mad::parse_session_config(buffer.str());
+  }
+  // Implicit two-node cluster of the requested kind.
+  return mad::parse_session_config("nodes 2\nnetwork net0 " +
+                                   options.network + " 0 1\nchannel " +
+                                   options.channel + " net0\n");
+}
+
+double mad_one_way_us(mad::Session& session, const Options& options,
+                      std::uint32_t a, std::uint32_t b, std::size_t size) {
+  sim::Time start = 0;
+  sim::Time end = 0;
+  session.spawn(a, "ping", [&, size](mad::NodeRuntime& rt) {
+    std::vector<std::byte> payload(size, std::byte{1});
+    std::vector<std::byte> back(size);
+    start = rt.simulator().now();
+    for (int i = 0; i < options.iterations; ++i) {
+      auto& out = rt.channel(options.channel).begin_packing(b);
+      out.pack(payload);
+      out.end_packing();
+      auto& in = rt.channel(options.channel).begin_unpacking();
+      in.unpack(back);
+      in.end_unpacking();
+    }
+    end = rt.simulator().now();
+  });
+  session.spawn(b, "pong", [&, size](mad::NodeRuntime& rt) {
+    std::vector<std::byte> data(size);
+    for (int i = 0; i < options.iterations; ++i) {
+      auto& in = rt.channel(options.channel).begin_unpacking();
+      in.unpack(data);
+      in.end_unpacking();
+      auto& out = rt.channel(options.channel).begin_packing(a);
+      out.pack(data);
+      out.end_packing();
+    }
+  });
+  MAD2_CHECK(session.run().is_ok(), "madperf session failed");
+  return sim::to_us(end - start) / (2.0 * options.iterations);
+}
+
+double nexus_one_way_us(const Options& options, std::size_t size) {
+  auto parsed = build_config(options);
+  MAD2_CHECK(parsed.is_ok(), "config failed");
+  mad::Session session(std::move(parsed.value()));
+  nexus::NexusWorld world(session, options.channel);
+  sim::Time start = 0;
+  sim::Time end = 0;
+  int remaining = options.iterations;
+  std::vector<std::byte> payload(size, std::byte{1});
+  world.context(1).register_handler(
+      1, [&](std::uint32_t src, nexus::ReadBuffer& buffer) {
+        world.context(1).rsr(src, 2, buffer.get_bytes(buffer.remaining()));
+      });
+  world.context(0).register_handler(
+      2, [&](std::uint32_t, nexus::ReadBuffer&) {
+        if (--remaining == 0) {
+          end = session.simulator().now();
+          session.simulator().stop();
+          return;
+        }
+        world.context(0).rsr(1, 1, payload);
+      });
+  session.spawn(0, "client", [&](mad::NodeRuntime& rt) {
+    start = rt.simulator().now();
+    world.context(0).rsr(1, 1, payload);
+  });
+  MAD2_CHECK(session.run().is_ok(), "madperf session failed");
+  return sim::to_us(end - start) / (2.0 * options.iterations);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse_args(argc, argv, &options)) {
+    std::fprintf(stderr,
+                 "usage: madperf [--network KIND] [--layer mad|nexus] "
+                 "[--min N] [--max N] [--iters N] [--config FILE] "
+                 "[--channel NAME]\n");
+    return 2;
+  }
+
+  PerfSeries series;
+  series.label = options.layer + "/" + options.network;
+  for (std::uint64_t size :
+       geometric_sizes(options.min_bytes, options.max_bytes)) {
+    double latency = 0.0;
+    if (options.layer == "mad") {
+      auto parsed = build_config(options);
+      if (!parsed.is_ok()) {
+        std::fprintf(stderr, "%s\n", parsed.status().to_string().c_str());
+        return 1;
+      }
+      mad::Session session(std::move(parsed.value()));
+      const auto& nodes = session.channel(options.channel).nodes();
+      MAD2_CHECK(nodes.size() >= 2, "channel needs at least two nodes");
+      latency = mad_one_way_us(session, options, nodes[0], nodes[1], size);
+    } else if (options.layer == "nexus") {
+      latency = nexus_one_way_us(options, size);
+    } else {
+      std::fprintf(stderr, "unknown layer '%s'\n", options.layer.c_str());
+      return 2;
+    }
+    series.points.push_back(
+        PerfPoint{size, latency, static_cast<double>(size) / latency});
+  }
+  print_perf_series("madperf — one-way latency / bandwidth", {series});
+  std::printf("min latency: %.2f us, peak bandwidth: %.1f MB/s\n",
+              series.min_latency_us(), series.peak_bandwidth_mbs());
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Nexus/Madeleine II example (paper Section 5.3.2): remote service
+// requests with typed buffers. A coordinator farms squaring work out to
+// worker contexts; workers reply through a second handler.
+//
+// Build & run:  ./build/examples/nexus_rsr
+#include <cstdio>
+#include <vector>
+
+#include "nexus/nexus.hpp"
+
+using namespace mad2;
+
+namespace {
+constexpr nexus::HandlerId kSquare = 1;
+constexpr nexus::HandlerId kResult = 2;
+}  // namespace
+
+int main() {
+  mad::SessionConfig config;
+  config.node_count = 4;
+  mad::NetworkDef sci;
+  sci.name = "sci0";
+  sci.kind = mad::NetworkKind::kSisci;
+  sci.nodes = {0, 1, 2, 3};
+  config.networks.push_back(sci);
+  config.channels.push_back(mad::ChannelDef{"nexus", "sci0"});
+  mad::Session session(std::move(config));
+
+  nexus::NexusWorld world(session, "nexus");
+
+  // Workers: square every value in the request, reply via kResult.
+  for (std::uint32_t worker = 1; worker <= 3; ++worker) {
+    world.context(worker).register_handler(
+        kSquare,
+        [&world, worker](std::uint32_t src, nexus::ReadBuffer& request) {
+          const auto count = request.get<std::uint32_t>();
+          nexus::WriteBuffer reply;
+          reply.put(worker);
+          reply.put(count);
+          for (std::uint32_t i = 0; i < count; ++i) {
+            const auto v = request.get<std::uint64_t>();
+            reply.put(v * v);
+          }
+          world.context(worker).rsr(src, kResult, reply);
+        });
+  }
+
+  // Coordinator: collect replies; stop the session when all are in.
+  int outstanding = 3;
+  world.context(0).register_handler(
+      kResult, [&](std::uint32_t, nexus::ReadBuffer& reply) {
+        const auto worker = reply.get<std::uint32_t>();
+        const auto count = reply.get<std::uint32_t>();
+        std::uint64_t sum = 0;
+        for (std::uint32_t i = 0; i < count; ++i) {
+          sum += reply.get<std::uint64_t>();
+        }
+        std::printf("[coordinator] worker %u squared %u values; sum=%llu\n",
+                    worker, count, static_cast<unsigned long long>(sum));
+        if (--outstanding == 0) session.simulator().stop();
+      });
+
+  session.spawn(0, "coordinator", [&](mad::NodeRuntime&) {
+    for (std::uint32_t worker = 1; worker <= 3; ++worker) {
+      nexus::WriteBuffer request;
+      const std::uint32_t count = 4 * worker;
+      request.put(count);
+      for (std::uint32_t i = 1; i <= count; ++i) {
+        request.put<std::uint64_t>(i);
+      }
+      world.context(0).rsr(worker, kSquare, request);
+      std::printf("[coordinator] dispatched %u values to worker %u\n",
+                  count, worker);
+    }
+  });
+
+  const Status status = session.run();
+  std::printf("session: %s\n", status.to_string().c_str());
+  return status.is_ok() ? 0 : 1;
+}

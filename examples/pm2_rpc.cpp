@@ -1,0 +1,97 @@
+// PM2-style distributed computation (paper Section 1: Madeleine II was
+// built for RPC-based multithreaded environments like PM2).
+//
+// A coordinator distributes chunks of a dot product to worker services
+// with asynchronous RPCs, overlapping all the calls; workers may
+// themselves be busy with other requests thanks to thread-per-request
+// dispatch. The session is described in the text configuration format.
+//
+// Build & run:  ./build/examples/pm2_rpc
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "mad/config_parser.hpp"
+#include "pm2/pm2.hpp"
+
+using namespace mad2;
+
+namespace {
+constexpr pm2::ServiceId kDotProduct = 1;
+
+std::vector<std::byte> encode(const std::vector<double>& values) {
+  std::vector<std::byte> out(values.size() * sizeof(double));
+  std::memcpy(out.data(), values.data(), out.size());
+  return out;
+}
+}  // namespace
+
+int main() {
+  auto parsed = mad::parse_session_config(R"(
+# one coordinator + three workers on a Myrinet cluster
+nodes 4
+network myri0 bip 0 1 2 3
+channel pm2 myri0
+)");
+  MAD2_CHECK(parsed.is_ok(), "config must parse");
+  mad::Session session(std::move(parsed.value()));
+  pm2::Pm2World world(session, "pm2");
+
+  // Each worker: dot product of the two halves of the argument.
+  for (std::uint32_t worker = 1; worker <= 3; ++worker) {
+    world.node(worker).register_service(
+        kDotProduct,
+        [&session, worker](std::uint32_t,
+                           std::span<const std::byte> argument) {
+          const std::size_t doubles = argument.size() / sizeof(double);
+          std::vector<double> values(doubles);
+          std::memcpy(values.data(), argument.data(), argument.size());
+          const std::size_t half = doubles / 2;
+          double sum = 0.0;
+          for (std::size_t i = 0; i < half; ++i) {
+            sum += values[i] * values[half + i];
+          }
+          // Model some compute time so the overlap is visible.
+          session.simulator().advance(sim::microseconds(200));
+          std::vector<std::byte> reply(sizeof(double));
+          std::memcpy(reply.data(), &sum, sizeof(double));
+          std::printf("[worker %u] partial dot product = %.1f\n", worker,
+                      sum);
+          return reply;
+        });
+  }
+
+  session.spawn(0, "coordinator", [&](mad::NodeRuntime& rt) {
+    // v = [1, 2, ..., 3N]; w = all ones. dot(v, w) = sum(v).
+    const std::size_t per_worker = 1000;
+    std::vector<pm2::RpcFuture> futures;
+    const sim::Time start = rt.simulator().now();
+    for (std::uint32_t worker = 1; worker <= 3; ++worker) {
+      std::vector<double> chunk;  // first half v-slice, second half ones
+      for (std::size_t i = 0; i < per_worker; ++i) {
+        chunk.push_back(
+            static_cast<double>((worker - 1) * per_worker + i + 1));
+      }
+      chunk.insert(chunk.end(), per_worker, 1.0);
+      futures.push_back(
+          world.node(0).async_rpc(worker, kDotProduct, encode(chunk)));
+    }
+    double total = 0.0;
+    for (auto& future : futures) {
+      const auto reply = world.node(0).wait(future);
+      double partial = 0.0;
+      std::memcpy(&partial, reply.data(), sizeof(double));
+      total += partial;
+    }
+    const double n = 3.0 * per_worker;
+    std::printf("[coordinator] dot product = %.1f (expected %.1f) in "
+                "%.0f us (three calls overlapped)\n",
+                total, n * (n + 1) / 2.0,
+                sim::to_us(rt.simulator().now() - start));
+  });
+
+  const Status status = session.run();
+  std::printf("session: %s\n", status.to_string().c_str());
+  return status.is_ok() ? 0 : 1;
+}

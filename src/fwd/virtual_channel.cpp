@@ -1,0 +1,430 @@
+#include "fwd/virtual_channel.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/sync.hpp"
+#include "util/bytes.hpp"
+
+namespace mad2::fwd {
+
+namespace {
+
+/// Indices of the hops containing `node`.
+std::vector<std::size_t> hops_containing(
+    const std::vector<mad::Channel*>& hops, std::uint32_t node) {
+  std::vector<std::size_t> result;
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    const auto& nodes = hops[i]->nodes();
+    if (std::find(nodes.begin(), nodes.end(), node) != nodes.end()) {
+      result.push_back(i);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- VirtualChannel ---
+
+VirtualChannel::VirtualChannel(mad::Session& session, VirtualChannelDef def)
+    : session_(&session), def_(std::move(def)) {
+  MAD2_CHECK(!def_.hops.empty(), "virtual channel needs at least one hop");
+  MAD2_CHECK(def_.mtu > kBlockHeaderBytes, "MTU too small");
+  for (const std::string& hop : def_.hops) {
+    hop_channels_.push_back(&session_->channel(hop));
+  }
+
+  // Gateways: the unique common node of each consecutive hop pair.
+  for (std::size_t i = 0; i + 1 < hop_channels_.size(); ++i) {
+    const auto& a = hop_channels_[i]->nodes();
+    const auto& b = hop_channels_[i + 1]->nodes();
+    std::vector<std::uint32_t> common;
+    for (std::uint32_t node : a) {
+      if (std::find(b.begin(), b.end(), node) != b.end()) {
+        common.push_back(node);
+      }
+    }
+    MAD2_CHECK(common.size() == 1,
+               "consecutive hops must share exactly one gateway node");
+    gateways_.push_back(common.front());
+  }
+
+  for (const mad::Channel* hop : hop_channels_) {
+    for (std::uint32_t node : hop->nodes()) {
+      if (std::find(nodes_.begin(), nodes_.end(), node) == nodes_.end()) {
+        nodes_.push_back(node);
+      }
+    }
+  }
+  std::sort(nodes_.begin(), nodes_.end());
+
+  for (std::uint32_t node : nodes_) {
+    endpoints_.emplace(node, std::unique_ptr<VirtualEndpoint>(
+                                 new VirtualEndpoint(this, node)));
+  }
+
+  for (std::size_t i = 0; i < gateways_.size(); ++i) {
+    spawn_gateway(gateways_[i], i, i + 1);
+  }
+}
+
+VirtualChannel::~VirtualChannel() = default;
+
+VirtualEndpoint& VirtualChannel::endpoint(std::uint32_t node) {
+  auto it = endpoints_.find(node);
+  MAD2_CHECK(it != endpoints_.end(), "node not on this virtual channel");
+  return *it->second;
+}
+
+std::size_t VirtualChannel::hop_of(std::uint32_t node,
+                                   std::uint32_t dst) const {
+  const auto node_hops = hops_containing(hop_channels_, node);
+  const auto dst_hops = hops_containing(hop_channels_, dst);
+  MAD2_CHECK(!node_hops.empty(), "node not on this virtual channel");
+  MAD2_CHECK(!dst_hops.empty(), "destination not on this virtual channel");
+  for (std::size_t h : node_hops) {
+    if (std::find(dst_hops.begin(), dst_hops.end(), h) != dst_hops.end()) {
+      return h;  // same hop: direct
+    }
+  }
+  if (node_hops.back() < dst_hops.front()) return node_hops.back();
+  return node_hops.front();
+}
+
+std::uint32_t VirtualChannel::next_node(std::size_t hop,
+                                        std::uint32_t dst) const {
+  const auto& nodes = hop_channels_[hop]->nodes();
+  if (std::find(nodes.begin(), nodes.end(), dst) != nodes.end()) return dst;
+  const auto dst_hops = hops_containing(hop_channels_, dst);
+  MAD2_CHECK(!dst_hops.empty(), "destination not on this virtual channel");
+  if (dst_hops.front() > hop) return gateways_[hop];  // forward
+  MAD2_CHECK(hop > 0, "no route to destination");
+  return gateways_[hop - 1];  // backward
+}
+
+std::size_t VirtualChannel::terminal_hop(std::uint32_t node) const {
+  const auto node_hops = hops_containing(hop_channels_, node);
+  MAD2_CHECK(!node_hops.empty(), "node not on this virtual channel");
+  MAD2_CHECK(node_hops.size() == 1,
+             "gateway nodes cannot be virtual-channel receivers");
+  return node_hops.front();
+}
+
+void VirtualChannel::send_packet(
+    mad::ChannelEndpoint& hop_endpoint, std::uint32_t to, PacketHeader header,
+    const std::vector<std::span<const std::byte>>& pieces) {
+  header.n_pieces = static_cast<std::uint32_t>(pieces.size());
+  std::vector<std::uint32_t> sizes;
+  sizes.reserve(pieces.size());
+  std::uint32_t total = 0;
+  for (const auto& piece : pieces) {
+    sizes.push_back(static_cast<std::uint32_t>(piece.size()));
+    total += static_cast<std::uint32_t>(piece.size());
+  }
+  header.payload_len = total;
+
+  mad::Connection& conn = hop_endpoint.begin_packing(to);
+  mad::mad_pack_value(conn, header, mad::send_CHEAPER, mad::receive_EXPRESS);
+  if (!sizes.empty()) {
+    conn.pack(std::as_bytes(std::span(sizes)), mad::send_CHEAPER,
+              mad::receive_EXPRESS);
+  }
+  for (const auto& piece : pieces) {
+    conn.pack(piece, mad::send_CHEAPER, mad::receive_CHEAPER);
+  }
+  conn.end_packing();
+}
+
+VirtualChannel::Packet VirtualChannel::receive_packet(
+    mad::ChannelEndpoint& hop_endpoint) {
+  mad::Connection& conn = hop_endpoint.begin_unpacking();
+  Packet packet;
+  mad::mad_unpack_value(conn, packet.header, mad::send_CHEAPER,
+                        mad::receive_EXPRESS);
+  std::vector<std::uint32_t> sizes(packet.header.n_pieces);
+  if (!sizes.empty()) {
+    conn.unpack(std::as_writable_bytes(std::span(sizes)), mad::send_CHEAPER,
+                mad::receive_EXPRESS);
+  }
+  packet.payload.resize(packet.header.payload_len);
+  std::size_t offset = 0;
+  for (std::uint32_t size : sizes) {
+    conn.unpack(std::span(packet.payload).subspan(offset, size),
+                mad::send_CHEAPER, mad::receive_CHEAPER);
+    offset += size;
+  }
+  MAD2_CHECK(offset == packet.header.payload_len,
+             "piece sizes do not add up to the packet payload");
+  conn.end_unpacking();
+  return packet;
+}
+
+void VirtualChannel::spawn_gateway(std::uint32_t gateway, std::size_t hop_in,
+                                   std::size_t hop_out) {
+  // One pipeline per direction; each is the paper's Figure 9: a receiving
+  // fiber and a sending fiber exchanging a bounded pool of packet buffers
+  // (pipeline_depth == 2 -> dual buffering). pipeline_depth <= 1 degrades
+  // to strict store-and-forward (one fiber receives, then sends) — the
+  // no-overlap baseline the dual-buffering design improves on.
+  auto spawn_direction = [this, gateway](std::size_t in, std::size_t out) {
+    if (def_.pipeline_depth <= 1) {
+      session_->simulator().spawn_daemon(
+          def_.name + ".gw" + std::to_string(gateway) + "." +
+              std::to_string(in) + "to" + std::to_string(out) + ".sf",
+          [this, in, out, gateway] {
+            mad::ChannelEndpoint& ep_in =
+                hop_channels_[in]->endpoint(gateway);
+            mad::ChannelEndpoint& ep_out =
+                hop_channels_[out]->endpoint(gateway);
+            for (;;) {
+              Packet packet = receive_packet(ep_in);
+              MAD2_CHECK(packet.header.dst != gateway,
+                         "forwarding packet addressed to the gateway");
+              const std::uint32_t to = next_node(out, packet.header.dst);
+              send_packet(ep_out, to, packet.header,
+                          {std::span<const std::byte>(packet.payload)});
+            }
+          });
+      return;
+    }
+    gateway_queues_.push_back(std::make_unique<sim::BoundedChannel<Packet>>(
+        &session_->simulator(), def_.pipeline_depth));
+    sim::BoundedChannel<Packet>* queue = gateway_queues_.back().get();
+    const std::string tag = def_.name + ".gw" + std::to_string(gateway) +
+                            "." + std::to_string(in) + "to" +
+                            std::to_string(out);
+    session_->simulator().spawn_daemon(tag + ".rx", [this, in, gateway,
+                                                     queue] {
+      mad::ChannelEndpoint& ep = hop_channels_[in]->endpoint(gateway);
+      for (;;) {
+        Packet packet = receive_packet(ep);
+        MAD2_CHECK(packet.header.dst != gateway,
+                   "forwarding packet addressed to the gateway itself");
+        queue->send(std::move(packet));
+      }
+    });
+    session_->simulator().spawn_daemon(tag + ".tx", [this, out, gateway,
+                                                     queue] {
+      mad::ChannelEndpoint& ep = hop_channels_[out]->endpoint(gateway);
+      for (;;) {
+        auto packet = queue->receive();
+        if (!packet.has_value()) return;
+        const std::uint32_t to = next_node(out, packet->header.dst);
+        // Forward the landed buffer as a single gather piece.
+        send_packet(ep, to, packet->header,
+                    {std::span<const std::byte>(packet->payload)});
+      }
+    });
+  };
+  spawn_direction(hop_in, hop_out);
+  spawn_direction(hop_out, hop_in);
+}
+
+// --------------------------------------------------------- VirtualEndpoint ---
+
+VirtualEndpoint::VirtualEndpoint(VirtualChannel* channel, std::uint32_t local)
+    : channel_(channel), local_(local) {
+  for (std::uint32_t node : channel_->nodes()) {
+    if (node == local_) continue;
+    connections_.emplace(node, std::unique_ptr<VirtualConnection>(
+                                   new VirtualConnection(this, node)));
+  }
+}
+
+VirtualConnection& VirtualEndpoint::begin_packing(std::uint32_t remote) {
+  auto it = connections_.find(remote);
+  MAD2_CHECK(it != connections_.end(), "unknown virtual destination");
+  VirtualConnection& conn = *it->second;
+  MAD2_CHECK(!conn.packing_, "virtual message already open");
+  conn.packing_ = true;
+  conn.pieces_.clear();
+  conn.metas_.clear();
+  conn.pending_bytes_ = 0;
+  return conn;
+}
+
+std::uint32_t VirtualEndpoint::fetch_packet() {
+  const std::size_t hop = channel_->terminal_hop(local_);
+  mad::ChannelEndpoint& ep =
+      channel_->session().channel(channel_->def().hops[hop]).endpoint(local_);
+  VirtualChannel::Packet packet = channel_->receive_packet(ep);
+  MAD2_CHECK(packet.header.dst == local_,
+             "virtual packet delivered to the wrong node");
+  auto& queue = reassembly_[packet.header.src];
+  queue.insert(queue.end(), packet.payload.begin(), packet.payload.end());
+  return packet.header.src;
+}
+
+VirtualConnection& VirtualEndpoint::begin_unpacking() {
+  MAD2_CHECK(active_incoming_ == nullptr,
+             "virtual incoming message already open");
+  // Leftover packets of a *different* source fetched while draining the
+  // previous message start the next one; otherwise fetch.
+  std::uint32_t src = 0;
+  bool found = false;
+  for (auto& [candidate, queue] : reassembly_) {
+    if (!queue.empty()) {
+      src = candidate;
+      found = true;
+      break;
+    }
+  }
+  if (!found) src = fetch_packet();
+  VirtualConnection& conn = *connections_.at(src);
+  MAD2_CHECK(!conn.unpacking_, "virtual connection already unpacking");
+  conn.unpacking_ = true;
+  active_incoming_ = &conn;
+  return conn;
+}
+
+void VirtualEndpoint::read_stream(std::uint32_t src,
+                                  std::span<std::byte> out) {
+  auto& queue = reassembly_[src];
+  while (queue.size() < out.size()) fetch_packet();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = queue.front();
+    queue.pop_front();
+  }
+}
+
+// ------------------------------------------------------- VirtualConnection ---
+
+void VirtualConnection::append_meta(std::span<const std::byte> bytes) {
+  // Consolidate into the trailing meta buffer when it is still the last
+  // piece; re-point the span afterwards (the vector may reallocate).
+  endpoint_->channel().session().node(endpoint_->local()).charge_memcpy(
+      bytes.size());
+  // Extend the trailing meta buffer only while the piece still covers the
+  // whole buffer — a piece split by a packet flush must not be re-pointed
+  // (its front part is already on the wire).
+  if (!pieces_.empty() && pieces_.back().is_meta &&
+      pieces_.back().data.data() == metas_.back().data() &&
+      pieces_.back().data.size() == metas_.back().size()) {
+    std::vector<std::byte>& meta = metas_.back();
+    meta.insert(meta.end(), bytes.begin(), bytes.end());
+    pieces_.back().data = std::span<const std::byte>(meta);
+  } else {
+    metas_.emplace_back(bytes.begin(), bytes.end());
+    pieces_.push_back(
+        Piece{std::span<const std::byte>(metas_.back()), true});
+  }
+  pending_bytes_ += bytes.size();
+}
+
+void VirtualConnection::append_piece(std::span<const std::byte> data) {
+  pieces_.push_back(Piece{data, false});
+  pending_bytes_ += data.size();
+}
+
+void VirtualConnection::pack(std::span<const std::byte> data,
+                             mad::SendMode smode, mad::ReceiveMode rmode) {
+  MAD2_CHECK(packing_, "pack outside begin_packing/end_packing");
+  // The Generic TM self-describes every block (size + constraints) so
+  // gateways and the receiver can handle the stream without application
+  // knowledge (Section 6.1). Headers and small blocks are consolidated
+  // into owned buffers; large blocks travel zero-copy from user memory
+  // (read at packet flush — so send_LATER data may be read before
+  // end_packing once the MTU fills).
+  constexpr std::size_t kInlineMax = 512;
+  std::byte header[VirtualChannel::kBlockHeaderBytes];
+  store_u64(header, data.size());
+  header[8] = static_cast<std::byte>(smode);
+  header[9] = static_cast<std::byte>(rmode);
+  append_meta(header);
+  if (data.size() < kInlineMax) {
+    append_meta(data);
+  } else {
+    append_piece(data);
+  }
+  while (pending_bytes_ >= endpoint_->channel().def().mtu) {
+    flush_packet(/*last=*/false);
+  }
+}
+
+void VirtualConnection::flush_packet(bool last) {
+  const std::size_t mtu = endpoint_->channel().def().mtu;
+  std::size_t take = std::min(pending_bytes_, mtu);
+
+  // Gather pieces off the front of the queue, splitting the last one at
+  // the packet boundary.
+  std::vector<std::span<const std::byte>> gathered;
+  std::size_t taken = 0;
+  std::size_t metas_consumed = 0;  // freed only after the send reads them
+  while (taken < take) {
+    Piece& piece = pieces_.front();
+    const std::size_t chunk = std::min(piece.data.size(), take - taken);
+    gathered.push_back(piece.data.subspan(0, chunk));
+    taken += chunk;
+    if (chunk == piece.data.size()) {
+      if (piece.is_meta) ++metas_consumed;
+      pieces_.pop_front();
+    } else {
+      piece.data = piece.data.subspan(chunk);
+      // A split meta piece keeps its backing buffer alive in metas_.
+    }
+  }
+  pending_bytes_ -= taken;
+
+  VirtualChannel::PacketHeader header{};
+  header.src = endpoint_->local();
+  header.dst = remote_;
+  header.last = last ? 1 : 0;
+
+  VirtualChannel& channel = endpoint_->channel();
+  const std::size_t hop = channel.hop_of(endpoint_->local(), remote_);
+  mad::ChannelEndpoint& ep =
+      channel.session().channel(channel.def().hops[hop]).endpoint(
+          endpoint_->local());
+  const std::uint32_t to = channel.next_node(hop, remote_);
+
+  // Bandwidth control (paper future work): pace packet departures so the
+  // inbound flow at the gateway stays below the configured rate.
+  if (channel.def().sender_rate_mbs > 0.0 && taken > 0) {
+    sim::Simulator& simulator = channel.session().simulator();
+    if (simulator.now() < pace_next_send_) {
+      simulator.advance(pace_next_send_ - simulator.now());
+    }
+    pace_next_send_ =
+        simulator.now() +
+        sim::transfer_time(taken, channel.def().sender_rate_mbs);
+  }
+
+  channel.send_packet(ep, to, header, gathered);
+  // The packet is fully on the wire (end_packing committed every piece);
+  // now the consumed meta buffers can go.
+  for (std::size_t i = 0; i < metas_consumed; ++i) metas_.pop_front();
+}
+
+void VirtualConnection::end_packing() {
+  MAD2_CHECK(packing_, "end_packing without begin_packing");
+  flush_packet(/*last=*/true);
+  MAD2_CHECK(pieces_.empty() && pending_bytes_ == 0,
+             "unflushed virtual stream at end_packing");
+  metas_.clear();
+  packing_ = false;
+}
+
+void VirtualConnection::unpack(std::span<std::byte> out,
+                               mad::SendMode smode, mad::ReceiveMode rmode) {
+  MAD2_CHECK(unpacking_, "unpack outside begin_unpacking/end_unpacking");
+  std::byte header[VirtualChannel::kBlockHeaderBytes];
+  endpoint_->read_stream(remote_, header);
+  const std::uint64_t len = load_u64(header);
+  MAD2_CHECK(len == out.size(),
+             "virtual unpack size does not match the self-described block");
+  MAD2_CHECK(header[8] == static_cast<std::byte>(smode) &&
+                 header[9] == static_cast<std::byte>(rmode),
+             "virtual unpack modes do not match the self-described block");
+  endpoint_->channel().session().node(endpoint_->local()).charge_memcpy(
+      out.size());
+  endpoint_->read_stream(remote_, out);
+}
+
+void VirtualConnection::end_unpacking() {
+  MAD2_CHECK(unpacking_, "end_unpacking without begin_unpacking");
+  unpacking_ = false;
+  endpoint_->active_incoming_ = nullptr;
+}
+
+}  // namespace mad2::fwd

@@ -1,0 +1,204 @@
+// Inter-device data forwarding for clusters of clusters (paper Section 6).
+//
+// A *virtual channel* spans a sequence of real Madeleine channels joined at
+// gateway nodes (each consecutive pair of hop channels shares exactly one
+// node). The application uses the same pack/unpack interface; the only
+// difference is the channel definition (Section 6: "instead of a single
+// channel ... one has to specify a virtual channel that includes a
+// sequence of real channels").
+//
+// Mechanics, faithful to Section 6.1:
+//  - all inter-cluster traffic goes through a *Generic TM*: messages are
+//    fragmented into fixed-MTU packets and made self-describing — a packet
+//    header carries (source, destination, payload size), and each packed
+//    block is preceded by {size, send mode, receive mode} in the byte
+//    stream, because gateways know nothing about message structure;
+//  - gateway nodes run a two-fiber forwarding pipeline per direction with
+//    a bounded buffer pool (dual buffering, Figure 9): one fiber receives
+//    packet k+1 from the incoming network while the other transmits packet
+//    k on the outgoing one;
+//  - the hop channels must be dedicated to the virtual channel (the
+//    gateway pump is their only receiver on gateway nodes).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mad/madeleine.hpp"
+#include "sim/sync.hpp"
+
+namespace mad2::fwd {
+
+struct VirtualChannelDef {
+  std::string name;
+  /// Real channel names, in hop order. Consecutive hops must share exactly
+  /// one (gateway) node.
+  std::vector<std::string> hops;
+  /// Fixed packet size used along the route (paper: chosen at compile time
+  /// so no network needs to re-fragment; Section 6.2 sweeps 8-128 kB).
+  std::size_t mtu = 16 * 1024;
+  /// Gateway pipeline depth (2 = the paper's dual buffering; <= 1 degrades
+  /// to strict store-and-forward).
+  std::size_t pipeline_depth = 2;
+  /// Bandwidth control (the paper's stated future work: "some
+  /// sophisticated bandwidth control mechanism is needed to regulate the
+  /// incoming communication flow on gateways"). When positive, each
+  /// sender paces its packet flushes to this rate (decimal MB/s) with a
+  /// token bucket, so inbound traffic cannot thrash the gateway's PCI bus.
+  /// 0 disables pacing.
+  double sender_rate_mbs = 0.0;
+};
+
+class VirtualChannel;
+class VirtualEndpoint;
+
+/// Point-to-point virtual connection. Mirrors mad::Connection's interface.
+class VirtualConnection {
+ public:
+  void pack(std::span<const std::byte> data,
+            mad::SendMode smode = mad::send_CHEAPER,
+            mad::ReceiveMode rmode = mad::receive_CHEAPER);
+  void end_packing();
+
+  void unpack(std::span<std::byte> out,
+              mad::SendMode smode = mad::send_CHEAPER,
+              mad::ReceiveMode rmode = mad::receive_CHEAPER);
+  void end_unpacking();
+
+  [[nodiscard]] std::uint32_t remote() const { return remote_; }
+
+ private:
+  friend class VirtualEndpoint;
+  VirtualConnection(VirtualEndpoint* endpoint, std::uint32_t remote)
+      : endpoint_(endpoint), remote_(remote) {}
+
+  void flush_packet(bool last);
+  void append_meta(std::span<const std::byte> bytes);
+  void append_piece(std::span<const std::byte> data);
+
+  VirtualEndpoint* endpoint_;
+  std::uint32_t remote_;
+  // --- send state ---
+  // The outgoing logical stream is a gather list: block self-description
+  // headers and small blocks are consolidated into owned `meta` buffers;
+  // large blocks are referenced directly from user memory (zero-copy, read
+  // at packet flush). Packets take `mtu` bytes off the front.
+  bool packing_ = false;
+  std::deque<std::vector<std::byte>> metas_;
+  struct Piece {
+    std::span<const std::byte> data;
+    bool is_meta;  // points into metas_ (stable addresses)
+  };
+  std::deque<Piece> pieces_;
+  std::size_t pending_bytes_ = 0;
+  // Token-bucket state for sender-side bandwidth control.
+  sim::Time pace_next_send_ = 0;
+  // --- receive state ---
+  bool unpacking_ = false;
+
+  friend class VirtualChannel;
+};
+
+/// Per-node view of a virtual channel.
+class VirtualEndpoint {
+ public:
+  VirtualConnection& begin_packing(std::uint32_t remote);
+  VirtualConnection& begin_unpacking();
+
+  [[nodiscard]] std::uint32_t local() const { return local_; }
+  [[nodiscard]] VirtualChannel& channel() { return *channel_; }
+
+ private:
+  friend class VirtualChannel;
+  friend class VirtualConnection;
+  VirtualEndpoint(VirtualChannel* channel, std::uint32_t local);
+
+  /// Receive one packet from the terminal hop and file its payload into
+  /// the per-source reassembly queue. Returns that source.
+  std::uint32_t fetch_packet();
+
+  /// Pop `out.size()` bytes for `src`, fetching packets as needed.
+  void read_stream(std::uint32_t src, std::span<std::byte> out);
+
+  VirtualChannel* channel_;
+  std::uint32_t local_;
+  std::map<std::uint32_t, std::unique_ptr<VirtualConnection>> connections_;
+  std::map<std::uint32_t, std::deque<std::byte>> reassembly_;
+  VirtualConnection* active_incoming_ = nullptr;
+};
+
+class VirtualChannel {
+ public:
+  /// Build the virtual channel over an existing session and spawn the
+  /// gateway forwarding pipelines. The hop channels must not be used for
+  /// anything else on the gateway nodes.
+  VirtualChannel(mad::Session& session, VirtualChannelDef def);
+  ~VirtualChannel();
+
+  [[nodiscard]] const VirtualChannelDef& def() const { return def_; }
+  [[nodiscard]] mad::Session& session() { return *session_; }
+  [[nodiscard]] VirtualEndpoint& endpoint(std::uint32_t node);
+
+  /// The nodes reachable through this virtual channel (union of hops).
+  [[nodiscard]] const std::vector<std::uint32_t>& nodes() const {
+    return nodes_;
+  }
+
+  // --- internals shared with endpoints/gateway pumps ---------------------
+  struct PacketHeader {
+    std::uint32_t src;
+    std::uint32_t dst;
+    std::uint32_t payload_len;
+    std::uint32_t last;      // last packet of the message
+    std::uint32_t n_pieces;  // gather-list entries in this packet
+  };
+  struct Packet {
+    PacketHeader header;
+    std::vector<std::byte> payload;
+  };
+  /// Per-block self-description prepended to each packed block.
+  struct BlockHeader {
+    std::uint64_t len;
+    std::uint8_t smode;
+    std::uint8_t rmode;
+  };
+  static constexpr std::size_t kBlockHeaderBytes = 10;
+
+  /// Index of the hop channel `node` uses to make progress toward `dst`
+  /// (the first hop containing `node` that is not already past `dst`).
+  [[nodiscard]] std::size_t hop_of(std::uint32_t node,
+                                   std::uint32_t dst) const;
+  /// Next node on hop `hop` toward `dst`: `dst` itself if it is on the
+  /// hop, else the gateway to the following hop.
+  [[nodiscard]] std::uint32_t next_node(std::size_t hop,
+                                        std::uint32_t dst) const;
+  /// The hop channel on which `node` receives virtual-channel traffic.
+  [[nodiscard]] std::size_t terminal_hop(std::uint32_t node) const;
+
+  /// Ship one packet: header + piece-size list (EXPRESS), then the pieces
+  /// (CHEAPER — ridden zero-copy by the underlying TMs where possible).
+  void send_packet(mad::ChannelEndpoint& hop_endpoint, std::uint32_t to,
+                   PacketHeader header,
+                   const std::vector<std::span<const std::byte>>& pieces);
+  /// Receive one packet, reassembling the pieces into a contiguous
+  /// payload buffer.
+  Packet receive_packet(mad::ChannelEndpoint& hop_endpoint);
+
+ private:
+  void spawn_gateway(std::uint32_t gateway, std::size_t hop_in,
+                     std::size_t hop_out);
+
+  mad::Session* session_;
+  VirtualChannelDef def_;
+  std::vector<mad::Channel*> hop_channels_;
+  std::vector<std::uint32_t> gateways_;  // gateways_[i] joins hop i, i+1
+  std::vector<std::uint32_t> nodes_;
+  std::map<std::uint32_t, std::unique_ptr<VirtualEndpoint>> endpoints_;
+  std::vector<std::unique_ptr<sim::BoundedChannel<Packet>>> gateway_queues_;
+};
+
+}  // namespace mad2::fwd

@@ -1,0 +1,29 @@
+#include "hw/node.hpp"
+
+namespace mad2::hw {
+
+HostParams HostParams::pentium_ii_450() { return HostParams{}; }
+
+Node::Node(sim::Simulator* simulator, std::uint32_t id, std::string name,
+           HostParams params)
+    : simulator_(simulator),
+      id_(id),
+      name_(std::move(name)),
+      params_(params) {
+  ChunkedResource::Params bus;
+  bus.name = name_ + ".pci";
+  bus.chunk_bytes = params_.pci_chunk_bytes;
+  bus.turnaround_factor = params_.pci_turnaround_factor;
+  bus.pio_turnaround_factor = params_.pci_pio_turnaround_factor;
+  bus.strict_priority = true;  // PCI bus masters preempt programmed I/O
+  pci_bus_ = std::make_unique<ChunkedResource>(simulator_, std::move(bus));
+}
+
+void Node::charge_memcpy(std::uint64_t bytes) {
+  // Outside fiber context (session setup), work is free: virtual time has
+  // not started for the application yet.
+  if (simulator_->current() == nullptr) return;
+  simulator_->advance(sim::transfer_time(bytes, params_.memcpy_mbs));
+}
+
+}  // namespace mad2::hw

@@ -1,0 +1,101 @@
+#include "hw/resource.hpp"
+
+#include <algorithm>
+
+namespace mad2::hw {
+
+void ChunkedResource::transfer(std::uint64_t bytes, double mbs,
+                               TxClass tx_class, std::uint64_t initiator) {
+  MAD2_CHECK(mbs > 0.0, "transfer at non-positive bandwidth");
+  if (bytes == 0) return;
+
+  std::uint64_t remaining = bytes;
+  acquire(tx_class);
+  for (;;) {
+    const std::uint64_t chunk =
+        std::min<std::uint64_t>(remaining, params_.chunk_bytes);
+
+    sim::Duration cost =
+        sim::transfer_time(chunk, mbs) + params_.per_chunk_overhead;
+    if (has_last_initiator_ && last_initiator_ != initiator) {
+      const double factor = tx_class == TxClass::kPio
+                                ? params_.pio_turnaround_factor
+                                : params_.turnaround_factor;
+      cost += static_cast<sim::Duration>(
+          static_cast<double>(sim::transfer_time(chunk, mbs)) * factor);
+    }
+    last_initiator_ = initiator;
+    has_last_initiator_ = true;
+
+    busy_time_ += cost;
+    bytes_transferred_ += chunk;
+    simulator_->advance(cost);
+    remaining -= chunk;
+    if (remaining == 0) break;
+    yield_point(tx_class);
+  }
+  release();
+}
+
+void ChunkedResource::acquire(TxClass tx_class) {
+  // Invariant: waiters_ is non-empty only while busy_ (release() hands off
+  // directly). So an idle resource is granted immediately.
+  if (!busy_) {
+    busy_ = true;
+    return;
+  }
+  Waiter waiter{simulator_->current(), tx_class, false};
+  MAD2_CHECK(waiter.fiber != nullptr, "acquire() outside a fiber");
+  waiters_.push_back(&waiter);
+  while (!waiter.granted) simulator_->block_current();
+}
+
+void ChunkedResource::yield_point(TxClass tx_class) {
+  if (waiters_.empty()) return;  // keep ownership; no re-arbitration needed
+  if (params_.strict_priority && tx_class == TxClass::kDma) {
+    // A bus-master DMA burst keeps its continuous request asserted; only
+    // another pending DMA request forces it to share.
+    bool dma_waiting = false;
+    for (const Waiter* waiter : waiters_) {
+      if (waiter->tx_class == TxClass::kDma) {
+        dma_waiting = true;
+        break;
+      }
+    }
+    if (!dma_waiting) return;
+  }
+  // Hand the resource to the next waiter and queue up behind it.
+  Waiter self{simulator_->current(), tx_class, false};
+  waiters_.push_back(&self);
+  grant_next();
+  while (!self.granted) simulator_->block_current();
+}
+
+void ChunkedResource::release() {
+  if (waiters_.empty()) {
+    busy_ = false;
+    return;
+  }
+  grant_next();
+}
+
+void ChunkedResource::grant_next() {
+  // Pick the next owner: FIFO, or the oldest DMA request under strict
+  // priority. Ownership transfers directly (busy_ stays true).
+  auto it = waiters_.begin();
+  if (params_.strict_priority) {
+    for (auto candidate = waiters_.begin(); candidate != waiters_.end();
+         ++candidate) {
+      if ((*candidate)->tx_class == TxClass::kDma) {
+        it = candidate;
+        break;
+      }
+    }
+  }
+  Waiter* next = *it;
+  waiters_.erase(it);
+  next->granted = true;
+  simulator_->wake(next->fiber);
+}
+
+}  // namespace mad2::hw

@@ -1,0 +1,19 @@
+// Tunables of the BIP protocol module, exposed separately so channel
+// definitions can carry per-channel overrides (e.g. credit-window
+// experiments).
+#pragma once
+
+#include <cstddef>
+
+namespace mad2::mad {
+
+struct BipPmmOptions {
+  /// Shorts in flight allowed per connection before the sender must wait
+  /// for credit returns. Must stay within what the driver's host buffer
+  /// pool can back.
+  std::size_t credits = 8;
+  /// Receiver returns credits in batches of this size (<= credits / 2).
+  std::size_t credit_batch = 4;
+};
+
+}  // namespace mad2::mad

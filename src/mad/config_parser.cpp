@@ -1,0 +1,157 @@
+#include "mad/config_parser.hpp"
+
+#include <charconv>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace mad2::mad {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream stream(line);
+  std::string token;
+  while (stream >> token) {
+    if (token[0] == '#') break;  // comment to end of line
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+bool parse_u32(const std::string& token, std::uint32_t* out) {
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+Status error_at(int line, const std::string& message) {
+  return invalid_argument("config line " + std::to_string(line) + ": " +
+                          message);
+}
+
+}  // namespace
+
+Result<SessionConfig> parse_session_config(std::string_view text) {
+  SessionConfig config;
+  bool have_nodes = false;
+
+  std::istringstream input{std::string(text)};
+  std::string line;
+  int line_number = 0;
+  while (std::getline(input, line)) {
+    ++line_number;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& directive = tokens[0];
+
+    if (directive == "nodes") {
+      if (have_nodes) return error_at(line_number, "duplicate 'nodes'");
+      if (tokens.size() != 2) {
+        return error_at(line_number, "usage: nodes N");
+      }
+      std::uint32_t n = 0;
+      if (!parse_u32(tokens[1], &n) || n == 0) {
+        return error_at(line_number, "invalid node count '" + tokens[1] +
+                                         "'");
+      }
+      config.node_count = n;
+      have_nodes = true;
+      continue;
+    }
+
+    if (directive == "network") {
+      if (!have_nodes) {
+        return error_at(line_number, "'nodes' must come before 'network'");
+      }
+      if (tokens.size() < 4) {
+        return error_at(line_number,
+                        "usage: network NAME KIND NODE [NODE...]");
+      }
+      NetworkDef net;
+      net.name = tokens[1];
+      for (const NetworkDef& existing : config.networks) {
+        if (existing.name == net.name) {
+          return error_at(line_number,
+                          "duplicate network name '" + net.name + "'");
+        }
+      }
+      const std::string& kind = tokens[2];
+      if (kind == "bip") {
+        net.kind = NetworkKind::kBip;
+      } else if (kind == "sisci") {
+        net.kind = NetworkKind::kSisci;
+      } else if (kind == "tcp") {
+        net.kind = NetworkKind::kTcp;
+      } else if (kind == "via") {
+        net.kind = NetworkKind::kVia;
+      } else if (kind == "sbp") {
+        net.kind = NetworkKind::kSbp;
+      } else {
+        return error_at(line_number, "unknown network kind '" + kind + "'");
+      }
+      for (std::size_t i = 3; i < tokens.size(); ++i) {
+        std::uint32_t node = 0;
+        if (!parse_u32(tokens[i], &node)) {
+          return error_at(line_number, "invalid node id '" + tokens[i] +
+                                           "'");
+        }
+        if (node >= config.node_count) {
+          return error_at(line_number,
+                          "node " + tokens[i] + " is out of range");
+        }
+        for (std::uint32_t existing : net.nodes) {
+          if (existing == node) {
+            return error_at(line_number, "node " + tokens[i] +
+                                             " listed twice");
+          }
+        }
+        net.nodes.push_back(node);
+      }
+      config.networks.push_back(std::move(net));
+      continue;
+    }
+
+    if (directive == "channel") {
+      if (tokens.size() != 3 && tokens.size() != 4) {
+        return error_at(line_number,
+                        "usage: channel NAME NETWORK [paranoid]");
+      }
+      ChannelDef channel;
+      channel.name = tokens[1];
+      channel.network = tokens[2];
+      for (const ChannelDef& existing : config.channels) {
+        if (existing.name == channel.name) {
+          return error_at(line_number,
+                          "duplicate channel name '" + channel.name + "'");
+        }
+      }
+      bool network_exists = false;
+      for (const NetworkDef& net : config.networks) {
+        if (net.name == channel.network) network_exists = true;
+      }
+      if (!network_exists) {
+        return error_at(line_number,
+                        "unknown network '" + channel.network + "'");
+      }
+      if (tokens.size() == 4) {
+        if (tokens[3] != "paranoid") {
+          return error_at(line_number,
+                          "unknown channel option '" + tokens[3] + "'");
+        }
+        channel.paranoid = true;
+      }
+      config.channels.push_back(std::move(channel));
+      continue;
+    }
+
+    return error_at(line_number, "unknown directive '" + directive + "'");
+  }
+
+  if (!have_nodes) return invalid_argument("config: missing 'nodes'");
+  return config;
+}
+
+}  // namespace mad2::mad

@@ -1,0 +1,29 @@
+// Text configuration for sessions. The original PM2/Madeleine deployments
+// described clusters in configuration files; this parser accepts a small
+// line-based format:
+//
+//   # comment
+//   nodes 4
+//   network myri0 bip   0 1 2 3
+//   network sci0  sisci 0 1
+//   channel ch_bulk myri0
+//   channel ch_ctl  sci0 paranoid
+//
+// Directives:
+//   nodes N                       total node count (required, first)
+//   network NAME KIND NODE...     KIND in {bip, sisci, tcp, via}
+//   channel NAME NETWORK [paranoid]
+//
+// Errors come back as INVALID_ARGUMENT with the line number.
+#pragma once
+
+#include <string_view>
+
+#include "mad/session.hpp"
+#include "util/status.hpp"
+
+namespace mad2::mad {
+
+Result<SessionConfig> parse_session_config(std::string_view text);
+
+}  // namespace mad2::mad

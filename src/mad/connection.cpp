@@ -1,0 +1,163 @@
+#include "mad/connection.hpp"
+
+#include "mad/session.hpp"
+
+namespace mad2::mad {
+
+Connection::Connection(ChannelEndpoint* endpoint, std::uint32_t remote,
+                       std::unique_ptr<Pmm::ConnState> state)
+    : endpoint_(endpoint), remote_(remote), state_(std::move(state)) {}
+
+Connection::~Connection() = default;
+
+std::uint32_t Connection::local() const { return endpoint_->local(); }
+
+hw::Node& Connection::node() { return endpoint_->node(); }
+
+sim::Simulator& Connection::simulator() {
+  return endpoint_->session().simulator();
+}
+
+void Connection::begin_packing_message() {
+  MAD2_CHECK(!packing_, "begin_packing with a message already open");
+  packing_ = true;
+  ++stats_.messages_sent;
+  pack_sequence_ = 0;
+  send_tm_ = nullptr;
+  send_bmm_ = nullptr;
+  node().charge_cpu(endpoint_->costs().begin_packing);
+}
+
+void Connection::begin_unpacking_message() {
+  MAD2_CHECK(!unpacking_, "begin_unpacking with a message already open");
+  unpacking_ = true;
+  ++stats_.messages_received;
+  unpack_sequence_ = 0;
+  recv_tm_ = nullptr;
+  recv_bmm_ = nullptr;
+  node().charge_cpu(endpoint_->costs().begin_unpacking);
+}
+
+SendBmm* Connection::send_bmm_for(Tm* tm, BmmKind kind) {
+  auto key = std::make_pair(tm, kind);
+  auto it = send_bmms_.find(key);
+  if (it == send_bmms_.end()) {
+    it = send_bmms_.emplace(key, make_send_bmm(kind)).first;
+  }
+  return it->second.get();
+}
+
+RecvBmm* Connection::recv_bmm_for(Tm* tm, BmmKind kind) {
+  auto key = std::make_pair(tm, kind);
+  auto it = recv_bmms_.find(key);
+  if (it == recv_bmms_.end()) {
+    it = recv_bmms_.emplace(key, make_recv_bmm(kind)).first;
+  }
+  return it->second.get();
+}
+
+void Connection::pack(std::span<const std::byte> data, SendMode smode,
+                      ReceiveMode rmode) {
+  MAD2_CHECK(packing_, "pack outside begin_packing/end_packing");
+  if (endpoint_->channel().def().paranoid) {
+    // Announce the block so the receiver can verify symmetry. The check
+    // block itself rides the normal machinery with fixed modes, so both
+    // sides stay symmetric about it too.
+    CheckBlock check{kCheckMagic, static_cast<std::uint32_t>(data.size()),
+                     static_cast<std::uint8_t>(smode),
+                     static_cast<std::uint8_t>(rmode), pack_sequence_++};
+    pack_impl(std::as_bytes(std::span<const CheckBlock, 1>(&check, 1)),
+              SendMode::kSafer, ReceiveMode::kExpress);
+  }
+  pack_impl(data, smode, rmode);
+}
+
+void Connection::pack_impl(std::span<const std::byte> data, SendMode smode,
+                           ReceiveMode rmode) {
+  node().charge_cpu(endpoint_->costs().pack);
+
+  // The Switch (paper Fig. 3): query the PMM for the best TM, then route
+  // to the BMM the policy dictates. A TM or BMM change flushes the
+  // previous BMM (*commit*) so delivery order is preserved.
+  Tm& tm = endpoint_->pmm().select_tm(data.size(), smode, rmode);
+  const BmmKind kind = select_bmm_kind(tm, smode, rmode);
+  SendBmm* bmm = send_bmm_for(&tm, kind);
+  if (bmm != send_bmm_ || &tm != send_tm_) {
+    if (send_bmm_ != nullptr) send_bmm_->commit(*this, *send_tm_);
+    send_tm_ = &tm;
+    send_bmm_ = bmm;
+  }
+  TmCounters& counters = stats_.sent_by_tm[std::string(tm.name())];
+  ++counters.blocks;
+  counters.bytes += data.size();
+  bmm->pack(*this, tm, data, smode, rmode);
+}
+
+void Connection::end_packing() {
+  MAD2_CHECK(packing_, "end_packing without begin_packing");
+  if (send_bmm_ != nullptr) send_bmm_->commit(*this, *send_tm_);
+  send_tm_ = nullptr;
+  send_bmm_ = nullptr;
+  packing_ = false;
+  node().charge_cpu(endpoint_->costs().end_packing);
+}
+
+void Connection::unpack(std::span<std::byte> out, SendMode smode,
+                        ReceiveMode rmode) {
+  MAD2_CHECK(unpacking_, "unpack outside begin_unpacking/end_unpacking");
+  if (endpoint_->channel().def().paranoid) {
+    CheckBlock check{};
+    unpack_impl(std::as_writable_bytes(std::span<CheckBlock, 1>(&check, 1)),
+                SendMode::kSafer, ReceiveMode::kExpress);
+    MAD2_CHECK(check.magic == kCheckMagic,
+               "paranoid: stream out of sync (wrong magic) — earlier "
+               "pack/unpack asymmetry corrupted the block framing");
+    MAD2_CHECK(check.sequence == unpack_sequence_,
+               "paranoid: block sequence mismatch (skipped or repeated "
+               "unpack)");
+    ++unpack_sequence_;
+    MAD2_CHECK(check.length == out.size(),
+               "paranoid: unpack size differs from the packed block");
+    MAD2_CHECK(check.smode == static_cast<std::uint8_t>(smode),
+               "paranoid: unpack send-mode differs from the packed block");
+    MAD2_CHECK(check.rmode == static_cast<std::uint8_t>(rmode),
+               "paranoid: unpack receive-mode differs from the packed "
+               "block");
+  }
+  unpack_impl(out, smode, rmode);
+}
+
+void Connection::unpack_impl(std::span<std::byte> out, SendMode smode,
+                             ReceiveMode rmode) {
+  node().charge_cpu(endpoint_->costs().unpack);
+
+  // Mirror of the send-side Switch: the same pure selection functions run
+  // on the same (mandatorily symmetric) arguments, so the TM sequence
+  // matches the sender's without any mode information on the wire.
+  Tm& tm = endpoint_->pmm().select_tm(out.size(), smode, rmode);
+  const BmmKind kind = select_bmm_kind(tm, smode, rmode);
+  RecvBmm* bmm = recv_bmm_for(&tm, kind);
+  if (bmm != recv_bmm_ || &tm != recv_tm_) {
+    if (recv_bmm_ != nullptr) recv_bmm_->checkout(*this, *recv_tm_);
+    recv_tm_ = &tm;
+    recv_bmm_ = bmm;
+  }
+  TmCounters& counters = stats_.received_by_tm[std::string(tm.name())];
+  ++counters.blocks;
+  counters.bytes += out.size();
+  bmm->unpack(*this, tm, out, smode, rmode);
+}
+
+void Connection::end_unpacking() {
+  MAD2_CHECK(unpacking_, "end_unpacking without begin_unpacking");
+  if (recv_bmm_ != nullptr) recv_bmm_->checkout(*this, *recv_tm_);
+  recv_tm_ = nullptr;
+  recv_bmm_ = nullptr;
+  unpacking_ = false;
+  if (endpoint_->active_incoming_ == this) {
+    endpoint_->active_incoming_ = nullptr;
+  }
+  node().charge_cpu(endpoint_->costs().end_unpacking);
+}
+
+}  // namespace mad2::mad

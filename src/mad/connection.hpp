@@ -1,0 +1,115 @@
+// The Connection object (paper Section 2.1): a reliable, in-order,
+// point-to-point link between two session nodes within a channel. Hosts
+// the Switch logic of Section 4: per-block TM selection, BMM routing, and
+// the commit/checkout flushes that keep delivery ordered across TM changes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <utility>
+
+#include "mad/bmm.hpp"
+#include "mad/pmm.hpp"
+#include "mad/stats.hpp"
+#include "util/status.hpp"
+
+namespace mad2 {
+namespace hw {
+class Node;
+}
+namespace sim {
+class Simulator;
+}
+}  // namespace mad2
+
+namespace mad2::mad {
+
+class ChannelEndpoint;
+
+class Connection {
+ public:
+  Connection(ChannelEndpoint* endpoint, std::uint32_t remote,
+             std::unique_ptr<Pmm::ConnState> state);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  // --- Message construction (paper Table 1 / Section 4.1) ----------------
+  /// Append a data block to the outgoing message.
+  void pack(std::span<const std::byte> data, SendMode smode = send_CHEAPER,
+            ReceiveMode rmode = receive_CHEAPER);
+  /// Finalize the outgoing message: every packed block is flushed.
+  void end_packing();
+
+  // --- Message extraction (Section 4.2) -----------------------------------
+  /// Extract the next data block (must mirror the sender's pack sequence).
+  void unpack(std::span<std::byte> out, SendMode smode = send_CHEAPER,
+              ReceiveMode rmode = receive_CHEAPER);
+  /// Finalize the reception: all expected blocks are made available.
+  void end_unpacking();
+
+  [[nodiscard]] std::uint32_t remote() const { return remote_; }
+  [[nodiscard]] std::uint32_t local() const;
+  [[nodiscard]] bool packing() const { return packing_; }
+  [[nodiscard]] bool unpacking() const { return unpacking_; }
+
+  [[nodiscard]] ChannelEndpoint& endpoint() { return *endpoint_; }
+  [[nodiscard]] hw::Node& node();
+  [[nodiscard]] sim::Simulator& simulator();
+
+  /// Traffic accounting for this connection (both directions).
+  [[nodiscard]] const TrafficStats& stats() const { return stats_; }
+
+  /// Protocol state accessor for TMs (each PMM knows its concrete type).
+  template <typename T>
+  [[nodiscard]] T& state() {
+    return *static_cast<T*>(state_.get());
+  }
+
+ private:
+  friend class ChannelEndpoint;
+  void begin_packing_message();
+  void begin_unpacking_message();
+
+  void pack_impl(std::span<const std::byte> data, SendMode smode,
+                 ReceiveMode rmode);
+  void unpack_impl(std::span<std::byte> out, SendMode smode,
+                   ReceiveMode rmode);
+
+  /// Paranoid-mode check block: one precedes every user block.
+  struct CheckBlock {
+    std::uint32_t magic;
+    std::uint32_t length;
+    std::uint8_t smode;
+    std::uint8_t rmode;
+    std::uint16_t sequence;
+  };
+  static constexpr std::uint32_t kCheckMagic = 0x3a2d11eeu;
+
+  SendBmm* send_bmm_for(Tm* tm, BmmKind kind);
+  RecvBmm* recv_bmm_for(Tm* tm, BmmKind kind);
+
+  ChannelEndpoint* endpoint_;
+  std::uint32_t remote_;
+  std::unique_ptr<Pmm::ConnState> state_;
+  TrafficStats stats_;
+
+  // Send-side switch state.
+  bool packing_ = false;
+  std::uint16_t pack_sequence_ = 0;
+  std::uint16_t unpack_sequence_ = 0;
+  Tm* send_tm_ = nullptr;
+  SendBmm* send_bmm_ = nullptr;
+  std::map<std::pair<Tm*, BmmKind>, std::unique_ptr<SendBmm>> send_bmms_;
+
+  // Receive-side switch state.
+  bool unpacking_ = false;
+  Tm* recv_tm_ = nullptr;
+  RecvBmm* recv_bmm_ = nullptr;
+  std::map<std::pair<Tm*, BmmKind>, std::unique_ptr<RecvBmm>> recv_bmms_;
+};
+
+}  // namespace mad2::mad

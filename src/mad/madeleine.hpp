@@ -1,0 +1,90 @@
+// Madeleine II — public umbrella header.
+//
+// The library implements the CLUSTER 2000 paper "Madeleine II: a Portable
+// and Efficient Communication Library for High-Performance Cluster
+// Computing" on top of a simulated cluster substrate. Quick tour:
+//
+//   mad::SessionConfig cfg;                   // nodes, networks, channels
+//   mad::Session session(cfg);
+//   session.spawn(0, "sender", [&](mad::NodeRuntime& rt) {
+//     auto& conn = rt.channel("myri").begin_packing(/*remote=*/1);
+//     mad_pack(conn, header, mad::send_CHEAPER, mad::receive_EXPRESS);
+//     mad_pack(conn, body, mad::send_CHEAPER, mad::receive_CHEAPER);
+//     mad_end_packing(conn);
+//   });
+//   session.spawn(1, "receiver", [&](mad::NodeRuntime& rt) {
+//     auto& conn = mad_begin_unpacking(rt.channel("myri"));
+//     mad_unpack(conn, header, mad::send_CHEAPER, mad::receive_EXPRESS);
+//     ... allocate from header ...
+//     mad_unpack(conn, body, mad::send_CHEAPER, mad::receive_CHEAPER);
+//     mad_end_unpacking(conn);
+//   });
+//   session.run();
+//
+// The free functions below mirror the paper's Table 1 names exactly; they
+// are thin wrappers over the object API (Connection / ChannelEndpoint).
+#pragma once
+
+#include "mad/connection.hpp"
+#include "mad/session.hpp"
+#include "mad/types.hpp"
+
+namespace mad2::mad {
+
+/// Table 1: initiate a new message on `channel` towards `remote`.
+inline Connection& mad_begin_packing(ChannelEndpoint& channel,
+                                     std::uint32_t remote) {
+  return channel.begin_packing(remote);
+}
+
+/// Table 1: initiate the reception of the first incoming message.
+inline Connection& mad_begin_unpacking(ChannelEndpoint& channel) {
+  return channel.begin_unpacking();
+}
+
+/// Table 1: pack a data block.
+inline void mad_pack(Connection& connection, std::span<const std::byte> data,
+                     SendMode smode = send_CHEAPER,
+                     ReceiveMode rmode = receive_CHEAPER) {
+  connection.pack(data, smode, rmode);
+}
+
+/// Table 1: unpack a data block (must mirror the pack sequence).
+inline void mad_unpack(Connection& connection, std::span<std::byte> out,
+                       SendMode smode = send_CHEAPER,
+                       ReceiveMode rmode = receive_CHEAPER) {
+  connection.unpack(out, smode, rmode);
+}
+
+/// Table 1: finalize an emission.
+inline void mad_end_packing(Connection& connection) {
+  connection.end_packing();
+}
+
+/// Table 1: finalize a reception.
+inline void mad_end_unpacking(Connection& connection) {
+  connection.end_unpacking();
+}
+
+/// Typed convenience wrappers (pack/unpack a trivially copyable value).
+/// Generic over the connection type so virtual connections (the
+/// forwarding extension) work too.
+template <typename ConnT, typename T>
+void mad_pack_value(ConnT& connection, const T& value,
+                    SendMode smode = send_CHEAPER,
+                    ReceiveMode rmode = receive_CHEAPER) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  connection.pack(std::as_bytes(std::span<const T, 1>(&value, 1)), smode,
+                  rmode);
+}
+
+template <typename ConnT, typename T>
+void mad_unpack_value(ConnT& connection, T& value,
+                      SendMode smode = send_CHEAPER,
+                      ReceiveMode rmode = receive_CHEAPER) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  connection.unpack(std::as_writable_bytes(std::span<T, 1>(&value, 1)),
+                    smode, rmode);
+}
+
+}  // namespace mad2::mad

@@ -1,0 +1,49 @@
+// Protocol Management Module interface (paper Section 3.3).
+//
+// One PMM instance exists per (channel, node): it groups the channel's
+// Transmission Modules for one network interface, owns the protocol-level
+// demultiplexing for incoming traffic, and answers the Switch's TM
+// selection query (Fig. 3, step 2).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "mad/tm.hpp"
+#include "mad/types.hpp"
+
+namespace mad2::mad {
+
+class Pmm {
+ public:
+  virtual ~Pmm() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Per-connection protocol state (driver handles, segment rings, credit
+  /// counters). Created once per (local, remote) pair at session setup.
+  struct ConnState {
+    virtual ~ConnState() = default;
+  };
+  virtual std::unique_ptr<ConnState> make_conn_state(std::uint32_t remote) = 0;
+
+  /// Second setup phase, run after every endpoint of the channel exists:
+  /// resolve handles that live on peer nodes (e.g. map the SISCI segments
+  /// the peers created). The real library bootstraps this over a control
+  /// TCP connection; the simulation wires it directly.
+  virtual void finish_setup() {}
+
+  /// The Switch's TM query: pick the best transmission module for a block
+  /// of `len` bytes with the given semantics. Must be a pure function of
+  /// its arguments — the receive side replays it to stay symmetric.
+  virtual Tm& select_tm(std::size_t len, SendMode smode,
+                        ReceiveMode rmode) = 0;
+
+  /// Block until the first packet of a new incoming message is available
+  /// on this channel; returns the remote global node id. Called by
+  /// begin_unpacking.
+  virtual std::uint32_t wait_incoming() = 0;
+};
+
+}  // namespace mad2::mad

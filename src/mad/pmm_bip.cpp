@@ -1,0 +1,286 @@
+#include "mad/pmm_bip.hpp"
+
+#include <cstring>
+
+#include "util/bytes.hpp"
+
+namespace mad2::mad {
+
+// ----------------------------------------------------------------- BipPmm ---
+
+BipPmm::BipPmm(ChannelEndpoint& endpoint, BipPmmOptions options)
+    : endpoint_(endpoint),
+      options_(options),
+      short_tm_(this),
+      long_tm_(this) {
+  NetworkInstance& network = endpoint_.channel().network();
+  MAD2_CHECK(network.bip != nullptr, "BipPmm on a non-BIP network");
+  MAD2_CHECK(options_.credit_batch * 2 <= options_.credits,
+             "credit batching must not exhaust the window");
+  MAD2_CHECK(options_.credits <= network.bip->params().short_host_slots / 2,
+             "credit window exceeds what the BIP buffer pool can back");
+  port_ = &network.bip->port(network.port(endpoint_.local()));
+  incoming_wq_ =
+      std::make_unique<sim::WaitQueue>(&endpoint_.session().simulator());
+}
+
+std::uint32_t BipPmm::short_capacity() const {
+  return endpoint_.channel().network().bip->params().short_max_bytes;
+}
+
+std::uint32_t BipPmm::data_tag(std::uint32_t sender_port) const {
+  MAD2_CHECK(sender_port < kMaxPorts, "port beyond BIP tag space");
+  return endpoint_.channel().id() * 2 * kMaxPorts + sender_port;
+}
+
+std::uint32_t BipPmm::ctrl_tag(std::uint32_t sender_port) const {
+  MAD2_CHECK(sender_port < kMaxPorts, "port beyond BIP tag space");
+  return endpoint_.channel().id() * 2 * kMaxPorts + kMaxPorts + sender_port;
+}
+
+std::unique_ptr<Pmm::ConnState> BipPmm::make_conn_state(
+    std::uint32_t remote) {
+  auto state = std::make_unique<State>(&endpoint_.session().simulator());
+  state->remote = remote;
+  state->remote_port = endpoint_.channel().network().port(remote);
+  state->credits = options_.credits;
+  states_[remote] = state.get();
+  by_port_[state->remote_port] = remote;
+  peer_order_.push_back(remote);
+  return state;
+}
+
+void BipPmm::finish_setup() {
+  // The pump needs every connection's state; spawn it only now.
+  endpoint_.session().simulator().spawn_daemon(
+      "mad.bip.pump." + endpoint_.channel().name() + "." +
+          std::to_string(endpoint_.local()),
+      [this] { pump_loop(); });
+}
+
+Tm& BipPmm::select_tm(std::size_t len, SendMode, ReceiveMode) {
+  if (len <= short_capacity()) return short_tm_;
+  return long_tm_;
+}
+
+void BipPmm::pump_loop() {
+  std::vector<std::uint32_t> tags;
+  for (const auto& [port, remote] : by_port_) {
+    tags.push_back(data_tag(port));
+    tags.push_back(ctrl_tag(port));
+  }
+  if (tags.empty()) return;
+
+  const std::uint32_t channel_id = endpoint_.channel().id();
+  const std::uint32_t ctrl_base = channel_id * 2 * kMaxPorts + kMaxPorts;
+  const std::uint32_t data_base = channel_id * 2 * kMaxPorts;
+
+  for (;;) {
+    const std::uint32_t tag = port_->wait_short_multi(tags);
+    net::BipShortSlot slot = port_->recv_short(tag);
+    const bool is_ctrl = tag >= ctrl_base;
+    const std::uint32_t sender_port =
+        is_ctrl ? tag - ctrl_base : tag - data_base;
+    auto remote_it = by_port_.find(sender_port);
+    MAD2_CHECK(remote_it != by_port_.end(), "packet from unknown port");
+    State& state = *states_.at(remote_it->second);
+
+    if (is_ctrl) {
+      MAD2_CHECK(slot.data.size() == 9, "malformed BIP control packet");
+      const auto kind = static_cast<CtrlKind>(slot.data[0]);
+      const std::uint64_t value = load_u64(slot.data.data() + 1);
+      port_->release_short(slot);
+      switch (kind) {
+        case CtrlKind::kCredit:
+          state.credits += value;
+          state.credits_wq.notify_all();
+          break;
+        case CtrlKind::kReq:
+          state.reqs.push_back(value);
+          state.recv_wq.notify_all();
+          break;
+        case CtrlKind::kAck:
+          ++state.acks;
+          state.ack_wq.notify_all();
+          break;
+      }
+    } else {
+      state.data_slots.push_back(slot);
+      state.recv_wq.notify_all();
+    }
+    incoming_wq_->notify_all();
+  }
+}
+
+std::uint32_t BipPmm::wait_incoming() {
+  for (;;) {
+    for (std::size_t k = 0; k < peer_order_.size(); ++k) {
+      const std::size_t idx = (rr_next_ + k) % peer_order_.size();
+      State& state = *states_.at(peer_order_[idx]);
+      if (!state.data_slots.empty() || !state.reqs.empty()) {
+        rr_next_ = (idx + 1) % peer_order_.size();
+        return peer_order_[idx];
+      }
+    }
+    incoming_wq_->wait();
+  }
+}
+
+void BipPmm::send_ctrl(State& state, CtrlKind kind, std::uint64_t value) {
+  std::array<std::byte, 9> packet;
+  packet[0] = static_cast<std::byte>(kind);
+  store_u64(packet.data() + 1, value);
+  const std::uint32_t my_port =
+      endpoint_.channel().network().port(endpoint_.local());
+  port_->send_short(state.remote_port, ctrl_tag(my_port), packet);
+}
+
+StaticBuffer BipPmm::obtain_staging() {
+  std::size_t index;
+  if (!staging_free_.empty()) {
+    index = staging_free_.back();
+    staging_free_.pop_back();
+  } else {
+    index = staging_.size();
+    staging_.emplace_back(short_capacity());
+  }
+  return StaticBuffer{std::span<std::byte>(staging_[index]), 0,
+                      /*handle=*/index + 1};
+}
+
+void BipPmm::release_staging(StaticBuffer& buffer) {
+  MAD2_CHECK(buffer.handle != 0, "releasing a non-staging buffer");
+  staging_free_.push_back(buffer.handle - 1);
+  buffer = StaticBuffer{};
+}
+
+StaticBuffer BipPmm::wrap_slot(net::BipShortSlot slot) {
+  const std::uint64_t handle = next_handle_++;
+  StaticBuffer buffer;
+  // The slot's backing store is owned by the driver until release; the
+  // receive BMM only reads from it, so the const_cast is contained here.
+  buffer.memory = std::span<std::byte>(
+      const_cast<std::byte*>(slot.data.data()), slot.data.size());
+  buffer.used = slot.data.size();
+  buffer.handle = handle;
+  checked_out_.emplace(handle, slot);
+  return buffer;
+}
+
+net::BipShortSlot BipPmm::unwrap_slot(const StaticBuffer& buffer) {
+  auto it = checked_out_.find(buffer.handle);
+  MAD2_CHECK(it != checked_out_.end(), "unknown static buffer handle");
+  net::BipShortSlot slot = it->second;
+  checked_out_.erase(it);
+  return slot;
+}
+
+// ------------------------------------------------------------- BipShortTm ---
+
+void BipShortTm::send_buffer(Connection&, std::span<const std::byte>) {
+  MAD2_CHECK(false, "BIP short TM only moves static buffers");
+}
+
+void BipShortTm::receive_buffer(Connection&, std::span<std::byte>) {
+  MAD2_CHECK(false, "BIP short TM only moves static buffers");
+}
+
+StaticBuffer BipShortTm::obtain_static_buffer(Connection&) {
+  return pmm_->obtain_staging();
+}
+
+void BipShortTm::send_static_buffer(Connection& connection,
+                                    StaticBuffer& buffer) {
+  auto& state = connection.state<BipPmm::State>();
+  // Credit-based flow control: never exceed the receiver's preallocated
+  // buffer pool (the paper's short-TM algorithm).
+  while (state.credits == 0) state.credits_wq.wait();
+  --state.credits;
+  const std::uint32_t my_port =
+      pmm_->endpoint().channel().network().port(pmm_->endpoint().local());
+  pmm_->port().send_short(state.remote_port, pmm_->data_tag(my_port),
+                          buffer.memory.subspan(0, buffer.used));
+  pmm_->release_staging(buffer);
+}
+
+StaticBuffer BipShortTm::receive_static_buffer(Connection& connection) {
+  auto& state = connection.state<BipPmm::State>();
+  while (state.data_slots.empty()) state.recv_wq.wait();
+  net::BipShortSlot slot = state.data_slots.front();
+  state.data_slots.pop_front();
+  return pmm_->wrap_slot(slot);
+}
+
+void BipShortTm::release_static_buffer(Connection& connection,
+                                       StaticBuffer& buffer) {
+  auto& state = connection.state<BipPmm::State>();
+  net::BipShortSlot slot = pmm_->unwrap_slot(buffer);
+  pmm_->port().release_short(slot);
+  buffer = StaticBuffer{};
+  // Return credits in batches to amortize the control traffic.
+  if (++state.credit_owed >= pmm_->options().credit_batch) {
+    pmm_->send_ctrl(state, BipPmm::CtrlKind::kCredit, state.credit_owed);
+    state.credit_owed = 0;
+  }
+}
+
+// -------------------------------------------------------------- BipLongTm ---
+
+void BipLongTm::send_buffer(Connection& connection,
+                            std::span<const std::byte> data) {
+  send_buffer_group(connection, {data});
+}
+
+void BipLongTm::send_buffer_group(
+    Connection& connection,
+    const std::vector<std::span<const std::byte>>& group) {
+  auto& state = connection.state<BipPmm::State>();
+  std::uint64_t total = 0;
+  for (const auto& block : group) total += block.size();
+
+  // Rendezvous: announce, wait for the receiver's acknowledgment (BIP
+  // long receives must be posted before data arrives), then ship.
+  pmm_->send_ctrl(state, BipPmm::CtrlKind::kReq, total);
+  while (state.acks == 0) state.ack_wq.wait();
+  --state.acks;
+
+  const std::uint32_t my_port =
+      pmm_->endpoint().channel().network().port(pmm_->endpoint().local());
+  for (const auto& block : group) {
+    pmm_->port().send_long(state.remote_port, pmm_->data_tag(my_port),
+                           block);
+  }
+}
+
+void BipLongTm::receive_buffer(Connection& connection,
+                               std::span<std::byte> out) {
+  std::vector<std::span<std::byte>> group{out};
+  receive_sub_buffer_group(connection, group);
+}
+
+void BipLongTm::receive_sub_buffer_group(
+    Connection& connection, const std::vector<std::span<std::byte>>& group) {
+  auto& state = connection.state<BipPmm::State>();
+  while (state.reqs.empty()) state.recv_wq.wait();
+  const std::uint64_t announced = state.reqs.front();
+  state.reqs.pop_front();
+
+  std::uint64_t total = 0;
+  for (const auto& block : group) total += block.size();
+  MAD2_CHECK(announced == total,
+             "rendezvous size mismatch: asymmetric pack/unpack sequences");
+
+  // Post every receive, acknowledge, then wait for the data to land
+  // directly in the user buffers (zero-copy).
+  for (const auto& block : group) {
+    pmm_->port().post_recv_long(state.remote_port,
+                                pmm_->data_tag(state.remote_port), block);
+  }
+  pmm_->send_ctrl(state, BipPmm::CtrlKind::kAck, 0);
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    pmm_->port().wait_recv_long(state.remote_port,
+                                pmm_->data_tag(state.remote_port));
+  }
+}
+
+}  // namespace mad2::mad

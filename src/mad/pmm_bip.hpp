@@ -1,0 +1,145 @@
+// BIP protocol management module (paper Section 5.2.2).
+//
+// Two transmission modules, exactly as the paper describes:
+//  - the *short message* TM uses BIP's preallocated receive buffers behind
+//    a credit-based flow-control algorithm (so the finite buffer pool can
+//    never overflow);
+//  - the *long message* TM implements the receiver-acknowledgment
+//    rendezvous BIP requires before a long message may be transmitted
+//    (zero-copy delivery into the posted user buffer).
+//
+// A per-endpoint *pump* fiber is the single consumer of the driver's short
+// queues for this channel: it routes data packets to per-connection slot
+// queues and interprets control packets (rendezvous REQ/ACK, credit
+// returns). Driver tags encode (channel, sender, data|ctrl) so channels
+// and peers never share queues.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "mad/bip_options.hpp"
+#include "mad/pmm.hpp"
+#include "mad/session.hpp"
+#include "net/bip.hpp"
+
+namespace mad2::mad {
+
+class BipPmm;
+
+class BipShortTm final : public Tm {
+ public:
+  explicit BipShortTm(BipPmm* pmm) : pmm_(pmm) {}
+  [[nodiscard]] std::string_view name() const override { return "bip-short"; }
+  [[nodiscard]] bool uses_static_buffers() const override { return true; }
+
+  void send_buffer(Connection&, std::span<const std::byte>) override;
+  void receive_buffer(Connection&, std::span<std::byte>) override;
+  StaticBuffer obtain_static_buffer(Connection& connection) override;
+  void send_static_buffer(Connection& connection,
+                          StaticBuffer& buffer) override;
+  StaticBuffer receive_static_buffer(Connection& connection) override;
+  void release_static_buffer(Connection& connection,
+                             StaticBuffer& buffer) override;
+
+ private:
+  BipPmm* pmm_;
+};
+
+class BipLongTm final : public Tm {
+ public:
+  explicit BipLongTm(BipPmm* pmm) : pmm_(pmm) {}
+  [[nodiscard]] std::string_view name() const override { return "bip-long"; }
+
+  void send_buffer(Connection& connection,
+                   std::span<const std::byte> data) override;
+  void send_buffer_group(
+      Connection& connection,
+      const std::vector<std::span<const std::byte>>& group) override;
+  void receive_buffer(Connection& connection,
+                      std::span<std::byte> out) override;
+  void receive_sub_buffer_group(
+      Connection& connection,
+      const std::vector<std::span<std::byte>>& group) override;
+
+ private:
+  BipPmm* pmm_;
+};
+
+class BipPmm final : public Pmm {
+ public:
+  // Defaults, kept for callers that reference the classic window.
+  static constexpr std::size_t kInitialCredits = 8;
+  static constexpr std::size_t kCreditBatch = 4;
+  /// Tag-space stride: tags encode (channel, data|ctrl, sender port).
+  static constexpr std::uint32_t kMaxPorts = 64;
+
+  BipPmm(ChannelEndpoint& endpoint, BipPmmOptions options);
+
+  [[nodiscard]] std::string_view name() const override { return "bip"; }
+
+  struct State : ConnState {
+    explicit State(sim::Simulator* simulator)
+        : credits_wq(simulator), ack_wq(simulator), recv_wq(simulator) {}
+    std::uint32_t remote = 0;
+    std::uint32_t remote_port = 0;
+    // --- send side ---
+    std::size_t credits = 0;  // window set from BipPmmOptions
+    sim::WaitQueue credits_wq;
+    std::size_t acks = 0;
+    sim::WaitQueue ack_wq;
+    // --- receive side (filled by the pump) ---
+    std::deque<net::BipShortSlot> data_slots;
+    std::deque<std::uint64_t> reqs;  // announced rendezvous sizes
+    sim::WaitQueue recv_wq;
+    std::size_t credit_owed = 0;
+  };
+
+  std::unique_ptr<ConnState> make_conn_state(std::uint32_t remote) override;
+  void finish_setup() override;
+  Tm& select_tm(std::size_t len, SendMode smode, ReceiveMode rmode) override;
+  std::uint32_t wait_incoming() override;
+
+  // --- helpers used by the TMs ---
+  [[nodiscard]] net::BipPort& port() { return *port_; }
+  [[nodiscard]] ChannelEndpoint& endpoint() { return endpoint_; }
+  [[nodiscard]] std::uint32_t short_capacity() const;
+  [[nodiscard]] const BipPmmOptions& options() const { return options_; }
+  [[nodiscard]] std::uint32_t data_tag(std::uint32_t sender_port) const;
+  [[nodiscard]] std::uint32_t ctrl_tag(std::uint32_t sender_port) const;
+
+  enum class CtrlKind : std::uint8_t { kCredit = 1, kReq = 2, kAck = 3 };
+  void send_ctrl(State& state, CtrlKind kind, std::uint64_t value);
+
+  /// Staging buffers for outgoing shorts.
+  StaticBuffer obtain_staging();
+  void release_staging(StaticBuffer& buffer);
+  /// Stash a received driver slot behind a StaticBuffer handle.
+  StaticBuffer wrap_slot(net::BipShortSlot slot);
+  net::BipShortSlot unwrap_slot(const StaticBuffer& buffer);
+
+ private:
+  void pump_loop();
+
+  ChannelEndpoint& endpoint_;
+  BipPmmOptions options_;
+  net::BipPort* port_;
+  BipShortTm short_tm_;
+  BipLongTm long_tm_;
+  std::map<std::uint32_t, State*> states_;        // remote -> state
+  std::map<std::uint32_t, std::uint32_t> by_port_;  // remote port -> remote
+  std::unique_ptr<sim::WaitQueue> incoming_wq_;
+  std::vector<std::uint32_t> peer_order_;  // round-robin for wait_incoming
+  std::size_t rr_next_ = 0;
+  // Staging pool for outgoing short buffers.
+  std::vector<std::vector<std::byte>> staging_;
+  std::vector<std::size_t> staging_free_;
+  // Checked-out incoming slots, keyed by StaticBuffer::handle.
+  std::map<std::uint64_t, net::BipShortSlot> checked_out_;
+  std::uint64_t next_handle_ = 1;
+};
+
+}  // namespace mad2::mad

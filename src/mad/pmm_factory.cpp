@@ -1,0 +1,36 @@
+#include "mad/pmm_factory.hpp"
+
+#include "mad/pmm_bip.hpp"
+#include "mad/pmm_sbp.hpp"
+#include "mad/pmm_sisci.hpp"
+#include "mad/pmm_tcp.hpp"
+#include "mad/pmm_via.hpp"
+#include "mad/session.hpp"
+
+namespace mad2::mad {
+
+std::unique_ptr<Pmm> make_pmm(ChannelEndpoint& endpoint) {
+  switch (endpoint.channel().network().def.kind) {
+    case NetworkKind::kBip: {
+      const auto& overrides = endpoint.channel().def().bip_options;
+      return std::make_unique<BipPmm>(
+          endpoint, overrides.value_or(BipPmmOptions{}));
+    }
+    case NetworkKind::kSisci: {
+      const auto& overrides = endpoint.channel().def().sci_options;
+      return std::make_unique<SciPmm>(
+          endpoint, overrides.value_or(SciPmmOptions{}));
+    }
+    case NetworkKind::kTcp:
+      return std::make_unique<TcpPmm>(endpoint);
+    case NetworkKind::kVia:
+      return std::make_unique<ViaPmm>(endpoint);
+    case NetworkKind::kSbp:
+      return std::make_unique<SbpPmm>(endpoint);
+    case NetworkKind::kCustom:
+      return endpoint.channel().network().def.custom_pmm(endpoint);
+  }
+  MAD2_CHECK(false, "unknown network kind");
+}
+
+}  // namespace mad2::mad

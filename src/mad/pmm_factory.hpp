@@ -1,0 +1,14 @@
+// Creates the protocol management module matching a channel's network kind.
+#pragma once
+
+#include <memory>
+
+#include "mad/pmm.hpp"
+
+namespace mad2::mad {
+
+class ChannelEndpoint;
+
+std::unique_ptr<Pmm> make_pmm(ChannelEndpoint& endpoint);
+
+}  // namespace mad2::mad

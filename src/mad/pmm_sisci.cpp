@@ -1,0 +1,234 @@
+#include "mad/pmm_sisci.hpp"
+
+#include <cstring>
+
+#include "util/bytes.hpp"
+
+namespace mad2::mad {
+
+SciPmm::SciPmm(ChannelEndpoint& endpoint, SciPmmOptions options)
+    : endpoint_(endpoint),
+      options_(options),
+      short_tm_(this),
+      pio_tm_(this, /*dma=*/false),
+      dma_tm_(this, /*dma=*/true) {
+  NetworkInstance& network = endpoint_.channel().network();
+  MAD2_CHECK(network.sci != nullptr, "SciPmm on a non-SISCI network");
+  port_ = &network.sci->port(network.port(endpoint_.local()));
+}
+
+std::uint64_t SciPmm::short_slot_offset(std::uint64_t index) const {
+  return index * (kHeaderBytes + options_.short_capacity);
+}
+
+std::uint64_t SciPmm::bulk_buffer_offset(std::uint64_t index) const {
+  return short_slot_offset(options_.short_slots) +
+         index * (kHeaderBytes + options_.bulk_capacity);
+}
+
+std::uint64_t SciPmm::ring_bytes() const {
+  return bulk_buffer_offset(options_.bulk_buffers);
+}
+
+std::unique_ptr<Pmm::ConnState> SciPmm::make_conn_state(
+    std::uint32_t remote) {
+  auto state = std::make_unique<State>();
+  state->remote = remote;
+  state->remote_port = endpoint_.channel().network().port(remote);
+  state->rx_ring = port_->create_segment(ring_bytes());
+  state->tx_feedback = port_->create_segment(8);  // u32 short, u32 bulk
+  states_[remote] = state.get();
+  peer_order_.push_back(remote);
+  return state;
+}
+
+void SciPmm::finish_setup() {
+  // Resolve the segments our peers created for traffic in our direction.
+  // (The real library exchanges these ids over a bootstrap TCP channel.)
+  for (auto& [remote, state] : states_) {
+    auto& peer_pmm = static_cast<SciPmm&>(
+        endpoint_.channel().endpoint(remote).pmm());
+    const SciPmm::State& peer_state =
+        *peer_pmm.states_.at(endpoint_.local());
+    state->tx_ring = port_->connect(state->remote_port, peer_state.rx_ring);
+    state->rx_feedback =
+        port_->connect(state->remote_port, peer_state.tx_feedback);
+  }
+}
+
+Tm& SciPmm::select_tm(std::size_t len, SendMode, ReceiveMode) {
+  if (options_.enable_dma && len >= options_.dma_min_bytes) return dma_tm_;
+  if (len <= options_.short_capacity) return short_tm_;
+  return pio_tm_;
+}
+
+bool SciPmm::incoming_ready(const State& state) {
+  auto ring = port_->segment_memory(state.rx_ring);
+  const std::uint64_t short_off =
+      short_slot_offset(state.short_rcvd % options_.short_slots);
+  if (load_u32(ring.data() + short_off) ==
+      static_cast<std::uint32_t>(state.short_rcvd + 1)) {
+    return true;
+  }
+  const std::uint64_t bulk_off =
+      bulk_buffer_offset(state.bulk_rcvd % options_.bulk_buffers);
+  return load_u32(ring.data() + bulk_off) ==
+         static_cast<std::uint32_t>(state.bulk_rcvd + 1);
+}
+
+std::uint32_t SciPmm::wait_incoming() {
+  std::uint32_t found = 0;
+  port_->wait_delivery([&] {
+    for (std::size_t k = 0; k < peer_order_.size(); ++k) {
+      const std::size_t idx = (rr_next_ + k) % peer_order_.size();
+      if (incoming_ready(*states_.at(peer_order_[idx]))) {
+        found = peer_order_[idx];
+        rr_next_ = (idx + 1) % peer_order_.size();
+        return true;
+      }
+    }
+    return false;
+  });
+  return found;
+}
+
+// --- send/receive units ----------------------------------------------------
+
+void SciPmm::send_short_unit(Connection& connection,
+                             std::span<const std::byte> data) {
+  auto& state = connection.state<State>();
+  MAD2_CHECK(data.size() <= options_.short_capacity, "short unit too large");
+
+  // Flow control: wait until the target slot has been consumed.
+  auto feedback = port_->segment_memory(state.tx_feedback);
+  port_->wait_segment(state.tx_feedback, [&] {
+    return state.short_sent - load_u32(feedback.data()) <
+           options_.short_slots;
+  });
+
+  // One PIO transaction: header + payload assembled in a scratch buffer.
+  // (Packet delivery is atomic in the driver, so writing the header first
+  // is safe; it becomes visible only with the payload.)
+  std::vector<std::byte> scratch(kHeaderBytes + data.size());
+  store_u32(scratch.data(), static_cast<std::uint32_t>(state.short_sent + 1));
+  store_u32(scratch.data() + 4, static_cast<std::uint32_t>(data.size()));
+  connection.node().charge_memcpy(data.size());
+  std::memcpy(scratch.data() + kHeaderBytes, data.data(), data.size());
+  port_->pio_write(state.tx_ring,
+                   short_slot_offset(state.short_sent % options_.short_slots),
+                   scratch);
+  ++state.short_sent;
+}
+
+void SciPmm::recv_short_unit(Connection& connection,
+                             std::span<std::byte> out) {
+  auto& state = connection.state<State>();
+  auto ring = port_->segment_memory(state.rx_ring);
+  const std::uint64_t offset =
+      short_slot_offset(state.short_rcvd % options_.short_slots);
+  port_->wait_segment(state.rx_ring, [&] {
+    return load_u32(ring.data() + offset) ==
+           static_cast<std::uint32_t>(state.short_rcvd + 1);
+  });
+  const std::uint32_t len = load_u32(ring.data() + offset + 4);
+  MAD2_CHECK(len == out.size(),
+             "short unit size mismatch: asymmetric pack/unpack sequences");
+  connection.node().charge_memcpy(len);
+  std::memcpy(out.data(), ring.data() + offset + kHeaderBytes, len);
+  ++state.short_rcvd;
+
+  // Return slot credits in batches.
+  if (state.short_rcvd - state.short_fb_written >=
+      options_.short_feedback_batch) {
+    std::byte counter[4];
+    store_u32(counter, static_cast<std::uint32_t>(state.short_rcvd));
+    port_->pio_write(state.rx_feedback, 0, counter);
+    state.short_fb_written = state.short_rcvd;
+  }
+}
+
+void SciPmm::send_bulk(Connection& connection,
+                       std::span<const std::byte> data, bool dma) {
+  auto& state = connection.state<State>();
+  auto feedback = port_->segment_memory(state.tx_feedback);
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const std::size_t chunk =
+        std::min<std::size_t>(data.size() - done, options_.bulk_capacity);
+    // Dual buffering: block only when all ring buffers are in flight.
+    port_->wait_segment(state.tx_feedback, [&] {
+      return state.bulk_sent - load_u32(feedback.data() + 4) <
+             options_.bulk_buffers;
+    });
+    const std::uint64_t offset =
+        bulk_buffer_offset(state.bulk_sent % options_.bulk_buffers);
+    const auto piece = data.subspan(done, chunk);
+    // Payload straight from user memory (no local copy), header last so
+    // the receiver only sees complete buffers.
+    std::byte header[kHeaderBytes];
+    store_u32(header, static_cast<std::uint32_t>(state.bulk_sent + 1));
+    store_u32(header + 4, static_cast<std::uint32_t>(chunk));
+    if (dma) {
+      port_->dma_write(state.tx_ring, offset + kHeaderBytes, piece);
+      port_->dma_write(state.tx_ring, offset, header);
+    } else {
+      port_->pio_write(state.tx_ring, offset + kHeaderBytes, piece);
+      port_->pio_write(state.tx_ring, offset, header);
+    }
+    ++state.bulk_sent;
+    done += chunk;
+  }
+}
+
+void SciPmm::recv_bulk(Connection& connection, std::span<std::byte> out) {
+  auto& state = connection.state<State>();
+  auto ring = port_->segment_memory(state.rx_ring);
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const std::size_t expected =
+        std::min<std::size_t>(out.size() - done, options_.bulk_capacity);
+    const std::uint64_t offset =
+        bulk_buffer_offset(state.bulk_rcvd % options_.bulk_buffers);
+    port_->wait_segment(state.rx_ring, [&] {
+      return load_u32(ring.data() + offset) ==
+             static_cast<std::uint32_t>(state.bulk_rcvd + 1);
+    });
+    const std::uint32_t len = load_u32(ring.data() + offset + 4);
+    MAD2_CHECK(len == expected,
+               "bulk unit size mismatch: asymmetric pack/unpack sequences");
+    connection.node().charge_memcpy(len);
+    std::memcpy(out.data() + done, ring.data() + offset + kHeaderBytes, len);
+    ++state.bulk_rcvd;
+    done += len;
+    // Prompt per-buffer feedback keeps the 2-deep pipeline moving.
+    std::byte counter[4];
+    store_u32(counter, static_cast<std::uint32_t>(state.bulk_rcvd));
+    port_->pio_write(state.rx_feedback, 4, counter);
+  }
+}
+
+// ------------------------------------------------------------------- TMs ---
+
+void SciShortTm::send_buffer(Connection& connection,
+                             std::span<const std::byte> data) {
+  if (data.empty()) return;
+  pmm_->send_short_unit(connection, data);
+}
+
+void SciShortTm::receive_buffer(Connection& connection,
+                                std::span<std::byte> out) {
+  if (out.empty()) return;
+  pmm_->recv_short_unit(connection, out);
+}
+
+void SciBulkTm::send_buffer(Connection& connection,
+                            std::span<const std::byte> data) {
+  pmm_->send_bulk(connection, data, dma_);
+}
+
+void SciBulkTm::receive_buffer(Connection& connection,
+                               std::span<std::byte> out) {
+  pmm_->recv_bulk(connection, out);
+}
+
+}  // namespace mad2::mad

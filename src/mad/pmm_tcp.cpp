@@ -1,0 +1,138 @@
+#include "mad/pmm_tcp.hpp"
+
+#include <cstring>
+
+namespace mad2::mad {
+
+// ------------------------------------------------------------------ TcpTm ---
+
+void TcpTm::send_buffer(Connection& connection,
+                        std::span<const std::byte> data) {
+  if (data.empty()) return;
+  connection.state<TcpPmm::State>().stream->send(data);
+}
+
+void TcpTm::receive_buffer(Connection& connection,
+                           std::span<std::byte> out) {
+  if (out.empty()) return;
+  connection.state<TcpPmm::State>().stream->recv(out);
+}
+
+std::vector<TcpTm::Run> TcpTm::plan_runs(
+    const std::vector<std::size_t>& sizes) {
+  std::vector<Run> runs;
+  std::size_t i = 0;
+  while (i < sizes.size()) {
+    if (sizes[i] >= kCoalesceMax) {
+      runs.push_back(Run{i, 1, false});
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    std::size_t total = 0;
+    while (j < sizes.size() && sizes[j] < kCoalesceMax &&
+           total + sizes[j] <= kRunMax) {
+      total += sizes[j];
+      ++j;
+    }
+    runs.push_back(Run{i, j - i, j - i > 1});
+    i = j;
+  }
+  return runs;
+}
+
+void TcpTm::send_buffer_group(
+    Connection& connection,
+    const std::vector<std::span<const std::byte>>& group) {
+  std::vector<std::size_t> sizes;
+  sizes.reserve(group.size());
+  for (const auto& block : group) sizes.push_back(block.size());
+
+  auto& state = connection.state<TcpPmm::State>();
+  std::vector<std::byte> scratch;
+  for (const Run& run : plan_runs(sizes)) {
+    if (!run.coalesced) {
+      for (std::size_t k = 0; k < run.count; ++k) {
+        send_buffer(connection, group[run.first + k]);
+      }
+      continue;
+    }
+    scratch.clear();
+    for (std::size_t k = 0; k < run.count; ++k) {
+      const auto& block = group[run.first + k];
+      connection.node().charge_memcpy(block.size());
+      scratch.insert(scratch.end(), block.begin(), block.end());
+    }
+    if (!scratch.empty()) state.stream->send(scratch);
+  }
+}
+
+void TcpTm::receive_sub_buffer_group(
+    Connection& connection, const std::vector<std::span<std::byte>>& group) {
+  std::vector<std::size_t> sizes;
+  sizes.reserve(group.size());
+  for (const auto& block : group) sizes.push_back(block.size());
+
+  auto& state = connection.state<TcpPmm::State>();
+  std::vector<std::byte> scratch;
+  for (const Run& run : plan_runs(sizes)) {
+    if (!run.coalesced) {
+      for (std::size_t k = 0; k < run.count; ++k) {
+        receive_buffer(connection, group[run.first + k]);
+      }
+      continue;
+    }
+    std::size_t total = 0;
+    for (std::size_t k = 0; k < run.count; ++k) total += sizes[run.first + k];
+    scratch.resize(total);
+    if (total > 0) state.stream->recv(scratch);
+    std::size_t offset = 0;
+    for (std::size_t k = 0; k < run.count; ++k) {
+      auto out = group[run.first + k];
+      connection.node().charge_memcpy(out.size());
+      std::memcpy(out.data(), scratch.data() + offset, out.size());
+      offset += out.size();
+    }
+  }
+}
+
+// ----------------------------------------------------------------- TcpPmm ---
+
+TcpPmm::TcpPmm(ChannelEndpoint& endpoint)
+    : endpoint_(endpoint), tm_(this) {
+  NetworkInstance& network = endpoint_.channel().network();
+  MAD2_CHECK(network.tcp != nullptr, "TcpPmm on a non-TCP network");
+  port_ = &network.tcp->port(network.port(endpoint_.local()));
+}
+
+std::unique_ptr<Pmm::ConnState> TcpPmm::make_conn_state(
+    std::uint32_t remote) {
+  auto state = std::make_unique<State>();
+  state->remote = remote;
+  NetworkInstance& network = endpoint_.channel().network();
+  state->stream =
+      &port_->stream(network.port(remote), endpoint_.channel().id());
+  peers_.push_back(remote);
+  peer_streams_.push_back(state->stream);
+  return state;
+}
+
+Tm& TcpPmm::select_tm(std::size_t, SendMode, ReceiveMode) { return tm_; }
+
+std::uint32_t TcpPmm::wait_incoming() {
+  std::uint32_t found = 0;
+  port_->wait_any([&] {
+    for (std::size_t k = 0; k < peers_.size(); ++k) {
+      const std::size_t idx = (rr_next_ + k) % peers_.size();
+      if (peer_streams_[idx]->readable()) {
+        found = peers_[idx];
+        rr_next_ = (idx + 1) % peers_.size();
+        return true;
+      }
+    }
+    return false;
+  });
+  return found;
+}
+
+}  // namespace mad2::mad

@@ -1,0 +1,83 @@
+// TCP protocol management module: one stream per connection (stream id =
+// channel id), a single TM, and symmetric small-block coalescing so that
+// grouped sends pay one kernel crossing instead of one per block.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "mad/pmm.hpp"
+#include "mad/session.hpp"
+#include "net/tcp.hpp"
+
+namespace mad2::mad {
+
+class TcpPmm;
+
+/// The single TCP transmission module (dynamic buffers, stream-backed).
+class TcpTm final : public Tm {
+ public:
+  explicit TcpTm(TcpPmm* pmm) : pmm_(pmm) {}
+
+  [[nodiscard]] std::string_view name() const override { return "tcp"; }
+  [[nodiscard]] bool supports_groups() const override { return true; }
+
+  void send_buffer(Connection& connection,
+                   std::span<const std::byte> data) override;
+  void send_buffer_group(
+      Connection& connection,
+      const std::vector<std::span<const std::byte>>& group) override;
+  void receive_buffer(Connection& connection,
+                      std::span<std::byte> out) override;
+  void receive_sub_buffer_group(
+      Connection& connection,
+      const std::vector<std::span<std::byte>>& group) override;
+
+  /// Blocks smaller than this are coalesced into one stream write when
+  /// they appear consecutively in a group (fewer syscalls).
+  static constexpr std::size_t kCoalesceMax = 1024;
+  /// A coalesced run never exceeds this many bytes.
+  static constexpr std::size_t kRunMax = 8192;
+
+  /// Segment boundaries for a group, as (first, count, coalesced) runs —
+  /// a pure function of the block sizes, replayed on both sides.
+  struct Run {
+    std::size_t first;
+    std::size_t count;
+    bool coalesced;
+  };
+  static std::vector<Run> plan_runs(const std::vector<std::size_t>& sizes);
+
+ private:
+  TcpPmm* pmm_;
+};
+
+class TcpPmm final : public Pmm {
+ public:
+  explicit TcpPmm(ChannelEndpoint& endpoint);
+
+  [[nodiscard]] std::string_view name() const override { return "tcp"; }
+
+  struct State : ConnState {
+    net::TcpStream* stream = nullptr;
+    std::uint32_t remote = 0;
+  };
+
+  std::unique_ptr<ConnState> make_conn_state(std::uint32_t remote) override;
+  Tm& select_tm(std::size_t len, SendMode smode, ReceiveMode rmode) override;
+  std::uint32_t wait_incoming() override;
+
+  [[nodiscard]] ChannelEndpoint& endpoint() { return endpoint_; }
+  [[nodiscard]] net::TcpPort& port() { return *port_; }
+
+ private:
+  ChannelEndpoint& endpoint_;
+  net::TcpPort* port_;
+  TcpTm tm_;
+  std::vector<std::uint32_t> peers_;  // global ids, for fair round-robin
+  std::vector<net::TcpStream*> peer_streams_;
+  std::size_t rr_next_ = 0;
+};
+
+}  // namespace mad2::mad

@@ -1,0 +1,143 @@
+// VIA protocol management module.
+//
+// Two transmission modules over two VIs per connection:
+//  - VI 0, the *short* TM: user data is copied through preregistered
+//    4 kB buffers (VIA requires registered memory), pre-posted at the
+//    receiver and governed by credits, with an 8-byte in-band header
+//    carrying the packet kind (data / rendezvous REQ / ACK / credit
+//    return);
+//  - VI 1, the *bulk* TM: rendezvous through VI 0, then a direct send from
+//    (just-registered) user memory into the posted user buffer —
+//    zero-copy, at the cost of per-transfer registration.
+// A per-endpoint pump fiber demultiplexes VI 0.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "mad/pmm.hpp"
+#include "mad/session.hpp"
+#include "net/via.hpp"
+
+namespace mad2::mad {
+
+class ViaPmm;
+
+class ViaShortTm final : public Tm {
+ public:
+  explicit ViaShortTm(ViaPmm* pmm) : pmm_(pmm) {}
+  [[nodiscard]] std::string_view name() const override { return "via-short"; }
+  [[nodiscard]] bool uses_static_buffers() const override { return true; }
+
+  void send_buffer(Connection&, std::span<const std::byte>) override;
+  void receive_buffer(Connection&, std::span<std::byte>) override;
+  StaticBuffer obtain_static_buffer(Connection& connection) override;
+  void send_static_buffer(Connection& connection,
+                          StaticBuffer& buffer) override;
+  StaticBuffer receive_static_buffer(Connection& connection) override;
+  void release_static_buffer(Connection& connection,
+                             StaticBuffer& buffer) override;
+
+ private:
+  ViaPmm* pmm_;
+};
+
+class ViaBulkTm final : public Tm {
+ public:
+  explicit ViaBulkTm(ViaPmm* pmm) : pmm_(pmm) {}
+  [[nodiscard]] std::string_view name() const override { return "via-bulk"; }
+
+  void send_buffer(Connection& connection,
+                   std::span<const std::byte> data) override;
+  void send_buffer_group(
+      Connection& connection,
+      const std::vector<std::span<const std::byte>>& group) override;
+  void receive_buffer(Connection& connection,
+                      std::span<std::byte> out) override;
+  void receive_sub_buffer_group(
+      Connection& connection,
+      const std::vector<std::span<std::byte>>& group) override;
+
+ private:
+  ViaPmm* pmm_;
+};
+
+class ViaPmm final : public Pmm {
+ public:
+  static constexpr std::uint32_t kPacketBytes = 4096;
+  static constexpr std::uint32_t kHeaderBytes = 8;  // u32 kind, u32 value
+  static constexpr std::uint32_t kShortCapacity = kPacketBytes - kHeaderBytes;
+  static constexpr std::size_t kInitialCredits = 8;
+  static constexpr std::size_t kCreditBatch = 4;
+  static constexpr std::uint32_t kShortVi = 0;  // per-channel VI pair base
+  static constexpr std::uint32_t kBulkVi = 1;
+
+  explicit ViaPmm(ChannelEndpoint& endpoint);
+
+  [[nodiscard]] std::string_view name() const override { return "via"; }
+
+  enum class PacketKind : std::uint32_t {
+    kData = 1,
+    kReq = 2,
+    kAck = 3,
+    kCredit = 4,
+  };
+
+  struct State : ConnState {
+    explicit State(sim::Simulator* simulator)
+        : credits_wq(simulator), ack_wq(simulator), recv_wq(simulator) {}
+    std::uint32_t remote = 0;
+    std::uint32_t remote_port = 0;
+    // --- send side ---
+    std::size_t credits = kInitialCredits;
+    sim::WaitQueue credits_wq;
+    std::size_t acks = 0;
+    sim::WaitQueue ack_wq;
+    // --- receive side (filled by the pump) ---
+    // Completed data packets: (posted buffer backing index, payload bytes).
+    std::deque<std::pair<std::size_t, std::size_t>> data_pkts;
+    std::deque<std::uint64_t> reqs;
+    sim::WaitQueue recv_wq;
+    std::size_t credit_owed = 0;
+    // Preregistered, pre-posted receive buffers for VI 0.
+    std::vector<std::vector<std::byte>> pool;
+  };
+
+  std::unique_ptr<ConnState> make_conn_state(std::uint32_t remote) override;
+  void finish_setup() override;
+  Tm& select_tm(std::size_t len, SendMode smode, ReceiveMode rmode) override;
+  std::uint32_t wait_incoming() override;
+
+  [[nodiscard]] net::ViaPort& port() { return *port_; }
+  [[nodiscard]] ChannelEndpoint& endpoint() { return endpoint_; }
+  [[nodiscard]] std::uint32_t short_vi() const;
+  [[nodiscard]] std::uint32_t bulk_vi() const;
+
+  void send_packet(State& state, PacketKind kind, std::uint64_t value,
+                   std::span<const std::byte> payload);
+  void send_ctrl(State& state, PacketKind kind, std::uint64_t value) {
+    send_packet(state, kind, value, {});
+  }
+
+ private:
+  void pump_loop();
+
+  ChannelEndpoint& endpoint_;
+  net::ViaPort* port_;
+  ViaShortTm short_tm_;
+  ViaBulkTm bulk_tm_;
+  std::map<std::uint32_t, State*> states_;
+  std::vector<std::uint32_t> peer_order_;
+  std::size_t rr_next_ = 0;
+  std::unique_ptr<sim::WaitQueue> incoming_wq_;
+  // Staging for outgoing VI-0 packets (header + payload assembled here).
+  std::vector<std::vector<std::byte>> staging_;
+  std::vector<std::size_t> staging_free_;
+
+  friend class ViaShortTm;
+  friend class ViaBulkTm;
+};
+
+}  // namespace mad2::mad

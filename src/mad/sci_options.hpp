@@ -1,0 +1,26 @@
+// Tunables of the SISCI protocol management module, exposed separately so
+// channel definitions can carry per-channel overrides (e.g. benchmarks
+// that enable the DMA TM the paper ships disabled).
+#pragma once
+
+#include <cstdint>
+
+namespace mad2::mad {
+
+struct SciPmmOptions {
+  std::uint32_t short_slots = 8;
+  std::uint32_t short_capacity = 256;  // short TM cutoff
+  /// Ring depth for the bulk TM. The paper's implementation dual-buffers
+  /// (2); the simulated wire is store-and-forward at packet granularity,
+  /// which adds latency real PIO does not have, so a depth of 4 is needed
+  /// to keep the sender streaming. The overlap behaviour (the Figure 4
+  /// kink at bulk_capacity) is unchanged.
+  std::uint32_t bulk_buffers = 4;
+  std::uint32_t bulk_capacity = 8192;  // the Figure 4 kink
+  bool enable_dma = false;             // paper: implemented but not active
+  std::uint32_t dma_min_bytes = 32768;
+  /// Receiver returns short-slot credits every this many consumptions.
+  std::uint32_t short_feedback_batch = 4;
+};
+
+}  // namespace mad2::mad

@@ -1,0 +1,220 @@
+#include "mad/session.hpp"
+
+#include "mad/pmm_factory.hpp"
+#include "util/log.hpp"
+
+namespace mad2::mad {
+
+std::string_view to_string(NetworkKind kind) {
+  switch (kind) {
+    case NetworkKind::kBip:
+      return "bip";
+    case NetworkKind::kSisci:
+      return "sisci";
+    case NetworkKind::kTcp:
+      return "tcp";
+    case NetworkKind::kVia:
+      return "via";
+    case NetworkKind::kSbp:
+      return "sbp";
+    case NetworkKind::kCustom:
+      return "custom";
+  }
+  return "?";
+}
+
+std::uint32_t NetworkInstance::port(std::uint32_t node) const {
+  auto it = port_of_node.find(node);
+  MAD2_CHECK(it != port_of_node.end(), "node not attached to this network");
+  return it->second;
+}
+
+// ------------------------------------------------------- ChannelEndpoint ---
+
+ChannelEndpoint::ChannelEndpoint(Session* session, Channel* channel,
+                                 std::uint32_t local)
+    : session_(session), channel_(channel), local_(local) {
+  pmm_ = make_pmm(*this);
+  for (std::uint32_t peer : channel_->nodes()) {
+    if (peer == local_) continue;
+    connections_.emplace(
+        peer, std::make_unique<Connection>(this, peer,
+                                           pmm_->make_conn_state(peer)));
+  }
+}
+
+ChannelEndpoint::~ChannelEndpoint() = default;
+
+hw::Node& ChannelEndpoint::node() { return session_->node(local_); }
+
+const MadCosts& ChannelEndpoint::costs() const {
+  return session_->config().costs;
+}
+
+TrafficStats ChannelEndpoint::stats() const {
+  TrafficStats total;
+  for (const auto& [remote, connection] : connections_) {
+    total.merge(connection->stats());
+  }
+  return total;
+}
+
+Connection& ChannelEndpoint::connection(std::uint32_t remote) {
+  auto it = connections_.find(remote);
+  MAD2_CHECK(it != connections_.end(),
+             "no connection to that node on this channel");
+  return *it->second;
+}
+
+Connection& ChannelEndpoint::begin_packing(std::uint32_t remote) {
+  Connection& conn = connection(remote);
+  conn.begin_packing_message();
+  return conn;
+}
+
+Connection& ChannelEndpoint::begin_unpacking() {
+  MAD2_CHECK(active_incoming_ == nullptr,
+             "begin_unpacking with an incoming message already open");
+  const std::uint32_t src = pmm_->wait_incoming();
+  Connection& conn = connection(src);
+  conn.begin_unpacking_message();
+  active_incoming_ = &conn;
+  return conn;
+}
+
+// ---------------------------------------------------------------- Channel ---
+
+Channel::Channel(Session* session, std::uint32_t id, ChannelDef def,
+                 NetworkInstance* network)
+    : session_(session), id_(id), def_(std::move(def)), network_(network) {
+  for (std::uint32_t node : network_->def.nodes) {
+    endpoints_.emplace(node,
+                       std::make_unique<ChannelEndpoint>(session, this, node));
+  }
+}
+
+Channel::~Channel() = default;
+
+ChannelEndpoint& Channel::endpoint(std::uint32_t node) {
+  auto it = endpoints_.find(node);
+  MAD2_CHECK(it != endpoints_.end(), "node is not a member of this channel");
+  return *it->second;
+}
+
+// ------------------------------------------------------------- NodeRuntime ---
+
+ChannelEndpoint& NodeRuntime::channel(const std::string& name) {
+  return session_->endpoint(name, rank_);
+}
+
+hw::Node& NodeRuntime::node() { return session_->node(rank_); }
+
+sim::Simulator& NodeRuntime::simulator() { return session_->simulator(); }
+
+// ----------------------------------------------------------------- Session ---
+
+Session::Session(SessionConfig config) : config_(std::move(config)) {
+  MAD2_CHECK(config_.node_count > 0, "session needs at least one node");
+  for (std::uint32_t i = 0; i < config_.node_count; ++i) {
+    nodes_.push_back(std::make_unique<hw::Node>(
+        &simulator_, i, "node" + std::to_string(i), config_.host));
+  }
+
+  for (const NetworkDef& def : config_.networks) {
+    auto instance = std::make_unique<NetworkInstance>();
+    instance->def = def;
+    std::vector<hw::Node*> members;
+    for (std::uint32_t node : def.nodes) {
+      MAD2_CHECK(node < nodes_.size(), "network references unknown node");
+      instance->port_of_node[node] =
+          static_cast<std::uint32_t>(members.size());
+      members.push_back(nodes_[node].get());
+    }
+    switch (def.kind) {
+      case NetworkKind::kBip:
+        instance->bip = std::make_unique<net::BipNetwork>(
+            &simulator_, members,
+            def.bip_params.value_or(net::BipParams::myrinet_lanai43()));
+        break;
+      case NetworkKind::kSisci:
+        instance->sci = std::make_unique<net::SciNetwork>(
+            &simulator_, members,
+            def.sci_params.value_or(net::SciParams::dolphin_d310()));
+        break;
+      case NetworkKind::kTcp:
+        instance->tcp = std::make_unique<net::TcpNetwork>(
+            &simulator_, members,
+            def.tcp_params.value_or(net::TcpParams::fast_ethernet()));
+        break;
+      case NetworkKind::kVia:
+        instance->via = std::make_unique<net::ViaNetwork>(
+            &simulator_, members,
+            def.via_params.value_or(net::ViaParams::generic_nic()));
+        break;
+      case NetworkKind::kSbp:
+        instance->sbp = std::make_unique<net::SbpNetwork>(
+            &simulator_, members,
+            def.sbp_params.value_or(net::SbpParams::fast_ethernet()));
+        break;
+      case NetworkKind::kCustom:
+        MAD2_CHECK(static_cast<bool>(def.custom_pmm),
+                   "custom network without a custom_pmm factory");
+        break;
+    }
+    networks_.push_back(std::move(instance));
+  }
+
+  std::uint32_t channel_id = 0;
+  for (const ChannelDef& def : config_.channels) {
+    NetworkInstance* net = &network(def.network);
+    channels_.push_back(
+        std::make_unique<Channel>(this, channel_id++, def, net));
+  }
+
+  // Second phase: cross-node handle resolution (see Pmm::finish_setup).
+  for (auto& channel : channels_) {
+    for (std::uint32_t node : channel->nodes()) {
+      channel->endpoint(node).pmm().finish_setup();
+    }
+  }
+}
+
+Session::~Session() = default;
+
+hw::Node& Session::node(std::uint32_t id) {
+  MAD2_CHECK(id < nodes_.size(), "unknown node id");
+  return *nodes_[id];
+}
+
+Channel& Session::channel(const std::string& name) {
+  for (auto& channel : channels_) {
+    if (channel->name() == name) return *channel;
+  }
+  MAD2_CHECK(false, "unknown channel name");
+}
+
+ChannelEndpoint& Session::endpoint(const std::string& channel_name,
+                                   std::uint32_t node) {
+  return channel(channel_name).endpoint(node);
+}
+
+NetworkInstance& Session::network(const std::string& name) {
+  for (auto& network : networks_) {
+    if (network->def.name == name) return *network;
+  }
+  MAD2_CHECK(false, "unknown network name");
+}
+
+void Session::spawn(std::uint32_t node, std::string name,
+                    std::function<void(NodeRuntime&)> body) {
+  MAD2_CHECK(node < nodes_.size(), "spawn on unknown node");
+  simulator_.spawn(std::move(name),
+                   [this, node, body = std::move(body)]() mutable {
+                     NodeRuntime runtime(this, node);
+                     body(runtime);
+                   });
+}
+
+Status Session::run() { return simulator_.run(); }
+
+}  // namespace mad2::mad

@@ -1,0 +1,236 @@
+// Session, channel and node-runtime objects: the paper's configuration
+// layer. A Session describes a simulated cluster (nodes, networks,
+// channels), builds every driver and protocol object up front, and runs
+// application bodies as fibers on the nodes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hw/node.hpp"
+#include "mad/connection.hpp"
+#include "mad/bip_options.hpp"
+#include "mad/sci_options.hpp"
+#include "net/bip.hpp"
+#include "net/sbp.hpp"
+#include "net/sisci.hpp"
+#include "net/tcp.hpp"
+#include "net/via.hpp"
+#include "sim/simulator.hpp"
+#include "util/status.hpp"
+
+namespace mad2::mad {
+
+class Session;
+class Channel;
+class ChannelEndpoint;
+
+enum class NetworkKind {
+  kBip,
+  kSisci,
+  kTcp,
+  kVia,
+  /// SBP (paper reference [14]): a static-buffer-only kernel protocol over
+  /// Ethernet — the Section 6.1 example of an interface that requires all
+  /// data to be written into specific buffers before sending.
+  kSbp,
+  /// No built-in driver: the channel's protocol module comes from
+  /// NetworkDef::custom_pmm. This is how Madeleine runs "on top of common
+  /// MPI implementations" (paper Section 5.3/Conclusion) — see
+  /// mpi/pmm_mpi.hpp — and how downstream users add new interfaces.
+  kCustom,
+};
+
+std::string_view to_string(NetworkKind kind);
+
+/// One physical network in the session configuration.
+struct NetworkDef {
+  std::string name;
+  NetworkKind kind = NetworkKind::kTcp;
+  /// Global node ids attached to this network (its adapter set).
+  std::vector<std::uint32_t> nodes;
+  // Optional driver parameter overrides (defaults are the paper's models).
+  std::optional<net::BipParams> bip_params;
+  std::optional<net::SciParams> sci_params;
+  std::optional<net::TcpParams> tcp_params;
+  std::optional<net::ViaParams> via_params;
+  std::optional<net::SbpParams> sbp_params;
+  /// For kCustom: builds the protocol module of each endpoint.
+  std::function<std::unique_ptr<class Pmm>(ChannelEndpoint&)> custom_pmm;
+};
+
+/// One Madeleine channel: a closed world for communication, bound to one
+/// network (paper Section 2.1). Several channels may share a network.
+struct ChannelDef {
+  ChannelDef() = default;
+  ChannelDef(std::string name_, std::string network_)
+      : name(std::move(name_)), network(std::move(network_)) {}
+
+  std::string name;
+  std::string network;
+  /// SISCI-channel override (e.g. enable the DMA TM); ignored elsewhere.
+  std::optional<SciPmmOptions> sci_options;
+  /// BIP-channel override (credit window sizing); ignored elsewhere.
+  std::optional<BipPmmOptions> bip_options;
+  /// Debug aid: prepend a check block to every packed block so asymmetric
+  /// pack/unpack sequences fail loudly at the first divergence instead of
+  /// corrupting data ("unspecified behavior" per paper Section 2.2). Both
+  /// sides of the channel share this setting by construction. Costs one
+  /// extra small block per pack; never enable for benchmarking.
+  bool paranoid = false;
+};
+
+/// Library-level CPU costs (pack/unpack bookkeeping). These produce the
+/// Madeleine-over-raw overhead the paper reports (e.g. BIP 5 us -> 7 us).
+struct MadCosts {
+  sim::Duration begin_packing = sim::from_us(0.3);
+  sim::Duration pack = sim::from_us(0.2);
+  sim::Duration end_packing = sim::from_us(0.3);
+  sim::Duration begin_unpacking = sim::from_us(0.3);
+  sim::Duration unpack = sim::from_us(0.2);
+  sim::Duration end_unpacking = sim::from_us(0.3);
+};
+
+struct SessionConfig {
+  std::size_t node_count = 0;
+  std::vector<NetworkDef> networks;
+  std::vector<ChannelDef> channels;
+  hw::HostParams host = hw::HostParams::pentium_ii_450();
+  MadCosts costs;
+};
+
+/// A session network instance: the driver plus the global-node -> local
+/// port mapping.
+struct NetworkInstance {
+  NetworkDef def;
+  std::unique_ptr<net::BipNetwork> bip;
+  std::unique_ptr<net::SciNetwork> sci;
+  std::unique_ptr<net::TcpNetwork> tcp;
+  std::unique_ptr<net::ViaNetwork> via;
+  std::unique_ptr<net::SbpNetwork> sbp;
+  std::map<std::uint32_t, std::uint32_t> port_of_node;
+
+  [[nodiscard]] bool has_node(std::uint32_t node) const {
+    return port_of_node.count(node) != 0;
+  }
+  [[nodiscard]] std::uint32_t port(std::uint32_t node) const;
+};
+
+/// Per-node local view of a channel: where begin_packing / begin_unpacking
+/// live. Owns the PMM and the connections to every peer.
+class ChannelEndpoint {
+ public:
+  ChannelEndpoint(Session* session, Channel* channel, std::uint32_t local);
+  ~ChannelEndpoint();
+
+  /// Start an outgoing message to `remote` (global node id). Returns the
+  /// connection object to pack into (paper: mad_begin_packing).
+  Connection& begin_packing(std::uint32_t remote);
+
+  /// Start extracting the first incoming message on this channel. Returns
+  /// the connection it arrived on (paper: mad_begin_unpacking).
+  Connection& begin_unpacking();
+
+  [[nodiscard]] Connection& connection(std::uint32_t remote);
+
+  /// Aggregate traffic statistics across this endpoint's connections.
+  [[nodiscard]] TrafficStats stats() const;
+
+  [[nodiscard]] std::uint32_t local() const { return local_; }
+  [[nodiscard]] Channel& channel() { return *channel_; }
+  [[nodiscard]] Session& session() { return *session_; }
+  [[nodiscard]] Pmm& pmm() { return *pmm_; }
+  [[nodiscard]] hw::Node& node();
+  [[nodiscard]] const MadCosts& costs() const;
+
+ private:
+  friend class Connection;
+  Session* session_;
+  Channel* channel_;
+  std::uint32_t local_;
+  std::unique_ptr<Pmm> pmm_;
+  std::map<std::uint32_t, std::unique_ptr<Connection>> connections_;
+  Connection* active_incoming_ = nullptr;
+};
+
+class Channel {
+ public:
+  Channel(Session* session, std::uint32_t id, ChannelDef def,
+          NetworkInstance* network);
+  ~Channel();
+
+  [[nodiscard]] const std::string& name() const { return def_.name; }
+  [[nodiscard]] const ChannelDef& def() const { return def_; }
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+  [[nodiscard]] NetworkInstance& network() { return *network_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& nodes() const {
+    return network_->def.nodes;
+  }
+  [[nodiscard]] ChannelEndpoint& endpoint(std::uint32_t node);
+  [[nodiscard]] Session& session() { return *session_; }
+
+ private:
+  friend class Session;
+  Session* session_;
+  std::uint32_t id_;
+  ChannelDef def_;
+  NetworkInstance* network_;
+  std::map<std::uint32_t, std::unique_ptr<ChannelEndpoint>> endpoints_;
+};
+
+/// The per-node application context handed to spawned bodies.
+class NodeRuntime {
+ public:
+  NodeRuntime(Session* session, std::uint32_t rank)
+      : session_(session), rank_(rank) {}
+
+  [[nodiscard]] std::uint32_t rank() const { return rank_; }
+  [[nodiscard]] Session& session() { return *session_; }
+  [[nodiscard]] ChannelEndpoint& channel(const std::string& name);
+  [[nodiscard]] hw::Node& node();
+  [[nodiscard]] sim::Simulator& simulator();
+
+ private:
+  Session* session_;
+  std::uint32_t rank_;
+};
+
+class Session {
+ public:
+  explicit Session(SessionConfig config);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
+  [[nodiscard]] hw::Node& node(std::uint32_t id);
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] const SessionConfig& config() const { return config_; }
+
+  [[nodiscard]] Channel& channel(const std::string& name);
+  [[nodiscard]] ChannelEndpoint& endpoint(const std::string& channel_name,
+                                          std::uint32_t node);
+  [[nodiscard]] NetworkInstance& network(const std::string& name);
+
+  /// Run `body` as a fiber on `node` when run() starts.
+  void spawn(std::uint32_t node, std::string name,
+             std::function<void(NodeRuntime&)> body);
+
+  /// Run the simulation to completion (all spawned bodies finished).
+  Status run();
+
+ private:
+  SessionConfig config_;
+  sim::Simulator simulator_;
+  std::vector<std::unique_ptr<hw::Node>> nodes_;
+  std::vector<std::unique_ptr<NetworkInstance>> networks_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+};
+
+}  // namespace mad2::mad

@@ -1,0 +1,44 @@
+#include "mad/stats.hpp"
+
+#include <cstdio>
+
+namespace mad2::mad {
+
+void TrafficStats::merge(const TrafficStats& other) {
+  messages_sent += other.messages_sent;
+  messages_received += other.messages_received;
+  for (const auto& [tm, counters] : other.sent_by_tm) {
+    sent_by_tm[tm].blocks += counters.blocks;
+    sent_by_tm[tm].bytes += counters.bytes;
+  }
+  for (const auto& [tm, counters] : other.received_by_tm) {
+    received_by_tm[tm].blocks += counters.blocks;
+    received_by_tm[tm].bytes += counters.bytes;
+  }
+}
+
+std::string TrafficStats::to_string() const {
+  char line[160];
+  std::string out;
+  std::snprintf(line, sizeof line, "messages: %llu sent, %llu received\n",
+                static_cast<unsigned long long>(messages_sent),
+                static_cast<unsigned long long>(messages_received));
+  out += line;
+  for (const auto& [tm, counters] : sent_by_tm) {
+    std::snprintf(line, sizeof line,
+                  "  tx %-12s %8llu blocks %12llu bytes\n", tm.c_str(),
+                  static_cast<unsigned long long>(counters.blocks),
+                  static_cast<unsigned long long>(counters.bytes));
+    out += line;
+  }
+  for (const auto& [tm, counters] : received_by_tm) {
+    std::snprintf(line, sizeof line,
+                  "  rx %-12s %8llu blocks %12llu bytes\n", tm.c_str(),
+                  static_cast<unsigned long long>(counters.blocks),
+                  static_cast<unsigned long long>(counters.bytes));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace mad2::mad

@@ -1,0 +1,32 @@
+// Per-connection / per-channel traffic statistics: which Transmission
+// Module carried how many blocks and bytes, per direction. The Switch
+// updates these on every pack/unpack, so they answer the tuning question
+// the paper's flag system poses: "is my data actually taking the transfer
+// method I think it is?"
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mad2::mad {
+
+struct TmCounters {
+  std::uint64_t blocks = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct TrafficStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  /// Keyed by TM name (e.g. "bip-short", "sci-pio").
+  std::map<std::string, TmCounters> sent_by_tm;
+  std::map<std::string, TmCounters> received_by_tm;
+
+  void merge(const TrafficStats& other);
+
+  /// Human-readable multi-line summary.
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace mad2::mad

@@ -1,0 +1,74 @@
+// Transmission Module interface (paper Table 2 and Section 3.2).
+//
+// One TM exists per protocol *sub-interface* (BIP-short, BIP-long,
+// SISCI-short-PIO, SISCI-PIO, SISCI-DMA, TCP, VIA-short, VIA-bulk). TMs
+// move buffers; the Buffer Management Modules above them decide how user
+// data becomes buffers. Mapping to Table 2:
+//   send_buffer / send_buffer_group            -> dynamic-buffer sends
+//   receive_buffer / receive_sub_buffer_group  -> dynamic-buffer receives
+//   obtain_static_buffer / release_static_buffer
+//     plus send_static_buffer / receive_static_buffer, which Table 2 folds
+//     into the buffer send/receive entries
+// Not every TM implements every function (the paper notes the same).
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "mad/types.hpp"
+
+namespace mad2::mad {
+
+class Connection;
+
+class Tm {
+ public:
+  virtual ~Tm() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// True if this TM works through protocol-provided buffers (BMMs must
+  /// copy user data through obtain/send/receive/release_static_buffer).
+  [[nodiscard]] virtual bool uses_static_buffers() const { return false; }
+
+  /// True if send_buffer_group is better than per-buffer sends (the group
+  /// BMM aggregates when this holds).
+  [[nodiscard]] virtual bool supports_groups() const { return true; }
+
+  // --- Dynamic buffers (user memory referenced directly) -----------------
+  /// Send one buffer; returns when the user memory is reusable.
+  virtual void send_buffer(Connection& connection,
+                           std::span<const std::byte> data) = 0;
+
+  /// Send several buffers as one unit (scatter/gather when the protocol
+  /// can). Default: sequential send_buffer calls.
+  virtual void send_buffer_group(
+      Connection& connection,
+      const std::vector<std::span<const std::byte>>& group);
+
+  /// Receive one buffer into user memory; returns when the data is there.
+  virtual void receive_buffer(Connection& connection,
+                              std::span<std::byte> out) = 0;
+
+  /// Receive a (sub-)group of buffers. Default: sequential receive_buffer.
+  virtual void receive_sub_buffer_group(
+      Connection& connection, const std::vector<std::span<std::byte>>& group);
+
+  // --- Static buffers (protocol memory; only if uses_static_buffers) -----
+  /// Get an empty protocol buffer to fill (send side).
+  virtual StaticBuffer obtain_static_buffer(Connection& connection);
+
+  /// Transmit a filled protocol buffer (`used` bytes).
+  virtual void send_static_buffer(Connection& connection,
+                                  StaticBuffer& buffer);
+
+  /// Blocking: the next incoming protocol buffer on this connection.
+  virtual StaticBuffer receive_static_buffer(Connection& connection);
+
+  /// Return a received protocol buffer to the protocol (receive side).
+  virtual void release_static_buffer(Connection& connection,
+                                     StaticBuffer& buffer);
+};
+
+}  // namespace mad2::mad

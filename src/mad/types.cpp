@@ -1,0 +1,27 @@
+#include "mad/types.hpp"
+
+namespace mad2::mad {
+
+std::string_view to_string(SendMode mode) {
+  switch (mode) {
+    case SendMode::kSafer:
+      return "send_SAFER";
+    case SendMode::kLater:
+      return "send_LATER";
+    case SendMode::kCheaper:
+      return "send_CHEAPER";
+  }
+  return "send_?";
+}
+
+std::string_view to_string(ReceiveMode mode) {
+  switch (mode) {
+    case ReceiveMode::kExpress:
+      return "receive_EXPRESS";
+    case ReceiveMode::kCheaper:
+      return "receive_CHEAPER";
+  }
+  return "receive_?";
+}
+
+}  // namespace mad2::mad

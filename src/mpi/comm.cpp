@@ -1,0 +1,132 @@
+#include "mpi/comm.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/status.hpp"
+
+namespace mad2::mpi {
+
+Request Comm::isend(std::span<const std::byte> data, int dst, int tag) {
+  Request request;
+  request.state_ = std::make_shared<Request::State>(&simulator());
+  auto state = request.state_;
+  simulator().spawn("mpi.isend", [this, data, dst, tag, state] {
+    send(data, dst, tag);
+    state->done = true;
+    state->wq.notify_all();
+  });
+  return request;
+}
+
+Request Comm::irecv(std::span<std::byte> out, int src, int tag) {
+  Request request;
+  request.state_ = std::make_shared<Request::State>(&simulator());
+  auto state = request.state_;
+  simulator().spawn("mpi.irecv", [this, out, src, tag, state] {
+    state->status = recv(out, src, tag);
+    state->done = true;
+    state->wq.notify_all();
+  });
+  return request;
+}
+
+void Comm::wait(Request& request) {
+  MAD2_CHECK(request.valid(), "wait on an empty request");
+  while (!request.state_->done) request.state_->wq.wait();
+}
+
+RecvStatus Comm::sendrecv(std::span<const std::byte> senddata, int dst,
+                          int sendtag, std::span<std::byte> recvdata,
+                          int src, int recvtag) {
+  Request rx = irecv(recvdata, src, recvtag);
+  send(senddata, dst, sendtag);
+  wait(rx);
+  return rx.status();
+}
+
+void Comm::barrier() {
+  // Dissemination barrier: log2(n) rounds of pairwise exchanges.
+  const int n = size();
+  const int me = rank();
+  std::byte token{1};
+  std::byte sink{0};
+  for (int shift = 1; shift < n; shift <<= 1) {
+    const int to = (me + shift) % n;
+    const int from = (me - shift % n + n) % n;
+    sendrecv(std::span(&token, 1), to, kCollectiveTagBase + shift,
+             std::span(&sink, 1), from, kCollectiveTagBase + shift);
+  }
+}
+
+void Comm::bcast(std::span<std::byte> data, int root) {
+  // Binomial tree rooted at `root`, in rank space rotated so root == 0.
+  const int n = size();
+  const int vrank = (rank() - root + n) % n;
+  const int tag = kCollectiveTagBase + 100;
+  auto real = [&](int v) { return (v + root) % n; };
+
+  // Receive phase: a non-root receives once from its tree parent.
+  int mask = 1;
+  while (mask < n) {
+    if ((vrank & mask) != 0) {
+      recv(data, real(vrank - mask), tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  // Send phase: forward to each child below the bit where we received.
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < n) {
+      send(data, real(vrank + mask), tag);
+    }
+    mask >>= 1;
+  }
+}
+
+void Comm::reduce_sum(std::span<double> data, int root) {
+  // Gather-to-root linear reduction (adequate for the examples/benches).
+  const int n = size();
+  const int me = rank();
+  const int tag = kCollectiveTagBase + 200;
+  if (me == root) {
+    std::vector<double> incoming(data.size());
+    for (int peer = 0; peer < n; ++peer) {
+      if (peer == root) continue;
+      recv(std::as_writable_bytes(std::span(incoming)), peer, tag);
+      for (std::size_t i = 0; i < data.size(); ++i) data[i] += incoming[i];
+    }
+  } else {
+    send(std::as_bytes(data), root, tag);
+  }
+}
+
+void Comm::allreduce_sum(std::span<double> data) {
+  reduce_sum(data, 0);
+  bcast(std::as_writable_bytes(data), 0);
+}
+
+void Comm::gather(std::span<const std::byte> chunk, std::span<std::byte> out,
+                  int root) {
+  const int n = size();
+  const int me = rank();
+  const int tag = kCollectiveTagBase + 300;
+  if (me == root) {
+    MAD2_CHECK(out.size() >= chunk.size() * static_cast<std::size_t>(n),
+               "gather output too small");
+    std::memcpy(out.data() + chunk.size() * static_cast<std::size_t>(me),
+                chunk.data(), chunk.size());
+    for (int peer = 0; peer < n; ++peer) {
+      if (peer == root) continue;
+      recv(out.subspan(chunk.size() * static_cast<std::size_t>(peer),
+                       chunk.size()),
+           peer, tag);
+    }
+  } else {
+    send(chunk, root, tag);
+  }
+}
+
+}  // namespace mad2::mpi

@@ -1,0 +1,90 @@
+// Mini-MPI interface for the Figure 6 experiments (paper Section 5.3.1).
+//
+// Just enough of MPI to run the evaluation and examples: blocking and
+// nonblocking point-to-point with (source, tag) matching incl. wildcards,
+// and the common collectives built on top. Three implementations exist:
+//   - ChMadComm      — MPICH/Madeleine II style, over a mad channel
+//   - ScampiLikeComm — ScaMPI-style baseline, directly on SISCI
+//   - ScimpichLikeComm — SCI-MPICH-style baseline, directly on SISCI
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "sim/sync.hpp"
+
+namespace mad2::mpi {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Completion info for a receive.
+struct RecvStatus {
+  int source = -1;
+  int tag = -1;
+  std::size_t bytes = 0;
+};
+
+/// Handle for a nonblocking operation.
+class Request {
+ public:
+  Request() = default;
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  [[nodiscard]] bool done() const { return state_ && state_->done; }
+  [[nodiscard]] const RecvStatus& status() const { return state_->status; }
+
+  struct State {
+    explicit State(sim::Simulator* simulator) : wq(simulator) {}
+    bool done = false;
+    RecvStatus status;
+    sim::WaitQueue wq;
+  };
+  std::shared_ptr<State> state_;
+};
+
+/// One rank's communicator endpoint. Collectives are implemented in the
+/// base class over the virtual point-to-point operations.
+class Comm {
+ public:
+  virtual ~Comm() = default;
+
+  [[nodiscard]] virtual int rank() const = 0;
+  [[nodiscard]] virtual int size() const = 0;
+  [[nodiscard]] virtual sim::Simulator& simulator() = 0;
+
+  /// Blocking standard-mode send.
+  virtual void send(std::span<const std::byte> data, int dst, int tag) = 0;
+
+  /// Blocking receive with matching; src/tag may be wildcards.
+  virtual RecvStatus recv(std::span<std::byte> out, int src, int tag) = 0;
+
+  /// Block until some message is available, without consuming it; returns
+  /// its envelope (MPI_Probe with wildcards). Needed by layers that demux
+  /// on arrival, e.g. Madeleine's MPI protocol module.
+  virtual RecvStatus probe() = 0;
+
+  /// Nonblocking variants (completed by an internal fiber).
+  Request isend(std::span<const std::byte> data, int dst, int tag);
+  Request irecv(std::span<std::byte> out, int src, int tag);
+  void wait(Request& request);
+
+  /// Combined send+receive (deadlock-free pairwise exchange).
+  RecvStatus sendrecv(std::span<const std::byte> senddata, int dst,
+                      int sendtag, std::span<std::byte> recvdata, int src,
+                      int recvtag);
+
+  // --- collectives (tags >= kCollectiveTagBase are reserved) -------------
+  static constexpr int kCollectiveTagBase = 1 << 20;
+  void barrier();
+  void bcast(std::span<std::byte> data, int root);
+  /// Elementwise double sum into `data` at the root.
+  void reduce_sum(std::span<double> data, int root);
+  void allreduce_sum(std::span<double> data);
+  /// Root gathers size()*chunk bytes; `out` may be empty on non-roots.
+  void gather(std::span<const std::byte> chunk, std::span<std::byte> out,
+              int root);
+};
+
+}  // namespace mad2::mpi

@@ -1,0 +1,31 @@
+// Madeleine II on top of MPI ("Madeleine II has also been ported, quite
+// straightforwardly, on top of MPI" — paper Section 5.3; the conclusion
+// lists "common MPI implementations" among the supported interfaces).
+//
+// One transmission module, purely dynamic: every packed block becomes one
+// MPI message on the channel's tag; begin_unpacking demultiplexes with
+// MPI_Probe. The simplicity is the point — and so is the cost: the MPI
+// layer's own matching and copies sit under every block, which is exactly
+// why the paper built native protocol modules instead.
+//
+// Wire format caveat: the substrate Comm may only guarantee in-order
+// matching (the SCI baselines do), so a custom network using this PMM
+// hosts exactly one Madeleine channel.
+#pragma once
+
+#include <functional>
+
+#include "mad/pmm.hpp"
+#include "mad/session.hpp"
+#include "mpi/comm.hpp"
+
+namespace mad2::mpi {
+
+/// Builds a NetworkDef of kind kCustom whose channels run Madeleine over
+/// the given MPI world. `comm_of` maps a *global node id* to that node's
+/// communicator endpoint; ranks are the node's index in `nodes`.
+mad::NetworkDef make_mad_over_mpi_network(
+    std::string name, std::vector<std::uint32_t> nodes,
+    std::function<Comm&(std::uint32_t node)> comm_of);
+
+}  // namespace mad2::mpi

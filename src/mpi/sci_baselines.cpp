@@ -1,0 +1,219 @@
+#include "mpi/sci_baselines.hpp"
+
+#include <cstring>
+
+#include "util/bytes.hpp"
+
+namespace mad2::mpi {
+
+SciBaselineParams SciBaselineParams::scampi_like() {
+  SciBaselineParams p;
+  p.name = "scampi-like";
+  p.buffer_bytes = 16 * 1024;
+  p.buffers = 2;
+  p.per_message_cost = sim::from_us(0.5);
+  p.per_chunk_cost = sim::from_us(0.5);
+  return p;
+}
+
+SciBaselineParams SciBaselineParams::scimpich_like() {
+  SciBaselineParams p;
+  p.name = "scimpich-like";
+  p.buffer_bytes = 8 * 1024;
+  p.buffers = 1;  // fully serialized chunk pipeline
+  p.per_message_cost = sim::from_us(1.5);
+  p.per_chunk_cost = sim::from_us(1.0);
+  return p;
+}
+
+SciBaselineWorld::SciBaselineWorld(net::SciNetwork& network,
+                                   SciBaselineParams params)
+    : network_(&network), params_(std::move(params)) {
+  const auto n = static_cast<std::uint32_t>(network_->size());
+  for (std::uint32_t src = 0; src < n; ++src) {
+    for (std::uint32_t dst = 0; dst < n; ++dst) {
+      if (src == dst) continue;
+      Pair p;
+      const std::uint64_t ring_bytes =
+          static_cast<std::uint64_t>(params_.buffers) *
+          (kHeaderBytes + params_.buffer_bytes);
+      p.ring = network_->port(dst).create_segment(ring_bytes);
+      p.feedback = network_->port(src).create_segment(4);
+      p.ring_remote = network_->port(src).connect(dst, p.ring);
+      p.feedback_remote = network_->port(dst).connect(src, p.feedback);
+      pairs_.emplace((static_cast<std::uint64_t>(src) << 32) | dst,
+                     std::move(p));
+    }
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    comms_.emplace_back(new SciBaselineComm(this, i));
+  }
+}
+
+SciBaselineWorld::~SciBaselineWorld() = default;
+
+SciBaselineWorld::Pair& SciBaselineWorld::pair(std::uint32_t src,
+                                               std::uint32_t dst) {
+  return pairs_.at((static_cast<std::uint64_t>(src) << 32) | dst);
+}
+
+bool SciBaselineWorld::unit_ready(std::uint32_t src, std::uint32_t dst) {
+  Pair& p = pair(src, dst);
+  auto ring = network_->port(dst).segment_memory(p.ring);
+  const std::uint64_t offset =
+      slot_offset(p.received % params_.buffers);
+  return load_u32(ring.data() + offset) ==
+         static_cast<std::uint32_t>(p.received + 1);
+}
+
+int SciBaselineComm::size() const {
+  return static_cast<int>(world_->network_->size());
+}
+
+sim::Simulator& SciBaselineComm::simulator() {
+  // Every port shares the network's simulator; reach it via the node.
+  return *world_->network_->port(rank_).node().simulator();
+}
+
+void SciBaselineComm::send(std::span<const std::byte> data, int dst,
+                           int tag) {
+  MAD2_CHECK(dst >= 0 && dst < size() && dst != rank(), "invalid dst");
+  const SciBaselineParams& params = world_->params();
+  auto& port = world_->network_->port(rank_);
+  auto& node = port.node();
+  node.charge_cpu(params.per_message_cost);
+
+  SciBaselineWorld::Pair& p =
+      world_->pair(rank_, static_cast<std::uint32_t>(dst));
+  auto feedback = port.segment_memory(p.feedback);
+
+  const std::uint64_t total = data.size();
+  std::uint64_t done = 0;
+  do {
+    const std::uint64_t chunk =
+        std::min<std::uint64_t>(total - done, params.buffer_bytes);
+    node.charge_cpu(params.per_chunk_cost);
+    // Flow control: wait until the target ring slot has been consumed.
+    port.wait_segment(p.feedback, [&] {
+      return p.sent - load_u32(feedback.data()) < params.buffers;
+    });
+    const std::uint64_t offset =
+        world_->slot_offset(p.sent % params.buffers);
+    if (chunk > 0) {
+      // Eager-copy scheme: the sender stages user data into its send
+      // buffer before pushing it through the mapped segment. This copy is
+      // on the CPU's critical path and is what keeps these baselines below
+      // Madeleine's zero-staging dual-buffered pipeline at large sizes.
+      node.charge_memcpy(chunk);
+      port.pio_write(p.ring_remote,
+                     offset + SciBaselineWorld::kHeaderBytes,
+                     data.subspan(done, chunk));
+    }
+    std::byte header[SciBaselineWorld::kHeaderBytes];
+    store_u32(header, static_cast<std::uint32_t>(p.sent + 1));
+    store_u32(header + 4, static_cast<std::uint32_t>(chunk));
+    store_u32(header + 8, static_cast<std::uint32_t>(tag));
+    store_u32(header + 12, static_cast<std::uint32_t>(total));
+    port.pio_write(p.ring_remote, offset, header);
+    ++p.sent;
+    done += chunk;
+  } while (done < total);
+}
+
+RecvStatus SciBaselineComm::probe() {
+  auto& port = world_->network_->port(rank_);
+  std::uint32_t from = 0;
+  port.wait_delivery([&] {
+    for (int candidate = 0; candidate < size(); ++candidate) {
+      if (candidate == rank()) continue;
+      if (world_->unit_ready(static_cast<std::uint32_t>(candidate),
+                             rank_)) {
+        from = static_cast<std::uint32_t>(candidate);
+        return true;
+      }
+    }
+    return false;
+  });
+  SciBaselineWorld::Pair& p = world_->pair(from, rank_);
+  auto ring = port.segment_memory(p.ring);
+  const std::uint64_t offset =
+      world_->slot_offset(p.received % world_->params().buffers);
+  RecvStatus status;
+  status.source = static_cast<int>(from);
+  status.tag =
+      static_cast<std::int32_t>(load_u32(ring.data() + offset + 8));
+  status.bytes = load_u32(ring.data() + offset + 12);
+  return status;
+}
+
+RecvStatus SciBaselineComm::recv(std::span<std::byte> out, int src,
+                                 int tag) {
+  const SciBaselineParams& params = world_->params();
+  auto& port = world_->network_->port(rank_);
+  auto& node = port.node();
+  node.charge_cpu(params.per_message_cost);
+
+  // Resolve a wildcard source by polling every incoming ring.
+  std::uint32_t from = 0;
+  if (src == kAnySource) {
+    port.wait_delivery([&] {
+      for (int candidate = 0; candidate < size(); ++candidate) {
+        if (candidate == rank()) continue;
+        if (world_->unit_ready(static_cast<std::uint32_t>(candidate),
+                               rank_)) {
+          from = static_cast<std::uint32_t>(candidate);
+          return true;
+        }
+      }
+      return false;
+    });
+  } else {
+    MAD2_CHECK(src >= 0 && src < size() && src != rank(), "invalid src");
+    from = static_cast<std::uint32_t>(src);
+  }
+
+  SciBaselineWorld::Pair& p = world_->pair(from, rank_);
+  auto ring = port.segment_memory(p.ring);
+
+  RecvStatus status;
+  status.source = static_cast<int>(from);
+  std::uint64_t total = 0;
+  std::uint64_t done = 0;
+  bool first = true;
+  do {
+    node.charge_cpu(params.per_chunk_cost);
+    const std::uint64_t offset =
+        world_->slot_offset(p.received % params.buffers);
+    port.wait_segment(p.ring, [&] {
+      return load_u32(ring.data() + offset) ==
+             static_cast<std::uint32_t>(p.received + 1);
+    });
+    const std::uint32_t len = load_u32(ring.data() + offset + 4);
+    const auto msg_tag = static_cast<std::int32_t>(
+        load_u32(ring.data() + offset + 8));
+    if (first) {
+      total = load_u32(ring.data() + offset + 12);
+      MAD2_CHECK(tag == kAnyTag || msg_tag == tag,
+                 "baseline MPI: out-of-order tag match (unsupported)");
+      MAD2_CHECK(total <= out.size(), "receive buffer too small");
+      status.tag = msg_tag;
+      status.bytes = total;
+      first = false;
+    }
+    if (len > 0) {
+      node.charge_memcpy(len);
+      std::memcpy(out.data() + done,
+                  ring.data() + offset + SciBaselineWorld::kHeaderBytes,
+                  len);
+    }
+    ++p.received;
+    done += len;
+    // Return the consumed counter (keeps the sender's ring moving).
+    std::byte counter[4];
+    store_u32(counter, static_cast<std::uint32_t>(p.received));
+    port.pio_write(p.feedback_remote, 0, counter);
+  } while (done < total);
+  return status;
+}
+
+}  // namespace mad2::mpi

@@ -1,0 +1,195 @@
+// BIP (Basic Interface for Parallelism) over a simulated Myrinet fabric.
+//
+// Faithful to the semantics the paper relies on (Prylli & Tourancheau,
+// PC-NOW '98):
+//  - short messages (< 1 kB) are buffered into a finite pool of internal
+//    receive buffers; the receiver does not participate. Overflowing the
+//    pool is a protocol error (real BIP: undefined behaviour) — Madeleine's
+//    short TM must implement credit-based flow control on top.
+//  - long messages are delivered directly to their final location with no
+//    intermediate copy, but the receive MUST be posted before data arrives
+//    (real BIP: strict sender/receiver synchronization) — Madeleine's long
+//    TM implements the receiver-acknowledgment rendezvous on top.
+//
+// Calibration (Section 5.2.2): raw one-way latency ~5 us, asymptotic
+// bandwidth ~126 MB/s (LANai 4.3, 32-bit PCI).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "hw/node.hpp"
+#include "net/wire.hpp"
+#include "sim/sync.hpp"
+#include "util/status.hpp"
+
+namespace mad2::net {
+
+struct BipParams {
+  /// Messages up to this size may use the short path (paper: < 1 kB).
+  std::uint32_t short_max_bytes = 1024;
+  /// NIC-level fragmentation of long messages.
+  std::uint32_t long_mtu = 4096;
+  /// Internal short-message buffers per tag; overflow aborts (see above).
+  std::size_t short_host_slots = 64;
+  /// NIC staging depth in packets (overlap host DMA with the wire).
+  std::size_t tx_stage_depth = 4;
+  /// Per-packet header on the wire.
+  std::uint32_t header_bytes = 16;
+  sim::Duration tx_overhead = sim::from_us(1.5);  // host send entry cost
+  sim::Duration rx_overhead = sim::from_us(1.0);  // host recv exit cost
+  /// Fixed cost of the long-message path, each side: buffer pinning, NIC
+  /// rendezvous programming, and the strict sender/receiver
+  /// synchronization BIP requires. This is what makes the paper's
+  /// Madeleine/BIP curve sit at ~250 us for 16 kB (~60 MB/s) while still
+  /// reaching 122 MB/s asymptotically — and what keeps SCI ahead of
+  /// Myrinet below the ~16 kB crossover (Section 6.2.1).
+  sim::Duration long_setup = sim::from_us(55.0);
+  FabricParams fabric;
+
+  /// Myrinet with LANai 4.3 NICs (the paper's testbed).
+  static BipParams myrinet_lanai43();
+};
+
+class BipPort;
+
+/// One Myrinet network instance: a fabric plus one BipPort per node.
+class BipNetwork {
+ public:
+  BipNetwork(sim::Simulator* simulator, std::vector<hw::Node*> nodes,
+             BipParams params);
+  ~BipNetwork();
+
+  [[nodiscard]] std::size_t size() const { return ports_.size(); }
+  [[nodiscard]] BipPort& port(std::uint32_t rank) { return *ports_[rank]; }
+  [[nodiscard]] const BipParams& params() const { return params_; }
+
+ private:
+  friend class BipPort;
+
+  enum class PacketKind : std::uint8_t { kShort, kLongChunk };
+  struct Packet {
+    PacketKind kind;
+    std::uint32_t src;
+    std::uint32_t dst;
+    std::uint32_t tag;
+    std::uint64_t offset;     // long chunks: position in the message
+    std::uint64_t total_len;  // long chunks: full message length
+    std::vector<std::byte> data;
+  };
+
+  sim::Simulator* simulator_;
+  BipParams params_;
+  PacketFabric<Packet> fabric_;
+  std::vector<std::unique_ptr<BipPort>> ports_;
+};
+
+/// A zero-copy view of a received short message, backed by one of BIP's
+/// internal buffers. Must be released to free the buffer slot.
+struct BipShortSlot {
+  std::uint32_t src = 0;
+  std::uint32_t tag = 0;
+  std::span<const std::byte> data;
+  std::uint64_t slot_id = 0;  // opaque, for release
+};
+
+class BipPort {
+ public:
+  [[nodiscard]] std::uint32_t rank() const { return rank_; }
+  [[nodiscard]] hw::Node& node() { return *node_; }
+
+  // --- Short messages -----------------------------------------------------
+  /// Send `data` (<= short_max_bytes) to `dst` on `tag`. Returns when the
+  /// host buffer is reusable. The receiver must have an internal buffer
+  /// available (Madeleine's credit TM guarantees this).
+  void send_short(std::uint32_t dst, std::uint32_t tag,
+                  std::span<const std::byte> data);
+
+  /// Blocking: dequeue the next short message on `tag` (any source),
+  /// zero-copy. Call release_short() when done with the buffer.
+  BipShortSlot recv_short(std::uint32_t tag);
+  void release_short(const BipShortSlot& slot);
+
+  /// Convenience: blocking receive with copy-out. Returns byte count.
+  std::size_t recv_short_copy(std::uint32_t tag, std::span<std::byte> out,
+                              std::uint32_t* src = nullptr);
+
+  /// True if a short message on `tag` is already queued.
+  [[nodiscard]] bool short_pending(std::uint32_t tag) const;
+
+  /// Block until a short message on `tag` is queued; returns the source of
+  /// the head message without consuming it.
+  std::uint32_t wait_short(std::uint32_t tag);
+
+  /// Block until a short message is queued on any of `tags`; returns the
+  /// tag whose queue is non-empty (lowest index wins on ties). Does not
+  /// consume anything.
+  std::uint32_t wait_short_multi(const std::vector<std::uint32_t>& tags);
+
+  // --- Long messages -------------------------------------------------------
+  /// Post a receive: incoming long data from (src, tag) lands directly in
+  /// `out` (zero-copy). Multiple posts on the same (src, tag) queue up.
+  void post_recv_long(std::uint32_t src, std::uint32_t tag,
+                      std::span<std::byte> out);
+
+  /// Block until the oldest incomplete posted receive on (src, tag) that
+  /// was posted before this call has fully arrived.
+  void wait_recv_long(std::uint32_t src, std::uint32_t tag);
+
+  /// Send a long message. The receive MUST already be posted when data
+  /// arrives; a chunk with no posted receive aborts (protocol error).
+  /// Returns when the host buffer is reusable.
+  void send_long(std::uint32_t dst, std::uint32_t tag,
+                 std::span<const std::byte> data);
+
+ private:
+  friend class BipNetwork;
+  using Packet = BipNetwork::Packet;
+
+  BipPort(BipNetwork* network, hw::Node* node, std::uint32_t rank);
+
+  void stage_packet(Packet packet);  // host DMA + hand to the tx fiber
+  void tx_loop();
+  void rx_loop();
+  void handle_short(Packet packet);
+  void handle_long_chunk(Packet packet);
+
+  struct ShortQueueEntry {
+    std::uint32_t src;
+    std::vector<std::byte> data;
+    std::uint64_t slot_id;
+  };
+  struct TagQueue {
+    std::deque<ShortQueueEntry> entries;
+    std::unique_ptr<sim::WaitQueue> arrival;
+  };
+  struct PostedRecv {
+    std::span<std::byte> out;
+    std::uint64_t received = 0;
+    bool complete = false;
+  };
+  struct PostedQueue {
+    std::deque<PostedRecv> posts;
+    std::unique_ptr<sim::WaitQueue> completion;
+  };
+
+  TagQueue& tag_queue(std::uint32_t tag);
+  PostedQueue& posted_queue(std::uint32_t src, std::uint32_t tag);
+
+  BipNetwork* network_;
+  hw::Node* node_;
+  std::uint32_t rank_;
+  std::unique_ptr<sim::BoundedChannel<Packet>> tx_stage_;
+  std::map<std::uint32_t, TagQueue> short_queues_;
+  std::map<std::uint64_t, PostedQueue> posted_;  // key: src << 32 | tag
+  std::map<std::uint64_t, std::vector<std::byte>> checked_out_;
+  std::unique_ptr<sim::WaitQueue> any_short_arrival_;
+  std::size_t short_slots_in_use_ = 0;
+  std::uint64_t next_slot_id_ = 1;
+};
+
+}  // namespace mad2::net

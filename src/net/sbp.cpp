@@ -1,0 +1,140 @@
+#include "net/sbp.hpp"
+
+namespace mad2::net {
+
+SbpParams SbpParams::fast_ethernet() {
+  SbpParams p;
+  p.fabric.name = "sbp";
+  p.fabric.wire_mbs = 12.5;  // 100 Mb/s
+  p.fabric.propagation = sim::from_us(12.0);  // lean kernel interrupt path
+  p.fabric.per_packet = sim::from_us(1.0);
+  p.fabric.wire_chunk_bytes = 1518;
+  p.fabric.rx_slots = 128;
+  return p;
+}
+
+SbpNetwork::SbpNetwork(sim::Simulator* simulator,
+                       std::vector<hw::Node*> nodes, SbpParams params)
+    : simulator_(simulator),
+      params_(std::move(params)),
+      fabric_(simulator, params_.fabric) {
+  for (hw::Node* node : nodes) {
+    const std::uint32_t rank = fabric_.add_port();
+    ports_.emplace_back(new SbpPort(this, node, rank));
+  }
+}
+
+SbpNetwork::~SbpNetwork() = default;
+
+SbpPort::SbpPort(SbpNetwork* network, hw::Node* node, std::uint32_t rank)
+    : network_(network), node_(node), rank_(rank) {
+  const SbpParams& params = network_->params_;
+  tx_buffers_.resize(params.tx_pool);
+  for (std::size_t i = 0; i < params.tx_pool; ++i) {
+    tx_buffers_[i].resize(params.buffer_bytes);
+    tx_free_.push_back(i);
+  }
+  tx_available_ =
+      std::make_unique<sim::Semaphore>(network_->simulator_, params.tx_pool);
+  any_arrival_ = std::make_unique<sim::WaitQueue>(network_->simulator_);
+  network_->simulator_->spawn_daemon(
+      "sbp.rx." + std::to_string(rank), [this] { rx_loop(); });
+}
+
+SbpPort::TagQueue& SbpPort::tag_queue(std::uint32_t tag) {
+  TagQueue& queue = tag_queues_[tag];
+  if (!queue.arrival) {
+    queue.arrival = std::make_unique<sim::WaitQueue>(network_->simulator_);
+  }
+  return queue;
+}
+
+SbpTxBuffer SbpPort::acquire_tx_buffer() {
+  tx_available_->acquire();
+  MAD2_CHECK(!tx_free_.empty(), "SBP tx pool accounting broken");
+  const std::size_t index = tx_free_.back();
+  tx_free_.pop_back();
+  return SbpTxBuffer{std::span<std::byte>(tx_buffers_[index]), index + 1};
+}
+
+void SbpPort::send(std::uint32_t dst, std::uint32_t tag, SbpTxBuffer buffer,
+                   std::size_t used) {
+  MAD2_CHECK(buffer.handle != 0, "send with an unacquired tx buffer");
+  MAD2_CHECK(used <= buffer.memory.size(), "tx buffer overfilled");
+  const SbpParams& params = network_->params_;
+  node_->charge_cpu(params.send_cost);
+
+  Packet packet;
+  packet.src = rank_;
+  packet.dst = dst;
+  packet.tag = tag;
+  packet.data.assign(buffer.memory.begin(), buffer.memory.begin() + used);
+  // The NIC pulls the kernel buffer over the bus, after which it returns
+  // to the pool.
+  node_->pci_bus().transfer(used + params.header_bytes,
+                            node_->params().pci_dma_mbs, hw::TxClass::kDma,
+                            node_->nic_initiator_id(4));
+  network_->fabric_.ship(rank_, dst, std::move(packet),
+                         used + params.header_bytes);
+  tx_free_.push_back(buffer.handle - 1);
+  tx_available_->release();
+}
+
+void SbpPort::rx_loop() {
+  const SbpParams& params = network_->params_;
+  for (;;) {
+    Packet packet = network_->fabric_.receive(rank_);
+    node_->pci_bus().transfer(packet.data.size() + params.header_bytes,
+                              node_->params().pci_dma_mbs, hw::TxClass::kDma,
+                              node_->nic_initiator_id(4));
+    MAD2_CHECK(rx_in_use_ < params.rx_pool,
+               "SBP rx buffer pool overflow: missing flow control "
+               "(Madeleine's SBP TM must run credits on top)");
+    ++rx_in_use_;
+    const std::uint64_t handle = next_handle_++;
+    auto [it, inserted] = rx_parked_.emplace(handle, std::move(packet.data));
+    MAD2_CHECK(inserted, "duplicate SBP rx handle");
+    SbpRxBuffer buffer;
+    buffer.src = packet.src;
+    buffer.tag = packet.tag;
+    buffer.data = std::span<const std::byte>(it->second);
+    buffer.handle = handle;
+    TagQueue& queue = tag_queue(packet.tag);
+    queue.entries.push_back(buffer);
+    queue.arrival->notify_all();
+    any_arrival_->notify_all();
+  }
+}
+
+SbpRxBuffer SbpPort::recv(std::uint32_t tag) {
+  TagQueue& queue = tag_queue(tag);
+  while (queue.entries.empty()) queue.arrival->wait();
+  SbpRxBuffer buffer = queue.entries.front();
+  queue.entries.pop_front();
+  node_->charge_cpu(network_->params_.recv_cost);
+  return buffer;
+}
+
+void SbpPort::release(const SbpRxBuffer& buffer) {
+  const auto erased = rx_parked_.erase(buffer.handle);
+  MAD2_CHECK(erased == 1, "release of unknown SBP rx buffer");
+  MAD2_CHECK(rx_in_use_ > 0, "SBP rx accounting underflow");
+  --rx_in_use_;
+}
+
+bool SbpPort::pending(std::uint32_t tag) const {
+  auto it = tag_queues_.find(tag);
+  return it != tag_queues_.end() && !it->second.entries.empty();
+}
+
+std::uint32_t SbpPort::wait_multi(const std::vector<std::uint32_t>& tags) {
+  MAD2_CHECK(!tags.empty(), "wait_multi with no tags");
+  for (;;) {
+    for (std::uint32_t tag : tags) {
+      if (pending(tag)) return tag;
+    }
+    any_arrival_->wait();
+  }
+}
+
+}  // namespace mad2::net

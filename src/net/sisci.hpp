@@ -1,0 +1,148 @@
+// SISCI over a simulated Dolphin SCI (D310) network.
+//
+// The SISCI programming model the paper's SISCI PMM targets:
+//  - the receiver exports memory *segments*; senders map them and write
+//    remotely with plain CPU stores (PIO). Writes to one remote node are
+//    delivered in order; receivers detect data by polling flag words in
+//    segment memory.
+//  - a DMA engine exists but performs poorly on D310 NICs (paper: could
+//    not exceed 35 MB/s), so Madeleine ships the DMA TM disabled.
+//
+// Cost model: PIO occupies the *sender's* CPU and its PCI bus in the PIO
+// class (~85 MB/s sustained write-combined stores); on the receiving node
+// the SCI NIC masters the writes into host memory (DMA class). This class
+// split is what makes the gateway experiments come out right (Section 6.2.3:
+// Myrinet receive DMA has priority over SCI PIO sends).
+//
+// Calibration (Section 5.2.1): raw one-way PIO latency ~2 us (Madeleine
+// adds ~1.9 us -> 3.9 us), PIO bandwidth ~85 MB/s (Madeleine reaches 82),
+// DMA <= ~38 MB/s engine rate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "hw/node.hpp"
+#include "net/wire.hpp"
+#include "sim/sync.hpp"
+#include "util/status.hpp"
+
+namespace mad2::net {
+
+struct SciParams {
+  sim::Duration pio_setup = sim::from_us(0.2);      // per pio_write call
+  sim::Duration dma_setup = sim::from_us(8.0);      // per dma_write call
+  sim::Duration deliver_cost = sim::from_us(0.15);  // receiver-side visibility
+  double dma_engine_mbs = 38.0;  // D310 DMA engine (paper: poor, <= 35 MB/s)
+  std::uint32_t packet_bytes = 4096;  // pipelining granularity of writes
+  std::uint32_t header_bytes = 8;     // per-packet address/route overhead
+  std::size_t tx_stage_depth = 4;
+  FabricParams fabric;
+
+  static SciParams dolphin_d310();
+};
+
+using SegmentId = std::uint32_t;
+
+/// Handle to a mapped remote segment.
+struct RemoteSegment {
+  std::uint32_t node = 0;
+  SegmentId segment = 0;
+};
+
+class SciPort;
+
+class SciNetwork {
+ public:
+  SciNetwork(sim::Simulator* simulator, std::vector<hw::Node*> nodes,
+             SciParams params);
+  ~SciNetwork();
+
+  [[nodiscard]] std::size_t size() const { return ports_.size(); }
+  [[nodiscard]] SciPort& port(std::uint32_t rank) { return *ports_[rank]; }
+  [[nodiscard]] const SciParams& params() const { return params_; }
+
+ private:
+  friend class SciPort;
+  struct Packet {
+    std::uint32_t src;
+    std::uint32_t dst;
+    SegmentId segment;
+    std::uint64_t offset;
+    std::vector<std::byte> data;
+  };
+
+  sim::Simulator* simulator_;
+  SciParams params_;
+  PacketFabric<Packet> fabric_;
+  std::vector<std::unique_ptr<SciPort>> ports_;
+};
+
+class SciPort {
+ public:
+  [[nodiscard]] std::uint32_t rank() const { return rank_; }
+  [[nodiscard]] hw::Node& node() { return *node_; }
+
+  /// Export a segment of `bytes`, locally backed. Returns its id
+  /// (unique per port).
+  SegmentId create_segment(std::size_t bytes);
+
+  /// Raw access to a local segment's memory (receivers read data and
+  /// flags here; zero-copy).
+  std::span<std::byte> segment_memory(SegmentId segment);
+
+  /// Map a segment exported by `node` for remote writes.
+  RemoteSegment connect(std::uint32_t node, SegmentId segment);
+
+  /// CPU-driven remote write (PIO). Charges the caller for the stores
+  /// (local PCI bus, PIO class); data becomes visible remotely, in order,
+  /// after wire transfer + remote-side delivery. Returns once the local
+  /// write buffer has drained (the caller's data is reusable).
+  void pio_write(const RemoteSegment& dst, std::uint64_t offset,
+                 std::span<const std::byte> data);
+
+  /// DMA-engine remote write. High setup cost and a slow engine — kept
+  /// faithful to the D310 so the "DMA TM disabled by default" story holds.
+  void dma_write(const RemoteSegment& dst, std::uint64_t offset,
+                 std::span<const std::byte> data);
+
+  /// Block until `pred()` holds for this segment. `pred` typically reads
+  /// flag words via segment_memory(); it is re-evaluated after every remote
+  /// write delivered into the segment.
+  void wait_segment(SegmentId segment, const std::function<bool()>& pred);
+
+  /// Block until `pred()` holds; re-evaluated after every remote write
+  /// delivered into *any* segment of this port (channel-level polling
+  /// across per-source rings).
+  void wait_delivery(const std::function<bool()>& pred);
+
+ private:
+  friend class SciNetwork;
+  using Packet = SciNetwork::Packet;
+
+  SciPort(SciNetwork* network, hw::Node* node, std::uint32_t rank);
+
+  void write_common(const RemoteSegment& dst, std::uint64_t offset,
+                    std::span<const std::byte> data, bool dma);
+  void tx_loop();
+  void rx_loop();
+
+  struct Segment {
+    std::vector<std::byte> memory;
+    std::unique_ptr<sim::WaitQueue> waiters;
+  };
+
+  SciNetwork* network_;
+  hw::Node* node_;
+  std::uint32_t rank_;
+  SegmentId next_segment_ = 1;
+  std::map<SegmentId, Segment> segments_;
+  std::unique_ptr<sim::WaitQueue> any_delivery_;
+  std::unique_ptr<sim::BoundedChannel<Packet>> tx_stage_;
+};
+
+}  // namespace mad2::net

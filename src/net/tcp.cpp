@@ -1,0 +1,162 @@
+#include "net/tcp.hpp"
+
+#include <algorithm>
+
+#include "util/status.hpp"
+
+namespace mad2::net {
+
+TcpParams TcpParams::fast_ethernet() {
+  TcpParams p;
+  p.fabric.name = "ethernet";
+  p.fabric.wire_mbs = 12.5;  // 100 Mb/s
+  p.fabric.propagation = sim::from_us(25.0);  // switch + NIC interrupt path
+  p.fabric.per_packet = sim::from_us(2.0);    // driver per-frame cost
+  p.fabric.wire_chunk_bytes = 1518;
+  p.fabric.rx_slots = 256;
+  return p;
+}
+
+TcpNetwork::TcpNetwork(sim::Simulator* simulator,
+                       std::vector<hw::Node*> nodes, TcpParams params)
+    : simulator_(simulator),
+      params_(std::move(params)),
+      fabric_(simulator, params_.fabric) {
+  for (hw::Node* node : nodes) {
+    const std::uint32_t rank = fabric_.add_port();
+    ports_.emplace_back(new TcpPort(this, node, rank));
+  }
+}
+
+TcpNetwork::~TcpNetwork() = default;
+
+// -------------------------------------------------------------- TcpPort ---
+
+TcpPort::TcpPort(TcpNetwork* network, hw::Node* node, std::uint32_t rank)
+    : network_(network), node_(node), rank_(rank) {
+  any_frame_ = std::make_unique<sim::WaitQueue>(network_->simulator_);
+  network_->simulator_->spawn_daemon(
+      "tcp.rx." + std::to_string(rank), [this] { rx_loop(); });
+}
+
+void TcpPort::wait_any(const std::function<bool()>& pred) {
+  while (!pred()) any_frame_->wait();
+}
+
+TcpStream& TcpPort::stream(std::uint32_t peer, std::uint32_t stream_id) {
+  MAD2_CHECK(peer < network_->size(), "stream to unknown peer");
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(peer) << 32) | stream_id;
+  auto it = streams_.find(key);
+  if (it == streams_.end()) {
+    it = streams_
+             .emplace(key, std::unique_ptr<TcpStream>(
+                               new TcpStream(this, peer, stream_id)))
+             .first;
+  }
+  return *it->second;
+}
+
+void TcpPort::rx_loop() {
+  for (;;) {
+    TcpNetwork::Packet packet = network_->fabric_.receive(rank_);
+    // NIC DMA into kernel memory.
+    node_->pci_bus().transfer(
+        packet.data.size() + network_->params_.frame_overhead,
+        node_->params().pci_dma_mbs, hw::TxClass::kDma,
+        node_->nic_initiator_id(2));
+    stream(packet.src, packet.stream).on_frame(std::move(packet.data));
+    any_frame_->notify_all();
+  }
+}
+
+// ------------------------------------------------------------ TcpStream ---
+
+TcpStream::TcpStream(TcpPort* port, std::uint32_t peer,
+                     std::uint32_t stream_id)
+    : port_(port), peer_(peer), stream_id_(stream_id) {
+  sim::Simulator* simulator = port_->network_->simulator_;
+  tx_room_ = std::make_unique<sim::WaitQueue>(simulator);
+  tx_data_ = std::make_unique<sim::WaitQueue>(simulator);
+  rx_data_ = std::make_unique<sim::WaitQueue>(simulator);
+  simulator->spawn_daemon("tcp.stream." + std::to_string(port_->rank_) +
+                              "->" + std::to_string(peer_) + "." +
+                              std::to_string(stream_id_),
+                          [this] { tx_loop(); });
+}
+
+void TcpStream::send(std::span<const std::byte> data) {
+  const TcpParams& params = port_->network_->params_;
+  port_->node_->charge_cpu(params.send_syscall);
+  // Kernel copies user data into the socket buffer (checksum + copy).
+  std::size_t done = 0;
+  while (done < data.size()) {
+    while (tx_buffer_.size() >= params.socket_buffer) tx_room_->wait();
+    const std::size_t room = params.socket_buffer - tx_buffer_.size();
+    const std::size_t chunk = std::min(room, data.size() - done);
+    port_->node_->charge_memcpy(chunk);
+    tx_buffer_.insert(tx_buffer_.end(), data.begin() + done,
+                      data.begin() + done + chunk);
+    done += chunk;
+    tx_data_->notify_all();
+  }
+}
+
+void TcpStream::tx_loop() {
+  const TcpParams& params = port_->network_->params_;
+  for (;;) {
+    while (tx_buffer_.empty()) tx_data_->wait();
+    const std::size_t chunk =
+        std::min<std::size_t>(tx_buffer_.size(), params.mss);
+    TcpNetwork::Packet packet;
+    packet.src = port_->rank_;
+    packet.stream = stream_id_;
+    packet.data.assign(tx_buffer_.begin(), tx_buffer_.begin() + chunk);
+    tx_buffer_.erase(tx_buffer_.begin(), tx_buffer_.begin() + chunk);
+    tx_room_->notify_all();
+    // NIC pulls the frame from kernel memory, then it goes on the wire.
+    port_->node_->pci_bus().transfer(
+        chunk + params.frame_overhead, port_->node_->params().pci_dma_mbs,
+        hw::TxClass::kDma, port_->node_->nic_initiator_id(2));
+    port_->network_->fabric_.ship(port_->rank_, peer_, std::move(packet),
+                                  chunk + params.frame_overhead);
+  }
+}
+
+void TcpStream::on_frame(std::vector<std::byte> data) {
+  rx_buffer_.insert(rx_buffer_.end(), data.begin(), data.end());
+  rx_data_->notify_all();
+}
+
+void TcpStream::recv(std::span<std::byte> out) {
+  const TcpParams& params = port_->network_->params_;
+  port_->node_->charge_cpu(params.recv_syscall);
+  std::size_t done = 0;
+  while (done < out.size()) {
+    while (rx_buffer_.empty()) rx_data_->wait();
+    const std::size_t chunk =
+        std::min(rx_buffer_.size(), out.size() - done);
+    port_->node_->charge_memcpy(chunk);
+    std::copy(rx_buffer_.begin(), rx_buffer_.begin() + chunk,
+              out.begin() + done);
+    rx_buffer_.erase(rx_buffer_.begin(), rx_buffer_.begin() + chunk);
+    done += chunk;
+  }
+}
+
+std::size_t TcpStream::recv_some(std::span<std::byte> out) {
+  const TcpParams& params = port_->network_->params_;
+  port_->node_->charge_cpu(params.recv_syscall);
+  while (rx_buffer_.empty()) rx_data_->wait();
+  const std::size_t chunk = std::min(rx_buffer_.size(), out.size());
+  port_->node_->charge_memcpy(chunk);
+  std::copy(rx_buffer_.begin(), rx_buffer_.begin() + chunk, out.begin());
+  rx_buffer_.erase(rx_buffer_.begin(), rx_buffer_.begin() + chunk);
+  return chunk;
+}
+
+void TcpStream::wait_readable() {
+  while (rx_buffer_.empty()) rx_data_->wait();
+}
+
+}  // namespace mad2::net

@@ -1,0 +1,131 @@
+// TCP over simulated Fast Ethernet (100 Mb/s).
+//
+// The commodity control/fallback network of the paper's clusters: every
+// node pair gets reliable byte streams, with Linux-2.2-era kernel costs
+// (syscall entry, checksum+copy) and MSS framing on a 12.5 MB/s wire.
+// Calibration: raw one-way latency ~75 us, stream bandwidth ~11.5 MB/s.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "hw/node.hpp"
+#include "net/wire.hpp"
+#include "sim/sync.hpp"
+
+namespace mad2::net {
+
+struct TcpParams {
+  sim::Duration send_syscall = sim::from_us(18.0);
+  sim::Duration recv_syscall = sim::from_us(18.0);
+  std::uint32_t mss = 1460;           // TCP payload per Ethernet frame
+  std::uint32_t frame_overhead = 58;  // Ethernet + IP + TCP headers
+  std::size_t socket_buffer = 64 * 1024;
+  FabricParams fabric;
+
+  static TcpParams fast_ethernet();
+};
+
+class TcpPort;
+class TcpStream;
+
+/// One Ethernet segment: a fabric plus one TcpPort per node. Streams
+/// between any node pair are created on demand (the mesh is implicit; no
+/// connection establishment is modeled).
+class TcpNetwork {
+ public:
+  TcpNetwork(sim::Simulator* simulator, std::vector<hw::Node*> nodes,
+             TcpParams params);
+  ~TcpNetwork();
+
+  [[nodiscard]] std::size_t size() const { return ports_.size(); }
+  [[nodiscard]] TcpPort& port(std::uint32_t rank) { return *ports_[rank]; }
+  [[nodiscard]] const TcpParams& params() const { return params_; }
+
+ private:
+  friend class TcpPort;
+  friend class TcpStream;
+  struct Packet {
+    std::uint32_t src;
+    std::uint32_t stream;
+    std::vector<std::byte> data;
+  };
+
+  sim::Simulator* simulator_;
+  TcpParams params_;
+  PacketFabric<Packet> fabric_;
+  std::vector<std::unique_ptr<TcpPort>> ports_;
+};
+
+/// One directed byte stream endpoint pair. Obtained from TcpPort::stream();
+/// `stream_id` lets independent modules multiplex separate connections
+/// between the same node pair (one per Madeleine channel).
+class TcpStream {
+ public:
+  /// Copy `data` into the socket buffer (blocking while full) and return.
+  /// Transmission proceeds asynchronously in order.
+  void send(std::span<const std::byte> data);
+
+  /// Blocking read of exactly `out.size()` bytes.
+  void recv(std::span<std::byte> out);
+
+  /// Blocking read of at least one byte; returns the byte count.
+  std::size_t recv_some(std::span<std::byte> out);
+
+  [[nodiscard]] bool readable() const { return !rx_buffer_.empty(); }
+  void wait_readable();
+
+  [[nodiscard]] std::uint32_t peer() const { return peer_; }
+
+ private:
+  friend class TcpPort;
+  friend class TcpNetwork;
+  TcpStream(TcpPort* port, std::uint32_t peer, std::uint32_t stream_id);
+
+  void tx_loop();
+  void on_frame(std::vector<std::byte> data);
+
+  TcpPort* port_;
+  std::uint32_t peer_;
+  std::uint32_t stream_id_;
+  std::deque<std::byte> tx_buffer_;
+  std::deque<std::byte> rx_buffer_;
+  std::unique_ptr<sim::WaitQueue> tx_room_;
+  std::unique_ptr<sim::WaitQueue> tx_data_;
+  std::unique_ptr<sim::WaitQueue> rx_data_;
+};
+
+class TcpPort {
+ public:
+  [[nodiscard]] std::uint32_t rank() const { return rank_; }
+  [[nodiscard]] hw::Node& node() { return *node_; }
+
+  /// The stream to `peer` with the given id (created on demand; the peer's
+  /// port materializes its own endpoint on first use or first data).
+  TcpStream& stream(std::uint32_t peer, std::uint32_t stream_id = 0);
+
+  /// Block until `pred()` holds; re-evaluated after every frame delivered
+  /// to any stream of this port (a select() across streams).
+  void wait_any(const std::function<bool()>& pred);
+
+ private:
+  friend class TcpNetwork;
+  friend class TcpStream;
+  TcpPort(TcpNetwork* network, hw::Node* node, std::uint32_t rank);
+
+  void rx_loop();
+
+  TcpNetwork* network_;
+  hw::Node* node_;
+  std::uint32_t rank_;
+  // key: peer << 32 | stream_id
+  std::map<std::uint64_t, std::unique_ptr<TcpStream>> streams_;
+  std::unique_ptr<sim::WaitQueue> any_frame_;
+};
+
+}  // namespace mad2::net

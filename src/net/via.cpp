@@ -1,0 +1,178 @@
+#include "net/via.hpp"
+
+#include <algorithm>
+
+#include "util/status.hpp"
+
+namespace mad2::net {
+
+ViaParams ViaParams::generic_nic() {
+  ViaParams p;
+  p.fabric.name = "via";
+  p.fabric.wire_mbs = 140.0;
+  p.fabric.propagation = sim::from_us(0.8);
+  p.fabric.per_packet = sim::from_us(0.5);
+  p.fabric.wire_chunk_bytes = 4096;
+  p.fabric.rx_slots = 128;
+  return p;
+}
+
+ViaNetwork::ViaNetwork(sim::Simulator* simulator,
+                       std::vector<hw::Node*> nodes, ViaParams params)
+    : simulator_(simulator),
+      params_(std::move(params)),
+      fabric_(simulator, params_.fabric) {
+  for (hw::Node* node : nodes) {
+    const std::uint32_t rank = fabric_.add_port();
+    ports_.emplace_back(new ViaPort(this, node, rank));
+  }
+}
+
+ViaNetwork::~ViaNetwork() = default;
+
+ViaPort::ViaPort(ViaNetwork* network, hw::Node* node, std::uint32_t rank)
+    : network_(network), node_(node), rank_(rank) {
+  any_completion_ = std::make_unique<sim::WaitQueue>(network_->simulator_);
+  tx_stage_ = std::make_unique<sim::BoundedChannel<Packet>>(
+      network_->simulator_, network_->params_.tx_stage_depth);
+  network_->simulator_->spawn_daemon(
+      "via.tx." + std::to_string(rank), [this] { tx_loop(); });
+  network_->simulator_->spawn_daemon(
+      "via.rx." + std::to_string(rank), [this] { rx_loop(); });
+}
+
+ViaPort::ViState& ViaPort::vi_state(std::uint32_t peer, std::uint32_t vi) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(peer) << 32) | vi;
+  ViState& state = vis_[key];
+  if (!state.completion) {
+    state.completion =
+        std::make_unique<sim::WaitQueue>(network_->simulator_);
+  }
+  return state;
+}
+
+const ViaPort::ViState* ViaPort::vi_if_exists(std::uint32_t peer,
+                                              std::uint32_t vi) const {
+  const std::uint64_t key = (static_cast<std::uint64_t>(peer) << 32) | vi;
+  auto it = vis_.find(key);
+  return it == vis_.end() ? nullptr : &it->second;
+}
+
+ViaMemoryHandle ViaPort::register_memory(
+    std::span<const std::byte> region) {
+  const ViaParams& params = network_->params_;
+  const std::uint64_t pages =
+      (region.size() + params.page_bytes - 1) / params.page_bytes;
+  node_->charge_cpu(params.register_base +
+                    static_cast<sim::Duration>(pages) *
+                        params.register_per_page);
+  return ViaMemoryHandle{next_handle_++};
+}
+
+void ViaPort::deregister(ViaMemoryHandle handle) {
+  MAD2_CHECK(handle.id != 0 && handle.id < next_handle_,
+             "deregister of unknown handle");
+  node_->charge_cpu(network_->params_.register_base / 2);
+}
+
+void ViaPort::post_recv(std::uint32_t peer, std::span<std::byte> buffer,
+                        std::uint32_t vi) {
+  vi_state(peer, vi).posted.push_back(Descriptor{buffer, 0, false, 0});
+}
+
+void ViaPort::send(std::uint32_t peer, std::span<const std::byte> data,
+                   std::uint32_t vi) {
+  const ViaParams& params = network_->params_;
+  node_->charge_cpu(params.doorbell);
+  const std::uint64_t total = data.size();
+  std::uint64_t offset = 0;
+  do {
+    const std::uint64_t chunk =
+        std::min<std::uint64_t>(total - offset, params.mtu);
+    // NIC pulls descriptor data from registered host memory.
+    node_->pci_bus().transfer(chunk + params.header_bytes,
+                              node_->params().pci_dma_mbs, hw::TxClass::kDma,
+                              node_->nic_initiator_id(3));
+    Packet packet;
+    packet.src = rank_;
+    packet.dst = peer;
+    packet.vi = vi;
+    packet.offset = offset;
+    packet.total_len = total;
+    packet.data.assign(data.begin() + offset, data.begin() + offset + chunk);
+    tx_stage_->send(std::move(packet));
+    offset += chunk;
+  } while (offset < total);
+}
+
+void ViaPort::tx_loop() {
+  for (;;) {
+    auto packet = tx_stage_->receive();
+    if (!packet.has_value()) return;
+    const std::uint32_t dst = packet->dst;
+    const std::uint64_t wire_bytes =
+        packet->data.size() + network_->params_.header_bytes;
+    network_->fabric_.ship(rank_, dst, std::move(*packet), wire_bytes);
+  }
+}
+
+void ViaPort::rx_loop() {
+  for (;;) {
+    Packet packet = network_->fabric_.receive(rank_);
+    node_->pci_bus().transfer(
+        packet.data.size() + network_->params_.header_bytes,
+        node_->params().pci_dma_mbs, hw::TxClass::kDma,
+        node_->nic_initiator_id(3));
+    ViState& state = vi_state(packet.src, packet.vi);
+    Descriptor* descriptor = nullptr;
+    for (Descriptor& candidate : state.posted) {
+      if (!candidate.complete) {
+        descriptor = &candidate;
+        break;
+      }
+    }
+    MAD2_CHECK(descriptor != nullptr,
+               "VIA send with no posted receive descriptor: the VI is "
+               "broken (Madeleine's VIA TM must pre-post or rendezvous)");
+    MAD2_CHECK(
+        descriptor->buffer.size() >= packet.offset + packet.data.size(),
+        "VIA send overflows the posted receive descriptor");
+    std::copy(packet.data.begin(), packet.data.end(),
+              descriptor->buffer.begin() + packet.offset);
+    descriptor->received += packet.data.size();
+    if (descriptor->received >= packet.total_len) {
+      descriptor->complete = true;
+      descriptor->bytes = packet.total_len;
+      state.completion->notify_all();
+      any_completion_->notify_all();
+    }
+  }
+}
+
+ViaRecvCompletion ViaPort::wait_recv(std::uint32_t peer, std::uint32_t vi) {
+  ViState& state = vi_state(peer, vi);
+  MAD2_CHECK(!state.posted.empty(), "wait_recv with nothing posted");
+  while (!state.posted.front().complete) state.completion->wait();
+  Descriptor descriptor = state.posted.front();
+  state.posted.pop_front();
+  node_->charge_cpu(network_->params_.completion);
+  return ViaRecvCompletion{descriptor.buffer, descriptor.bytes};
+}
+
+bool ViaPort::recv_ready(std::uint32_t peer, std::uint32_t vi) const {
+  const ViState* state = vi_if_exists(peer, vi);
+  return state != nullptr && !state->posted.empty() &&
+         state->posted.front().complete;
+}
+
+std::size_t ViaPort::posted_count(std::uint32_t peer,
+                                  std::uint32_t vi) const {
+  const ViState* state = vi_if_exists(peer, vi);
+  return state == nullptr ? 0 : state->posted.size();
+}
+
+void ViaPort::wait_any(const std::function<bool()>& pred) {
+  while (!pred()) any_completion_->wait();
+}
+
+}  // namespace mad2::net

@@ -1,0 +1,124 @@
+// Generic packet transport shared by the protocol drivers.
+//
+// A PacketFabric models one physical network: per-port transmit links
+// (sender-side serialization), bounded receiver NIC buffering (back-pressure
+// all the way to the sender), and fixed propagation delay. The protocol
+// drivers (BIP, SISCI, TCP, VIA) layer their own semantics — tags, segments,
+// streams, descriptors — on top.
+//
+// Ordering: packets shipped by a single fiber from a given port arrive at
+// any given destination in ship() order. Drivers that need total per-pair
+// order across application fibers must funnel sends through one tx fiber
+// (the BIP driver does).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hw/resource.hpp"
+#include "sim/sync.hpp"
+
+namespace mad2::net {
+
+struct FabricParams {
+  std::string name = "net";
+  /// Link serialization bandwidth per port (decimal MB/s).
+  double wire_mbs = 160.0;
+  /// Propagation + switching delay per packet.
+  sim::Duration propagation = sim::nanoseconds(500);
+  /// Firmware cost charged to the shipping fiber per packet.
+  sim::Duration per_packet = 0;
+  /// Wire arbitration granularity.
+  std::uint32_t wire_chunk_bytes = 4096;
+  /// Receiver NIC buffering, in packets. ship() blocks when the
+  /// destination NIC is full (back-pressure).
+  std::size_t rx_slots = 64;
+};
+
+template <typename P>
+class PacketFabric {
+ public:
+  PacketFabric(sim::Simulator* simulator, FabricParams params)
+      : simulator_(simulator), params_(std::move(params)) {}
+
+  /// Add a port; ports are numbered 0, 1, ... in creation order.
+  std::uint32_t add_port() {
+    auto port = std::make_unique<Port>();
+    port->tx = std::make_unique<hw::ChunkedResource>(
+        simulator_, hw::ChunkedResource::Params{
+                        params_.name + ".wire", params_.wire_chunk_bytes,
+                        /*per_chunk_overhead=*/0, /*turnaround=*/0,
+                        /*strict_priority=*/false});
+    port->slots =
+        std::make_unique<sim::Semaphore>(simulator_, params_.rx_slots);
+    port->arrival = std::make_unique<sim::WaitQueue>(simulator_);
+    ports_.push_back(std::move(port));
+    return static_cast<std::uint32_t>(ports_.size() - 1);
+  }
+
+  [[nodiscard]] std::size_t port_count() const { return ports_.size(); }
+  [[nodiscard]] const FabricParams& params() const { return params_; }
+
+  /// Move a packet from `src` to `dst`, charging the calling fiber for the
+  /// firmware cost and wire serialization of `wire_bytes`. Blocks while the
+  /// destination NIC has no free packet slot.
+  void ship(std::uint32_t src, std::uint32_t dst, P packet,
+            std::uint64_t wire_bytes) {
+    MAD2_CHECK(src < ports_.size() && dst < ports_.size(),
+               "ship() with invalid port");
+    Port& to = *ports_[dst];
+    to.slots->acquire();
+    if (params_.per_packet > 0) simulator_->advance(params_.per_packet);
+    ports_[src]->tx->transfer(wire_bytes, params_.wire_mbs, hw::TxClass::kDma,
+                              src);
+    // Deliver after the propagation delay. The shared_ptr carries the
+    // payload through the std::function (which must be copyable).
+    auto slot = std::make_shared<P>(std::move(packet));
+    simulator_->post_after(params_.propagation, [this, dst, slot] {
+      Port& port = *ports_[dst];
+      port.rx.push_back(std::move(*slot));
+      port.arrival->notify_one();
+    });
+  }
+
+  /// Blocking receive of the next packet addressed to `port`.
+  P receive(std::uint32_t port) {
+    Port& p = *ports_[port];
+    while (p.rx.empty()) p.arrival->wait();
+    P packet = std::move(p.rx.front());
+    p.rx.pop_front();
+    p.slots->release();
+    return packet;
+  }
+
+  std::optional<P> try_receive(std::uint32_t port) {
+    Port& p = *ports_[port];
+    if (p.rx.empty()) return std::nullopt;
+    P packet = std::move(p.rx.front());
+    p.rx.pop_front();
+    p.slots->release();
+    return packet;
+  }
+
+  [[nodiscard]] bool pending(std::uint32_t port) const {
+    return !ports_[port]->rx.empty();
+  }
+
+ private:
+  struct Port {
+    std::unique_ptr<hw::ChunkedResource> tx;
+    std::unique_ptr<sim::Semaphore> slots;
+    std::deque<P> rx;
+    std::unique_ptr<sim::WaitQueue> arrival;
+  };
+
+  sim::Simulator* simulator_;
+  FabricParams params_;
+  std::vector<std::unique_ptr<Port>> ports_;
+};
+
+}  // namespace mad2::net

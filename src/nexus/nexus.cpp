@@ -1,0 +1,90 @@
+#include "nexus/nexus.hpp"
+
+namespace mad2::nexus {
+
+NexusWorld::NexusWorld(mad::Session& session, std::string channel_name,
+                       NexusCosts costs)
+    : session_(&session),
+      channel_name_(std::move(channel_name)),
+      costs_(costs) {
+  for (std::uint32_t node : session_->channel(channel_name_).nodes()) {
+    contexts_.emplace(node,
+                      std::unique_ptr<Context>(new Context(this, node)));
+  }
+}
+
+NexusWorld::~NexusWorld() = default;
+
+Context& NexusWorld::context(std::uint32_t node) {
+  auto it = contexts_.find(node);
+  MAD2_CHECK(it != contexts_.end(), "node is not part of this Nexus world");
+  return *it->second;
+}
+
+Context::Context(NexusWorld* world, std::uint32_t node)
+    : world_(world), node_(node) {
+  world_->session().simulator().spawn_daemon(
+      "nexus.dispatch." + std::to_string(node), [this] { dispatch_loop(); });
+}
+
+void Context::register_handler(HandlerId id, Handler handler) {
+  const bool inserted =
+      handlers_.emplace(id, Registration{std::move(handler), false}).second;
+  MAD2_CHECK(inserted, "handler id registered twice");
+}
+
+void Context::register_threaded_handler(HandlerId id, Handler handler) {
+  const bool inserted =
+      handlers_.emplace(id, Registration{std::move(handler), true}).second;
+  MAD2_CHECK(inserted, "handler id registered twice");
+}
+
+void Context::rsr(std::uint32_t dst, HandlerId id,
+                  std::span<const std::byte> payload) {
+  auto& node = world_->session().node(node_);
+  node.charge_cpu(world_->costs().send);
+  mad::ChannelEndpoint& ep =
+      world_->session().endpoint(world_->channel_name(), node_);
+  mad::Connection& conn = ep.begin_packing(dst);
+  const RsrHeader header{id, static_cast<std::uint32_t>(payload.size())};
+  mad::mad_pack_value(conn, header, mad::send_CHEAPER, mad::receive_EXPRESS);
+  conn.pack(payload, mad::send_CHEAPER, mad::receive_CHEAPER);
+  conn.end_packing();
+}
+
+void Context::dispatch_loop() {
+  mad::ChannelEndpoint& ep =
+      world_->session().endpoint(world_->channel_name(), node_);
+  auto& node = world_->session().node(node_);
+  std::vector<std::byte> payload;
+  for (;;) {
+    mad::Connection& conn = ep.begin_unpacking();
+    RsrHeader header{};
+    mad::mad_unpack_value(conn, header, mad::send_CHEAPER,
+                          mad::receive_EXPRESS);
+    payload.resize(header.size);
+    conn.unpack(payload, mad::send_CHEAPER, mad::receive_CHEAPER);
+    conn.end_unpacking();
+
+    node.charge_cpu(world_->costs().dispatch);
+    auto it = handlers_.find(header.handler);
+    MAD2_CHECK(it != handlers_.end(), "RSR for unregistered handler");
+    if (it->second.threaded) {
+      // Handler thread: own fiber, own payload copy; the dispatcher moves
+      // straight on to the next RSR.
+      const std::uint32_t src = conn.remote();
+      Handler& handler = it->second.handler;
+      world_->session().simulator().spawn(
+          "nexus.handler." + std::to_string(node_),
+          [src, &handler, data = payload] {
+            ReadBuffer reader(data);
+            handler(src, reader);
+          });
+    } else {
+      ReadBuffer reader(payload);
+      it->second.handler(conn.remote(), reader);
+    }
+  }
+}
+
+}  // namespace mad2::nexus

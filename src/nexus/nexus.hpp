@@ -1,0 +1,153 @@
+// Mini-Nexus over Madeleine II (paper Section 5.3.2).
+//
+// Nexus's communication primitive is the remote service request (RSR): a
+// buffer is constructed at a startpoint, shipped to a context (endpoint),
+// and a registered handler runs there with the buffer as argument. Here
+// Madeleine is "seen as one protocol by Nexus": an RSR becomes one
+// Madeleine message — {handler id, size} packed receive_EXPRESS, payload
+// receive_CHEAPER — and a per-node dispatcher fiber runs the handlers.
+//
+// Nexus's heavier machinery (global pointer tables, thread dispatch,
+// protocol negotiation) is modeled as fixed CPU costs on both sides; this
+// is what puts Nexus/Madeleine at ~20 us on SCI where raw Madeleine takes
+// 3.9 us (Figure 7).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "mad/madeleine.hpp"
+
+namespace mad2::nexus {
+
+using HandlerId = std::uint32_t;
+
+/// Typed writer for RSR payloads (the nexus_put_* family).
+class WriteBuffer {
+ public:
+  template <typename T>
+  void put(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* bytes = reinterpret_cast<const std::byte*>(&value);
+    data_.insert(data_.end(), bytes, bytes + sizeof(T));
+  }
+  void put_bytes(std::span<const std::byte> bytes) {
+    data_.insert(data_.end(), bytes.begin(), bytes.end());
+  }
+  [[nodiscard]] std::span<const std::byte> bytes() const { return data_; }
+
+ private:
+  std::vector<std::byte> data_;
+};
+
+/// Typed reader for RSR payloads (the nexus_get_* family).
+class ReadBuffer {
+ public:
+  explicit ReadBuffer(std::span<const std::byte> data) : data_(data) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value;
+    MAD2_CHECK(offset_ + sizeof(T) <= data_.size(), "RSR buffer underrun");
+    std::memcpy(&value, data_.data() + offset_, sizeof(T));
+    offset_ += sizeof(T);
+    return value;
+  }
+  std::span<const std::byte> get_bytes(std::size_t n) {
+    MAD2_CHECK(offset_ + n <= data_.size(), "RSR buffer underrun");
+    auto result = data_.subspan(offset_, n);
+    offset_ += n;
+    return result;
+  }
+  [[nodiscard]] std::size_t remaining() const {
+    return data_.size() - offset_;
+  }
+
+ private:
+  std::span<const std::byte> data_;
+  std::size_t offset_ = 0;
+};
+
+struct NexusCosts {
+  /// Startpoint-side RSR issue cost (buffer mgmt, protocol selection).
+  sim::Duration send = sim::from_us(5.0);
+  /// Context-side dispatch cost (table lookup, handler thread hand-off).
+  sim::Duration dispatch = sim::from_us(8.0);
+};
+
+class NexusWorld;
+
+/// One node's Nexus context: handler table + dispatcher.
+class Context {
+ public:
+  /// Handler signature: (source node, payload reader).
+  using Handler = std::function<void(std::uint32_t, ReadBuffer&)>;
+
+  /// Register a *non-threaded* handler (Nexus terminology): it runs on
+  /// the dispatcher and must not block for long, or it delays later RSRs.
+  void register_handler(HandlerId id, Handler handler);
+
+  /// Register a *threaded* handler: every invocation runs in a fresh
+  /// fiber with its own copy of the payload, so it may block (issue RSRs
+  /// and wait, sleep, compute) without stalling the dispatcher — Nexus's
+  /// handler-thread model.
+  void register_threaded_handler(HandlerId id, Handler handler);
+
+  /// Issue an RSR: run handler `id` on node `dst` with `payload`.
+  void rsr(std::uint32_t dst, HandlerId id,
+           std::span<const std::byte> payload);
+  void rsr(std::uint32_t dst, HandlerId id, const WriteBuffer& buffer) {
+    rsr(dst, id, buffer.bytes());
+  }
+
+  [[nodiscard]] std::uint32_t node() const { return node_; }
+  [[nodiscard]] NexusWorld& world() { return *world_; }
+
+ private:
+  friend class NexusWorld;
+  Context(NexusWorld* world, std::uint32_t node);
+
+  void dispatch_loop();
+
+  struct RsrHeader {
+    HandlerId handler;
+    std::uint32_t size;
+  };
+
+  NexusWorld* world_;
+  std::uint32_t node_;
+  struct Registration {
+    Handler handler;
+    bool threaded = false;
+  };
+  std::map<HandlerId, Registration> handlers_;
+};
+
+/// The Nexus instance over one Madeleine channel.
+class NexusWorld {
+ public:
+  NexusWorld(mad::Session& session, std::string channel_name,
+             NexusCosts costs = NexusCosts{});
+  ~NexusWorld();
+
+  [[nodiscard]] Context& context(std::uint32_t node);
+  [[nodiscard]] mad::Session& session() { return *session_; }
+  [[nodiscard]] const std::string& channel_name() const {
+    return channel_name_;
+  }
+  [[nodiscard]] const NexusCosts& costs() const { return costs_; }
+
+ private:
+  mad::Session* session_;
+  std::string channel_name_;
+  NexusCosts costs_;
+  std::map<std::uint32_t, std::unique_ptr<Context>> contexts_;
+};
+
+}  // namespace mad2::nexus

@@ -1,0 +1,136 @@
+#include "pm2/pm2.hpp"
+
+namespace mad2::pm2 {
+
+Pm2World::Pm2World(mad::Session& session, std::string channel_name)
+    : session_(&session), channel_name_(std::move(channel_name)) {
+  for (std::uint32_t node : session_->channel(channel_name_).nodes()) {
+    nodes_.emplace(node, std::unique_ptr<Pm2Node>(new Pm2Node(this, node)));
+  }
+}
+
+Pm2World::~Pm2World() = default;
+
+Pm2Node& Pm2World::node(std::uint32_t id) {
+  auto it = nodes_.find(id);
+  MAD2_CHECK(it != nodes_.end(), "node is not part of this PM2 world");
+  return *it->second;
+}
+
+Pm2Node::Pm2Node(Pm2World* world, std::uint32_t node)
+    : world_(world), node_(node) {
+  world_->session().simulator().spawn_daemon(
+      "pm2.dispatch." + std::to_string(node), [this] { dispatch_loop(); });
+}
+
+void Pm2Node::register_service(ServiceId id, Service service) {
+  const bool inserted = services_.emplace(id, std::move(service)).second;
+  MAD2_CHECK(inserted, "service id registered twice");
+}
+
+void Pm2Node::send_message(std::uint32_t dst, const Header& header,
+                           std::span<const std::byte> payload) {
+  mad::ChannelEndpoint& ep =
+      world_->session().endpoint(world_->channel_name(), node_);
+  mad::Connection& conn = ep.begin_packing(dst);
+  mad::mad_pack_value(conn, header, mad::send_CHEAPER, mad::receive_EXPRESS);
+  conn.pack(payload, mad::send_CHEAPER, mad::receive_CHEAPER);
+  conn.end_packing();
+}
+
+RpcFuture Pm2Node::async_rpc(std::uint32_t dst, ServiceId service,
+                             std::span<const std::byte> argument) {
+  auto& node = world_->session().node(node_);
+  node.charge_cpu(world_->per_call_cost);
+
+  RpcFuture future;
+  future.state_ =
+      std::make_shared<RpcFuture::State>(&world_->session().simulator());
+  const std::uint64_t call_id = next_call_id_++;
+  pending_.emplace(call_id, future.state_);
+
+  const Header header{Kind::kRequest, service, call_id,
+                      static_cast<std::uint32_t>(argument.size())};
+  send_message(dst, header, argument);
+  return future;
+}
+
+std::vector<std::byte> Pm2Node::wait(RpcFuture& future) {
+  MAD2_CHECK(future.valid(), "wait on an empty RPC future");
+  while (!future.state_->done) future.state_->wq.wait();
+  return std::move(future.state_->result);
+}
+
+std::vector<std::byte> Pm2Node::rpc(std::uint32_t dst, ServiceId service,
+                                    std::span<const std::byte> argument) {
+  RpcFuture future = async_rpc(dst, service, argument);
+  return wait(future);
+}
+
+void Pm2Node::quick_rpc(std::uint32_t dst, ServiceId service,
+                        std::span<const std::byte> argument) {
+  auto& node = world_->session().node(node_);
+  node.charge_cpu(world_->per_call_cost);
+  const Header header{Kind::kOneway, service, 0,
+                      static_cast<std::uint32_t>(argument.size())};
+  send_message(dst, header, argument);
+}
+
+void Pm2Node::run_service(std::uint32_t src, ServiceId service,
+                          std::uint64_t call_id,
+                          std::vector<std::byte> argument,
+                          bool wants_reply) {
+  auto it = services_.find(service);
+  MAD2_CHECK(it != services_.end(), "RPC to unregistered service");
+  std::vector<std::byte> reply = it->second(src, argument);
+  if (wants_reply) {
+    const Header header{Kind::kReply, 0, call_id,
+                        static_cast<std::uint32_t>(reply.size())};
+    send_message(src, header, reply);
+  }
+}
+
+void Pm2Node::dispatch_loop() {
+  mad::ChannelEndpoint& ep =
+      world_->session().endpoint(world_->channel_name(), node_);
+  auto& node = world_->session().node(node_);
+  for (;;) {
+    mad::Connection& conn = ep.begin_unpacking();
+    Header header{};
+    mad::mad_unpack_value(conn, header, mad::send_CHEAPER,
+                          mad::receive_EXPRESS);
+    std::vector<std::byte> payload(header.size);
+    conn.unpack(payload, mad::send_CHEAPER, mad::receive_CHEAPER);
+    const std::uint32_t src = conn.remote();
+    conn.end_unpacking();
+    node.charge_cpu(world_->per_call_cost);
+
+    switch (header.kind) {
+      case Kind::kRequest:
+      case Kind::kOneway: {
+        // Thread-per-request: the service runs in its own fiber so it may
+        // block or issue nested RPCs without stalling this dispatcher.
+        const bool wants_reply = header.kind == Kind::kRequest;
+        world_->session().simulator().spawn(
+            "pm2.service." + std::to_string(node_),
+            [this, src, header, wants_reply,
+             argument = std::move(payload)]() mutable {
+              run_service(src, header.service, header.call_id,
+                          std::move(argument), wants_reply);
+            });
+        break;
+      }
+      case Kind::kReply: {
+        auto it = pending_.find(header.call_id);
+        MAD2_CHECK(it != pending_.end(), "reply for unknown call id");
+        it->second->result = std::move(payload);
+        it->second->done = true;
+        it->second->wq.notify_all();
+        pending_.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace mad2::pm2

@@ -1,0 +1,125 @@
+// Mini-PM2: the RPC-based multithreaded runtime Madeleine II was designed
+// for (paper Section 1: "environments providing an RPC-based programming
+// model such as Nexus or PM2"; reference [10]).
+//
+// The model: nodes register *services*; any node issues LRPCs (lightweight
+// remote procedure calls) against them. Each incoming request runs in its
+// own fiber (PM2's thread-per-request model), so services may block, issue
+// nested RPCs, or compute at length without stalling the node. Three call
+// flavours:
+//   rpc        — synchronous: blocks until the reply payload arrives
+//   async_rpc  — returns a future; wait()/get() later
+//   quick_rpc  — one-way, no reply (PM2's QUICK_ASYNC class)
+//
+// Wire format per call over the Madeleine channel: a header packed
+// receive_EXPRESS ({kind, service, call id, size} — the dispatcher needs
+// it to route), then the payload receive_CHEAPER. The paper's Section 2.2
+// RPC example is exactly this shape.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "mad/madeleine.hpp"
+
+namespace mad2::pm2 {
+
+using ServiceId = std::uint32_t;
+
+/// Completion handle for async_rpc.
+class RpcFuture {
+ public:
+  RpcFuture() = default;
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  [[nodiscard]] bool done() const { return state_ && state_->done; }
+
+  struct State {
+    explicit State(sim::Simulator* simulator) : wq(simulator) {}
+    bool done = false;
+    std::vector<std::byte> result;
+    sim::WaitQueue wq;
+  };
+  std::shared_ptr<State> state_;
+};
+
+class Pm2World;
+
+/// One node's PM2 runtime.
+class Pm2Node {
+ public:
+  /// A service: (caller node, request bytes) -> reply bytes. Runs in its
+  /// own fiber per invocation.
+  using Service = std::function<std::vector<std::byte>(
+      std::uint32_t, std::span<const std::byte>)>;
+
+  void register_service(ServiceId id, Service service);
+
+  /// Synchronous call: returns the reply payload.
+  std::vector<std::byte> rpc(std::uint32_t dst, ServiceId service,
+                             std::span<const std::byte> argument);
+
+  /// Asynchronous call: returns immediately with a future.
+  RpcFuture async_rpc(std::uint32_t dst, ServiceId service,
+                      std::span<const std::byte> argument);
+
+  /// Block until `future` completes; returns the reply payload.
+  std::vector<std::byte> wait(RpcFuture& future);
+
+  /// One-way call: the service runs remotely, no reply is produced.
+  void quick_rpc(std::uint32_t dst, ServiceId service,
+                 std::span<const std::byte> argument);
+
+  [[nodiscard]] std::uint32_t node() const { return node_; }
+
+ private:
+  friend class Pm2World;
+  Pm2Node(Pm2World* world, std::uint32_t node);
+
+  enum class Kind : std::uint32_t { kRequest = 1, kReply = 2, kOneway = 3 };
+  struct Header {
+    Kind kind;
+    ServiceId service;  // or 0 for replies
+    std::uint64_t call_id;
+    std::uint32_t size;
+  };
+
+  void send_message(std::uint32_t dst, const Header& header,
+                    std::span<const std::byte> payload);
+  void dispatch_loop();
+  void run_service(std::uint32_t src, ServiceId service,
+                   std::uint64_t call_id, std::vector<std::byte> argument,
+                   bool wants_reply);
+
+  Pm2World* world_;
+  std::uint32_t node_;
+  std::map<ServiceId, Service> services_;
+  std::uint64_t next_call_id_ = 1;
+  std::map<std::uint64_t, std::shared_ptr<RpcFuture::State>> pending_;
+};
+
+/// The runtime over one dedicated Madeleine channel.
+class Pm2World {
+ public:
+  Pm2World(mad::Session& session, std::string channel_name);
+  ~Pm2World();
+
+  [[nodiscard]] Pm2Node& node(std::uint32_t id);
+  [[nodiscard]] mad::Session& session() { return *session_; }
+  [[nodiscard]] const std::string& channel_name() const {
+    return channel_name_;
+  }
+
+  /// Per-call software cost of the runtime (marshalling, thread start).
+  sim::Duration per_call_cost = sim::from_us(1.5);
+
+ private:
+  mad::Session* session_;
+  std::string channel_name_;
+  std::map<std::uint32_t, std::unique_ptr<Pm2Node>> nodes_;
+};
+
+}  // namespace mad2::pm2

@@ -1,0 +1,187 @@
+#include "sim/simulator.hpp"
+
+#include <string>
+
+#include "util/log.hpp"
+
+namespace mad2::sim {
+
+// ---------------------------------------------------------------- Fiber ---
+
+Fiber::Fiber(Simulator* simulator, std::uint64_t id, std::string name,
+             std::function<void()> body, bool daemon, std::size_t stack_bytes)
+    : simulator_(simulator),
+      id_(id),
+      name_(std::move(name)),
+      body_(std::move(body)),
+      daemon_(daemon),
+      stack_(stack_bytes) {
+  MAD2_CHECK(getcontext(&context_) == 0, "getcontext failed");
+  context_.uc_stack.ss_sp = stack_.data();
+  context_.uc_stack.ss_size = stack_.size();
+  context_.uc_link = nullptr;  // fibers never fall off the trampoline
+  const auto self = reinterpret_cast<std::uintptr_t>(this);
+  makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+              static_cast<unsigned>(self >> 32),
+              static_cast<unsigned>(self & 0xffffffffu));
+}
+
+Fiber::~Fiber() = default;
+
+void Fiber::trampoline(unsigned hi, unsigned lo) {
+  const std::uintptr_t self = (static_cast<std::uintptr_t>(hi) << 32) |
+                              static_cast<std::uintptr_t>(lo);
+  reinterpret_cast<Fiber*>(self)->run_body();
+}
+
+void Fiber::run_body() {
+  body_();
+  state_ = State::kDone;
+  // Hand control back to the scheduler; a kDone fiber is never resumed, so
+  // this switch never returns.
+  swapcontext(&context_, &simulator_->scheduler_context_);
+  MAD2_CHECK(false, "resumed a finished fiber");
+}
+
+// ------------------------------------------------------------ Simulator ---
+
+Simulator::Simulator(Options options) : options_(options) {}
+
+Simulator::~Simulator() {
+  // Unfinished fibers are discarded without stack unwinding: objects on
+  // their stacks are not destroyed. Sessions are expected to drain via
+  // run(); this is only a backstop for failed tests.
+  if (live_fiber_count() != 0) {
+    MAD2_DEBUG("simulator destroyed with %zu live fibers",
+               live_fiber_count());
+  }
+}
+
+Fiber* Simulator::spawn(std::string name, std::function<void()> body) {
+  auto fiber = std::unique_ptr<Fiber>(
+      new Fiber(this, next_fiber_id_++, std::move(name), std::move(body),
+                /*daemon=*/false, options_.default_stack_bytes));
+  Fiber* raw = fiber.get();
+  fibers_.push_back(std::move(fiber));
+  schedule_fiber(raw, now_);
+  return raw;
+}
+
+Fiber* Simulator::spawn_daemon(std::string name, std::function<void()> body) {
+  auto fiber = std::unique_ptr<Fiber>(
+      new Fiber(this, next_fiber_id_++, std::move(name), std::move(body),
+                /*daemon=*/true, options_.default_stack_bytes));
+  Fiber* raw = fiber.get();
+  fibers_.push_back(std::move(fiber));
+  schedule_fiber(raw, now_);
+  return raw;
+}
+
+std::size_t Simulator::live_fiber_count() const {
+  std::size_t n = 0;
+  for (const auto& fiber : fibers_) {
+    if (fiber->state() != Fiber::State::kDone) ++n;
+  }
+  return n;
+}
+
+void Simulator::post_at(Time t, std::function<void()> fn) {
+  MAD2_CHECK(t >= now_, "cannot post events in the past");
+  events_.push(Event{t, next_sequence_++, nullptr, 0, std::move(fn)});
+}
+
+void Simulator::schedule_fiber(Fiber* fiber, Time t) {
+  events_.push(Event{t, next_sequence_++, fiber, fiber->wake_generation_,
+                     nullptr});
+}
+
+Status Simulator::run() {
+  MAD2_CHECK(!running_, "Simulator::run() is not reentrant");
+  MAD2_CHECK(current_ == nullptr, "run() called from inside a fiber");
+  running_ = true;
+  stop_requested_ = false;
+
+  while (!events_.empty() && !stop_requested_) {
+    Event event = events_.top();
+    events_.pop();
+    MAD2_CHECK(event.time >= now_, "event queue went backwards");
+    now_ = event.time;
+
+    if (event.fiber == nullptr) {
+      event.callback();
+      continue;
+    }
+
+    Fiber* fiber = event.fiber;
+    if (event.generation != fiber->wake_generation_) continue;  // stale
+    if (fiber->state() == Fiber::State::kReady) {
+      resume(fiber);
+    } else if (fiber->state() == Fiber::State::kBlocked) {
+      // A block_current() deadline fired before anyone called wake().
+      fiber->woke_by_timeout_ = true;
+      fiber->wake_generation_++;
+      fiber->state_ = Fiber::State::kReady;
+      resume(fiber);
+    }
+    // kRunning cannot occur (single resume at a time); kDone is stale.
+  }
+
+  running_ = false;
+
+  std::string stuck;
+  for (const auto& fiber : fibers_) {
+    if (fiber->state() != Fiber::State::kDone && !fiber->is_daemon()) {
+      if (!stuck.empty()) stuck += ", ";
+      stuck += fiber->name();
+    }
+  }
+  if (!stuck.empty() && !stop_requested_) {
+    return failed_precondition("simulation ended with stuck fibers: " +
+                               stuck);
+  }
+  return Status::ok();
+}
+
+void Simulator::resume(Fiber* fiber) {
+  fiber->state_ = Fiber::State::kRunning;
+  current_ = fiber;
+  swapcontext(&scheduler_context_, &fiber->context_);
+  current_ = nullptr;
+}
+
+void Simulator::switch_out() {
+  Fiber* fiber = current_;
+  swapcontext(&fiber->context_, &scheduler_context_);
+}
+
+void Simulator::advance(Duration d) {
+  MAD2_CHECK(current_ != nullptr, "advance() outside a fiber");
+  MAD2_CHECK(d >= 0, "advance() with negative duration");
+  Fiber* fiber = current_;
+  fiber->state_ = Fiber::State::kReady;
+  schedule_fiber(fiber, now_ + d);
+  switch_out();
+}
+
+bool Simulator::block_current(Time deadline) {
+  MAD2_CHECK(current_ != nullptr, "block_current() outside a fiber");
+  Fiber* fiber = current_;
+  fiber->state_ = Fiber::State::kBlocked;
+  fiber->woke_by_timeout_ = false;
+  if (deadline != kNever) {
+    MAD2_CHECK(deadline >= now_, "deadline in the past");
+    schedule_fiber(fiber, deadline);
+  }
+  switch_out();
+  return fiber->woke_by_timeout_;
+}
+
+void Simulator::wake(Fiber* fiber) {
+  MAD2_CHECK(fiber != nullptr, "wake(nullptr)");
+  if (fiber->state() != Fiber::State::kBlocked) return;
+  fiber->wake_generation_++;
+  fiber->state_ = Fiber::State::kReady;
+  schedule_fiber(fiber, now_);
+}
+
+}  // namespace mad2::sim

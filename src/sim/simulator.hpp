@@ -1,0 +1,157 @@
+// Discrete-event simulator with stackful fibers.
+//
+// Simulated "processes" (application code on cluster nodes, gateway
+// forwarding threads, NIC firmware loops) run as cooperatively-scheduled
+// ucontext fibers inside one OS thread. Blocking operations suspend the
+// fiber; the scheduler advances virtual time to the next pending event.
+// This lets ordinary blocking library code — the whole Madeleine II stack —
+// run unmodified inside the simulation, with overlap (pipelining,
+// dual-buffering) modeled exactly and every run fully deterministic.
+//
+// Threading model: a Simulator and everything scheduled on it must be used
+// from a single OS thread. Distinct Simulator instances are independent.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <ucontext.h>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/status.hpp"
+
+namespace mad2::sim {
+
+class Simulator;
+
+/// A stackful fiber. Created via Simulator::spawn(); not user-constructible.
+class Fiber {
+ public:
+  enum class State { kReady, kRunning, kBlocked, kDone };
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] bool is_daemon() const { return daemon_; }
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+  ~Fiber();
+
+ private:
+  friend class Simulator;
+  Fiber(Simulator* simulator, std::uint64_t id, std::string name,
+        std::function<void()> body, bool daemon, std::size_t stack_bytes);
+
+  static void trampoline(unsigned hi, unsigned lo);
+  void run_body();
+
+  Simulator* simulator_;
+  std::uint64_t id_;
+  std::string name_;
+  std::function<void()> body_;
+  bool daemon_;
+  State state_ = State::kReady;
+  // Incremented on every wake; lets stale timeout events detect that the
+  // blocking episode they were armed for has already ended.
+  std::uint64_t wake_generation_ = 0;
+  bool woke_by_timeout_ = false;
+  std::vector<char> stack_;
+  ucontext_t context_{};
+};
+
+/// The event loop: a virtual clock plus a priority queue of fiber wakeups
+/// and plain callbacks. See file comment for the threading model.
+class Simulator {
+ public:
+  struct Options {
+    std::size_t default_stack_bytes = 256 * 1024;
+  };
+
+  Simulator() : Simulator(Options{}) {}
+  explicit Simulator(Options options);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Create a fiber, runnable at the current virtual time. The body runs
+  /// when run() reaches its wakeup. Returned pointer is owned by the
+  /// Simulator and stays valid for the Simulator's lifetime.
+  Fiber* spawn(std::string name, std::function<void()> body);
+
+  /// Like spawn(), but the fiber may still be blocked when the session ends
+  /// without run() reporting a deadlock (for server/firmware loops).
+  Fiber* spawn_daemon(std::string name, std::function<void()> body);
+
+  /// Run until no event remains. OK if every non-daemon fiber finished;
+  /// FAILED_PRECONDITION listing stuck fibers otherwise (deadlock).
+  Status run();
+
+  /// Abort the run loop after the current event (callable from a fiber).
+  void stop() { stop_requested_ = true; }
+
+  [[nodiscard]] Time now() const { return now_; }
+  [[nodiscard]] Fiber* current() const { return current_; }
+  [[nodiscard]] std::size_t live_fiber_count() const;
+
+  /// Schedule a plain callback at absolute time `t` (>= now()).
+  void post_at(Time t, std::function<void()> fn);
+  void post_after(Duration d, std::function<void()> fn) {
+    post_at(now_ + d, std::move(fn));
+  }
+
+  // --- Fiber-context operations (must be called from inside a fiber). ---
+
+  /// Let `d` of virtual time elapse on this fiber (models busy work).
+  void advance(Duration d);
+
+  /// Reschedule after other ready events at the same timestamp (fairness).
+  void yield_fiber() { advance(0); }
+
+  /// Block until another fiber/callback calls wake(). Returns false.
+  /// With a deadline: returns true iff the deadline fired first.
+  bool block_current(Time deadline = kNever);
+
+  /// Make a blocked fiber runnable at the current time. No-op if it is not
+  /// blocked (wakeups are level-triggered through the sync primitives, not
+  /// counted).
+  void wake(Fiber* fiber);
+
+ private:
+  struct Event {
+    Time time;
+    std::uint64_t sequence;  // FIFO tie-break for equal timestamps
+    Fiber* fiber;            // nullptr => callback event
+    std::uint64_t generation;
+    std::function<void()> callback;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  void schedule_fiber(Fiber* fiber, Time t);
+  void resume(Fiber* fiber);
+  void switch_out();  // fiber -> scheduler
+
+  Options options_;
+  Time now_ = 0;
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t next_fiber_id_ = 1;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  Fiber* current_ = nullptr;
+  ucontext_t scheduler_context_{};
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+
+  friend class Fiber;
+};
+
+}  // namespace mad2::sim

@@ -1,0 +1,49 @@
+// Virtual time for the discrete-event simulator.
+//
+// All latencies/bandwidths reported by the benchmark harnesses are measured
+// in this clock. The unit is the nanosecond (signed 64-bit), which gives
+// ~292 years of range — far beyond any simulated session — while keeping
+// sub-microsecond hardware costs exact.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace mad2::sim {
+
+using Time = std::int64_t;      // absolute virtual nanoseconds
+using Duration = std::int64_t;  // virtual nanoseconds
+
+constexpr Time kNever = INT64_MAX;
+
+/// Duration constructors.
+constexpr Duration nanoseconds(std::int64_t n) { return n; }
+constexpr Duration microseconds(std::int64_t u) { return u * 1000; }
+constexpr Duration milliseconds(std::int64_t m) { return m * 1000000; }
+constexpr Duration seconds(std::int64_t s) { return s * 1000000000; }
+
+/// Fractional microseconds, rounded to the nearest nanosecond.
+inline Duration from_us(double us) {
+  return static_cast<Duration>(std::llround(us * 1000.0));
+}
+
+/// Conversions for reporting.
+constexpr double to_us(Duration d) { return static_cast<double>(d) / 1000.0; }
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / 1e9;
+}
+
+/// Time to move `bytes` at `mb_per_s` decimal MB/s (the paper's unit).
+inline Duration transfer_time(std::uint64_t bytes, double mb_per_s) {
+  if (mb_per_s <= 0.0) return 0;
+  const double ns = static_cast<double>(bytes) / (mb_per_s * 1e6) * 1e9;
+  return static_cast<Duration>(std::llround(ns));
+}
+
+/// Bandwidth in decimal MB/s achieved moving `bytes` in `elapsed`.
+inline double bandwidth_mbs(std::uint64_t bytes, Duration elapsed) {
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(bytes) / (to_seconds(elapsed) * 1e6);
+}
+
+}  // namespace mad2::sim

@@ -1,0 +1,44 @@
+#include "util/bytes.hpp"
+
+namespace mad2 {
+
+namespace {
+inline std::byte pattern_byte(std::uint64_t seed, std::size_t i) {
+  // Mix position and seed; cheap but position-sensitive.
+  const std::uint64_t x =
+      (seed * 0x9e3779b97f4a7c15ULL) ^ (static_cast<std::uint64_t>(i) *
+                                        0xbf58476d1ce4e5b9ULL);
+  return static_cast<std::byte>((x >> 32) & 0xff);
+}
+}  // namespace
+
+void fill_pattern(std::span<std::byte> dst, std::uint64_t seed) {
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    dst[i] = pattern_byte(seed, i);
+  }
+}
+
+bool verify_pattern(std::span<const std::byte> src, std::uint64_t seed) {
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    if (src[i] != pattern_byte(seed, i)) return false;
+  }
+  return true;
+}
+
+std::uint64_t fnv1a(std::span<const std::byte> data) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (std::byte b : data) {
+    hash ^= static_cast<std::uint64_t>(b);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::vector<std::byte> make_pattern_buffer(std::size_t size,
+                                           std::uint64_t seed) {
+  std::vector<std::byte> buf(size);
+  fill_pattern(buf, seed);
+  return buf;
+}
+
+}  // namespace mad2

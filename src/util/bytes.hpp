@@ -1,0 +1,48 @@
+// Byte-buffer helpers used across the library and the tests: deterministic
+// fill patterns, verification, FNV-1a checksums, and little-endian
+// encode/decode for the self-described headers of the forwarding layer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace mad2 {
+
+/// Fill `dst` with a deterministic byte pattern derived from `seed`.
+/// The pattern depends on both position and seed so transposition and
+/// truncation bugs are caught by verify_pattern().
+void fill_pattern(std::span<std::byte> dst, std::uint64_t seed);
+
+/// True iff `src` holds exactly the pattern fill_pattern(seed) would write.
+[[nodiscard]] bool verify_pattern(std::span<const std::byte> src,
+                                  std::uint64_t seed);
+
+/// 64-bit FNV-1a of a byte range.
+[[nodiscard]] std::uint64_t fnv1a(std::span<const std::byte> data);
+
+/// Little-endian fixed-width encode/decode (the simulated wire format).
+inline void store_u32(std::byte* dst, std::uint32_t v) {
+  std::memcpy(dst, &v, sizeof v);
+}
+inline void store_u64(std::byte* dst, std::uint64_t v) {
+  std::memcpy(dst, &v, sizeof v);
+}
+inline std::uint32_t load_u32(const std::byte* src) {
+  std::uint32_t v;
+  std::memcpy(&v, src, sizeof v);
+  return v;
+}
+inline std::uint64_t load_u64(const std::byte* src) {
+  std::uint64_t v;
+  std::memcpy(&v, src, sizeof v);
+  return v;
+}
+
+/// Convenience owning buffer with pattern construction for tests.
+std::vector<std::byte> make_pattern_buffer(std::size_t size,
+                                           std::uint64_t seed);
+
+}  // namespace mad2

@@ -1,0 +1,68 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace mad2 {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_log_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?????";
+}
+
+struct EnvInit {
+  EnvInit() {
+    if (const char* env = std::getenv("MAD2_LOG")) {
+      g_level.store(parse_log_level(env));
+    }
+  }
+};
+EnvInit g_env_init;
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+LogLevel parse_log_level(const char* name) {
+  if (name == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(name, "trace") == 0) return LogLevel::kTrace;
+  if (std::strcmp(name, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(name, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(name, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(name, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(name, "off") == 0) return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+void log_message(LogLevel level, const char* fmt, ...) {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::fprintf(stderr, "[mad2 %s] ", level_tag(level));
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace mad2

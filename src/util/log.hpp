@@ -1,0 +1,38 @@
+// Minimal leveled logger. Logging is off by default (kWarn) so benchmark
+// output stays clean; tests and examples can raise verbosity through
+// set_log_level() or the MAD2_LOG environment variable
+// (trace|debug|info|warn|error).
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace mad2 {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Set the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Parse "trace"/"debug"/... (case-insensitive); anything else -> kWarn.
+LogLevel parse_log_level(const char* name);
+
+/// printf-style logging; prepends the level tag. Thread-safe.
+void log_message(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace mad2
+
+#define MAD2_LOG(level, ...)                            \
+  do {                                                  \
+    if ((level) >= ::mad2::log_level()) {               \
+      ::mad2::log_message((level), __VA_ARGS__);        \
+    }                                                   \
+  } while (0)
+
+#define MAD2_TRACE(...) MAD2_LOG(::mad2::LogLevel::kTrace, __VA_ARGS__)
+#define MAD2_DEBUG(...) MAD2_LOG(::mad2::LogLevel::kDebug, __VA_ARGS__)
+#define MAD2_INFO(...) MAD2_LOG(::mad2::LogLevel::kInfo, __VA_ARGS__)
+#define MAD2_WARN(...) MAD2_LOG(::mad2::LogLevel::kWarn, __VA_ARGS__)
+#define MAD2_ERROR(...) MAD2_LOG(::mad2::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,44 @@
+#include "util/stats.hpp"
+
+namespace mad2 {
+
+double PerfSeries::min_latency_us() const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const PerfPoint& p : points) best = std::min(best, p.latency_us);
+  return points.empty() ? 0.0 : best;
+}
+
+double PerfSeries::peak_bandwidth_mbs() const {
+  double best = 0.0;
+  for (const PerfPoint& p : points) best = std::max(best, p.bandwidth_mbs);
+  return best;
+}
+
+double PerfSeries::bandwidth_at(std::uint64_t size_bytes) const {
+  for (const PerfPoint& p : points) {
+    if (p.size_bytes == size_bytes) return p.bandwidth_mbs;
+  }
+  return 0.0;
+}
+
+std::vector<std::uint64_t> geometric_sizes(std::uint64_t lo, std::uint64_t hi,
+                                           unsigned per_octave) {
+  std::vector<std::uint64_t> sizes;
+  if (lo == 0 || hi < lo) return sizes;
+  if (per_octave == 0) per_octave = 1;
+  const double factor = std::pow(2.0, 1.0 / per_octave);
+  double cur = static_cast<double>(lo);
+  std::uint64_t last = 0;
+  while (cur < static_cast<double>(hi)) {
+    const auto s = static_cast<std::uint64_t>(cur + 0.5);
+    if (s != last) {
+      sizes.push_back(s);
+      last = s;
+    }
+    cur *= factor;
+  }
+  if (last != hi) sizes.push_back(hi);
+  return sizes;
+}
+
+}  // namespace mad2

@@ -1,0 +1,98 @@
+// Statistics helpers for the benchmark harnesses: running moments,
+// quantile-capable sample sets, and the latency/bandwidth series used to
+// print the paper's figures as tables.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace mad2 {
+
+/// Online mean / min / max / stddev without storing samples.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double min() const { return count_ != 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ != 0 ? max_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Stores samples; supports exact quantiles. Used by latency tests.
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+
+  /// q-quantile (q in [0,1]) with linear interpolation; 0 samples -> 0.
+  [[nodiscard]] double quantile(double q) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+
+  [[nodiscard]] double median() const { return quantile(0.5); }
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// One point of a figure: message size vs one-way latency (us) and
+/// bandwidth (MB/s, decimal megabytes as in the paper).
+struct PerfPoint {
+  std::uint64_t size_bytes = 0;
+  double latency_us = 0.0;
+  double bandwidth_mbs = 0.0;
+};
+
+/// A labeled curve of PerfPoints (one line of a paper figure).
+struct PerfSeries {
+  std::string label;
+  std::vector<PerfPoint> points;
+
+  /// Latency at the smallest measured size (the paper's "minimal latency").
+  [[nodiscard]] double min_latency_us() const;
+  /// Peak bandwidth across the curve.
+  [[nodiscard]] double peak_bandwidth_mbs() const;
+  /// Bandwidth at an exact size, or 0 if that size was not measured.
+  [[nodiscard]] double bandwidth_at(std::uint64_t size_bytes) const;
+};
+
+/// Geometric sweep of message sizes: lo, 2*lo, ..., <= hi (always includes
+/// hi). Matches the log-scale x-axes of the paper's figures.
+std::vector<std::uint64_t> geometric_sizes(std::uint64_t lo, std::uint64_t hi,
+                                           unsigned per_octave = 1);
+
+}  // namespace mad2

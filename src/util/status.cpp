@@ -1,0 +1,48 @@
+#include "util/status.hpp"
+
+namespace mad2 {
+
+std::string_view error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "OK";
+    case ErrorCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case ErrorCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case ErrorCode::kNotFound:
+      return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case ErrorCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case ErrorCode::kUnimplemented:
+      return "UNIMPLEMENTED";
+    case ErrorCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case ErrorCode::kProtocolError:
+      return "PROTOCOL_ERROR";
+    case ErrorCode::kClosed:
+      return "CLOSED";
+    case ErrorCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "OK";
+  std::string out(error_code_name(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+void check_failed(const char* file, int line, const char* expr,
+                  const char* msg) {
+  std::fprintf(stderr, "MAD2_CHECK failed at %s:%d: (%s) %s\n", file, line,
+               expr, msg);
+  std::abort();
+}
+
+}  // namespace mad2

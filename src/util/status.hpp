@@ -1,0 +1,154 @@
+// Lightweight error-handling primitives for the Madeleine II reproduction.
+//
+// The library is exception-free on its hot paths: operations that can fail
+// return a `Status` (or a `Result<T>` when they also produce a value).
+// Irrecoverable programming errors (violated preconditions) abort via
+// MAD2_CHECK, mirroring the assert-heavy style of the original PM2 code
+// base while keeping release builds checked.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace mad2 {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,
+  kUnimplemented,
+  kOutOfRange,
+  kProtocolError,
+  kClosed,
+  kInternal,
+};
+
+/// Human-readable name of an ErrorCode ("OK", "INVALID_ARGUMENT", ...).
+std::string_view error_code_name(ErrorCode code);
+
+/// Value-semantic status: either OK, or an error code plus a message.
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+
+  [[nodiscard]] bool is_ok() const { return code_ == ErrorCode::kOk; }
+  [[nodiscard]] ErrorCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>" for logs and test failures.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline Status invalid_argument(std::string msg) {
+  return {ErrorCode::kInvalidArgument, std::move(msg)};
+}
+inline Status failed_precondition(std::string msg) {
+  return {ErrorCode::kFailedPrecondition, std::move(msg)};
+}
+inline Status not_found(std::string msg) {
+  return {ErrorCode::kNotFound, std::move(msg)};
+}
+inline Status already_exists(std::string msg) {
+  return {ErrorCode::kAlreadyExists, std::move(msg)};
+}
+inline Status resource_exhausted(std::string msg) {
+  return {ErrorCode::kResourceExhausted, std::move(msg)};
+}
+inline Status unimplemented(std::string msg) {
+  return {ErrorCode::kUnimplemented, std::move(msg)};
+}
+inline Status out_of_range(std::string msg) {
+  return {ErrorCode::kOutOfRange, std::move(msg)};
+}
+inline Status protocol_error(std::string msg) {
+  return {ErrorCode::kProtocolError, std::move(msg)};
+}
+inline Status channel_closed(std::string msg) {
+  return {ErrorCode::kClosed, std::move(msg)};
+}
+inline Status internal_error(std::string msg) {
+  return {ErrorCode::kInternal, std::move(msg)};
+}
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored Result aborts, so callers must test `is_ok()` first.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : payload_(std::move(value)) {}        // NOLINT(implicit)
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT(implicit)
+    if (std::get<Status>(payload_).is_ok()) {
+      std::fprintf(stderr, "Result<T> constructed from OK status\n");
+      std::abort();
+    }
+  }
+
+  [[nodiscard]] bool is_ok() const {
+    return std::holds_alternative<T>(payload_);
+  }
+  [[nodiscard]] Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(payload_);
+  }
+  [[nodiscard]] T& value() & {
+    check_ok();
+    return std::get<T>(payload_);
+  }
+  [[nodiscard]] const T& value() const& {
+    check_ok();
+    return std::get<T>(payload_);
+  }
+  [[nodiscard]] T&& value() && {
+    check_ok();
+    return std::get<T>(std::move(payload_));
+  }
+
+ private:
+  void check_ok() const {
+    if (!is_ok()) {
+      std::fprintf(stderr, "Result<T>::value() on error: %s\n",
+                   std::get<Status>(payload_).to_string().c_str());
+      std::abort();
+    }
+  }
+  std::variant<T, Status> payload_;
+};
+
+[[noreturn]] void check_failed(const char* file, int line, const char* expr,
+                               const char* msg);
+
+}  // namespace mad2
+
+// Precondition check, active in all build types. `msg` is a plain C string.
+#define MAD2_CHECK(expr, msg)                                \
+  do {                                                       \
+    if (!(expr)) {                                           \
+      ::mad2::check_failed(__FILE__, __LINE__, #expr, msg);  \
+    }                                                        \
+  } while (0)
+
+// Early-return on error for Status-returning functions.
+#define MAD2_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::mad2::Status mad2_status_ = (expr);           \
+    if (!mad2_status_.is_ok()) return mad2_status_; \
+  } while (0)

@@ -1,0 +1,112 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+
+#include "util/status.hpp"
+
+namespace mad2 {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  MAD2_CHECK(cells.size() == headers_.size(),
+             "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) line += "  ";
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+    }
+    // Trim trailing padding.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line += '\n';
+    return line;
+  };
+
+  std::string out = render_row(headers_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += widths[c] + (c != 0 ? 2 : 0);
+  }
+  out.append(rule, '-');
+  out += '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[32];
+  if (bytes >= 1024 * 1024 && bytes % (1024 * 1024) == 0) {
+    std::snprintf(buf, sizeof buf, "%llu MB",
+                  static_cast<unsigned long long>(bytes / (1024 * 1024)));
+  } else if (bytes >= 1024 && bytes % 1024 == 0) {
+    std::snprintf(buf, sizeof buf, "%llu kB",
+                  static_cast<unsigned long long>(bytes / 1024));
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string format_us(double us) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", us);
+  return buf;
+}
+
+std::string format_mbs(double mbs) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", mbs);
+  return buf;
+}
+
+void print_perf_series(const std::string& title,
+                       const std::vector<PerfSeries>& series) {
+  std::printf("== %s ==\n", title.c_str());
+  if (series.empty()) return;
+
+  std::vector<std::string> headers{"size"};
+  for (const PerfSeries& s : series) {
+    headers.push_back(s.label + " lat(us)");
+    headers.push_back(s.label + " bw(MB/s)");
+  }
+  Table table(std::move(headers));
+
+  const auto& base = series.front().points;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    std::vector<std::string> row{format_bytes(base[i].size_bytes)};
+    for (const PerfSeries& s : series) {
+      if (i < s.points.size()) {
+        row.push_back(format_us(s.points[i].latency_us));
+        row.push_back(format_mbs(s.points[i].bandwidth_mbs));
+      } else {
+        row.emplace_back("-");
+        row.emplace_back("-");
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  std::printf("\n");
+}
+
+}  // namespace mad2

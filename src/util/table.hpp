@@ -1,0 +1,43 @@
+// Plain-text table printing for the benchmark harnesses. Each bench binary
+// prints the rows/series of one paper figure through this formatter so the
+// output is uniform and easy to diff against EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace mad2 {
+
+/// Column-aligned text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header rule, columns padded to the widest cell.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Render to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers shared by the bench binaries.
+std::string format_bytes(std::uint64_t bytes);     // "4 B", "8 kB", "1 MB"
+std::string format_us(double us);                  // "3.90"
+std::string format_mbs(double mbs);                // "82.1"
+
+/// Print several PerfSeries as one table keyed by message size:
+/// columns = size, then lat/bw per series. Sizes are taken from the first
+/// series; the others must have been measured on the same sweep.
+void print_perf_series(const std::string& title,
+                       const std::vector<PerfSeries>& series);
+
+}  // namespace mad2

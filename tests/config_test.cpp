@@ -1,0 +1,176 @@
+// Tests for the session config parser and the traffic statistics.
+#include <gtest/gtest.h>
+
+#include "mad/config_parser.hpp"
+#include "mad/madeleine.hpp"
+#include "util/bytes.hpp"
+
+namespace mad2::mad {
+namespace {
+
+TEST(ConfigParser, ParsesAFullCluster) {
+  const char* text = R"(
+# the paper's testbed
+nodes 4
+
+network myri0 bip   0 1 2 3
+network sci0  sisci 0 1
+network eth0  tcp   0 1 2 3   # control network
+
+channel bulk myri0
+channel ctl  eth0 paranoid
+)";
+  auto result = parse_session_config(text);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  const SessionConfig& config = result.value();
+  EXPECT_EQ(config.node_count, 4u);
+  ASSERT_EQ(config.networks.size(), 3u);
+  EXPECT_EQ(config.networks[0].name, "myri0");
+  EXPECT_EQ(config.networks[0].kind, NetworkKind::kBip);
+  EXPECT_EQ(config.networks[0].nodes,
+            (std::vector<std::uint32_t>{0, 1, 2, 3}));
+  EXPECT_EQ(config.networks[1].kind, NetworkKind::kSisci);
+  EXPECT_EQ(config.networks[1].nodes, (std::vector<std::uint32_t>{0, 1}));
+  ASSERT_EQ(config.channels.size(), 2u);
+  EXPECT_EQ(config.channels[0].name, "bulk");
+  EXPECT_FALSE(config.channels[0].paranoid);
+  EXPECT_EQ(config.channels[1].network, "eth0");
+  EXPECT_TRUE(config.channels[1].paranoid);
+}
+
+TEST(ConfigParser, ParsedConfigRunsASession) {
+  auto result = parse_session_config(R"(
+nodes 2
+network n0 sisci 0 1
+channel ch n0
+)");
+  ASSERT_TRUE(result.is_ok());
+  Session session(std::move(result.value()));
+  session.spawn(0, "s", [&](NodeRuntime& rt) {
+    auto payload = make_pattern_buffer(1000, 1);
+    auto& conn = rt.channel("ch").begin_packing(1);
+    conn.pack(payload);
+    conn.end_packing();
+  });
+  session.spawn(1, "r", [&](NodeRuntime& rt) {
+    auto& conn = rt.channel("ch").begin_unpacking();
+    std::vector<std::byte> out(1000);
+    conn.unpack(out);
+    conn.end_unpacking();
+    EXPECT_TRUE(verify_pattern(out, 1));
+  });
+  EXPECT_TRUE(session.run().is_ok());
+}
+
+struct BadCase {
+  const char* text;
+  const char* expected;
+};
+
+class ConfigErrors : public testing::TestWithParam<BadCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ConfigErrors,
+    testing::Values(
+        BadCase{"network n tcp 0\n", "'nodes' must come before"},
+        BadCase{"nodes 0\n", "invalid node count"},
+        BadCase{"nodes two\n", "invalid node count"},
+        BadCase{"nodes 2\nnodes 2\n", "duplicate 'nodes'"},
+        BadCase{"nodes 2\nnetwork n quantum 0 1\n", "unknown network kind"},
+        BadCase{"nodes 2\nnetwork n tcp 0 5\n", "out of range"},
+        BadCase{"nodes 2\nnetwork n tcp 0 0\n", "listed twice"},
+        BadCase{"nodes 2\nnetwork n tcp\n", "usage: network"},
+        BadCase{"nodes 2\nnetwork n tcp 0 1\nnetwork n tcp 0 1\n",
+                "duplicate network name"},
+        BadCase{"nodes 2\nchannel c ghost\n", "unknown network"},
+        BadCase{"nodes 2\nnetwork n tcp 0 1\nchannel c n turbo\n",
+                "unknown channel option"},
+        BadCase{"nodes 2\nnetwork n tcp 0 1\nchannel c n\nchannel c n\n",
+                "duplicate channel name"},
+        BadCase{"nodes 2\nfrobnicate\n", "unknown directive"},
+        BadCase{"", "missing 'nodes'"}));
+
+TEST_P(ConfigErrors, AreReportedWithContext) {
+  auto result = parse_session_config(GetParam().text);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find(GetParam().expected),
+            std::string::npos)
+      << result.status().message();
+}
+
+TEST(ConfigParser, ErrorsCarryLineNumbers) {
+  auto result = parse_session_config("nodes 2\n\n\nbogus\n");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("line 4"), std::string::npos);
+}
+
+// ------------------------------------------------------------ statistics ---
+
+TEST(TrafficStats, CountsBlocksAndBytesPerTm) {
+  SessionConfig config;
+  config.node_count = 2;
+  NetworkDef net;
+  net.name = "n";
+  net.kind = NetworkKind::kBip;
+  net.nodes = {0, 1};
+  config.networks.push_back(net);
+  config.channels.push_back(ChannelDef{"ch", "n"});
+  Session session(std::move(config));
+  session.spawn(0, "s", [&](NodeRuntime& rt) {
+    auto small = make_pattern_buffer(100, 1);   // BIP short TM
+    auto large = make_pattern_buffer(50000, 2); // BIP long TM
+    auto& conn = rt.channel("ch").begin_packing(1);
+    conn.pack(small);
+    conn.pack(large);
+    conn.end_packing();
+  });
+  session.spawn(1, "r", [&](NodeRuntime& rt) {
+    std::vector<std::byte> small(100);
+    std::vector<std::byte> large(50000);
+    auto& conn = rt.channel("ch").begin_unpacking();
+    conn.unpack(small);
+    conn.unpack(large);
+    conn.end_unpacking();
+  });
+  ASSERT_TRUE(session.run().is_ok());
+
+  const TrafficStats sender = session.endpoint("ch", 0).stats();
+  EXPECT_EQ(sender.messages_sent, 1u);
+  EXPECT_EQ(sender.messages_received, 0u);
+  ASSERT_TRUE(sender.sent_by_tm.count("bip-short"));
+  ASSERT_TRUE(sender.sent_by_tm.count("bip-long"));
+  EXPECT_EQ(sender.sent_by_tm.at("bip-short").blocks, 1u);
+  EXPECT_EQ(sender.sent_by_tm.at("bip-short").bytes, 100u);
+  EXPECT_EQ(sender.sent_by_tm.at("bip-long").blocks, 1u);
+  EXPECT_EQ(sender.sent_by_tm.at("bip-long").bytes, 50000u);
+
+  const TrafficStats receiver = session.endpoint("ch", 1).stats();
+  EXPECT_EQ(receiver.messages_received, 1u);
+  EXPECT_EQ(receiver.received_by_tm.at("bip-long").bytes, 50000u);
+
+  // The printable summary mentions both TMs.
+  const std::string text = sender.to_string();
+  EXPECT_NE(text.find("bip-short"), std::string::npos);
+  EXPECT_NE(text.find("bip-long"), std::string::npos);
+}
+
+TEST(TrafficStats, MergeAggregates) {
+  TrafficStats a;
+  a.messages_sent = 2;
+  a.sent_by_tm["x"].blocks = 3;
+  a.sent_by_tm["x"].bytes = 300;
+  TrafficStats b;
+  b.messages_sent = 1;
+  b.sent_by_tm["x"].blocks = 1;
+  b.sent_by_tm["x"].bytes = 50;
+  b.received_by_tm["y"].blocks = 7;
+  a.merge(b);
+  EXPECT_EQ(a.messages_sent, 3u);
+  EXPECT_EQ(a.sent_by_tm["x"].blocks, 4u);
+  EXPECT_EQ(a.sent_by_tm["x"].bytes, 350u);
+  EXPECT_EQ(a.received_by_tm["y"].blocks, 7u);
+}
+
+}  // namespace
+}  // namespace mad2::mad

@@ -1,0 +1,228 @@
+// Failure-injection tests: API misuse must fail loudly (MAD2_CHECK
+// aborts), and the paranoid channel mode must catch asymmetric
+// pack/unpack sequences — the "unspecified behavior" of paper Section 2.2
+// — at the first divergence.
+#include <gtest/gtest.h>
+
+#include "mad/madeleine.hpp"
+#include "util/bytes.hpp"
+
+namespace mad2::mad {
+namespace {
+
+SessionConfig config_for(NetworkKind kind, bool paranoid) {
+  SessionConfig config;
+  config.node_count = 2;
+  NetworkDef net;
+  net.name = "net0";
+  net.kind = kind;
+  net.nodes = {0, 1};
+  config.networks.push_back(net);
+  ChannelDef channel{"ch", "net0"};
+  channel.paranoid = paranoid;
+  config.channels.push_back(channel);
+  return config;
+}
+
+std::string kind_name(const testing::TestParamInfo<NetworkKind>& info) {
+  return std::string(to_string(info.param));
+}
+
+class Paranoid : public testing::TestWithParam<NetworkKind> {};
+
+INSTANTIATE_TEST_SUITE_P(AllDrivers, Paranoid,
+                         testing::Values(NetworkKind::kBip,
+                                         NetworkKind::kSisci,
+                                         NetworkKind::kTcp,
+                                         NetworkKind::kVia),
+                         kind_name);
+
+TEST_P(Paranoid, SymmetricSequencesStillWork) {
+  Session session(config_for(GetParam(), /*paranoid=*/true));
+  session.spawn(0, "sender", [&](NodeRuntime& rt) {
+    auto a = make_pattern_buffer(100, 1);
+    auto b = make_pattern_buffer(50000, 2);
+    auto& conn = rt.channel("ch").begin_packing(1);
+    conn.pack(a, send_CHEAPER, receive_EXPRESS);
+    conn.pack(b, send_CHEAPER, receive_CHEAPER);
+    conn.end_packing();
+  });
+  session.spawn(1, "receiver", [&](NodeRuntime& rt) {
+    std::vector<std::byte> a(100);
+    std::vector<std::byte> b(50000);
+    auto& conn = rt.channel("ch").begin_unpacking();
+    conn.unpack(a, send_CHEAPER, receive_EXPRESS);
+    conn.unpack(b, send_CHEAPER, receive_CHEAPER);
+    conn.end_unpacking();
+    EXPECT_TRUE(verify_pattern(a, 1));
+    EXPECT_TRUE(verify_pattern(b, 2));
+  });
+  ASSERT_TRUE(session.run().is_ok());
+}
+
+TEST_P(Paranoid, CatchesSizeMismatch) {
+  Session session(config_for(GetParam(), /*paranoid=*/true));
+  session.spawn(0, "sender", [&](NodeRuntime& rt) {
+    auto data = make_pattern_buffer(1000, 1);
+    auto& conn = rt.channel("ch").begin_packing(1);
+    conn.pack(data);
+    conn.end_packing();
+  });
+  session.spawn(1, "receiver", [&](NodeRuntime& rt) {
+    std::vector<std::byte> out(999);  // wrong size
+    auto& conn = rt.channel("ch").begin_unpacking();
+    conn.unpack(out);
+    conn.end_unpacking();
+  });
+  EXPECT_DEATH({ (void)session.run(); }, "paranoid");
+}
+
+TEST_P(Paranoid, CatchesReceiveModeMismatch) {
+  Session session(config_for(GetParam(), /*paranoid=*/true));
+  session.spawn(0, "sender", [&](NodeRuntime& rt) {
+    auto data = make_pattern_buffer(64, 1);
+    auto& conn = rt.channel("ch").begin_packing(1);
+    conn.pack(data, send_CHEAPER, receive_CHEAPER);
+    conn.end_packing();
+  });
+  session.spawn(1, "receiver", [&](NodeRuntime& rt) {
+    std::vector<std::byte> out(64);
+    auto& conn = rt.channel("ch").begin_unpacking();
+    conn.unpack(out, send_CHEAPER, receive_EXPRESS);  // wrong mode
+    conn.end_unpacking();
+  });
+  EXPECT_DEATH({ (void)session.run(); }, "paranoid");
+}
+
+TEST_P(Paranoid, CatchesSendModeMismatch) {
+  Session session(config_for(GetParam(), /*paranoid=*/true));
+  session.spawn(0, "sender", [&](NodeRuntime& rt) {
+    auto data = make_pattern_buffer(64, 1);
+    auto& conn = rt.channel("ch").begin_packing(1);
+    conn.pack(data, send_SAFER, receive_EXPRESS);
+    conn.end_packing();
+  });
+  session.spawn(1, "receiver", [&](NodeRuntime& rt) {
+    std::vector<std::byte> out(64);
+    auto& conn = rt.channel("ch").begin_unpacking();
+    conn.unpack(out, send_CHEAPER, receive_EXPRESS);  // wrong send mode
+    conn.end_unpacking();
+  });
+  EXPECT_DEATH({ (void)session.run(); }, "paranoid");
+}
+
+// ------------------------------------------------------------ API misuse ---
+
+TEST(Misuse, PackWithoutBeginPackingAborts) {
+  Session session(config_for(NetworkKind::kTcp, false));
+  session.spawn(0, "f", [&](NodeRuntime& rt) {
+    auto& conn = rt.channel("ch").connection(1);
+    std::byte b{1};
+    conn.pack(std::span(&b, 1));
+  });
+  EXPECT_DEATH({ (void)session.run(); }, "pack outside");
+}
+
+TEST(Misuse, DoubleBeginPackingAborts) {
+  Session session(config_for(NetworkKind::kTcp, false));
+  session.spawn(0, "f", [&](NodeRuntime& rt) {
+    rt.channel("ch").begin_packing(1);
+    rt.channel("ch").begin_packing(1);
+  });
+  EXPECT_DEATH({ (void)session.run(); }, "already open");
+}
+
+TEST(Misuse, EndPackingWithoutBeginAborts) {
+  Session session(config_for(NetworkKind::kTcp, false));
+  session.spawn(0, "f", [&](NodeRuntime& rt) {
+    rt.channel("ch").connection(1).end_packing();
+  });
+  EXPECT_DEATH({ (void)session.run(); }, "without begin_packing");
+}
+
+TEST(Misuse, UnpackWithoutBeginUnpackingAborts) {
+  Session session(config_for(NetworkKind::kTcp, false));
+  session.spawn(0, "f", [&](NodeRuntime& rt) {
+    std::byte b;
+    rt.channel("ch").connection(1).unpack(std::span(&b, 1));
+  });
+  EXPECT_DEATH({ (void)session.run(); }, "unpack outside");
+}
+
+TEST(Misuse, BeginPackingToUnknownNodeAborts) {
+  Session session(config_for(NetworkKind::kTcp, false));
+  session.spawn(0, "f", [&](NodeRuntime& rt) {
+    rt.channel("ch").begin_packing(7);
+  });
+  EXPECT_DEATH({ (void)session.run(); }, "no connection");
+}
+
+TEST(Misuse, BeginPackingToSelfAborts) {
+  Session session(config_for(NetworkKind::kTcp, false));
+  session.spawn(0, "f", [&](NodeRuntime& rt) {
+    rt.channel("ch").begin_packing(0);
+  });
+  EXPECT_DEATH({ (void)session.run(); }, "no connection");
+}
+
+TEST(Misuse, UnknownChannelNameAborts) {
+  Session session(config_for(NetworkKind::kTcp, false));
+  session.spawn(0, "f", [&](NodeRuntime& rt) {
+    (void)rt.channel("nope");
+  });
+  EXPECT_DEATH({ (void)session.run(); }, "unknown channel");
+}
+
+TEST(Misuse, NetworkReferencingUnknownNodeAborts) {
+  SessionConfig config;
+  config.node_count = 2;
+  NetworkDef net;
+  net.name = "net0";
+  net.kind = NetworkKind::kTcp;
+  net.nodes = {0, 5};  // node 5 does not exist
+  config.networks.push_back(net);
+  EXPECT_DEATH({ Session session(std::move(config)); }, "unknown node");
+}
+
+TEST(Misuse, ChannelOnUnknownNetworkAborts) {
+  SessionConfig config;
+  config.node_count = 2;
+  config.channels.push_back(ChannelDef{"ch", "ghost"});
+  EXPECT_DEATH({ Session session(std::move(config)); }, "unknown network");
+}
+
+TEST(Misuse, EndpointForNonMemberNodeAborts) {
+  SessionConfig config;
+  config.node_count = 3;
+  NetworkDef net;
+  net.name = "net0";
+  net.kind = NetworkKind::kTcp;
+  net.nodes = {0, 1};  // node 2 is not attached
+  config.networks.push_back(net);
+  config.channels.push_back(ChannelDef{"ch", "net0"});
+  Session session(std::move(config));
+  session.spawn(2, "f", [&](NodeRuntime& rt) { (void)rt.channel("ch"); });
+  EXPECT_DEATH({ (void)session.run(); }, "not a member");
+}
+
+// Without paranoid mode, an asymmetric sequence on a static-buffer TM is
+// still caught by the BMM's buffer accounting (a weaker, later check).
+TEST(Misuse, StaticBufferAccountingCatchesGrossAsymmetry) {
+  Session session(config_for(NetworkKind::kBip, false));
+  session.spawn(0, "sender", [&](NodeRuntime& rt) {
+    auto a = make_pattern_buffer(100, 1);
+    auto& conn = rt.channel("ch").begin_packing(1);
+    conn.pack(a, send_CHEAPER, receive_EXPRESS);
+    conn.end_packing();
+  });
+  session.spawn(1, "receiver", [&](NodeRuntime& rt) {
+    std::vector<std::byte> out(60);  // shorter than the packed block
+    auto& conn = rt.channel("ch").begin_unpacking();
+    conn.unpack(out, send_CHEAPER, receive_EXPRESS);
+    conn.end_unpacking();
+  });
+  EXPECT_DEATH({ (void)session.run(); }, "asymmetric");
+}
+
+}  // namespace
+}  // namespace mad2::mad

@@ -1,0 +1,143 @@
+// Tests for the SBP driver: kernel buffer pool discipline, blocking
+// acquisition, overflow aborts, tag demultiplexing.
+#include <gtest/gtest.h>
+
+#include "net/sbp.hpp"
+#include "sim/time.hpp"
+#include "testbed.hpp"
+#include "util/bytes.hpp"
+
+namespace mad2::net {
+namespace {
+
+struct SbpBed : Testbed {
+  explicit SbpBed(int n, SbpParams params = SbpParams::fast_ethernet())
+      : Testbed(n), network(&simulator, node_ptrs(), params) {}
+  SbpNetwork network;
+};
+
+TEST(Sbp, BufferRoundTripsData) {
+  SbpBed bed(2);
+  const auto payload = make_pattern_buffer(2000, 1);
+  bed.simulator.spawn("sender", [&] {
+    SbpTxBuffer buffer = bed.network.port(0).acquire_tx_buffer();
+    std::copy(payload.begin(), payload.end(), buffer.memory.begin());
+    bed.network.port(0).send(1, 5, buffer, payload.size());
+  });
+  bed.simulator.spawn("receiver", [&] {
+    SbpRxBuffer buffer = bed.network.port(1).recv(5);
+    EXPECT_EQ(buffer.src, 0u);
+    EXPECT_EQ(buffer.tag, 5u);
+    EXPECT_TRUE(verify_pattern(buffer.data, 1));
+    bed.network.port(1).release(buffer);
+  });
+  ASSERT_TRUE(bed.simulator.run().is_ok());
+}
+
+TEST(Sbp, TxPoolBlocksWhenExhausted) {
+  SbpParams params = SbpParams::fast_ethernet();
+  params.tx_pool = 2;
+  SbpBed bed(2, params);
+  sim::Time third_acquired = -1;
+  bed.simulator.spawn("sender", [&] {
+    // Hold two buffers; the third acquire must wait until one is sent.
+    SbpTxBuffer a = bed.network.port(0).acquire_tx_buffer();
+    SbpTxBuffer b = bed.network.port(0).acquire_tx_buffer();
+    bed.simulator.post_after(sim::microseconds(100), [&, a]() mutable {
+      // Nothing — placeholder to show time passing; the send below at
+      // +200us is what frees a buffer.
+    });
+    bed.simulator.advance(sim::microseconds(200));
+    bed.network.port(0).send(1, 0, a, 100);
+    bed.simulator.advance(sim::microseconds(50));
+    SbpTxBuffer c = bed.network.port(0).acquire_tx_buffer();
+    third_acquired = bed.simulator.now();
+    bed.network.port(0).send(1, 0, b, 100);
+    bed.network.port(0).send(1, 0, c, 100);
+  });
+  bed.simulator.spawn("receiver", [&] {
+    for (int i = 0; i < 3; ++i) {
+      SbpRxBuffer buffer = bed.network.port(1).recv(0);
+      bed.network.port(1).release(buffer);
+    }
+  });
+  ASSERT_TRUE(bed.simulator.run().is_ok());
+  EXPECT_GE(third_acquired, sim::microseconds(250));
+}
+
+TEST(Sbp, TagsAreIndependent) {
+  SbpBed bed(2);
+  bed.simulator.spawn("sender", [&] {
+    for (std::uint32_t tag : {7u, 9u}) {
+      SbpTxBuffer buffer = bed.network.port(0).acquire_tx_buffer();
+      buffer.memory[0] = static_cast<std::byte>(tag);
+      bed.network.port(0).send(1, tag, buffer, 1);
+    }
+  });
+  bed.simulator.spawn("receiver", [&] {
+    // Read tag 9 before tag 7.
+    SbpRxBuffer nine = bed.network.port(1).recv(9);
+    EXPECT_EQ(nine.data[0], std::byte{9});
+    bed.network.port(1).release(nine);
+    SbpRxBuffer seven = bed.network.port(1).recv(7);
+    EXPECT_EQ(seven.data[0], std::byte{7});
+    bed.network.port(1).release(seven);
+  });
+  ASSERT_TRUE(bed.simulator.run().is_ok());
+}
+
+TEST(Sbp, RxPoolOverflowAborts) {
+  SbpParams params = SbpParams::fast_ethernet();
+  params.rx_pool = 4;
+  SbpBed bed(2, params);
+  bed.simulator.spawn("sender", [&] {
+    for (int i = 0; i < 10; ++i) {
+      SbpTxBuffer buffer = bed.network.port(0).acquire_tx_buffer();
+      bed.network.port(0).send(1, 0, buffer, 64);
+    }
+  });
+  // No receiver draining: the kernel rx pool overflows.
+  EXPECT_DEATH({ (void)bed.simulator.run(); }, "overflow");
+}
+
+TEST(Sbp, OverfilledTxBufferAborts) {
+  SbpBed bed(2);
+  bed.simulator.spawn("sender", [&] {
+    SbpTxBuffer buffer = bed.network.port(0).acquire_tx_buffer();
+    bed.network.port(0).send(1, 0, buffer, buffer.memory.size() + 1);
+  });
+  EXPECT_DEATH({ (void)bed.simulator.run(); }, "overfilled");
+}
+
+TEST(Sbp, LatencyAndBandwidthAreEthernetClass) {
+  SbpBed bed(2);
+  sim::Time first_arrival = 0;
+  sim::Time end = 0;
+  const int messages = 50;
+  bed.simulator.spawn("sender", [&] {
+    for (int i = 0; i < messages; ++i) {
+      SbpTxBuffer buffer = bed.network.port(0).acquire_tx_buffer();
+      fill_pattern(buffer.memory, i);
+      bed.network.port(0).send(1, 0, buffer, buffer.memory.size());
+    }
+  });
+  bed.simulator.spawn("receiver", [&] {
+    for (int i = 0; i < messages; ++i) {
+      SbpRxBuffer buffer = bed.network.port(1).recv(0);
+      if (i == 0) first_arrival = bed.simulator.now();
+      EXPECT_TRUE(verify_pattern(buffer.data, i));
+      bed.network.port(1).release(buffer);
+    }
+    end = bed.simulator.now();
+  });
+  ASSERT_TRUE(bed.simulator.run().is_ok());
+  // Leaner than TCP (kernel fast path), still Ethernet-bound.
+  EXPECT_LT(sim::to_us(first_arrival), 450.0);  // ~330 us wire + kernel path
+  const double mbs =
+      sim::bandwidth_mbs(4096.0 * messages, end - first_arrival);
+  EXPECT_GT(mbs, 9.0);
+  EXPECT_LT(mbs, 12.5);
+}
+
+}  // namespace
+}  // namespace mad2::net

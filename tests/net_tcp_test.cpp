@@ -1,0 +1,176 @@
+// Tests for the TCP/Fast-Ethernet driver: stream semantics, multiplexed
+// stream ids, flow control, and calibration (latency ~75 us, ~11.5 MB/s).
+#include <gtest/gtest.h>
+
+#include "net/tcp.hpp"
+#include "sim/time.hpp"
+#include "testbed.hpp"
+#include "util/bytes.hpp"
+
+namespace mad2::net {
+namespace {
+
+using sim::to_us;
+
+struct TcpBed : Testbed {
+  explicit TcpBed(int n)
+      : Testbed(n),
+        network(&simulator, node_ptrs(), TcpParams::fast_ethernet()) {}
+  TcpNetwork network;
+};
+
+TEST(Tcp, StreamRoundTripsBytes) {
+  TcpBed bed(2);
+  const auto payload = make_pattern_buffer(10000, 1);
+  bed.simulator.spawn("sender", [&] {
+    bed.network.port(0).stream(1).send(payload);
+  });
+  bed.simulator.spawn("receiver", [&] {
+    std::vector<std::byte> out(10000);
+    bed.network.port(1).stream(0).recv(out);
+    EXPECT_TRUE(verify_pattern(out, 1));
+  });
+  ASSERT_TRUE(bed.simulator.run().is_ok());
+}
+
+TEST(Tcp, SmallMessageLatencyIsTensOfMicroseconds) {
+  TcpBed bed(2);
+  sim::Time arrival = 0;
+  bed.simulator.spawn("sender", [&] {
+    std::vector<std::byte> m(4, std::byte{1});
+    bed.network.port(0).stream(1).send(m);
+  });
+  bed.simulator.spawn("receiver", [&] {
+    std::vector<std::byte> out(4);
+    bed.network.port(1).stream(0).recv(out);
+    arrival = bed.simulator.now();
+  });
+  ASSERT_TRUE(bed.simulator.run().is_ok());
+  EXPECT_GT(to_us(arrival), 50.0);
+  EXPECT_LT(to_us(arrival), 110.0);
+}
+
+TEST(Tcp, BandwidthIsFastEthernetClass) {
+  TcpBed bed(2);
+  const std::size_t size = 2 * 1024 * 1024;
+  const auto payload = make_pattern_buffer(size, 2);
+  sim::Time end = 0;
+  bed.simulator.spawn("sender", [&] {
+    bed.network.port(0).stream(1).send(payload);
+  });
+  bed.simulator.spawn("receiver", [&] {
+    std::vector<std::byte> out(size);
+    bed.network.port(1).stream(0).recv(out);
+    end = bed.simulator.now();
+    EXPECT_TRUE(verify_pattern(out, 2));
+  });
+  ASSERT_TRUE(bed.simulator.run().is_ok());
+  const double mbs = sim::bandwidth_mbs(size, end);
+  EXPECT_GT(mbs, 10.0);
+  EXPECT_LT(mbs, 12.5);
+}
+
+TEST(Tcp, StreamIdsAreIndependent) {
+  TcpBed bed(2);
+  bed.simulator.spawn("sender", [&] {
+    std::vector<std::byte> a{std::byte{1}};
+    std::vector<std::byte> b{std::byte{2}};
+    bed.network.port(0).stream(1, 0).send(a);
+    bed.network.port(0).stream(1, 1).send(b);
+  });
+  bed.simulator.spawn("receiver", [&] {
+    std::vector<std::byte> out(1);
+    bed.network.port(1).stream(0, 1).recv(out);
+    EXPECT_EQ(out[0], std::byte{2});
+    bed.network.port(1).stream(0, 0).recv(out);
+    EXPECT_EQ(out[0], std::byte{1});
+  });
+  ASSERT_TRUE(bed.simulator.run().is_ok());
+}
+
+TEST(Tcp, RecvSomeReturnsPartialData) {
+  TcpBed bed(2);
+  bed.simulator.spawn("sender", [&] {
+    std::vector<std::byte> m(100, std::byte{7});
+    bed.network.port(0).stream(1).send(m);
+  });
+  bed.simulator.spawn("receiver", [&] {
+    std::vector<std::byte> out(1000);
+    auto& stream = bed.network.port(1).stream(0);
+    std::size_t total = 0;
+    while (total < 100) {
+      total += stream.recv_some(std::span(out).subspan(total));
+    }
+    EXPECT_EQ(total, 100u);
+    for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(out[i], std::byte{7});
+  });
+  ASSERT_TRUE(bed.simulator.run().is_ok());
+}
+
+TEST(Tcp, SendBlocksOnFullSocketBufferUntilReceiverDrains) {
+  TcpBed bed(2);
+  const std::size_t big = 512 * 1024;  // far beyond the 64 kB socket buffer
+  const auto payload = make_pattern_buffer(big, 3);
+  sim::Time send_done = 0;
+  sim::Time recv_done = 0;
+  bed.simulator.spawn("sender", [&] {
+    bed.network.port(0).stream(1).send(payload);
+    send_done = bed.simulator.now();
+  });
+  bed.simulator.spawn("receiver", [&] {
+    bed.simulator.advance(sim::milliseconds(5));  // drain late
+    std::vector<std::byte> out(big);
+    bed.network.port(1).stream(0).recv(out);
+    recv_done = bed.simulator.now();
+    EXPECT_TRUE(verify_pattern(out, 3));
+  });
+  ASSERT_TRUE(bed.simulator.run().is_ok());
+  EXPECT_GT(send_done, sim::milliseconds(4));  // was throttled
+  EXPECT_GT(recv_done, send_done);
+}
+
+TEST(Tcp, WaitReadableAndReadableAgree) {
+  TcpBed bed(2);
+  bed.simulator.spawn("sender", [&] {
+    bed.simulator.advance(sim::microseconds(500));
+    std::vector<std::byte> m{std::byte{5}};
+    bed.network.port(0).stream(1).send(m);
+  });
+  bed.simulator.spawn("receiver", [&] {
+    auto& stream = bed.network.port(1).stream(0);
+    EXPECT_FALSE(stream.readable());
+    stream.wait_readable();
+    EXPECT_TRUE(stream.readable());
+    std::vector<std::byte> out(1);
+    stream.recv(out);
+    EXPECT_FALSE(stream.readable());
+  });
+  ASSERT_TRUE(bed.simulator.run().is_ok());
+}
+
+TEST(Tcp, ConcurrentBidirectionalStreams) {
+  TcpBed bed(2);
+  const std::size_t size = 100 * 1024;
+  int done = 0;
+  for (int me = 0; me < 2; ++me) {
+    bed.simulator.spawn("peer" + std::to_string(me), [&, me] {
+      const std::uint32_t other = 1 - me;
+      const auto payload = make_pattern_buffer(size, 10 + me);
+      // Each peer sends on one fiber...
+      bed.network.port(me).stream(other).send(payload);
+      ++done;
+    });
+    bed.simulator.spawn("peer_rx" + std::to_string(me), [&, me] {
+      const std::uint32_t other = 1 - me;
+      std::vector<std::byte> out(size);
+      bed.network.port(me).stream(other).recv(out);
+      EXPECT_TRUE(verify_pattern(out, 10 + other));
+      ++done;
+    });
+  }
+  ASSERT_TRUE(bed.simulator.run().is_ok());
+  EXPECT_EQ(done, 4);
+}
+
+}  // namespace
+}  // namespace mad2::net

@@ -1,0 +1,198 @@
+// Tests for the mini-PM2 RPC runtime: synchronous/asynchronous/one-way
+// calls, thread-per-request semantics, nested RPCs, and dispatch under
+// concurrency.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "pm2/pm2.hpp"
+#include "util/bytes.hpp"
+
+namespace mad2::pm2 {
+namespace {
+
+using mad::ChannelDef;
+using mad::NetworkDef;
+using mad::NetworkKind;
+using mad::NodeRuntime;
+using mad::Session;
+using mad::SessionConfig;
+
+SessionConfig pm2_config(NetworkKind kind, std::size_t nodes = 2) {
+  SessionConfig config;
+  config.node_count = nodes;
+  NetworkDef net;
+  net.name = "net0";
+  net.kind = kind;
+  for (std::uint32_t i = 0; i < nodes; ++i) net.nodes.push_back(i);
+  config.networks.push_back(net);
+  config.channels.push_back(ChannelDef{"pm2", "net0"});
+  return config;
+}
+
+std::vector<std::byte> to_bytes(std::uint64_t v) {
+  std::vector<std::byte> out(8);
+  std::memcpy(out.data(), &v, 8);
+  return out;
+}
+
+std::uint64_t from_bytes(std::span<const std::byte> bytes) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, bytes.data(), 8);
+  return v;
+}
+
+TEST(Pm2, SynchronousRpcReturnsTheReply) {
+  Session session(pm2_config(NetworkKind::kSisci));
+  Pm2World world(session, "pm2");
+  world.node(1).register_service(
+      1, [](std::uint32_t, std::span<const std::byte> argument) {
+        return to_bytes(from_bytes(argument) * 3);
+      });
+  session.spawn(0, "caller", [&](NodeRuntime&) {
+    const auto reply = world.node(0).rpc(1, 1, to_bytes(14));
+    EXPECT_EQ(from_bytes(reply), 42u);
+  });
+  ASSERT_TRUE(session.run().is_ok());
+}
+
+TEST(Pm2, AsyncRpcsOverlap) {
+  Session session(pm2_config(NetworkKind::kBip, 3));
+  Pm2World world(session, "pm2");
+  for (std::uint32_t worker : {1u, 2u}) {
+    world.node(worker).register_service(
+        1, [&, worker](std::uint32_t, std::span<const std::byte> argument) {
+          // Unequal compute times: the caller still gets both replies
+          // concurrently, not serially.
+          session.simulator().advance(sim::milliseconds(worker));
+          return to_bytes(from_bytes(argument) + worker);
+        });
+  }
+  session.spawn(0, "caller", [&](NodeRuntime& rt) {
+    const sim::Time start = rt.simulator().now();
+    RpcFuture f1 = world.node(0).async_rpc(1, 1, to_bytes(100));
+    RpcFuture f2 = world.node(0).async_rpc(2, 1, to_bytes(200));
+    EXPECT_EQ(from_bytes(world.node(0).wait(f2)), 202u);
+    EXPECT_EQ(from_bytes(world.node(0).wait(f1)), 101u);
+    // Total must be close to the slower call, not the sum (overlap).
+    const double elapsed_ms =
+        sim::to_us(rt.simulator().now() - start) / 1000.0;
+    EXPECT_LT(elapsed_ms, 2.8);
+  });
+  ASSERT_TRUE(session.run().is_ok());
+}
+
+TEST(Pm2, QuickRpcIsFireAndForget) {
+  Session session(pm2_config(NetworkKind::kSisci));
+  Pm2World world(session, "pm2");
+  int hits = 0;
+  world.node(1).register_service(
+      9, [&](std::uint32_t src, std::span<const std::byte>) {
+        EXPECT_EQ(src, 0u);
+        ++hits;
+        return std::vector<std::byte>{};
+      });
+  session.spawn(0, "caller", [&](NodeRuntime& rt) {
+    for (int i = 0; i < 5; ++i) world.node(0).quick_rpc(1, 9, {});
+    rt.simulator().advance(sim::milliseconds(1));
+    rt.simulator().stop();
+  });
+  ASSERT_TRUE(session.run().is_ok());
+  EXPECT_EQ(hits, 5);
+}
+
+TEST(Pm2, ServicesRunConcurrentlyPerRequest) {
+  Session session(pm2_config(NetworkKind::kSisci));
+  Pm2World world(session, "pm2");
+  int in_flight = 0;
+  int max_in_flight = 0;
+  world.node(1).register_service(
+      1, [&](std::uint32_t, std::span<const std::byte>) {
+        ++in_flight;
+        max_in_flight = std::max(max_in_flight, in_flight);
+        session.simulator().advance(sim::milliseconds(1));
+        --in_flight;
+        return std::vector<std::byte>{};
+      });
+  session.spawn(0, "caller", [&](NodeRuntime&) {
+    RpcFuture f1 = world.node(0).async_rpc(1, 1, {});
+    RpcFuture f2 = world.node(0).async_rpc(1, 1, {});
+    RpcFuture f3 = world.node(0).async_rpc(1, 1, {});
+    world.node(0).wait(f1);
+    world.node(0).wait(f2);
+    world.node(0).wait(f3);
+  });
+  ASSERT_TRUE(session.run().is_ok());
+  EXPECT_GE(max_in_flight, 2);  // thread-per-request, not serialized
+}
+
+TEST(Pm2, NestedRpcsWork) {
+  // Service on node 1 calls a service on node 2 to compose the answer.
+  Session session(pm2_config(NetworkKind::kBip, 3));
+  Pm2World world(session, "pm2");
+  world.node(2).register_service(
+      2, [](std::uint32_t, std::span<const std::byte> argument) {
+        return to_bytes(from_bytes(argument) + 1);
+      });
+  world.node(1).register_service(
+      1, [&](std::uint32_t, std::span<const std::byte> argument) {
+        const auto inner = world.node(1).rpc(2, 2, argument);
+        return to_bytes(from_bytes(inner) * 2);
+      });
+  session.spawn(0, "caller", [&](NodeRuntime&) {
+    const auto reply = world.node(0).rpc(1, 1, to_bytes(20));
+    EXPECT_EQ(from_bytes(reply), 42u);  // (20 + 1) * 2
+  });
+  ASSERT_TRUE(session.run().is_ok());
+}
+
+TEST(Pm2, LargeArgumentsAndRepliesRideTheBulkPath) {
+  Session session(pm2_config(NetworkKind::kBip));
+  Pm2World world(session, "pm2");
+  const std::size_t size = 500000;
+  world.node(1).register_service(
+      1, [&](std::uint32_t, std::span<const std::byte> argument) {
+        EXPECT_TRUE(verify_pattern(argument, 5));
+        return make_pattern_buffer(size, 6);
+      });
+  session.spawn(0, "caller", [&](NodeRuntime&) {
+    const auto reply = world.node(0).rpc(1, 1, make_pattern_buffer(size, 5));
+    EXPECT_EQ(reply.size(), size);
+    EXPECT_TRUE(verify_pattern(reply, 6));
+  });
+  ASSERT_TRUE(session.run().is_ok());
+}
+
+TEST(Pm2, BidirectionalCallsBetweenTwoNodes) {
+  Session session(pm2_config(NetworkKind::kSisci));
+  Pm2World world(session, "pm2");
+  for (std::uint32_t n : {0u, 1u}) {
+    world.node(n).register_service(
+        1, [n](std::uint32_t, std::span<const std::byte> argument) {
+          return to_bytes(from_bytes(argument) + 10 * (n + 1));
+        });
+  }
+  int done = 0;
+  for (std::uint32_t n : {0u, 1u}) {
+    session.spawn(n, "caller" + std::to_string(n), [&, n](NodeRuntime&) {
+      const std::uint32_t other = 1 - n;
+      const auto reply = world.node(n).rpc(other, 1, to_bytes(n));
+      EXPECT_EQ(from_bytes(reply), n + 10 * (other + 1));
+      ++done;
+    });
+  }
+  ASSERT_TRUE(session.run().is_ok());
+  EXPECT_EQ(done, 2);
+}
+
+TEST(Pm2, UnregisteredServiceAborts) {
+  Session session(pm2_config(NetworkKind::kSisci));
+  Pm2World world(session, "pm2");
+  session.spawn(0, "caller", [&](NodeRuntime&) {
+    (void)world.node(0).rpc(1, 77, {});
+  });
+  EXPECT_DEATH({ (void)session.run(); }, "unregistered service");
+}
+
+}  // namespace
+}  // namespace mad2::pm2

@@ -1,0 +1,362 @@
+// Tests for the discrete-event simulator core: fibers, virtual time,
+// blocking/waking, timeouts, and the synchronization primitives.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/sync.hpp"
+
+namespace mad2::sim {
+namespace {
+
+TEST(Simulator, RunsSingleFiberToCompletion) {
+  Simulator simulator;
+  bool ran = false;
+  simulator.spawn("f", [&] { ran = true; });
+  ASSERT_TRUE(simulator.run().is_ok());
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(simulator.live_fiber_count(), 0u);
+}
+
+TEST(Simulator, AdvanceMovesVirtualTime) {
+  Simulator simulator;
+  Time end = -1;
+  simulator.spawn("f", [&] {
+    simulator.advance(microseconds(5));
+    simulator.advance(microseconds(7));
+    end = simulator.now();
+  });
+  ASSERT_TRUE(simulator.run().is_ok());
+  EXPECT_EQ(end, microseconds(12));
+}
+
+TEST(Simulator, FibersInterleaveDeterministically) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.spawn("a", [&] {
+    order.push_back(1);
+    simulator.advance(microseconds(10));
+    order.push_back(3);
+  });
+  simulator.spawn("b", [&] {
+    order.push_back(2);
+    simulator.advance(microseconds(5));
+    order.push_back(4);  // runs at t=5, before a's t=10 resume
+    simulator.advance(microseconds(10));
+    order.push_back(5);  // t=15
+  });
+  ASSERT_TRUE(simulator.run().is_ok());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 4, 3, 5}));
+}
+
+TEST(Simulator, YieldIsFairAtSameTimestamp) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.spawn("a", [&] {
+    order.push_back(1);
+    simulator.yield_fiber();
+    order.push_back(3);
+  });
+  simulator.spawn("b", [&] { order.push_back(2); });
+  ASSERT_TRUE(simulator.run().is_ok());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, BlockAndWake) {
+  Simulator simulator;
+  Fiber* sleeper = nullptr;
+  Time woke_at = -1;
+  sleeper = simulator.spawn("sleeper", [&] {
+    const bool timed_out = simulator.block_current();
+    EXPECT_FALSE(timed_out);
+    woke_at = simulator.now();
+  });
+  simulator.spawn("waker", [&] {
+    simulator.advance(microseconds(42));
+    simulator.wake(sleeper);
+  });
+  ASSERT_TRUE(simulator.run().is_ok());
+  EXPECT_EQ(woke_at, microseconds(42));
+}
+
+TEST(Simulator, BlockWithDeadlineTimesOut) {
+  Simulator simulator;
+  bool timed_out = false;
+  Time woke_at = -1;
+  simulator.spawn("sleeper", [&] {
+    timed_out = simulator.block_current(microseconds(100));
+    woke_at = simulator.now();
+  });
+  ASSERT_TRUE(simulator.run().is_ok());
+  EXPECT_TRUE(timed_out);
+  EXPECT_EQ(woke_at, microseconds(100));
+}
+
+TEST(Simulator, WakeBeforeDeadlineCancelsTimeout) {
+  Simulator simulator;
+  bool timed_out = true;
+  Fiber* sleeper = simulator.spawn("sleeper", [&] {
+    timed_out = simulator.block_current(microseconds(100));
+  });
+  simulator.spawn("waker", [&] {
+    simulator.advance(microseconds(10));
+    simulator.wake(sleeper);
+  });
+  ASSERT_TRUE(simulator.run().is_ok());
+  EXPECT_FALSE(timed_out);
+}
+
+TEST(Simulator, StaleTimeoutDoesNotReWakeLaterBlock) {
+  Simulator simulator;
+  Fiber* sleeper = nullptr;
+  int wakes = 0;
+  sleeper = simulator.spawn("sleeper", [&] {
+    // First block with a deadline, woken early.
+    EXPECT_FALSE(simulator.block_current(microseconds(100)));
+    ++wakes;
+    // Second block without deadline; the stale first deadline event must
+    // not wake it.
+    EXPECT_FALSE(simulator.block_current());
+    ++wakes;
+  });
+  simulator.spawn("waker", [&] {
+    simulator.advance(microseconds(10));
+    simulator.wake(sleeper);
+    simulator.advance(microseconds(500));
+    simulator.wake(sleeper);
+  });
+  ASSERT_TRUE(simulator.run().is_ok());
+  EXPECT_EQ(wakes, 2);
+}
+
+TEST(Simulator, DeadlockIsReported) {
+  Simulator simulator;
+  simulator.spawn("stuck", [&] { simulator.block_current(); });
+  const Status status = simulator.run();
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), ErrorCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("stuck"), std::string::npos);
+}
+
+TEST(Simulator, BlockedDaemonsAreNotADeadlock) {
+  Simulator simulator;
+  simulator.spawn_daemon("server", [&] { simulator.block_current(); });
+  simulator.spawn("client", [&] { simulator.advance(microseconds(1)); });
+  EXPECT_TRUE(simulator.run().is_ok());
+}
+
+TEST(Simulator, PostedCallbacksRunAtTheirTime) {
+  Simulator simulator;
+  std::vector<Time> fired;
+  simulator.spawn("f", [&] {
+    simulator.post_after(microseconds(30), [&] {
+      fired.push_back(simulator.now());
+    });
+    simulator.post_after(microseconds(10), [&] {
+      fired.push_back(simulator.now());
+    });
+    simulator.advance(microseconds(50));
+  });
+  ASSERT_TRUE(simulator.run().is_ok());
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], microseconds(10));
+  EXPECT_EQ(fired[1], microseconds(30));
+}
+
+TEST(Simulator, StopAbortsTheRun) {
+  Simulator simulator;
+  int steps = 0;
+  simulator.spawn("looper", [&] {
+    for (;;) {
+      ++steps;
+      if (steps == 5) simulator.stop();
+      simulator.advance(microseconds(1));
+    }
+  });
+  // stop() means "ended by request", not a deadlock.
+  EXPECT_TRUE(simulator.run().is_ok());
+  EXPECT_EQ(steps, 5);
+}
+
+// ---------------------------------------------------------------- Sync ---
+
+TEST(Sync, MutexProvidesExclusionAcrossBlocking) {
+  Simulator simulator;
+  Mutex mutex(&simulator);
+  std::vector<int> order;
+  simulator.spawn("a", [&] {
+    LockGuard lock(mutex);
+    order.push_back(1);
+    simulator.advance(microseconds(10));  // holds the lock across a block
+    order.push_back(2);
+  });
+  simulator.spawn("b", [&] {
+    LockGuard lock(mutex);
+    order.push_back(3);
+  });
+  ASSERT_TRUE(simulator.run().is_ok());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Sync, TryLockFailsWhenHeld) {
+  Simulator simulator;
+  Mutex mutex(&simulator);
+  simulator.spawn("a", [&] {
+    ASSERT_TRUE(mutex.try_lock());
+    EXPECT_FALSE(mutex.try_lock());
+    mutex.unlock();
+    EXPECT_TRUE(mutex.try_lock());
+    mutex.unlock();
+  });
+  ASSERT_TRUE(simulator.run().is_ok());
+}
+
+TEST(Sync, CondVarWaitAndNotify) {
+  Simulator simulator;
+  Mutex mutex(&simulator);
+  CondVar cond(&simulator);
+  bool flag = false;
+  Time observed = -1;
+  simulator.spawn("waiter", [&] {
+    LockGuard lock(mutex);
+    while (!flag) cond.wait(mutex);
+    observed = simulator.now();
+  });
+  simulator.spawn("setter", [&] {
+    simulator.advance(microseconds(25));
+    LockGuard lock(mutex);
+    flag = true;
+    cond.notify_one();
+  });
+  ASSERT_TRUE(simulator.run().is_ok());
+  EXPECT_EQ(observed, microseconds(25));
+}
+
+TEST(Sync, CondVarWaitUntilTimesOut) {
+  Simulator simulator;
+  Mutex mutex(&simulator);
+  CondVar cond(&simulator);
+  bool timed_out = false;
+  simulator.spawn("waiter", [&] {
+    LockGuard lock(mutex);
+    timed_out = cond.wait_until(mutex, microseconds(40));
+  });
+  ASSERT_TRUE(simulator.run().is_ok());
+  EXPECT_TRUE(timed_out);
+}
+
+TEST(Sync, SemaphoreBlocksAtZero) {
+  Simulator simulator;
+  Semaphore semaphore(&simulator, 2);
+  std::vector<int> order;
+  simulator.spawn("consumer", [&] {
+    semaphore.acquire();
+    semaphore.acquire();
+    order.push_back(1);
+    semaphore.acquire();  // blocks until release
+    order.push_back(3);
+  });
+  simulator.spawn("producer", [&] {
+    simulator.advance(microseconds(5));
+    order.push_back(2);
+    semaphore.release();
+  });
+  ASSERT_TRUE(simulator.run().is_ok());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Sync, SemaphoreTryAcquire) {
+  Simulator simulator;
+  Semaphore semaphore(&simulator, 1);
+  simulator.spawn("f", [&] {
+    EXPECT_TRUE(semaphore.try_acquire());
+    EXPECT_FALSE(semaphore.try_acquire());
+    semaphore.release(3);
+    EXPECT_EQ(semaphore.available(), 3u);
+  });
+  ASSERT_TRUE(simulator.run().is_ok());
+}
+
+TEST(Sync, BarrierReleasesAllPartiesTogether) {
+  Simulator simulator;
+  Barrier barrier(&simulator, 3);
+  std::vector<Time> arrival;
+  for (int i = 0; i < 3; ++i) {
+    simulator.spawn("p" + std::to_string(i), [&, i] {
+      simulator.advance(microseconds(10 * (i + 1)));
+      barrier.arrive_and_wait();
+      arrival.push_back(simulator.now());
+    });
+  }
+  ASSERT_TRUE(simulator.run().is_ok());
+  ASSERT_EQ(arrival.size(), 3u);
+  for (Time t : arrival) EXPECT_EQ(t, microseconds(30));
+}
+
+TEST(Sync, BarrierIsReusable) {
+  Simulator simulator;
+  Barrier barrier(&simulator, 2);
+  int rounds_done = 0;
+  for (int i = 0; i < 2; ++i) {
+    simulator.spawn("p" + std::to_string(i), [&, i] {
+      for (int round = 0; round < 3; ++round) {
+        simulator.advance(microseconds(i + 1));
+        barrier.arrive_and_wait();
+      }
+      ++rounds_done;
+    });
+  }
+  ASSERT_TRUE(simulator.run().is_ok());
+  EXPECT_EQ(rounds_done, 2);
+}
+
+TEST(Sync, BoundedChannelPassesValuesInOrder) {
+  Simulator simulator;
+  BoundedChannel<int> channel(&simulator, 2);
+  std::vector<int> received;
+  simulator.spawn("producer", [&] {
+    for (int i = 0; i < 5; ++i) channel.send(i);
+    channel.close();
+  });
+  simulator.spawn("consumer", [&] {
+    while (auto v = channel.receive()) received.push_back(*v);
+  });
+  ASSERT_TRUE(simulator.run().is_ok());
+  EXPECT_EQ(received, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Sync, BoundedChannelBlocksProducerWhenFull) {
+  Simulator simulator;
+  BoundedChannel<int> channel(&simulator, 1);
+  Time producer_done = -1;
+  simulator.spawn("producer", [&] {
+    channel.send(1);
+    channel.send(2);  // blocks until the consumer drains one
+    producer_done = simulator.now();
+  });
+  simulator.spawn("consumer", [&] {
+    simulator.advance(microseconds(50));
+    EXPECT_TRUE(channel.receive().has_value());
+    EXPECT_TRUE(channel.receive().has_value());
+  });
+  ASSERT_TRUE(simulator.run().is_ok());
+  EXPECT_EQ(producer_done, microseconds(50));
+}
+
+TEST(Sync, TrySendAndTryReceive) {
+  Simulator simulator;
+  BoundedChannel<int> channel(&simulator, 1);
+  simulator.spawn("f", [&] {
+    EXPECT_FALSE(channel.try_receive().has_value());
+    EXPECT_TRUE(channel.try_send(7));
+    EXPECT_FALSE(channel.try_send(8));  // full
+    auto v = channel.try_receive();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 7);
+  });
+  ASSERT_TRUE(simulator.run().is_ok());
+}
+
+}  // namespace
+}  // namespace mad2::sim

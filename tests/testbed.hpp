@@ -1,0 +1,31 @@
+// Shared test scaffolding: a simulator plus N paper-calibrated nodes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hw/node.hpp"
+#include "sim/simulator.hpp"
+
+namespace mad2 {
+
+struct Testbed {
+  explicit Testbed(int node_count,
+                   hw::HostParams params = hw::HostParams::pentium_ii_450()) {
+    for (int i = 0; i < node_count; ++i) {
+      nodes.push_back(std::make_unique<hw::Node>(
+          &simulator, i, "node" + std::to_string(i), params));
+    }
+  }
+
+  std::vector<hw::Node*> node_ptrs() {
+    std::vector<hw::Node*> out;
+    for (auto& node : nodes) out.push_back(node.get());
+    return out;
+  }
+
+  sim::Simulator simulator;
+  std::vector<std::unique_ptr<hw::Node>> nodes;
+};
+
+}  // namespace mad2

@@ -1,0 +1,187 @@
+// Tests for the util module: Status/Result, stats, tables, byte helpers,
+// and the deterministic RNG.
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/status.hpp"
+#include "util/table.hpp"
+
+namespace mad2 {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.is_ok());
+  EXPECT_EQ(status.code(), ErrorCode::kOk);
+  EXPECT_EQ(status.to_string(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  const Status status = invalid_argument("bad size");
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad size");
+  EXPECT_EQ(status.to_string(), "INVALID_ARGUMENT: bad size");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kInternal); ++c) {
+    EXPECT_NE(error_code_name(static_cast<ErrorCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_TRUE(result.status().is_ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> result(not_found("nope"));
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(RunningStats, ComputesMoments) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_NEAR(stats.stddev(), 2.138, 1e-3);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.min(), 0.0);
+  EXPECT_EQ(stats.max(), 0.0);
+  EXPECT_EQ(stats.stddev(), 0.0);
+}
+
+TEST(SampleSet, QuantilesAreExact) {
+  SampleSet set;
+  for (int i = 100; i >= 1; --i) set.add(i);
+  EXPECT_DOUBLE_EQ(set.median(), 50.5);
+  EXPECT_DOUBLE_EQ(set.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(set.quantile(1.0), 100.0);
+  EXPECT_NEAR(set.quantile(0.9), 90.0, 1.0);
+}
+
+TEST(PerfSeries, SummariesMatchPoints) {
+  PerfSeries series{"x",
+                    {{4, 5.0, 0.8}, {1024, 15.0, 60.0}, {65536, 900.0, 72.0}}};
+  EXPECT_DOUBLE_EQ(series.min_latency_us(), 5.0);
+  EXPECT_DOUBLE_EQ(series.peak_bandwidth_mbs(), 72.0);
+  EXPECT_DOUBLE_EQ(series.bandwidth_at(1024), 60.0);
+  EXPECT_DOUBLE_EQ(series.bandwidth_at(999), 0.0);
+}
+
+TEST(GeometricSizes, DoublesAndIncludesEndpoints) {
+  const auto sizes = geometric_sizes(4, 64);
+  EXPECT_EQ(sizes, (std::vector<std::uint64_t>{4, 8, 16, 32, 64}));
+}
+
+TEST(GeometricSizes, AlwaysEndsAtHi) {
+  const auto sizes = geometric_sizes(4, 100);
+  EXPECT_EQ(sizes.front(), 4u);
+  EXPECT_EQ(sizes.back(), 100u);
+}
+
+TEST(GeometricSizes, PerOctaveSubdivision) {
+  const auto sizes = geometric_sizes(16, 64, 2);
+  // 16, ~23, 32, ~45, 64.
+  EXPECT_EQ(sizes.size(), 5u);
+  EXPECT_EQ(sizes.front(), 16u);
+  EXPECT_EQ(sizes.back(), 64u);
+}
+
+TEST(Table, AlignsColumns) {
+  Table table({"a", "bbbb"});
+  table.add_row({"xxxxx", "y"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("a      bbbb"), std::string::npos);
+  EXPECT_NE(out.find("xxxxx  y"), std::string::npos);
+}
+
+TEST(FormatBytes, PicksUnits) {
+  EXPECT_EQ(format_bytes(4), "4 B");
+  EXPECT_EQ(format_bytes(8192), "8 kB");
+  EXPECT_EQ(format_bytes(1 << 20), "1 MB");
+  EXPECT_EQ(format_bytes(1500), "1500 B");  // not a whole number of kB
+}
+
+TEST(Bytes, PatternRoundTrips) {
+  auto buf = make_pattern_buffer(4096, 7);
+  EXPECT_TRUE(verify_pattern(buf, 7));
+  EXPECT_FALSE(verify_pattern(buf, 8));
+}
+
+TEST(Bytes, PatternDetectsCorruption) {
+  auto buf = make_pattern_buffer(1024, 3);
+  buf[512] ^= std::byte{0x01};
+  EXPECT_FALSE(verify_pattern(buf, 3));
+}
+
+TEST(Bytes, PatternIsPositionSensitive) {
+  auto buf = make_pattern_buffer(256, 5);
+  // A shifted view must not verify: catches off-by-one reassembly bugs.
+  EXPECT_FALSE(
+      verify_pattern(std::span<const std::byte>(buf).subspan(1), 5));
+}
+
+TEST(Bytes, Fnv1aMatchesKnownVector) {
+  const char* text = "hello";
+  const std::uint64_t hash = fnv1a(std::as_bytes(std::span(text, 5)));
+  EXPECT_EQ(hash, 0xa430d84680aabd0bULL);
+}
+
+TEST(Bytes, EndianHelpersRoundTrip) {
+  std::byte buf[8];
+  store_u32(buf, 0xdeadbeefu);
+  EXPECT_EQ(load_u32(buf), 0xdeadbeefu);
+  store_u64(buf, 0x0123456789abcdefULL);
+  EXPECT_EQ(load_u64(buf), 0x0123456789abcdefULL);
+}
+
+TEST(Rng, IsDeterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, BoundsAreRespected) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(10), 10u);
+    const auto v = rng.next_range(5, 7);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 7u);
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, RoughUniformity) {
+  Rng rng(7);
+  int buckets[8] = {};
+  for (int i = 0; i < 8000; ++i) ++buckets[rng.next_below(8)];
+  for (int count : buckets) {
+    EXPECT_GT(count, 800);
+    EXPECT_LT(count, 1200);
+  }
+}
+
+}  // namespace
+}  // namespace mad2
