@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_aggregation"
+  "../bench/abl_aggregation.pdb"
+  "CMakeFiles/abl_aggregation.dir/abl_aggregation.cpp.o"
+  "CMakeFiles/abl_aggregation.dir/abl_aggregation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_bandwidth_control"
+  "../bench/abl_bandwidth_control.pdb"
+  "CMakeFiles/abl_bandwidth_control.dir/abl_bandwidth_control.cpp.o"
+  "CMakeFiles/abl_bandwidth_control.dir/abl_bandwidth_control.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_bandwidth_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

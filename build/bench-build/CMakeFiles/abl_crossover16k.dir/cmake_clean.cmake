@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_crossover16k"
+  "../bench/abl_crossover16k.pdb"
+  "CMakeFiles/abl_crossover16k.dir/abl_crossover16k.cpp.o"
+  "CMakeFiles/abl_crossover16k.dir/abl_crossover16k.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_crossover16k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

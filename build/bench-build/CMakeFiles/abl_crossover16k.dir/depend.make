@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_crossover16k.
+# This may be replaced when dependencies are built.

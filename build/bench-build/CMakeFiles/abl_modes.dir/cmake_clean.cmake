@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_modes"
+  "../bench/abl_modes.pdb"
+  "CMakeFiles/abl_modes.dir/abl_modes.cpp.o"
+  "CMakeFiles/abl_modes.dir/abl_modes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

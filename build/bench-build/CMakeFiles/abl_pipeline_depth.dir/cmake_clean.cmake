@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_pipeline_depth"
+  "../bench/abl_pipeline_depth.pdb"
+  "CMakeFiles/abl_pipeline_depth.dir/abl_pipeline_depth.cpp.o"
+  "CMakeFiles/abl_pipeline_depth.dir/abl_pipeline_depth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_pipeline_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

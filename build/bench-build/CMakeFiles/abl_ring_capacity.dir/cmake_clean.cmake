@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_ring_capacity"
+  "../bench/abl_ring_capacity.pdb"
+  "CMakeFiles/abl_ring_capacity.dir/abl_ring_capacity.cpp.o"
+  "CMakeFiles/abl_ring_capacity.dir/abl_ring_capacity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ring_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

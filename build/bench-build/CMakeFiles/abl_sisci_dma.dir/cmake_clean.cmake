@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_sisci_dma"
+  "../bench/abl_sisci_dma.pdb"
+  "CMakeFiles/abl_sisci_dma.dir/abl_sisci_dma.cpp.o"
+  "CMakeFiles/abl_sisci_dma.dir/abl_sisci_dma.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sisci_dma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

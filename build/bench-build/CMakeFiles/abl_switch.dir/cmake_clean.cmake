@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_switch"
+  "../bench/abl_switch.pdb"
+  "CMakeFiles/abl_switch.dir/abl_switch.cpp.o"
+  "CMakeFiles/abl_switch.dir/abl_switch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

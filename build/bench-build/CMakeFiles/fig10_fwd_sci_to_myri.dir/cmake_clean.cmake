@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_fwd_sci_to_myri"
+  "../bench/fig10_fwd_sci_to_myri.pdb"
+  "CMakeFiles/fig10_fwd_sci_to_myri.dir/fig10_fwd_sci_to_myri.cpp.o"
+  "CMakeFiles/fig10_fwd_sci_to_myri.dir/fig10_fwd_sci_to_myri.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_fwd_sci_to_myri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_fwd_sci_to_myri.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig11_fwd_myri_to_sci.cpp" "bench-build/CMakeFiles/fig11_fwd_myri_to_sci.dir/fig11_fwd_myri_to_sci.cpp.o" "gcc" "bench-build/CMakeFiles/fig11_fwd_myri_to_sci.dir/fig11_fwd_myri_to_sci.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/mad2_benchutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/fwd/CMakeFiles/mad2_fwd.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/mad2_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/nexus/CMakeFiles/mad2_nexus.dir/DependInfo.cmake"
+  "/root/repo/build/src/mad/CMakeFiles/mad2_mad.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mad2_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/mad2_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mad2_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mad2_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

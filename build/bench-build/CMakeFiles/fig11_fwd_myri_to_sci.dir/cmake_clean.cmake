@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_fwd_myri_to_sci"
+  "../bench/fig11_fwd_myri_to_sci.pdb"
+  "CMakeFiles/fig11_fwd_myri_to_sci.dir/fig11_fwd_myri_to_sci.cpp.o"
+  "CMakeFiles/fig11_fwd_myri_to_sci.dir/fig11_fwd_myri_to_sci.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_fwd_myri_to_sci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

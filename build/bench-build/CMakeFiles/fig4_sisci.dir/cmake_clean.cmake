@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_sisci"
+  "../bench/fig4_sisci.pdb"
+  "CMakeFiles/fig4_sisci.dir/fig4_sisci.cpp.o"
+  "CMakeFiles/fig4_sisci.dir/fig4_sisci.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_sisci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_bip"
+  "../bench/fig5_bip.pdb"
+  "CMakeFiles/fig5_bip.dir/fig5_bip.cpp.o"
+  "CMakeFiles/fig5_bip.dir/fig5_bip.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_bip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

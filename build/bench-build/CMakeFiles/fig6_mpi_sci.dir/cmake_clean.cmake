@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_mpi_sci"
+  "../bench/fig6_mpi_sci.pdb"
+  "CMakeFiles/fig6_mpi_sci.dir/fig6_mpi_sci.cpp.o"
+  "CMakeFiles/fig6_mpi_sci.dir/fig6_mpi_sci.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_mpi_sci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_nexus"
+  "../bench/fig7_nexus.pdb"
+  "CMakeFiles/fig7_nexus.dir/fig7_nexus.cpp.o"
+  "CMakeFiles/fig7_nexus.dir/fig7_nexus.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_nexus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

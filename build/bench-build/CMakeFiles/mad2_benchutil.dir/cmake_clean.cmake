@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mad2_benchutil.dir/bench_util.cpp.o"
+  "CMakeFiles/mad2_benchutil.dir/bench_util.cpp.o.d"
+  "libmad2_benchutil.a"
+  "libmad2_benchutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mad2_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

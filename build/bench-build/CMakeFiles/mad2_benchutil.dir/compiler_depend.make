@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mad2_benchutil.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_pack"
+  "../bench/micro_pack.pdb"
+  "CMakeFiles/micro_pack.dir/micro_pack.cpp.o"
+  "CMakeFiles/micro_pack.dir/micro_pack.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_pack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/madperf.dir/madperf.cpp.o"
+  "CMakeFiles/madperf.dir/madperf.cpp.o.d"
+  "madperf"
+  "madperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/madperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

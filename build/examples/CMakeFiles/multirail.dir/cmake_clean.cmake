@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multirail.dir/multirail.cpp.o"
+  "CMakeFiles/multirail.dir/multirail.cpp.o.d"
+  "multirail"
+  "multirail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multirail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

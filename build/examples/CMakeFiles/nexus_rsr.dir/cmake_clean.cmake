@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nexus_rsr.dir/nexus_rsr.cpp.o"
+  "CMakeFiles/nexus_rsr.dir/nexus_rsr.cpp.o.d"
+  "nexus_rsr"
+  "nexus_rsr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nexus_rsr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm2_rpc.dir/pm2_rpc.cpp.o"
+  "CMakeFiles/pm2_rpc.dir/pm2_rpc.cpp.o.d"
+  "pm2_rpc"
+  "pm2_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm2_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

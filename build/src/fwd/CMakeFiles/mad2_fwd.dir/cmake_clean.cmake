@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mad2_fwd.dir/virtual_channel.cpp.o"
+  "CMakeFiles/mad2_fwd.dir/virtual_channel.cpp.o.d"
+  "libmad2_fwd.a"
+  "libmad2_fwd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mad2_fwd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

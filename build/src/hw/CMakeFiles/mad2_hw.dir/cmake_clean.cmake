@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mad2_hw.dir/node.cpp.o"
+  "CMakeFiles/mad2_hw.dir/node.cpp.o.d"
+  "CMakeFiles/mad2_hw.dir/resource.cpp.o"
+  "CMakeFiles/mad2_hw.dir/resource.cpp.o.d"
+  "libmad2_hw.a"
+  "libmad2_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mad2_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mad2_hw.
+# This may be replaced when dependencies are built.

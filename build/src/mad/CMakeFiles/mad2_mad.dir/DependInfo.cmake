@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mad/bmm.cpp" "src/mad/CMakeFiles/mad2_mad.dir/bmm.cpp.o" "gcc" "src/mad/CMakeFiles/mad2_mad.dir/bmm.cpp.o.d"
+  "/root/repo/src/mad/config_parser.cpp" "src/mad/CMakeFiles/mad2_mad.dir/config_parser.cpp.o" "gcc" "src/mad/CMakeFiles/mad2_mad.dir/config_parser.cpp.o.d"
+  "/root/repo/src/mad/connection.cpp" "src/mad/CMakeFiles/mad2_mad.dir/connection.cpp.o" "gcc" "src/mad/CMakeFiles/mad2_mad.dir/connection.cpp.o.d"
+  "/root/repo/src/mad/pmm_bip.cpp" "src/mad/CMakeFiles/mad2_mad.dir/pmm_bip.cpp.o" "gcc" "src/mad/CMakeFiles/mad2_mad.dir/pmm_bip.cpp.o.d"
+  "/root/repo/src/mad/pmm_factory.cpp" "src/mad/CMakeFiles/mad2_mad.dir/pmm_factory.cpp.o" "gcc" "src/mad/CMakeFiles/mad2_mad.dir/pmm_factory.cpp.o.d"
+  "/root/repo/src/mad/pmm_sbp.cpp" "src/mad/CMakeFiles/mad2_mad.dir/pmm_sbp.cpp.o" "gcc" "src/mad/CMakeFiles/mad2_mad.dir/pmm_sbp.cpp.o.d"
+  "/root/repo/src/mad/pmm_sisci.cpp" "src/mad/CMakeFiles/mad2_mad.dir/pmm_sisci.cpp.o" "gcc" "src/mad/CMakeFiles/mad2_mad.dir/pmm_sisci.cpp.o.d"
+  "/root/repo/src/mad/pmm_tcp.cpp" "src/mad/CMakeFiles/mad2_mad.dir/pmm_tcp.cpp.o" "gcc" "src/mad/CMakeFiles/mad2_mad.dir/pmm_tcp.cpp.o.d"
+  "/root/repo/src/mad/pmm_via.cpp" "src/mad/CMakeFiles/mad2_mad.dir/pmm_via.cpp.o" "gcc" "src/mad/CMakeFiles/mad2_mad.dir/pmm_via.cpp.o.d"
+  "/root/repo/src/mad/session.cpp" "src/mad/CMakeFiles/mad2_mad.dir/session.cpp.o" "gcc" "src/mad/CMakeFiles/mad2_mad.dir/session.cpp.o.d"
+  "/root/repo/src/mad/stats.cpp" "src/mad/CMakeFiles/mad2_mad.dir/stats.cpp.o" "gcc" "src/mad/CMakeFiles/mad2_mad.dir/stats.cpp.o.d"
+  "/root/repo/src/mad/tm.cpp" "src/mad/CMakeFiles/mad2_mad.dir/tm.cpp.o" "gcc" "src/mad/CMakeFiles/mad2_mad.dir/tm.cpp.o.d"
+  "/root/repo/src/mad/types.cpp" "src/mad/CMakeFiles/mad2_mad.dir/types.cpp.o" "gcc" "src/mad/CMakeFiles/mad2_mad.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/mad2_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/mad2_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mad2_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mad2_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mad2_mad.dir/bmm.cpp.o"
+  "CMakeFiles/mad2_mad.dir/bmm.cpp.o.d"
+  "CMakeFiles/mad2_mad.dir/config_parser.cpp.o"
+  "CMakeFiles/mad2_mad.dir/config_parser.cpp.o.d"
+  "CMakeFiles/mad2_mad.dir/connection.cpp.o"
+  "CMakeFiles/mad2_mad.dir/connection.cpp.o.d"
+  "CMakeFiles/mad2_mad.dir/pmm_bip.cpp.o"
+  "CMakeFiles/mad2_mad.dir/pmm_bip.cpp.o.d"
+  "CMakeFiles/mad2_mad.dir/pmm_factory.cpp.o"
+  "CMakeFiles/mad2_mad.dir/pmm_factory.cpp.o.d"
+  "CMakeFiles/mad2_mad.dir/pmm_sbp.cpp.o"
+  "CMakeFiles/mad2_mad.dir/pmm_sbp.cpp.o.d"
+  "CMakeFiles/mad2_mad.dir/pmm_sisci.cpp.o"
+  "CMakeFiles/mad2_mad.dir/pmm_sisci.cpp.o.d"
+  "CMakeFiles/mad2_mad.dir/pmm_tcp.cpp.o"
+  "CMakeFiles/mad2_mad.dir/pmm_tcp.cpp.o.d"
+  "CMakeFiles/mad2_mad.dir/pmm_via.cpp.o"
+  "CMakeFiles/mad2_mad.dir/pmm_via.cpp.o.d"
+  "CMakeFiles/mad2_mad.dir/session.cpp.o"
+  "CMakeFiles/mad2_mad.dir/session.cpp.o.d"
+  "CMakeFiles/mad2_mad.dir/stats.cpp.o"
+  "CMakeFiles/mad2_mad.dir/stats.cpp.o.d"
+  "CMakeFiles/mad2_mad.dir/tm.cpp.o"
+  "CMakeFiles/mad2_mad.dir/tm.cpp.o.d"
+  "CMakeFiles/mad2_mad.dir/types.cpp.o"
+  "CMakeFiles/mad2_mad.dir/types.cpp.o.d"
+  "libmad2_mad.a"
+  "libmad2_mad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mad2_mad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

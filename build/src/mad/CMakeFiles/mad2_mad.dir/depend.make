@@ -1,0 +1,2 @@
+# Empty dependencies file for mad2_mad.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpi/ch_mad.cpp" "src/mpi/CMakeFiles/mad2_mpi.dir/ch_mad.cpp.o" "gcc" "src/mpi/CMakeFiles/mad2_mpi.dir/ch_mad.cpp.o.d"
+  "/root/repo/src/mpi/comm.cpp" "src/mpi/CMakeFiles/mad2_mpi.dir/comm.cpp.o" "gcc" "src/mpi/CMakeFiles/mad2_mpi.dir/comm.cpp.o.d"
+  "/root/repo/src/mpi/pmm_mpi.cpp" "src/mpi/CMakeFiles/mad2_mpi.dir/pmm_mpi.cpp.o" "gcc" "src/mpi/CMakeFiles/mad2_mpi.dir/pmm_mpi.cpp.o.d"
+  "/root/repo/src/mpi/sci_baselines.cpp" "src/mpi/CMakeFiles/mad2_mpi.dir/sci_baselines.cpp.o" "gcc" "src/mpi/CMakeFiles/mad2_mpi.dir/sci_baselines.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mad/CMakeFiles/mad2_mad.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mad2_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/mad2_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mad2_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mad2_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mad2_mpi.dir/ch_mad.cpp.o"
+  "CMakeFiles/mad2_mpi.dir/ch_mad.cpp.o.d"
+  "CMakeFiles/mad2_mpi.dir/comm.cpp.o"
+  "CMakeFiles/mad2_mpi.dir/comm.cpp.o.d"
+  "CMakeFiles/mad2_mpi.dir/pmm_mpi.cpp.o"
+  "CMakeFiles/mad2_mpi.dir/pmm_mpi.cpp.o.d"
+  "CMakeFiles/mad2_mpi.dir/sci_baselines.cpp.o"
+  "CMakeFiles/mad2_mpi.dir/sci_baselines.cpp.o.d"
+  "libmad2_mpi.a"
+  "libmad2_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mad2_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

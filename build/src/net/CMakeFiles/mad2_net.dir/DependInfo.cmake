@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/bip.cpp" "src/net/CMakeFiles/mad2_net.dir/bip.cpp.o" "gcc" "src/net/CMakeFiles/mad2_net.dir/bip.cpp.o.d"
+  "/root/repo/src/net/sbp.cpp" "src/net/CMakeFiles/mad2_net.dir/sbp.cpp.o" "gcc" "src/net/CMakeFiles/mad2_net.dir/sbp.cpp.o.d"
+  "/root/repo/src/net/sisci.cpp" "src/net/CMakeFiles/mad2_net.dir/sisci.cpp.o" "gcc" "src/net/CMakeFiles/mad2_net.dir/sisci.cpp.o.d"
+  "/root/repo/src/net/tcp.cpp" "src/net/CMakeFiles/mad2_net.dir/tcp.cpp.o" "gcc" "src/net/CMakeFiles/mad2_net.dir/tcp.cpp.o.d"
+  "/root/repo/src/net/via.cpp" "src/net/CMakeFiles/mad2_net.dir/via.cpp.o" "gcc" "src/net/CMakeFiles/mad2_net.dir/via.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/mad2_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mad2_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mad2_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mad2_net.dir/bip.cpp.o"
+  "CMakeFiles/mad2_net.dir/bip.cpp.o.d"
+  "CMakeFiles/mad2_net.dir/sbp.cpp.o"
+  "CMakeFiles/mad2_net.dir/sbp.cpp.o.d"
+  "CMakeFiles/mad2_net.dir/sisci.cpp.o"
+  "CMakeFiles/mad2_net.dir/sisci.cpp.o.d"
+  "CMakeFiles/mad2_net.dir/tcp.cpp.o"
+  "CMakeFiles/mad2_net.dir/tcp.cpp.o.d"
+  "CMakeFiles/mad2_net.dir/via.cpp.o"
+  "CMakeFiles/mad2_net.dir/via.cpp.o.d"
+  "libmad2_net.a"
+  "libmad2_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mad2_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmad2_net.a"
+)

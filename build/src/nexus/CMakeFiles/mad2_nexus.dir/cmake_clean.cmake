@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mad2_nexus.dir/nexus.cpp.o"
+  "CMakeFiles/mad2_nexus.dir/nexus.cpp.o.d"
+  "libmad2_nexus.a"
+  "libmad2_nexus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mad2_nexus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

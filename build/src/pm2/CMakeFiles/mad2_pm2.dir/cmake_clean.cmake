@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mad2_pm2.dir/pm2.cpp.o"
+  "CMakeFiles/mad2_pm2.dir/pm2.cpp.o.d"
+  "libmad2_pm2.a"
+  "libmad2_pm2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mad2_pm2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mad2_pm2.
+# This may be replaced when dependencies are built.

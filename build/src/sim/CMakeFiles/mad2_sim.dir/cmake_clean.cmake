@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mad2_sim.dir/simulator.cpp.o"
+  "CMakeFiles/mad2_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/mad2_sim.dir/sync.cpp.o"
+  "CMakeFiles/mad2_sim.dir/sync.cpp.o.d"
+  "libmad2_sim.a"
+  "libmad2_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mad2_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

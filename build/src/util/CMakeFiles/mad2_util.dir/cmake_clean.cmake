@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mad2_util.dir/bytes.cpp.o"
+  "CMakeFiles/mad2_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/mad2_util.dir/log.cpp.o"
+  "CMakeFiles/mad2_util.dir/log.cpp.o.d"
+  "CMakeFiles/mad2_util.dir/stats.cpp.o"
+  "CMakeFiles/mad2_util.dir/stats.cpp.o.d"
+  "CMakeFiles/mad2_util.dir/status.cpp.o"
+  "CMakeFiles/mad2_util.dir/status.cpp.o.d"
+  "CMakeFiles/mad2_util.dir/table.cpp.o"
+  "CMakeFiles/mad2_util.dir/table.cpp.o.d"
+  "libmad2_util.a"
+  "libmad2_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mad2_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fwd_fuzz_test.dir/fwd_fuzz_test.cpp.o"
+  "CMakeFiles/fwd_fuzz_test.dir/fwd_fuzz_test.cpp.o.d"
+  "fwd_fuzz_test"
+  "fwd_fuzz_test.pdb"
+  "fwd_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fwd_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

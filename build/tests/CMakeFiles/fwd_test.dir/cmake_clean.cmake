@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fwd_test.dir/fwd_test.cpp.o"
+  "CMakeFiles/fwd_test.dir/fwd_test.cpp.o.d"
+  "fwd_test"
+  "fwd_test.pdb"
+  "fwd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fwd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mad_core_test.dir/mad_core_test.cpp.o"
+  "CMakeFiles/mad_core_test.dir/mad_core_test.cpp.o.d"
+  "mad_core_test"
+  "mad_core_test.pdb"
+  "mad_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mad_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

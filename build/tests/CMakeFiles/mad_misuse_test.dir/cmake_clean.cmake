@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mad_misuse_test.dir/mad_misuse_test.cpp.o"
+  "CMakeFiles/mad_misuse_test.dir/mad_misuse_test.cpp.o.d"
+  "mad_misuse_test"
+  "mad_misuse_test.pdb"
+  "mad_misuse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mad_misuse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

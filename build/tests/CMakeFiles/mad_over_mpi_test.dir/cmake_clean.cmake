@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mad_over_mpi_test.dir/mad_over_mpi_test.cpp.o"
+  "CMakeFiles/mad_over_mpi_test.dir/mad_over_mpi_test.cpp.o.d"
+  "mad_over_mpi_test"
+  "mad_over_mpi_test.pdb"
+  "mad_over_mpi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mad_over_mpi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mad_over_mpi_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_sbp_test.dir/net_sbp_test.cpp.o"
+  "CMakeFiles/net_sbp_test.dir/net_sbp_test.cpp.o.d"
+  "net_sbp_test"
+  "net_sbp_test.pdb"
+  "net_sbp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_sbp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

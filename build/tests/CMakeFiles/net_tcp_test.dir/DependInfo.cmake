@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net_tcp_test.cpp" "tests/CMakeFiles/net_tcp_test.dir/net_tcp_test.cpp.o" "gcc" "tests/CMakeFiles/net_tcp_test.dir/net_tcp_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/mad2_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/mad2_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mad2_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mad2_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm2_test.dir/pm2_test.cpp.o"
+  "CMakeFiles/pm2_test.dir/pm2_test.cpp.o.d"
+  "pm2_test"
+  "pm2_test.pdb"
+  "pm2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmm_protocol_test.dir/pmm_protocol_test.cpp.o"
+  "CMakeFiles/pmm_protocol_test.dir/pmm_protocol_test.cpp.o.d"
+  "pmm_protocol_test"
+  "pmm_protocol_test.pdb"
+  "pmm_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmm_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

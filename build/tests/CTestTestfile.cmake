@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_test[1]_include.cmake")
+include("/root/repo/build/tests/net_bip_test[1]_include.cmake")
+include("/root/repo/build/tests/net_sisci_test[1]_include.cmake")
+include("/root/repo/build/tests/net_tcp_test[1]_include.cmake")
+include("/root/repo/build/tests/net_via_test[1]_include.cmake")
+include("/root/repo/build/tests/mad_core_test[1]_include.cmake")
+include("/root/repo/build/tests/fwd_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_test[1]_include.cmake")
+include("/root/repo/build/tests/nexus_test[1]_include.cmake")
+include("/root/repo/build/tests/mad_misuse_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/mad_over_mpi_test[1]_include.cmake")
+include("/root/repo/build/tests/policy_test[1]_include.cmake")
+include("/root/repo/build/tests/fwd_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/config_test[1]_include.cmake")
+include("/root/repo/build/tests/pm2_test[1]_include.cmake")
+include("/root/repo/build/tests/net_sbp_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/net_fabric_test[1]_include.cmake")
+include("/root/repo/build/tests/pmm_protocol_test[1]_include.cmake")
