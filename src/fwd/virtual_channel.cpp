@@ -71,6 +71,8 @@ VirtualChannel::VirtualChannel(mad::Session& session, VirtualChannelDef def)
 
 VirtualChannel::~VirtualChannel() = default;
 
+const Status& VirtualChannel::health() const { return session_->health(); }
+
 VirtualEndpoint& VirtualChannel::endpoint(std::uint32_t node) {
   auto it = endpoints_.find(node);
   MAD2_CHECK(it != endpoints_.end(), "node not on this virtual channel");

@@ -148,6 +148,11 @@ class VirtualChannel {
     return nodes_;
   }
 
+  /// OK while every hop's links are healthy; the session's first recorded
+  /// failure otherwise. A failed hop stops the gateway pumps, so senders
+  /// and receivers should consult this after run() returns early.
+  [[nodiscard]] const Status& health() const;
+
   // --- internals shared with endpoints/gateway pumps ---------------------
   struct PacketHeader {
     std::uint32_t src;

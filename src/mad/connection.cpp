@@ -18,6 +18,10 @@ sim::Simulator& Connection::simulator() {
   return endpoint_->session().simulator();
 }
 
+const Status& Connection::link_status() const {
+  return endpoint_->session().health();
+}
+
 void Connection::begin_packing_message() {
   MAD2_CHECK(!packing_, "begin_packing with a message already open");
   packing_ = true;

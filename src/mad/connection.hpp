@@ -63,6 +63,12 @@ class Connection {
   /// Traffic accounting for this connection (both directions).
   [[nodiscard]] const TrafficStats& stats() const { return stats_; }
 
+  /// OK while the underlying links are healthy; the session's first
+  /// recorded failure (e.g. a reliable link that gave up retransmitting)
+  /// otherwise. Check after run() stops early to tell a clean finish from
+  /// a degraded one.
+  [[nodiscard]] const Status& link_status() const;
+
   /// Protocol state accessor for TMs (each PMM knows its concrete type).
   template <typename T>
   [[nodiscard]] T& state() {

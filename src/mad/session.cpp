@@ -56,6 +56,15 @@ TrafficStats ChannelEndpoint::stats() const {
   for (const auto& [remote, connection] : connections_) {
     total.merge(connection->stats());
   }
+  // Link-level ack/retransmit work under this endpoint, when the channel's
+  // network runs over a faulty fabric. The shim sits below the channel
+  // mux, so channels sharing a TCP port see the same numbers.
+  NetworkInstance& network = channel_->network();
+  if (network.tcp && network.tcp->reliable() != nullptr &&
+      network.has_node(local_)) {
+    total.reliability.merge(
+        network.tcp->reliable()->endpoint(network.port(local_)).counters());
+  }
   return total;
 }
 
@@ -145,6 +154,10 @@ Session::Session(SessionConfig config) : config_(std::move(config)) {
         instance->tcp = std::make_unique<net::TcpNetwork>(
             &simulator_, members,
             def.tcp_params.value_or(net::TcpParams::fast_ethernet()));
+        // A faulty fabric can give up on a link; degrade to a clean
+        // session failure instead of deadlocking the stuck fibers.
+        instance->tcp->set_error_handler(
+            [this](const Status& status) { fail(status); });
         break;
       case NetworkKind::kVia:
         instance->via = std::make_unique<net::ViaNetwork>(
@@ -215,6 +228,19 @@ void Session::spawn(std::uint32_t node, std::string name,
                    });
 }
 
-Status Session::run() { return simulator_.run(); }
+void Session::fail(const Status& status) {
+  MAD2_CHECK(!status.is_ok(), "Session::fail with an OK status");
+  if (!health_.is_ok()) return;  // first failure wins
+  health_ = status;
+  simulator_.stop();
+}
+
+Status Session::run() {
+  const Status status = simulator_.run();
+  // A recorded failure explains why the run stopped (stuck fibers are a
+  // symptom, not the cause); report it instead.
+  if (!health_.is_ok()) return health_;
+  return status;
+}
 
 }  // namespace mad2::mad

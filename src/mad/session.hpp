@@ -222,12 +222,23 @@ class Session {
   void spawn(std::uint32_t node, std::string name,
              std::function<void(NodeRuntime&)> body);
 
-  /// Run the simulation to completion (all spawned bodies finished).
+  /// Run the simulation to completion (all spawned bodies finished), or
+  /// until a network declares a link dead — then the first failure is
+  /// returned instead of a spurious stuck-fiber deadlock report.
   Status run();
+
+  /// Record an unrecoverable failure (first one wins) and stop the
+  /// simulation after the current event. Wired to every driver's error
+  /// handler; applications may also call it to abort a run cleanly.
+  void fail(const Status& status);
+
+  /// OK until fail() was called; then the first recorded failure.
+  [[nodiscard]] const Status& health() const { return health_; }
 
  private:
   SessionConfig config_;
   sim::Simulator simulator_;
+  Status health_;
   std::vector<std::unique_ptr<hw::Node>> nodes_;
   std::vector<std::unique_ptr<NetworkInstance>> networks_;
   std::vector<std::unique_ptr<Channel>> channels_;

@@ -15,6 +15,7 @@ void TrafficStats::merge(const TrafficStats& other) {
     received_by_tm[tm].blocks += counters.blocks;
     received_by_tm[tm].bytes += counters.bytes;
   }
+  reliability.merge(other.reliability);
 }
 
 std::string TrafficStats::to_string() const {
@@ -37,6 +38,9 @@ std::string TrafficStats::to_string() const {
                   static_cast<unsigned long long>(counters.blocks),
                   static_cast<unsigned long long>(counters.bytes));
     out += line;
+  }
+  if (reliability.data_frames != 0 || reliability.give_ups != 0) {
+    out += "  " + reliability.to_string() + "\n";
   }
   return out;
 }

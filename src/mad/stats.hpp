@@ -9,6 +9,8 @@
 #include <map>
 #include <string>
 
+#include "net/fault.hpp"
+
 namespace mad2::mad {
 
 struct TmCounters {
@@ -22,6 +24,11 @@ struct TrafficStats {
   /// Keyed by TM name (e.g. "bip-short", "sci-pio").
   std::map<std::string, TmCounters> sent_by_tm;
   std::map<std::string, TmCounters> received_by_tm;
+  /// Ack/retransmit work done by the reliable shim under this endpoint's
+  /// networks. Link-level: a TCP port's shim serves every channel crossing
+  /// it, so channels on the same port report the same numbers. All zero on
+  /// lossless fabrics.
+  net::ReliabilityCounters reliability;
 
   void merge(const TrafficStats& other);
 

@@ -1,0 +1,275 @@
+#include "net/reliable.hpp"
+
+#include <algorithm>
+
+#include "util/bytes.hpp"
+
+namespace mad2::net {
+
+std::uint32_t frame_checksum(const ReliableFrame& frame) {
+  std::byte header[17];
+  store_u32(header + 0, frame.src);
+  store_u32(header + 4, frame.channel);
+  header[8] = std::byte{frame.kind};
+  store_u32(header + 9, frame.seq);
+  store_u32(header + 13, frame.ack);
+  return wire_checksum(header, sizeof header) ^
+         wire_checksum(frame.payload.data(), frame.payload.size());
+}
+
+// -------------------------------------------------------- ReliableNetwork ---
+
+ReliableNetwork::ReliableNetwork(sim::Simulator* simulator,
+                                 FabricParams fabric_params,
+                                 ReliableParams params)
+    : simulator_(simulator),
+      params_(params),
+      fabric_(simulator, std::move(fabric_params)) {}
+
+ReliableNetwork::~ReliableNetwork() = default;
+
+std::uint32_t ReliableNetwork::add_port() {
+  const std::uint32_t rank = fabric_.add_port();
+  MAD2_CHECK(rank == endpoints_.size(), "fabric/endpoint rank drift");
+  endpoints_.emplace_back(new ReliableEndpoint(this, rank));
+  return rank;
+}
+
+ReliableEndpoint& ReliableNetwork::endpoint(std::uint32_t port) {
+  MAD2_CHECK(port < endpoints_.size(), "unknown reliable endpoint");
+  return *endpoints_[port];
+}
+
+// ------------------------------------------------------- ReliableEndpoint ---
+
+ReliableEndpoint::ReliableEndpoint(ReliableNetwork* network,
+                                   std::uint32_t rank)
+    : network_(network),
+      rank_(rank),
+      rx_ready_(network->simulator_),
+      window_room_(network->simulator_),
+      ack_pending_(network->simulator_),
+      timer_wakeup_(network->simulator_) {
+  const std::string tag = "." + std::to_string(rank_);
+  network_->simulator_->spawn_daemon("rel.rx" + tag, [this] { rx_loop(); });
+  network_->simulator_->spawn_daemon("rel.ack" + tag, [this] { ack_loop(); });
+  network_->simulator_->spawn_daemon("rel.rto" + tag,
+                                     [this] { retransmit_loop(); });
+}
+
+std::uint64_t ReliableEndpoint::wire_bytes(const ReliableFrame& frame) const {
+  return network_->params_.header_bytes + frame.payload.size();
+}
+
+Status ReliableEndpoint::send(std::uint32_t dst, std::uint32_t channel,
+                              std::vector<std::byte> payload) {
+  MAD2_CHECK(dst < network_->port_count(), "send() to unknown port");
+  MAD2_CHECK(dst != rank_, "send() to self");
+  PeerTx& tx = tx_[dst];
+  while (health_.is_ok() &&
+         tx.outstanding.size() >= network_->params_.window) {
+    window_room_.wait();
+  }
+  if (!health_.is_ok()) return health_;
+
+  ReliableFrame frame;
+  frame.src = rank_;
+  frame.channel = channel;
+  frame.kind = ReliableFrame::kData;
+  frame.seq = tx.next_seq++;
+  frame.ack = rx_[dst].next_expected - 1;  // piggybacked cumulative ack
+  frame.payload = std::move(payload);
+  frame.checksum = frame_checksum(frame);
+  const std::uint64_t bytes = wire_bytes(frame);
+
+  // Register before shipping: ship() blocks on wire serialization, and the
+  // ack can race back before it returns. The retransmit clock starts only
+  // once the frame is actually on the wire.
+  const std::uint32_t seq = frame.seq;
+  const bool inserted =
+      tx.outstanding
+          .emplace(seq, Outstanding{frame, sim::kNever,
+                                    network_->params_.rto_initial, 0})
+          .second;
+  MAD2_CHECK(inserted, "duplicate sequence number in flight");
+  ++counters_.data_frames;
+  network_->fabric_.ship(rank_, dst, std::move(frame), bytes);
+
+  auto still = tx.outstanding.find(seq);
+  if (still != tx.outstanding.end()) {
+    still->second.deadline =
+        network_->simulator_->now() + network_->params_.rto_initial;
+    timer_wakeup_.notify_all();
+  }
+  return Status::ok();
+}
+
+Status ReliableEndpoint::recv(Message& out) {
+  while (delivery_.empty() && health_.is_ok()) rx_ready_.wait();
+  if (!delivery_.empty()) {
+    out = std::move(delivery_.front());
+    delivery_.pop_front();
+    return Status::ok();
+  }
+  return health_;
+}
+
+void ReliableEndpoint::rx_loop() {
+  for (;;) {
+    ReliableFrame frame = network_->fabric_.receive(rank_);
+    if (frame_checksum(frame) != frame.checksum) {
+      // Indistinguishable from loss for the sender: no ack, so the frame
+      // retransmits.
+      ++counters_.corrupt_frames;
+      continue;
+    }
+    handle_ack(frame.src, frame.ack);  // data frames piggyback acks too
+    if (frame.kind == ReliableFrame::kData) handle_data(std::move(frame));
+  }
+}
+
+void ReliableEndpoint::handle_data(ReliableFrame frame) {
+  const std::uint32_t peer = frame.src;
+  PeerRx& rx = rx_[peer];
+  if (frame.seq < rx.next_expected ||
+      rx.out_of_order.count(frame.seq) != 0) {
+    // Duplicate (retransmit of something we already have, or a fabric
+    // dup). Re-ack so a sender whose acks got lost stops retransmitting.
+    ++counters_.dup_frames;
+    queue_ack(peer);
+    return;
+  }
+  rx.out_of_order.emplace(frame.seq, std::move(frame));
+  bool delivered = false;
+  for (auto it = rx.out_of_order.find(rx.next_expected);
+       it != rx.out_of_order.end();
+       it = rx.out_of_order.find(rx.next_expected)) {
+    delivery_.push_back(Message{peer, it->second.channel,
+                                std::move(it->second.payload)});
+    rx.out_of_order.erase(it);
+    ++rx.next_expected;
+    delivered = true;
+  }
+  if (delivered) rx_ready_.notify_all();
+  queue_ack(peer);
+}
+
+void ReliableEndpoint::handle_ack(std::uint32_t peer, std::uint32_t ack) {
+  auto it = tx_.find(peer);
+  if (it == tx_.end()) return;
+  PeerTx& tx = it->second;
+  bool erased = false;
+  while (!tx.outstanding.empty() && tx.outstanding.begin()->first <= ack) {
+    tx.outstanding.erase(tx.outstanding.begin());
+    erased = true;
+  }
+  if (erased) {
+    window_room_.notify_all();
+    timer_wakeup_.notify_all();  // earliest deadline may have changed
+  }
+}
+
+void ReliableEndpoint::queue_ack(std::uint32_t peer) {
+  if (ack_value_.count(peer) == 0) ack_order_.push_back(peer);
+  // Coalesce: only the latest cumulative value matters.
+  ack_value_[peer] = rx_[peer].next_expected - 1;
+  ack_pending_.notify_all();
+}
+
+void ReliableEndpoint::ack_loop() {
+  for (;;) {
+    while (ack_order_.empty()) ack_pending_.wait();
+    const std::uint32_t peer = ack_order_.front();
+    ack_order_.pop_front();
+    ReliableFrame frame;
+    frame.src = rank_;
+    frame.kind = ReliableFrame::kAck;
+    frame.ack = ack_value_.at(peer);
+    ack_value_.erase(peer);
+    frame.checksum = frame_checksum(frame);
+    ++counters_.acks_sent;
+    // Shipping from this dedicated fiber keeps rx_loop from ever blocking
+    // on a full peer NIC (which could deadlock two endpoints ack-ing each
+    // other); acks queued meanwhile coalesce into the next round.
+    network_->fabric_.ship(rank_, peer, std::move(frame),
+                           network_->params_.header_bytes);
+  }
+}
+
+void ReliableEndpoint::retransmit_loop() {
+  const ReliableParams& params = network_->params_;
+  for (;;) {
+    if (!health_.is_ok()) return;
+    sim::Time earliest = sim::kNever;
+    for (const auto& [peer, tx] : tx_) {
+      for (const auto& [seq, out] : tx.outstanding) {
+        if (out.deadline < earliest) earliest = out.deadline;
+      }
+    }
+    if (earliest == sim::kNever) {
+      timer_wakeup_.wait();
+      continue;
+    }
+    if (earliest > network_->simulator_->now()) {
+      // Either the deadline fires or an ack/new-frame notification arrives
+      // first; both ways we recompute. A false (notified) return says
+      // nothing about the deadline set — classic spurious-wakeup rule.
+      (void)timer_wakeup_.wait(earliest);
+      continue;
+    }
+    // Retransmit every frame that is due. Collect sequence numbers first:
+    // ship() blocks, and acks arriving meanwhile mutate the maps.
+    for (auto& [peer, tx] : tx_) {
+      std::vector<std::uint32_t> due;
+      for (const auto& [seq, out] : tx.outstanding) {
+        if (out.deadline <= network_->simulator_->now()) {
+          due.push_back(seq);
+        }
+      }
+      for (const std::uint32_t seq : due) {
+        auto it = tx.outstanding.find(seq);
+        if (it == tx.outstanding.end()) continue;  // acked while shipping
+        Outstanding& out = it->second;
+        if (out.retransmits >= params.max_retransmits) {
+          fail_link(peer, out);
+          return;
+        }
+        ++out.retransmits;
+        ++counters_.retransmits;
+        out.rto = std::min(
+            static_cast<sim::Duration>(static_cast<double>(out.rto) *
+                                       params.backoff),
+            params.rto_max);
+        if (out.rto > counters_.max_rto) counters_.max_rto = out.rto;
+        ReliableFrame copy = out.frame;
+        const std::uint64_t bytes = wire_bytes(copy);
+        network_->fabric_.ship(rank_, peer, std::move(copy), bytes);
+        // Restart the clock after the (blocking) ship, same as first
+        // transmissions, and only if no ack raced in.
+        auto again = tx.outstanding.find(seq);
+        if (again != tx.outstanding.end()) {
+          again->second.deadline =
+              network_->simulator_->now() + again->second.rto;
+        }
+      }
+    }
+  }
+}
+
+void ReliableEndpoint::fail_link(std::uint32_t peer,
+                                 const Outstanding& frame) {
+  if (!health_.is_ok()) return;
+  ++counters_.give_ups;
+  health_ = unavailable(
+      "reliable link " + std::to_string(rank_) + "->" +
+      std::to_string(peer) + " gave up: seq " +
+      std::to_string(frame.frame.seq) + " unacked after " +
+      std::to_string(frame.retransmits) + " retransmits");
+  // Unblock everyone; they observe health() and fail cleanly instead of
+  // waiting on a dead link.
+  rx_ready_.notify_all();
+  window_room_.notify_all();
+  if (network_->error_handler_) network_->error_handler_(health_);
+}
+
+}  // namespace mad2::net

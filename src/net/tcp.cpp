@@ -14,6 +14,12 @@ TcpParams TcpParams::fast_ethernet() {
   p.fabric.per_packet = sim::from_us(2.0);    // driver per-frame cost
   p.fabric.wire_chunk_bytes = 1518;
   p.fabric.rx_slots = 256;
+  // A 32-frame window of full-MSS frames serializes in ~3.9 ms at
+  // 12.5 MB/s, so the retransmit clock must sit above that or every
+  // queued frame would "time out" while merely waiting for the wire.
+  p.reliability.rto_initial = sim::from_us(3000.0);
+  p.reliability.rto_max = sim::from_us(50000.0);
+  p.reliability.header_bytes = p.frame_overhead + 21;  // + shim header
   return p;
 }
 
@@ -22,13 +28,25 @@ TcpNetwork::TcpNetwork(sim::Simulator* simulator,
     : simulator_(simulator),
       params_(std::move(params)),
       fabric_(simulator, params_.fabric) {
+  if (params_.fabric.faults != nullptr) {
+    // Lossy wire: frames travel via the reliable shim's own fabric; the
+    // raw one stays empty (no ports) and injects no faults.
+    reliable_ = std::make_unique<ReliableNetwork>(
+        simulator, params_.fabric, params_.reliability);
+  }
   for (hw::Node* node : nodes) {
-    const std::uint32_t rank = fabric_.add_port();
+    const std::uint32_t rank =
+        reliable_ ? reliable_->add_port() : fabric_.add_port();
     ports_.emplace_back(new TcpPort(this, node, rank));
   }
 }
 
 TcpNetwork::~TcpNetwork() = default;
+
+void TcpNetwork::set_error_handler(
+    std::function<void(const Status&)> handler) {
+  if (reliable_) reliable_->set_error_handler(std::move(handler));
+}
 
 // -------------------------------------------------------------- TcpPort ---
 
@@ -58,6 +76,24 @@ TcpStream& TcpPort::stream(std::uint32_t peer, std::uint32_t stream_id) {
 }
 
 void TcpPort::rx_loop() {
+  if (network_->reliable_) {
+    ReliableEndpoint& endpoint = network_->reliable_->endpoint(rank_);
+    for (;;) {
+      ReliableEndpoint::Message message;
+      if (!endpoint.recv(message).is_ok()) {
+        // Link declared dead; the error handler has fired. Blocked stream
+        // readers stay parked until the session tears the simulation down.
+        return;
+      }
+      node_->pci_bus().transfer(
+          message.payload.size() + network_->params_.frame_overhead,
+          node_->params().pci_dma_mbs, hw::TxClass::kDma,
+          node_->nic_initiator_id(2));
+      stream(message.src, message.channel)
+          .on_frame(std::move(message.payload));
+      any_frame_->notify_all();
+    }
+  }
   for (;;) {
     TcpNetwork::Packet packet = network_->fabric_.receive(rank_);
     // NIC DMA into kernel memory.
@@ -104,20 +140,32 @@ void TcpStream::send(std::span<const std::byte> data) {
 
 void TcpStream::tx_loop() {
   const TcpParams& params = port_->network_->params_;
+  ReliableNetwork* reliable = port_->network_->reliable_.get();
   for (;;) {
     while (tx_buffer_.empty()) tx_data_->wait();
     const std::size_t chunk =
         std::min<std::size_t>(tx_buffer_.size(), params.mss);
-    TcpNetwork::Packet packet;
-    packet.src = port_->rank_;
-    packet.stream = stream_id_;
-    packet.data.assign(tx_buffer_.begin(), tx_buffer_.begin() + chunk);
+    std::vector<std::byte> data(tx_buffer_.begin(),
+                                tx_buffer_.begin() + chunk);
     tx_buffer_.erase(tx_buffer_.begin(), tx_buffer_.begin() + chunk);
     tx_room_->notify_all();
     // NIC pulls the frame from kernel memory, then it goes on the wire.
     port_->node_->pci_bus().transfer(
         chunk + params.frame_overhead, port_->node_->params().pci_dma_mbs,
         hw::TxClass::kDma, port_->node_->nic_initiator_id(2));
+    if (reliable != nullptr) {
+      if (!reliable->endpoint(port_->rank_)
+               .send(peer_, stream_id_, std::move(data))
+               .is_ok()) {
+        // Link declared dead (error handler has fired); stop transmitting.
+        return;
+      }
+      continue;
+    }
+    TcpNetwork::Packet packet;
+    packet.src = port_->rank_;
+    packet.stream = stream_id_;
+    packet.data = std::move(data);
     port_->network_->fabric_.ship(port_->rank_, peer_, std::move(packet),
                                   chunk + params.frame_overhead);
   }

@@ -4,6 +4,12 @@
 // node pair gets reliable byte streams, with Linux-2.2-era kernel costs
 // (syscall entry, checksum+copy) and MSS framing on a 12.5 MB/s wire.
 // Calibration: raw one-way latency ~75 us, stream bandwidth ~11.5 MB/s.
+//
+// When a FaultPlan is attached (TcpParams::fabric::faults), frames ride
+// the reliable-delivery shim (net/reliable) instead of the raw fabric —
+// the kernel's seq/ack/retransmit machinery, collapsed to the shim — so
+// the byte streams stay reliable over a lossy wire. A link that gives up
+// retransmitting reports through set_error_handler().
 #pragma once
 
 #include <cstdint>
@@ -15,6 +21,7 @@
 #include <vector>
 
 #include "hw/node.hpp"
+#include "net/reliable.hpp"
 #include "net/wire.hpp"
 #include "sim/sync.hpp"
 
@@ -27,6 +34,8 @@ struct TcpParams {
   std::uint32_t frame_overhead = 58;  // Ethernet + IP + TCP headers
   std::size_t socket_buffer = 64 * 1024;
   FabricParams fabric;
+  /// Retransmission tuning, used only when fabric.faults is set.
+  ReliableParams reliability;
 
   static TcpParams fast_ethernet();
 };
@@ -47,6 +56,14 @@ class TcpNetwork {
   [[nodiscard]] TcpPort& port(std::uint32_t rank) { return *ports_[rank]; }
   [[nodiscard]] const TcpParams& params() const { return params_; }
 
+  /// The reliable shim carrying this network's frames, or nullptr when the
+  /// fabric is lossless (no FaultPlan attached).
+  [[nodiscard]] ReliableNetwork* reliable() { return reliable_.get(); }
+
+  /// Forwarded to the reliable shim: fires when a link gives up
+  /// retransmitting. No-op on a lossless fabric, which cannot fail.
+  void set_error_handler(std::function<void(const Status&)> handler);
+
  private:
   friend class TcpPort;
   friend class TcpStream;
@@ -59,6 +76,7 @@ class TcpNetwork {
   sim::Simulator* simulator_;
   TcpParams params_;
   PacketFabric<Packet> fabric_;
+  std::unique_ptr<ReliableNetwork> reliable_;
   std::vector<std::unique_ptr<TcpPort>> ports_;
 };
 

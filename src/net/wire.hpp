@@ -10,19 +10,38 @@
 // any given destination in ship() order. Drivers that need total per-pair
 // order across application fibers must funnel sends through one tx fiber
 // (the BIP driver does).
+//
+// Fault injection: attaching a net::FaultPlan (FabricParams::faults) makes
+// the fabric drop, duplicate, reorder, corrupt, delay, or partition traffic
+// under a deterministic seed. With no plan attached, behavior and timing
+// are bit-for-bit identical to the lossless fabric. Under a plan, the
+// ordering guarantee above no longer holds — layer net::ReliableNetwork on
+// top to win it back.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "hw/resource.hpp"
+#include "net/fault.hpp"
 #include "sim/sync.hpp"
 
 namespace mad2::net {
+
+/// Fault-injection byte access. The fabric corrupts packets through this
+/// hook; packet types that want corruption to be observable define a
+/// friend/namespace overload (found by ADL) exposing their payload bytes.
+/// The default exposes nothing, so corruption decisions on opaque packet
+/// types deliver the packet intact.
+template <typename P>
+inline std::span<std::byte> fault_payload(P&) {
+  return {};
+}
 
 struct FabricParams {
   std::string name = "net";
@@ -37,6 +56,9 @@ struct FabricParams {
   /// Receiver NIC buffering, in packets. ship() blocks when the
   /// destination NIC is full (back-pressure).
   std::size_t rx_slots = 64;
+  /// Optional fault injection (not owned; must outlive the fabric).
+  /// nullptr = lossless fabric.
+  FaultPlan* faults = nullptr;
 };
 
 template <typename P>
@@ -62,6 +84,7 @@ class PacketFabric {
 
   [[nodiscard]] std::size_t port_count() const { return ports_.size(); }
   [[nodiscard]] const FabricParams& params() const { return params_; }
+  [[nodiscard]] FaultPlan* fault_plan() const { return params_.faults; }
 
   /// Move a packet from `src` to `dst`, charging the calling fiber for the
   /// firmware cost and wire serialization of `wire_bytes`. Blocks while the
@@ -70,19 +93,59 @@ class PacketFabric {
             std::uint64_t wire_bytes) {
     MAD2_CHECK(src < ports_.size() && dst < ports_.size(),
                "ship() with invalid port");
+    FaultPlan::Decision decision;
+    if (params_.faults != nullptr) {
+      decision = params_.faults->decide(src, dst, simulator_->now());
+    }
+    if (decision.drop) {
+      // The sender still pays firmware and serialization — the frame left
+      // the NIC and died on the wire (or hit a partitioned link) — but it
+      // neither consumes a receiver slot nor blocks on a full/unreachable
+      // destination.
+      if (params_.per_packet > 0) simulator_->advance(params_.per_packet);
+      ports_[src]->tx->transfer(wire_bytes, params_.wire_mbs,
+                                hw::TxClass::kDma, src);
+      return;
+    }
     Port& to = *ports_[dst];
     to.slots->acquire();
     if (params_.per_packet > 0) simulator_->advance(params_.per_packet);
     ports_[src]->tx->transfer(wire_bytes, params_.wire_mbs, hw::TxClass::kDma,
                               src);
-    // Deliver after the propagation delay. The shared_ptr carries the
-    // payload through the std::function (which must be copyable).
+    if (decision.corrupt) {
+      std::span<std::byte> bytes = fault_payload(packet);
+      if (!bytes.empty()) {
+        bytes[decision.corrupt_offset % bytes.size()] ^=
+            std::byte{decision.corrupt_xor};
+      }
+    }
+    // A duplicate is a second independent delivery; it needs its own
+    // receiver slot. A full NIC squashes the copy rather than blocking the
+    // sender twice for one packet.
+    const bool duplicate = decision.duplicate && to.slots->try_acquire();
+    const sim::Duration delay = params_.propagation + decision.extra_delay;
+    // The shared_ptr carries the payload through the std::function (which
+    // must be copyable).
     auto slot = std::make_shared<P>(std::move(packet));
-    simulator_->post_after(params_.propagation, [this, dst, slot] {
-      Port& port = *ports_[dst];
-      port.rx.push_back(std::move(*slot));
-      port.arrival->notify_one();
-    });
+    if (duplicate) {
+      // Same flight time; the copy lands right behind the original (or in
+      // front of it while the original is held back for reordering).
+      auto copy = std::make_shared<P>(*slot);
+      simulator_->post_after(delay, [this, dst, copy] {
+        arrive(dst, std::move(*copy));
+      });
+    }
+    if (decision.hold_back > 0) {
+      simulator_->post_after(
+          delay, [this, dst, slot, hold = decision.hold_back,
+                  timeout = decision.reorder_timeout] {
+            hold_back(dst, std::move(*slot), hold, timeout);
+          });
+    } else {
+      simulator_->post_after(delay, [this, dst, slot] {
+        arrive(dst, std::move(*slot));
+      });
+    }
   }
 
   /// Blocking receive of the next packet addressed to `port`.
@@ -109,12 +172,69 @@ class PacketFabric {
   }
 
  private:
+  struct Held {
+    P packet;
+    std::uint32_t budget;  // deliveries left before forced release
+    std::uint64_t id;      // for the timeout safety valve
+  };
   struct Port {
     std::unique_ptr<hw::ChunkedResource> tx;
     std::unique_ptr<sim::Semaphore> slots;
     std::deque<P> rx;
     std::unique_ptr<sim::WaitQueue> arrival;
+    std::deque<Held> held;
+    std::uint64_t next_held_id = 0;
   };
+
+  /// Put `packet` into the receive queue. Every delivery decrements the
+  /// overtake budget of each held-back packet once; exhausted ones are
+  /// released, and a release is itself a delivery (cascade).
+  void arrive(std::uint32_t dst, P packet) {
+    Port& port = *ports_[dst];
+    std::deque<P> pending;
+    pending.push_back(std::move(packet));
+    while (!pending.empty()) {
+      P next = std::move(pending.front());
+      pending.pop_front();
+      push_rx(port, std::move(next));
+      for (auto it = port.held.begin(); it != port.held.end();) {
+        if (--it->budget == 0) {
+          pending.push_back(std::move(it->packet));
+          it = port.held.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+
+  void hold_back(std::uint32_t dst, P packet, std::uint32_t budget,
+                 sim::Duration timeout) {
+    Port& port = *ports_[dst];
+    const std::uint64_t id = port.next_held_id++;
+    port.held.push_back(Held{std::move(packet), budget, id});
+    // Safety valve: with no follow-on traffic the packet must still arrive
+    // eventually, or a quiet link would stall forever.
+    simulator_->post_after(timeout, [this, dst, id] {
+      Port& p = *ports_[dst];
+      for (auto it = p.held.begin(); it != p.held.end(); ++it) {
+        if (it->id == id) {
+          P held = std::move(it->packet);
+          p.held.erase(it);
+          arrive(dst, std::move(held));
+          return;
+        }
+      }
+    });
+  }
+
+  void push_rx(Port& port, P packet) {
+    port.rx.push_back(std::move(packet));
+    if (params_.faults != nullptr) {
+      ++params_.faults->counters_mutable().delivered;
+    }
+    port.arrival->notify_one();
+  }
 
   sim::Simulator* simulator_;
   FabricParams params_;

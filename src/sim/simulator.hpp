@@ -58,6 +58,12 @@ class Fiber {
   // Incremented on every wake; lets stale timeout events detect that the
   // blocking episode they were armed for has already ended.
   std::uint64_t wake_generation_ = 0;
+  // Valid only between a block_current() return and the next block: true
+  // iff the *latest* blocking episode ended via its deadline event rather
+  // than wake(). Reset when the next episode begins. When a deadline event
+  // and a wake() land on the same timestamp, whichever was scheduled first
+  // wins (event-queue FIFO order) and the other becomes a no-op, so a
+  // deadline armed before the racing notify reports a timeout.
   bool woke_by_timeout_ = false;
   std::vector<char> stack_;
   ucontext_t context_{};
@@ -114,6 +120,20 @@ class Simulator {
 
   /// Block until another fiber/callback calls wake(). Returns false.
   /// With a deadline: returns true iff the deadline fired first.
+  ///
+  /// Contract for callers (the same rules as pthread timed waits):
+  ///  - `false` means "woken", NOT "your condition holds". Anyone may have
+  ///    called wake() for any reason; re-check the predicate and re-block.
+  ///  - `true` means this episode's own deadline event ran. The fiber is
+  ///    runnable again; a wake() arriving after the timeout targets a new
+  ///    generation and cannot resurrect the expired episode.
+  ///  - A deadline and a wake() at the same virtual timestamp resolve in
+  ///    event-scheduling order (FIFO sequence numbers): the deadline was
+  ///    scheduled when the wait began, so it beats any notify posted at
+  ///    the deadline instant itself.
+  /// The sync primitives (WaitQueue et al.) encode these rules; prefer
+  /// them over calling this directly. Regression-tested in sim_test.cpp
+  /// ("TimeoutSemantics" suite).
   bool block_current(Time deadline = kNever);
 
   /// Make a blocked fiber runnable at the current time. No-op if it is not

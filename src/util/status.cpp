@@ -24,6 +24,8 @@ std::string_view error_code_name(ErrorCode code) {
       return "PROTOCOL_ERROR";
     case ErrorCode::kClosed:
       return "CLOSED";
+    case ErrorCode::kUnavailable:
+      return "UNAVAILABLE";
     case ErrorCode::kInternal:
       return "INTERNAL";
   }

@@ -27,6 +27,9 @@ enum class ErrorCode {
   kOutOfRange,
   kProtocolError,
   kClosed,
+  /// A peer or link is unreachable (e.g. the reliable shim gave up
+  /// retransmitting across a partition). Retrying later may succeed.
+  kUnavailable,
   kInternal,
 };
 
@@ -84,6 +87,9 @@ inline Status protocol_error(std::string msg) {
 }
 inline Status channel_closed(std::string msg) {
   return {ErrorCode::kClosed, std::move(msg)};
+}
+inline Status unavailable(std::string msg) {
+  return {ErrorCode::kUnavailable, std::move(msg)};
 }
 inline Status internal_error(std::string msg) {
   return {ErrorCode::kInternal, std::move(msg)};

@@ -139,5 +139,92 @@ TEST(SimStress, SessionsAreBitForBitDeterministic) {
   }
 }
 
+struct FaultySessionResult {
+  double final_us = 0.0;
+  std::uint64_t payload_hash = 0;
+  net::FaultCounters faults;
+  net::ReliabilityCounters reliability;
+};
+
+FaultySessionResult run_faulty_tcp_session(std::uint64_t seed) {
+  // Same shape as run_random_session, but over a lossy TCP fabric: the
+  // retransmit/ack machinery adds hundreds of extra events whose relative
+  // order must still replay exactly.
+  FaultySessionResult result;
+  net::FaultPlan plan(seed);
+  net::LinkFaults faults;
+  faults.drop_rate = 0.04;
+  faults.dup_rate = 0.01;
+  faults.reorder_rate = 0.15;
+  faults.reorder_window = 3;
+  faults.corrupt_rate = 0.01;
+  plan.set_default_faults(faults);
+  net::TcpParams tcp = net::TcpParams::fast_ethernet();
+  tcp.fabric.faults = &plan;
+
+  mad::SessionConfig config;
+  config.node_count = 3;
+  mad::NetworkDef net_def;
+  net_def.name = "n";
+  net_def.kind = mad::NetworkKind::kTcp;
+  net_def.nodes = {0, 1, 2};
+  net_def.tcp_params = tcp;
+  config.networks.push_back(net_def);
+  config.channels.push_back(mad::ChannelDef{"ch", "n"});
+  mad::Session session(std::move(config));
+  session.spawn(0, "tx", [&](mad::NodeRuntime& rt) {
+    Rng inner(seed + 1);
+    for (int i = 0; i < 10; ++i) {
+      const std::size_t size = inner.next_range(1, 40000);
+      auto payload = make_pattern_buffer(size, i);
+      auto& conn = rt.channel("ch").begin_packing(1 + (i % 2));
+      mad::mad_pack_value(conn, size, mad::send_CHEAPER,
+                          mad::receive_EXPRESS);
+      conn.pack(payload);
+      conn.end_packing();
+    }
+  });
+  for (std::uint32_t receiver : {1u, 2u}) {
+    session.spawn(receiver, "rx" + std::to_string(receiver),
+                  [&, receiver](mad::NodeRuntime& rt) {
+      for (int i = 0; i < 5; ++i) {
+        auto& conn = rt.channel("ch").begin_unpacking();
+        std::size_t size = 0;
+        mad::mad_unpack_value(conn, size, mad::send_CHEAPER,
+                              mad::receive_EXPRESS);
+        std::vector<std::byte> out(size);
+        conn.unpack(out);
+        conn.end_unpacking();
+        EXPECT_TRUE(verify_pattern(out, 2 * i + (receiver - 1)))
+            << "receiver " << receiver << " message " << i;
+        result.payload_hash ^= fnv1a(out) * (receiver + 7 * i);
+      }
+    });
+  }
+  EXPECT_TRUE(session.run().is_ok());
+  result.final_us = sim::to_us(session.simulator().now());
+  result.faults = plan.counters();
+  result.reliability =
+      session.endpoint("ch", 0).stats().reliability;
+  return result;
+}
+
+TEST(SimStress, FaultyTcpSessionsAreBitForBitDeterministic) {
+  for (std::uint64_t seed : {21u, 22u, 23u}) {
+    const FaultySessionResult first = run_faulty_tcp_session(seed);
+    const FaultySessionResult second = run_faulty_tcp_session(seed);
+    EXPECT_EQ(first.final_us, second.final_us) << "seed " << seed;
+    EXPECT_EQ(first.payload_hash, second.payload_hash) << "seed " << seed;
+    EXPECT_EQ(first.faults.shipped, second.faults.shipped);
+    EXPECT_EQ(first.faults.dropped, second.faults.dropped);
+    EXPECT_EQ(first.faults.delivered, second.faults.delivered);
+    EXPECT_EQ(first.reliability.retransmits, second.reliability.retransmits);
+    // And the faults really fired: the clean payloads above came through
+    // the ARQ machinery, not a silently-lossless wire.
+    EXPECT_GT(first.faults.dropped, 0u) << "seed " << seed;
+    EXPECT_GT(first.reliability.data_frames, 0u) << "seed " << seed;
+  }
+}
+
 }  // namespace
 }  // namespace mad2

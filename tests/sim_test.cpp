@@ -358,5 +358,121 @@ TEST(Sync, TrySendAndTryReceive) {
   ASSERT_TRUE(simulator.run().is_ok());
 }
 
+// Regression suite for the timed-wait contract (see the block_current()
+// comment in simulator.hpp). The woke_by_timeout_ machinery is easy to
+// get subtly wrong; these pin the intended semantics.
+
+TEST(TimeoutSemantics, DeadlineBeatsNotifyAtTheSameTimestamp) {
+  // The deadline event is scheduled when the wait begins, so at a tied
+  // timestamp it has the lower sequence number and runs first; by the time
+  // the racing notify executes, the waiter is already deregistered.
+  Simulator simulator;
+  WaitQueue queue(&simulator);
+  bool timed_out = false;
+  bool notify_found_waiter = true;
+  simulator.spawn("waiter", [&] {
+    timed_out = queue.wait(microseconds(10));
+  });
+  simulator.spawn("notifier", [&] {
+    simulator.advance(microseconds(10));
+    notify_found_waiter = queue.notify_one();
+  });
+  ASSERT_TRUE(simulator.run().is_ok());
+  EXPECT_TRUE(timed_out);
+  EXPECT_FALSE(notify_found_waiter);
+}
+
+TEST(TimeoutSemantics, NotifyStrictlyBeforeDeadlineWins) {
+  Simulator simulator;
+  WaitQueue queue(&simulator);
+  bool timed_out = true;
+  sim::Time woke_at = 0;
+  simulator.spawn("waiter", [&] {
+    timed_out = queue.wait(microseconds(10));
+    woke_at = simulator.now();
+  });
+  simulator.spawn("notifier", [&] {
+    simulator.advance(microseconds(9));
+    EXPECT_TRUE(queue.notify_one());
+  });
+  ASSERT_TRUE(simulator.run().is_ok());
+  EXPECT_FALSE(timed_out);
+  EXPECT_EQ(woke_at, microseconds(9));
+}
+
+TEST(TimeoutSemantics, TimedOutWaiterLeavesTheQueue) {
+  // A timeout must deregister the waiter: a later notify_one may not
+  // target it, and waiter_count drops back to zero.
+  Simulator simulator;
+  WaitQueue queue(&simulator);
+  simulator.spawn("waiter", [&] {
+    EXPECT_TRUE(queue.wait(microseconds(5)));
+    EXPECT_EQ(queue.waiter_count(), 0u);
+    // Step past the racing notify tick before re-waiting (re-registering
+    // at the tied timestamp would legitimately absorb the notify); then
+    // park again: a stale registration would have consumed the notify and
+    // this second episode would hang instead of timing out.
+    simulator.advance(microseconds(2));
+    EXPECT_TRUE(queue.wait(microseconds(20)));
+    EXPECT_EQ(simulator.now(), microseconds(20));
+  });
+  simulator.spawn("notifier", [&] {
+    simulator.advance(microseconds(5));
+    // Tied with the waiter's timeout: deadline wins, queue is empty.
+    EXPECT_FALSE(queue.notify_one());
+  });
+  ASSERT_TRUE(simulator.run().is_ok());
+}
+
+TEST(TimeoutSemantics, TimeoutFlagResetsBetweenEpisodes) {
+  // woke_by_timeout_ describes only the *latest* episode: a timed-out
+  // wait followed by a notified wait reports true then false.
+  Simulator simulator;
+  WaitQueue queue(&simulator);
+  std::vector<bool> outcomes;
+  simulator.spawn("waiter", [&] {
+    outcomes.push_back(queue.wait(microseconds(5)));    // times out
+    outcomes.push_back(queue.wait(microseconds(100)));  // notified
+    outcomes.push_back(queue.wait(microseconds(15)));   // times out again
+  });
+  simulator.spawn("notifier", [&] {
+    simulator.advance(microseconds(8));
+    EXPECT_TRUE(queue.notify_one());
+  });
+  ASSERT_TRUE(simulator.run().is_ok());
+  EXPECT_EQ(outcomes, (std::vector<bool>{true, false, true}));
+}
+
+TEST(TimeoutSemantics, NotifiedReturnDoesNotImplyThePredicate) {
+  // The rule every block_current()/wait() caller must follow: false means
+  // "woken", not "your condition holds". A fiber woken by an unrelated
+  // notify must re-check and re-block, and the deadline of the *retry*
+  // still works.
+  Simulator simulator;
+  WaitQueue queue(&simulator);
+  bool ready = false;
+  int wakeups = 0;
+  bool gave_up = false;
+  simulator.spawn("waiter", [&] {
+    while (!ready) {
+      if (queue.wait(microseconds(30))) {
+        gave_up = true;  // deadline hit before the predicate held
+        return;
+      }
+      ++wakeups;
+    }
+  });
+  simulator.spawn("poker", [&] {
+    simulator.advance(microseconds(5));
+    queue.notify_one();  // spurious: predicate still false
+    simulator.advance(microseconds(5));
+    ready = true;        // now it holds
+    queue.notify_one();
+  });
+  ASSERT_TRUE(simulator.run().is_ok());
+  EXPECT_FALSE(gave_up);
+  EXPECT_EQ(wakeups, 2);  // one spurious, one real
+}
+
 }  // namespace
 }  // namespace mad2::sim
