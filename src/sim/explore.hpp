@@ -1,0 +1,117 @@
+// madcheck: CHESS/loom-style schedule exploration for the fiber simulator.
+//
+// Every concurrency bug in the stack (Switch flush ordering, BMM
+// commit/checkout, the gateway dual-buffered pipeline, retransmit-timer
+// vs. ack races) is a function of which ready fiber runs next — and the
+// plain scheduler always answers that question one fixed way (FIFO).
+// madcheck re-runs a test body many times, each time driving the
+// Simulator's SchedulePolicy hook with a different tie-breaking schedule,
+// and checks that the body's invariants hold under every ordering:
+//
+//   auto result = sim::explore([] {
+//     mad::Session session(config);   // picks up the ambient policy
+//     ...spawn fibers, run, check invariants...
+//     return ok_or_failure_status();
+//   });
+//   ASSERT_TRUE(result.ok) << result.summary();
+//
+// Three exploration modes compose in one call:
+//  - a FIFO baseline plus `random_runs` seeded random-walk schedules;
+//  - bounded-exhaustive enumeration: depth-first over all schedules with
+//    at most `delay_bound` non-FIFO decisions (delay-bounded scheduling),
+//    capped at `max_exhaustive_runs`;
+//  - exact replay of one serialized trace via the MAD2_SCHEDULE
+//    environment variable (mirroring MAD2_FAULT_SEED).
+//
+// On failure the offending decision trace is shrunk to a minimal prefix
+// (prefix truncation + zeroing of individual decisions, each candidate
+// re-validated by re-running the body) and serialized in `replay_hint`,
+// ready to paste into MAD2_SCHEDULE for a deterministic single-run
+// reproduction.
+//
+// Bodies must be self-contained and idempotent: they are executed many
+// times, must build their Simulator/Session *inside* the callable, and
+// must report invariant violations through the returned Status (a
+// deadlocked run already surfaces as the FAILED_PRECONDITION from
+// Simulator::run()). Invariants asserted under exploration must be
+// order-independent — madcheck exists precisely to run legal orderings
+// the FIFO scheduler never produces.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/status.hpp"
+
+namespace mad2::sim {
+
+/// A serialized schedule: entry i is the index chosen at the i-th decision
+/// point (a tie of >= 2 runnable events; singleton steps are not recorded).
+/// Entries beyond the trace default to 0 (FIFO), so a trace is a *prefix*
+/// of decisions; trailing zeros are redundant.
+using ScheduleTrace = std::vector<std::uint32_t>;
+
+/// "2,0,1" <-> {2, 0, 1}; the empty string is the empty (pure-FIFO) trace.
+[[nodiscard]] std::string trace_to_string(const ScheduleTrace& trace);
+[[nodiscard]] ScheduleTrace trace_from_string(std::string_view text);
+
+/// Name of the replay environment variable.
+inline constexpr const char* kScheduleEnvVar = "MAD2_SCHEDULE";
+
+struct ExploreOptions {
+  /// Seeded random-walk schedules to run after the FIFO baseline.
+  int random_runs = 200;
+  /// Base seed for the random walks (run r uses a mix of seed and r).
+  std::uint64_t seed = 1;
+  /// Bounded-exhaustive phase: explore every schedule with at most this
+  /// many non-FIFO decisions...
+  int delay_bound = 2;
+  /// ...capped at this many runs. 0 skips the exhaustive phase entirely.
+  std::size_t max_exhaustive_runs = 0;
+  /// Shrink a failing trace before reporting (costs extra runs).
+  bool shrink = true;
+  /// Max body re-runs the shrinker may spend.
+  std::size_t shrink_budget = 200;
+  /// Honor MAD2_SCHEDULE: when the variable is set, run the body exactly
+  /// once under that trace and report, skipping all exploration.
+  bool env_replay = true;
+};
+
+struct ExploreResult {
+  bool ok = true;
+  /// Schedules executed (baseline + random + exhaustive; excludes shrink
+  /// re-runs and is 1 in MAD2_SCHEDULE replay mode).
+  int runs = 0;
+  /// First failing Status, untouched by shrinking.
+  std::string failure;
+  /// The failing decision trace, shrunk when options.shrink is set.
+  ScheduleTrace trace;
+  /// Paste-ready reproduction line, e.g. "MAD2_SCHEDULE=0,0,1".
+  std::string replay_hint;
+
+  /// One-paragraph report for test assertion messages.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// The unit under exploration. See the file comment for the contract.
+using ExploreBody = std::function<Status()>;
+
+/// Run `body` under many schedules; first failure wins (and is shrunk).
+ExploreResult explore(const ExploreBody& body, ExploreOptions options = {});
+
+/// One run of `body` under an exact trace (FIFO once the trace is
+/// exhausted), outside any exploration loop. `taken` records the decision
+/// actually made at every decision point — replaying it reproduces the
+/// run bit for bit, which is how madcheck's own determinism is tested.
+struct ReplayOutcome {
+  Status status = Status::ok();
+  ScheduleTrace taken;
+};
+ReplayOutcome run_with_schedule(const ExploreBody& body,
+                                const ScheduleTrace& trace);
+
+}  // namespace mad2::sim

@@ -45,7 +45,23 @@ void Fiber::run_body() {
 
 // ------------------------------------------------------------ Simulator ---
 
-Simulator::Simulator(Options options) : options_(options) {}
+namespace {
+// Ambient default for new simulators (see the header). Plain global on
+// purpose: the library is single-host-thread by contract, and keeping it
+// an ordinary variable lets ThreadSanitizer flag violations of that rule.
+SchedulePolicy* g_ambient_schedule_policy = nullptr;
+}  // namespace
+
+void Simulator::set_ambient_schedule_policy(SchedulePolicy* policy) {
+  g_ambient_schedule_policy = policy;
+}
+
+SchedulePolicy* Simulator::ambient_schedule_policy() {
+  return g_ambient_schedule_policy;
+}
+
+Simulator::Simulator(Options options)
+    : options_(options), schedule_policy_(g_ambient_schedule_policy) {}
 
 Simulator::~Simulator() {
   // Unfinished fibers are discarded without stack unwinding: objects on
@@ -95,15 +111,56 @@ void Simulator::schedule_fiber(Fiber* fiber, Time t) {
                      nullptr});
 }
 
+// Stale events are filtered *before* tie sets are shown to a
+// SchedulePolicy so that no-op events are never decision points and
+// recorded traces stay canonical.
+bool Simulator::is_stale(const Event& event) {
+  return event.fiber != nullptr &&
+         (event.generation != event.fiber->wake_generation_ ||
+          event.fiber->state() == Fiber::State::kDone);
+}
+
+bool Simulator::next_event(Event* out) {
+  while (!events_.empty()) {
+    Event first = events_.top();
+    events_.pop();
+    if (is_stale(first)) continue;
+    if (schedule_policy_ == nullptr) {
+      *out = std::move(first);
+      return true;
+    }
+    // Gather every other live event tied at this timestamp, in FIFO
+    // (sequence) order, and let the policy pick the one that runs.
+    std::vector<Event> ties;
+    const Time tie_time = first.time;
+    ties.push_back(std::move(first));
+    while (!events_.empty() && events_.top().time == tie_time) {
+      Event next = events_.top();
+      events_.pop();
+      if (!is_stale(next)) ties.push_back(std::move(next));
+    }
+    std::size_t pick = 0;
+    if (ties.size() > 1) {
+      pick = schedule_policy_->choose(ties.size());
+      if (pick >= ties.size()) pick = ties.size() - 1;
+    }
+    for (std::size_t i = 0; i < ties.size(); ++i) {
+      if (i != pick) events_.push(std::move(ties[i]));
+    }
+    *out = std::move(ties[pick]);
+    return true;
+  }
+  return false;
+}
+
 Status Simulator::run() {
   MAD2_CHECK(!running_, "Simulator::run() is not reentrant");
   MAD2_CHECK(current_ == nullptr, "run() called from inside a fiber");
   running_ = true;
   stop_requested_ = false;
 
-  while (!events_.empty() && !stop_requested_) {
-    Event event = events_.top();
-    events_.pop();
+  Event event;
+  while (!stop_requested_ && next_event(&event)) {
     MAD2_CHECK(event.time >= now_, "event queue went backwards");
     now_ = event.time;
 
@@ -113,7 +170,6 @@ Status Simulator::run() {
     }
 
     Fiber* fiber = event.fiber;
-    if (event.generation != fiber->wake_generation_) continue;  // stale
     if (fiber->state() == Fiber::State::kReady) {
       resume(fiber);
     } else if (fiber->state() == Fiber::State::kBlocked) {
@@ -123,7 +179,8 @@ Status Simulator::run() {
       fiber->state_ = Fiber::State::kReady;
       resume(fiber);
     }
-    // kRunning cannot occur (single resume at a time); kDone is stale.
+    // kRunning cannot occur (single resume at a time); kDone was filtered
+    // as stale by next_event().
   }
 
   running_ = false;

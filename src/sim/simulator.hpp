@@ -27,6 +27,25 @@ namespace mad2::sim {
 
 class Simulator;
 
+/// Decides which runnable event executes next when several are tied at the
+/// earliest virtual time. The tie set is presented in FIFO (scheduling)
+/// order; returning 0 everywhere reproduces the classic behavior, and any
+/// other answer is an equally legal execution of the simulated program —
+/// the virtual clock never moves while a tie is being broken, so policies
+/// explore *orderings*, not timings. madcheck (sim/explore.hpp) drives
+/// this hook with random-walk, bounded-exhaustive, and replay policies.
+///
+/// choose() is only consulted for ties of two or more non-stale events;
+/// singleton steps are not decision points, which keeps recorded decision
+/// traces short and canonical.
+class SchedulePolicy {
+ public:
+  virtual ~SchedulePolicy() = default;
+  /// Pick one of `count` (>= 2) co-enabled events. Out-of-range answers
+  /// are clamped to the last candidate.
+  virtual std::size_t choose(std::size_t count) = 0;
+};
+
 /// A stackful fiber. Created via Simulator::spawn(); not user-constructible.
 class Fiber {
  public:
@@ -141,6 +160,25 @@ class Simulator {
   /// counted).
   void wake(Fiber* fiber);
 
+  // --- Schedule exploration hooks (madcheck; see sim/explore.hpp). -------
+
+  /// Install a tie-breaking policy for this simulator. nullptr restores
+  /// the default FIFO order. The policy is borrowed, not owned, and must
+  /// outlive every run() that uses it.
+  void set_schedule_policy(SchedulePolicy* policy) {
+    schedule_policy_ = policy;
+  }
+  [[nodiscard]] SchedulePolicy* schedule_policy() const {
+    return schedule_policy_;
+  }
+
+  /// Process-wide default picked up by every subsequently constructed
+  /// Simulator (explorers use this to reach simulators buried inside
+  /// mad::Session et al.). Subject to the library's single-thread rule:
+  /// do not flip the ambient policy from a second host thread.
+  static void set_ambient_schedule_policy(SchedulePolicy* policy);
+  [[nodiscard]] static SchedulePolicy* ambient_schedule_policy();
+
  private:
   struct Event {
     Time time;
@@ -159,6 +197,14 @@ class Simulator {
   void schedule_fiber(Fiber* fiber, Time t);
   void resume(Fiber* fiber);
   void switch_out();  // fiber -> scheduler
+  /// Pop the next live event, letting schedule_policy_ break ties among
+  /// the non-stale events at the earliest time. Returns false when the
+  /// queue is drained.
+  bool next_event(Event* out);
+  /// A stale event targets a blocking episode that already ended (wrong
+  /// generation or finished fiber); it is consumed without running
+  /// anything and is never shown to a SchedulePolicy.
+  static bool is_stale(const Event& event);
 
   Options options_;
   Time now_ = 0;
@@ -166,6 +212,7 @@ class Simulator {
   std::uint64_t next_fiber_id_ = 1;
   bool stop_requested_ = false;
   bool running_ = false;
+  SchedulePolicy* schedule_policy_ = nullptr;
   Fiber* current_ = nullptr;
   ucontext_t scheduler_context_{};
   std::priority_queue<Event, std::vector<Event>, EventLater> events_;

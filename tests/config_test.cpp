@@ -88,7 +88,17 @@ INSTANTIATE_TEST_SUITE_P(
         BadCase{"nodes 2\nnetwork n tcp 0 1\nchannel c n\nchannel c n\n",
                 "duplicate channel name"},
         BadCase{"nodes 2\nfrobnicate\n", "unknown directive"},
-        BadCase{"", "missing 'nodes'"}));
+        BadCase{"", "missing 'nodes'"},
+        // Arity and overflow paths:
+        BadCase{"nodes 2 3\n", "usage: nodes N"},
+        BadCase{"nodes\n", "usage: nodes N"},
+        BadCase{"nodes -1\n", "invalid node count"},
+        BadCase{"nodes 4294967296\n", "invalid node count"},  // > uint32
+        BadCase{"nodes 2\nnetwork n tcp 0 one\n", "invalid node id"},
+        BadCase{"nodes 2\nnetwork n tcp 0 4294967296\n", "invalid node id"},
+        BadCase{"nodes 2\nchannel c\n", "usage: channel"},
+        BadCase{"nodes 2\nnetwork n tcp 0 1\nchannel c n paranoid extra\n",
+                "usage: channel"}));
 
 TEST_P(ConfigErrors, AreReportedWithContext) {
   auto result = parse_session_config(GetParam().text);
@@ -103,6 +113,24 @@ TEST(ConfigParser, ErrorsCarryLineNumbers) {
   auto result = parse_session_config("nodes 2\n\n\nbogus\n");
   ASSERT_FALSE(result.is_ok());
   EXPECT_NE(result.status().message().find("line 4"), std::string::npos);
+}
+
+TEST(ConfigParser, CommentsAndBlankLinesAreIgnoredEverywhere) {
+  auto result = parse_session_config(R"(
+# leading comment
+
+nodes 2   # trailing comment
+   # indented comment
+network n tcp 0 1 # nodes follow
+channel c n # done
+
+)");
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(result.value().node_count, 2u);
+  ASSERT_EQ(result.value().networks.size(), 1u);
+  EXPECT_EQ(result.value().networks[0].nodes,
+            (std::vector<std::uint32_t>{0, 1}));
+  ASSERT_EQ(result.value().channels.size(), 1u);
 }
 
 // ------------------------------------------------------------ statistics ---

@@ -1,0 +1,235 @@
+// madcheck self-tests: the schedule-exploration harness must (a) leave
+// correct programs alone across hundreds of schedules, (b) find a planted
+// ordering bug the FIFO scheduler never trips, (c) shrink the failing
+// trace to a minimal decision prefix, and (d) replay it deterministically
+// — including through the MAD2_SCHEDULE environment variable.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "sim/explore.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sync.hpp"
+
+namespace mad2::sim {
+namespace {
+
+// ------------------------------------------------- the mutation subject ---
+//
+// A two-fiber notify/wait pipeline with a classic lost-wakeup window when
+// `buggy`: the consumer checks the predicate, *then* yields (modeling work
+// between the check and the park), then waits without re-checking. Under
+// the FIFO schedule the producer's notify always lands after the wait, so
+// the plain test suite can never see the bug; under exploration, any
+// schedule that runs the producer's second step before the consumer's
+// wait loses the wakeup and deadlocks.
+Status notify_wait_pipeline(bool buggy) {
+  Simulator simulator;
+  WaitQueue queue(&simulator);
+  bool ready = false;
+  bool consumed = false;
+  simulator.spawn("consumer", [&] {
+    if (buggy) {
+      if (!ready) {
+        simulator.yield_fiber();  // check-to-wait window
+        queue.wait();             // no re-check: wakeup can be lost
+      }
+    } else {
+      while (!ready) queue.wait();  // correct predicate loop
+    }
+    consumed = true;
+  });
+  simulator.spawn("producer", [&] {
+    simulator.yield_fiber();  // produce "later" at the same virtual time
+    ready = true;
+    queue.notify_one();
+  });
+  const Status run = simulator.run();
+  if (!run.is_ok()) return run;
+  if (!consumed) return internal_error("consumer never consumed");
+  return Status::ok();
+}
+
+// --------------------------------------------------------- serialization ---
+
+TEST(ScheduleTraceSerialization, RoundTrips) {
+  const ScheduleTrace trace{0, 2, 1, 0, 7};
+  EXPECT_EQ(trace_to_string(trace), "0,2,1,0,7");
+  EXPECT_EQ(trace_from_string("0,2,1,0,7"), trace);
+  EXPECT_EQ(trace_to_string({}), "");
+  EXPECT_TRUE(trace_from_string("").empty());
+}
+
+// ------------------------------------------------------------ exploration ---
+
+TEST(Madcheck, CorrectPipelinePassesRandomAndExhaustiveSchedules) {
+  ExploreOptions options;
+  options.random_runs = 200;
+  options.max_exhaustive_runs = 200;
+  const ExploreResult result =
+      explore([] { return notify_wait_pipeline(/*buggy=*/false); }, options);
+  EXPECT_TRUE(result.ok) << result.summary();
+  EXPECT_GE(result.runs, 200);
+}
+
+TEST(Madcheck, FifoBaselineHidesThePlantedBug) {
+  // The premise of the whole harness: the default schedule passes.
+  EXPECT_TRUE(notify_wait_pipeline(/*buggy=*/true).is_ok());
+}
+
+TEST(Madcheck, ExhaustiveFindsAndShrinksThePlantedBug) {
+  ExploreOptions options;
+  options.random_runs = 0;  // deterministic: exhaustive only
+  options.delay_bound = 2;
+  options.max_exhaustive_runs = 500;
+  const ExploreResult result =
+      explore([] { return notify_wait_pipeline(/*buggy=*/true); }, options);
+  ASSERT_FALSE(result.ok);
+  EXPECT_NE(result.failure.find("stuck"), std::string::npos)
+      << result.failure;  // the lost wakeup surfaces as a deadlock
+  // The shrunk trace is a minimal prefix: exactly one non-FIFO decision.
+  ASSERT_FALSE(result.trace.empty());
+  int deviations = 0;
+  for (std::uint32_t choice : result.trace) deviations += choice != 0;
+  EXPECT_EQ(deviations, 1) << result.summary();
+  EXPECT_NE(result.trace.back(), 0u);  // shrinker strips trailing zeros
+  EXPECT_NE(result.replay_hint.find("MAD2_SCHEDULE="), std::string::npos);
+}
+
+TEST(Madcheck, RandomWalksFindThePlantedBugToo) {
+  ExploreOptions options;
+  options.random_runs = 200;
+  options.max_exhaustive_runs = 0;
+  const ExploreResult result =
+      explore([] { return notify_wait_pipeline(/*buggy=*/true); }, options);
+  ASSERT_FALSE(result.ok) << "200 random schedules missed the lost wakeup";
+  int deviations = 0;
+  for (std::uint32_t choice : result.trace) deviations += choice != 0;
+  EXPECT_EQ(deviations, 1) << result.summary();
+}
+
+TEST(Madcheck, ShrunkTraceReplaysDeterministically) {
+  ExploreOptions options;
+  options.random_runs = 0;
+  options.max_exhaustive_runs = 500;
+  const ExploreResult result =
+      explore([] { return notify_wait_pipeline(/*buggy=*/true); }, options);
+  ASSERT_FALSE(result.ok);
+  // Replaying the shrunk trace reproduces the failure, run after run,
+  // with an identical decision stream (the simulator is deterministic
+  // given the schedule).
+  const auto body = [] { return notify_wait_pipeline(/*buggy=*/true); };
+  const ReplayOutcome first = run_with_schedule(body, result.trace);
+  const ReplayOutcome second = run_with_schedule(body, result.trace);
+  EXPECT_FALSE(first.status.is_ok());
+  EXPECT_FALSE(second.status.is_ok());
+  EXPECT_EQ(first.taken, second.taken);
+  // And the FIFO schedule still passes, so the trace is load-bearing.
+  EXPECT_TRUE(run_with_schedule(body, {}).status.is_ok());
+}
+
+TEST(Madcheck, EnvVarReplayPinsTheSchedule) {
+  ExploreOptions options;
+  options.random_runs = 0;
+  options.max_exhaustive_runs = 500;
+  const auto body = [] { return notify_wait_pipeline(/*buggy=*/true); };
+  const ExploreResult found = explore(body, options);
+  ASSERT_FALSE(found.ok);
+
+  // MAD2_SCHEDULE=<shrunk trace>: explore() must run exactly once and
+  // reproduce the failure instead of exploring.
+  ASSERT_EQ(setenv(kScheduleEnvVar, trace_to_string(found.trace).c_str(),
+                   /*overwrite=*/1),
+            0);
+  const ExploreResult replayed = explore(body, options);
+  unsetenv(kScheduleEnvVar);
+  EXPECT_EQ(replayed.runs, 1);
+  EXPECT_FALSE(replayed.ok);
+  EXPECT_EQ(replayed.trace, found.trace);
+
+  // An innocent schedule replayed through the env var passes.
+  ASSERT_EQ(setenv(kScheduleEnvVar, "", /*overwrite=*/1), 0);
+  const ExploreResult fifo = explore(body, options);
+  unsetenv(kScheduleEnvVar);
+  EXPECT_EQ(fifo.runs, 1);
+  EXPECT_TRUE(fifo.ok);
+}
+
+// -------------------------------------------------- policy plumbing ------
+
+TEST(SchedulePolicy, PerSimulatorPolicyOverridesFifo) {
+  // A policy that always picks the *last* candidate reverses the spawn
+  // order of same-time fibers.
+  class LastPolicy : public SchedulePolicy {
+   public:
+    std::size_t choose(std::size_t count) override { return count - 1; }
+  };
+  LastPolicy last;
+  std::vector<int> order;
+  Simulator simulator;
+  simulator.set_schedule_policy(&last);
+  simulator.spawn("a", [&] { order.push_back(1); });
+  simulator.spawn("b", [&] { order.push_back(2); });
+  simulator.spawn("c", [&] { order.push_back(3); });
+  ASSERT_TRUE(simulator.run().is_ok());
+  EXPECT_EQ(order, (std::vector<int>{3, 2, 1}));
+}
+
+TEST(SchedulePolicy, AmbientPolicyReachesNewSimulators) {
+  class LastPolicy : public SchedulePolicy {
+   public:
+    std::size_t choose(std::size_t count) override { return count - 1; }
+  };
+  LastPolicy last;
+  Simulator::set_ambient_schedule_policy(&last);
+  std::vector<int> order;
+  {
+    Simulator simulator;  // picks up the ambient policy at construction
+    simulator.spawn("a", [&] { order.push_back(1); });
+    simulator.spawn("b", [&] { order.push_back(2); });
+    EXPECT_TRUE(simulator.run().is_ok());
+  }
+  Simulator::set_ambient_schedule_policy(nullptr);
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+  // With the ambient policy cleared, construction reverts to FIFO.
+  order.clear();
+  Simulator simulator;
+  simulator.spawn("a", [&] { order.push_back(1); });
+  simulator.spawn("b", [&] { order.push_back(2); });
+  EXPECT_TRUE(simulator.run().is_ok());
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SchedulePolicy, StaleEventsAreNotDecisionPoints) {
+  // A fiber woken before its deadline leaves a stale timeout event in the
+  // queue; that event must be consumed silently, never offered to the
+  // policy as a candidate.
+  class CountingPolicy : public SchedulePolicy {
+   public:
+    std::size_t choose(std::size_t count) override {
+      ties.push_back(count);
+      return 0;
+    }
+    std::vector<std::size_t> ties;
+  };
+  CountingPolicy counting;
+  Simulator simulator;
+  simulator.set_schedule_policy(&counting);
+  Fiber* sleeper = simulator.spawn("sleeper", [&] {
+    EXPECT_FALSE(simulator.block_current(microseconds(100)));
+  });
+  simulator.spawn("waker", [&] {
+    simulator.advance(microseconds(10));
+    simulator.wake(sleeper);  // the t=100 deadline event is now stale
+    simulator.advance(microseconds(90));  // resume ties with stale event
+  });
+  ASSERT_TRUE(simulator.run().is_ok());
+  // One real decision: the two spawns tied at t=0. The t=100 "tie"
+  // between the stale deadline and the waker's resume must NOT have been
+  // offered (a stale no-op is not an alternative schedule).
+  EXPECT_EQ(counting.ties, (std::vector<std::size_t>{2}));
+}
+
+}  // namespace
+}  // namespace mad2::sim

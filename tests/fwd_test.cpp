@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "fwd/virtual_channel.hpp"
+#include "sim/explore.hpp"
 #include "util/bytes.hpp"
 
 namespace mad2::fwd {
@@ -301,6 +302,58 @@ TEST(VirtualChannel, ThreeHopChains) {
     EXPECT_TRUE(verify_pattern(out, 77));
   });
   ASSERT_TRUE(session.run().is_ok());
+}
+
+// ------------------------------------------------------------ madcheck ---
+
+// Schedule exploration (sim/explore.hpp): with a small MTU the gateway's
+// store-and-forward fiber juggles several packets per message, and its
+// receive-from-hop-A / send-on-hop-B steps tie with both endpoints'
+// pack/unpack fibers at the same virtual time. A round trip through the
+// gateway must deliver intact data under every ordering of those ties.
+// Failures print a shrunk decision trace replayable via MAD2_SCHEDULE.
+TEST(VirtualChannelExplore, GatewayPipelineHoldsAcross200Schedules) {
+  const auto body = []() -> Status {
+    std::string failure;
+    auto fail = [&failure](std::string detail) {
+      if (failure.empty()) failure = std::move(detail);
+    };
+    Session session(two_cluster_config());
+    VirtualChannel vc(session, vdef(/*mtu=*/2048));
+    const std::size_t size = 12000;  // ~6 packets per direction
+    session.spawn(0, "pinger", [&](NodeRuntime&) {
+      auto payload = make_pattern_buffer(size, 5);
+      auto& out = vc.endpoint(0).begin_packing(2);
+      out.pack(payload);
+      out.end_packing();
+      auto& in = vc.endpoint(0).begin_unpacking();
+      std::vector<std::byte> back(size);
+      in.unpack(back);
+      in.end_unpacking();
+      if (!verify_pattern(back, 6)) fail("reply corrupt at node 0");
+    });
+    session.spawn(2, "ponger", [&](NodeRuntime&) {
+      auto& in = vc.endpoint(2).begin_unpacking();
+      std::vector<std::byte> data(size);
+      in.unpack(data);
+      in.end_unpacking();
+      if (!verify_pattern(data, 5)) fail("request corrupt at node 2");
+      auto payload = make_pattern_buffer(size, 6);
+      auto& out = vc.endpoint(2).begin_packing(0);
+      out.pack(payload);
+      out.end_packing();
+    });
+    const Status run = session.run();
+    if (!run.is_ok()) return run;
+    if (!failure.empty()) return internal_error(failure);
+    return Status::ok();
+  };
+  sim::ExploreOptions options;
+  options.random_runs = 200;
+  options.max_exhaustive_runs = 50;
+  const sim::ExploreResult result = sim::explore(body, options);
+  EXPECT_TRUE(result.ok) << result.summary();
+  EXPECT_GE(result.runs, 200);
 }
 
 double forwarding_bandwidth(NetworkKind from, NetworkKind to,

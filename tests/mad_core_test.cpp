@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "mad/madeleine.hpp"
+#include "sim/explore.hpp"
 #include "util/bytes.hpp"
 #include "util/rng.hpp"
 
@@ -485,6 +486,86 @@ TEST_P(RandomSchedule, SymmetricSchedulesPreserveData) {
     }
   });
   ASSERT_TRUE(session.run().is_ok());
+}
+
+// ------------------------------------------------------------ madcheck ---
+
+// Schedule exploration (sim/explore.hpp): a mixed-mode message whose
+// blocks straddle the short/bulk TM boundary forces the Switch to flush
+// (commit/checkout) mid-message, and those flush events tie with the
+// peer's pack/unpack fibers at the same virtual time. The data-integrity
+// contract must hold for every ordering the policy can pick, not just the
+// FIFO one the suites above run. Failures print a shrunk decision trace
+// replayable via MAD2_SCHEDULE.
+TEST(MadExplore, SwitchFlushOrderingHoldsAcross200Schedules) {
+  const auto body = []() -> Status {
+    struct Block {
+      std::size_t size;
+      SendMode smode;
+      ReceiveMode rmode;
+    };
+    // Short / bulk alternation plus all three send modes: every pack
+    // switches TM or flushes the aggregation buffer at least once.
+    const std::vector<Block> blocks{
+        {64, send_CHEAPER, receive_EXPRESS},
+        {6000, send_CHEAPER, receive_CHEAPER},
+        {32, send_SAFER, receive_EXPRESS},
+        {12000, send_CHEAPER, receive_CHEAPER},
+        {128, send_LATER, receive_CHEAPER},
+    };
+    std::string failure;
+    auto fail = [&failure](std::string detail) {
+      if (failure.empty()) failure = std::move(detail);
+    };
+    Session session(one_network_config(NetworkKind::kSisci));
+    for (std::uint32_t me = 0; me < 2; ++me) {
+      const std::uint32_t other = 1 - me;
+      // Independent tx and rx fibers per node: both directions are in
+      // flight at once, so Switch flushes on one side race against
+      // application progress on the other.
+      session.spawn(me, "tx" + std::to_string(me),
+                    [&, me, other](NodeRuntime& rt) {
+        std::vector<std::vector<std::byte>> payloads;
+        for (std::size_t i = 0; i < blocks.size(); ++i) {
+          payloads.push_back(
+              make_pattern_buffer(blocks[i].size, 1000 * (me + 1) + i));
+        }
+        auto& conn = rt.channel("ch0").begin_packing(other);
+        for (std::size_t i = 0; i < blocks.size(); ++i) {
+          conn.pack(payloads[i], blocks[i].smode, blocks[i].rmode);
+        }
+        // send_LATER/send_CHEAPER payloads stay alive until here.
+        conn.end_packing();
+      });
+      session.spawn(me, "rx" + std::to_string(me),
+                    [&, me, other](NodeRuntime& rt) {
+        auto& conn = rt.channel("ch0").begin_unpacking();
+        std::vector<std::vector<std::byte>> outs;
+        for (const Block& block : blocks) outs.emplace_back(block.size);
+        for (std::size_t i = 0; i < blocks.size(); ++i) {
+          conn.unpack(outs[i], blocks[i].smode, blocks[i].rmode);
+        }
+        conn.end_unpacking();
+        for (std::size_t i = 0; i < blocks.size(); ++i) {
+          if (!verify_pattern(outs[i], 1000 * (other + 1) + i)) {
+            fail("node " + std::to_string(me) + " block " +
+                 std::to_string(i) +
+                 " corrupt or reordered under explored schedule");
+          }
+        }
+      });
+    }
+    const Status run = session.run();
+    if (!run.is_ok()) return run;
+    if (!failure.empty()) return internal_error(failure);
+    return Status::ok();
+  };
+  sim::ExploreOptions options;
+  options.random_runs = 200;
+  options.max_exhaustive_runs = 50;
+  const sim::ExploreResult result = sim::explore(body, options);
+  EXPECT_TRUE(result.ok) << result.summary();
+  EXPECT_GE(result.runs, 200);
 }
 
 // --------------------------------------------------------- calibrations ---

@@ -149,6 +149,100 @@ TEST(Misuse, UnpackWithoutBeginUnpackingAborts) {
   EXPECT_DEATH({ (void)session.run(); }, "unpack outside");
 }
 
+TEST(Misuse, PackAfterEndPackingAborts) {
+  // Pack-after-commit: once the message is committed (end_packing), the
+  // connection must reject further pack calls until a new begin_packing.
+  Session session(config_for(NetworkKind::kTcp, false));
+  session.spawn(0, "f", [&](NodeRuntime& rt) {
+    auto data = make_pattern_buffer(16, 1);
+    auto& conn = rt.channel("ch").begin_packing(1);
+    conn.pack(data);
+    conn.end_packing();
+    conn.pack(data);  // message already committed
+  });
+  session.spawn(1, "r", [&](NodeRuntime& rt) {
+    std::vector<std::byte> out(16);
+    auto& conn = rt.channel("ch").begin_unpacking();
+    conn.unpack(out);
+    conn.end_unpacking();
+  });
+  EXPECT_DEATH({ (void)session.run(); }, "pack outside");
+}
+
+TEST(Misuse, DoubleEndPackingAborts) {
+  // The double-teardown case: channels are session-owned (there is no
+  // separate free call), so releasing the same message twice is the
+  // analogous misuse.
+  Session session(config_for(NetworkKind::kTcp, false));
+  session.spawn(0, "f", [&](NodeRuntime& rt) {
+    auto data = make_pattern_buffer(16, 1);
+    auto& conn = rt.channel("ch").begin_packing(1);
+    conn.pack(data);
+    conn.end_packing();
+    conn.end_packing();  // already committed
+  });
+  session.spawn(1, "r", [&](NodeRuntime& rt) {
+    std::vector<std::byte> out(16);
+    auto& conn = rt.channel("ch").begin_unpacking();
+    conn.unpack(out);
+    conn.end_unpacking();
+  });
+  EXPECT_DEATH({ (void)session.run(); }, "without begin_packing");
+}
+
+TEST(Misuse, DoubleBeginUnpackingAborts) {
+  Session session(config_for(NetworkKind::kTcp, false));
+  session.spawn(0, "s", [&](NodeRuntime& rt) {
+    auto data = make_pattern_buffer(16, 1);
+    for (int i = 0; i < 2; ++i) {
+      auto& conn = rt.channel("ch").begin_packing(1);
+      conn.pack(data);
+      conn.end_packing();
+    }
+  });
+  session.spawn(1, "r", [&](NodeRuntime& rt) {
+    (void)rt.channel("ch").begin_unpacking();
+    (void)rt.channel("ch").begin_unpacking();  // first message still open
+  });
+  EXPECT_DEATH({ (void)session.run(); }, "already open");
+}
+
+TEST(Misuse, UnpackAfterEndUnpackingAborts) {
+  Session session(config_for(NetworkKind::kTcp, false));
+  session.spawn(0, "s", [&](NodeRuntime& rt) {
+    auto data = make_pattern_buffer(16, 1);
+    auto& conn = rt.channel("ch").begin_packing(1);
+    conn.pack(data);
+    conn.end_packing();
+  });
+  session.spawn(1, "r", [&](NodeRuntime& rt) {
+    std::vector<std::byte> out(16);
+    auto& conn = rt.channel("ch").begin_unpacking();
+    conn.unpack(out);
+    conn.end_unpacking();
+    conn.unpack(out);  // message already checked out
+  });
+  EXPECT_DEATH({ (void)session.run(); }, "unpack outside");
+}
+
+TEST(Misuse, DoubleEndUnpackingAborts) {
+  Session session(config_for(NetworkKind::kTcp, false));
+  session.spawn(0, "s", [&](NodeRuntime& rt) {
+    auto data = make_pattern_buffer(16, 1);
+    auto& conn = rt.channel("ch").begin_packing(1);
+    conn.pack(data);
+    conn.end_packing();
+  });
+  session.spawn(1, "r", [&](NodeRuntime& rt) {
+    std::vector<std::byte> out(16);
+    auto& conn = rt.channel("ch").begin_unpacking();
+    conn.unpack(out);
+    conn.end_unpacking();
+    conn.end_unpacking();  // already checked out
+  });
+  EXPECT_DEATH({ (void)session.run(); }, "without begin_unpacking");
+}
+
 TEST(Misuse, BeginPackingToUnknownNodeAborts) {
   Session session(config_for(NetworkKind::kTcp, false));
   session.spawn(0, "f", [&](NodeRuntime& rt) {

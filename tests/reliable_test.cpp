@@ -14,6 +14,7 @@
 
 #include "net/fault.hpp"
 #include "net/reliable.hpp"
+#include "sim/explore.hpp"
 #include "sim/time.hpp"
 #include "util/bytes.hpp"
 
@@ -239,6 +240,39 @@ TEST(ReliableAcceptance, TenThousandMessagesExactlyOnceDeterministically) {
   const SweepOutcome second = run_once();
   ASSERT_TRUE(second.ok) << second.detail;
   EXPECT_EQ(first.trace, second.trace);  // byte-identical delivery trace
+}
+
+// ------------------------------------------------------------ madcheck ---
+
+// Schedule exploration (sim/explore.hpp): the retransmit timer, the ack
+// path and both application fibers all race at tied virtual times; the
+// exactly-once/in-order/uncorrupted property must survive every legal
+// ordering of those events, not just the FIFO one the sweeps above run.
+// Failures print a shrunk decision trace replayable via MAD2_SCHEDULE.
+TEST(ReliableExplore, ExactlyOnceInOrderAcross200Schedules) {
+  const auto body = []() -> Status {
+    // Drop/dup/reorder-heavy mix so retransmit timers actually arm and
+    // race with late acks under the explored schedules.
+    LinkFaults faults;
+    faults.drop_rate = 0.08;
+    faults.dup_rate = 0.03;
+    faults.reorder_rate = 0.15;
+    faults.reorder_window = 3;
+    ReliableParams reliability;
+    reliability.rto_initial = sim::microseconds(300);
+    const SweepOutcome outcome =
+        run_sweep_case(/*seed=*/7, /*messages=*/12, faults, reliability);
+    if (!outcome.ok) return internal_error(outcome.detail);
+    if (outcome.counters.give_ups != 0) {
+      return internal_error("healthy link declared dead");
+    }
+    return Status::ok();
+  };
+  sim::ExploreOptions options;
+  options.random_runs = 200;
+  const sim::ExploreResult result = sim::explore(body, options);
+  EXPECT_TRUE(result.ok) << result.summary();
+  EXPECT_GE(result.runs, 200);
 }
 
 }  // namespace

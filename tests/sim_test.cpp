@@ -1,9 +1,14 @@
 // Tests for the discrete-event simulator core: fibers, virtual time,
-// blocking/waking, timeouts, and the synchronization primitives.
+// blocking/waking, timeouts, and the synchronization primitives — plus
+// madcheck schedule-exploration cases asserting the order-independent
+// invariants of the sync primitives across hundreds of interleavings.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <vector>
 
+#include "sim/explore.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sync.hpp"
 
@@ -472,6 +477,191 @@ TEST(TimeoutSemantics, NotifiedReturnDoesNotImplyThePredicate) {
   ASSERT_TRUE(simulator.run().is_ok());
   EXPECT_FALSE(gave_up);
   EXPECT_EQ(wakeups, 2);  // one spurious, one real
+}
+
+// Regression suite for the WaitQueue/wake_generation_ contract: every
+// blocking episode is its own generation, so events armed for an episode
+// that already ended (stale deadlines) are no-ops forever after.
+
+TEST(WakeGeneration, NotifiedAndReblockedFiberIgnoresTheOldDeadline) {
+  // wait(deadline=100), notified at t=10, immediately re-blocked without a
+  // deadline: when the *old* deadline event fires at t=100 it must not
+  // spuriously wake the new episode — only the second notify at t=500 may.
+  Simulator simulator;
+  WaitQueue queue(&simulator);
+  std::vector<Time> wake_times;
+  simulator.spawn("waiter", [&] {
+    EXPECT_FALSE(queue.wait(microseconds(100)));  // notified at t=10
+    wake_times.push_back(simulator.now());
+    EXPECT_FALSE(queue.wait());  // must sleep through the stale t=100 event
+    wake_times.push_back(simulator.now());
+  });
+  simulator.spawn("notifier", [&] {
+    simulator.advance(microseconds(10));
+    EXPECT_TRUE(queue.notify_one());
+    simulator.advance(microseconds(490));
+    EXPECT_TRUE(queue.notify_one());
+  });
+  ASSERT_TRUE(simulator.run().is_ok());
+  EXPECT_EQ(wake_times,
+            (std::vector<Time>{microseconds(10), microseconds(500)}));
+}
+
+TEST(WakeGeneration, ReblockedFibersOwnDeadlineStillFires) {
+  // Same shape, but the second episode has its own deadline: the stale
+  // t=100 event is skipped, and the fresh t=200 deadline fires normally.
+  Simulator simulator;
+  WaitQueue queue(&simulator);
+  bool second_timed_out = false;
+  Time second_woke_at = 0;
+  simulator.spawn("waiter", [&] {
+    EXPECT_FALSE(queue.wait(microseconds(100)));
+    second_timed_out = queue.wait(microseconds(200));
+    second_woke_at = simulator.now();
+    EXPECT_EQ(queue.waiter_count(), 0u);  // the timeout deregistered us
+  });
+  simulator.spawn("notifier", [&] {
+    simulator.advance(microseconds(10));
+    EXPECT_TRUE(queue.notify_one());
+  });
+  ASSERT_TRUE(simulator.run().is_ok());
+  EXPECT_TRUE(second_timed_out);
+  EXPECT_EQ(second_woke_at, microseconds(200));
+}
+
+// ---------------------------------------------------------- exploration ---
+//
+// madcheck cases: the sync primitives promise their invariants for EVERY
+// legal interleaving of same-time fibers, not just the FIFO one — so each
+// body is re-run across 200+ schedules (see sim/explore.hpp). On failure
+// gtest prints the shrunk decision trace; replay it with MAD2_SCHEDULE.
+
+TEST(Explore, ProducerConsumerDeliversEverythingUnderAnySchedule) {
+  const auto body = []() -> Status {
+    Simulator simulator;
+    BoundedChannel<int> channel(&simulator, 2);
+    std::map<int, int> received;
+    for (int p = 0; p < 3; ++p) {
+      simulator.spawn("producer" + std::to_string(p), [&, p] {
+        for (int i = 0; i < 4; ++i) channel.send(p * 100 + i);
+      });
+    }
+    int producers_pending = 12;
+    for (int c = 0; c < 2; ++c) {
+      simulator.spawn("consumer" + std::to_string(c), [&] {
+        while (producers_pending > 0) {
+          auto value = channel.try_receive();
+          if (value.has_value()) {
+            ++received[*value];
+            --producers_pending;
+          } else {
+            simulator.yield_fiber();
+          }
+        }
+      });
+    }
+    const Status run = simulator.run();
+    if (!run.is_ok()) return run;
+    if (received.size() != 12) {
+      return internal_error("lost or duplicated items: " +
+                            std::to_string(received.size()) + "/12 keys");
+    }
+    for (const auto& [value, count] : received) {
+      if (count != 1) {
+        return internal_error("value " + std::to_string(value) +
+                              " delivered " + std::to_string(count) +
+                              " times");
+      }
+    }
+    return Status::ok();
+  };
+  ExploreOptions options;
+  options.random_runs = 200;
+  options.max_exhaustive_runs = 50;
+  const ExploreResult result = explore(body, options);
+  EXPECT_TRUE(result.ok) << result.summary();
+  EXPECT_GE(result.runs, 200);
+}
+
+TEST(Explore, MutexAndCondVarInvariantsHoldUnderAnySchedule) {
+  const auto body = []() -> Status {
+    Simulator simulator;
+    Mutex mutex(&simulator);
+    CondVar cond(&simulator);
+    int inside = 0;       // fibers inside the critical section
+    int max_inside = 0;
+    int turn = 0;         // round-robin baton passed via the condvar
+    for (int f = 0; f < 4; ++f) {
+      simulator.spawn("f" + std::to_string(f), [&, f] {
+        LockGuard lock(mutex);
+        while (turn != f) cond.wait(mutex);
+        ++inside;
+        max_inside = std::max(max_inside, inside);
+        simulator.advance(microseconds(3));  // hold across a block
+        --inside;
+        ++turn;
+        cond.notify_all();
+      });
+    }
+    const Status run = simulator.run();
+    if (!run.is_ok()) return run;
+    if (max_inside != 1) {
+      return internal_error("mutual exclusion violated: " +
+                            std::to_string(max_inside) + " holders");
+    }
+    if (turn != 4) {
+      return internal_error("baton stopped at " + std::to_string(turn));
+    }
+    return Status::ok();
+  };
+  ExploreOptions options;
+  options.random_runs = 200;
+  options.max_exhaustive_runs = 50;
+  const ExploreResult result = explore(body, options);
+  EXPECT_TRUE(result.ok) << result.summary();
+  EXPECT_GE(result.runs, 200);
+}
+
+TEST(Explore, BarrierAndSemaphoreHoldUnderAnySchedule) {
+  const auto body = []() -> Status {
+    Simulator simulator;
+    Barrier barrier(&simulator, 3);
+    Semaphore tokens(&simulator, 2);  // at most 2 fibers in the "resource"
+    int in_resource = 0;
+    int max_in_resource = 0;
+    int through = 0;
+    for (int f = 0; f < 3; ++f) {
+      simulator.spawn("w" + std::to_string(f), [&] {
+        for (int round = 0; round < 2; ++round) {
+          tokens.acquire();
+          ++in_resource;
+          max_in_resource = std::max(max_in_resource, in_resource);
+          simulator.yield_fiber();
+          --in_resource;
+          tokens.release();
+          barrier.arrive_and_wait();
+        }
+        ++through;
+      });
+    }
+    const Status run = simulator.run();
+    if (!run.is_ok()) return run;
+    if (max_in_resource > 2) {
+      return internal_error("semaphore admitted " +
+                            std::to_string(max_in_resource));
+    }
+    if (through != 3) {
+      return internal_error("only " + std::to_string(through) +
+                            " fibers finished");
+    }
+    return Status::ok();
+  };
+  ExploreOptions options;
+  options.random_runs = 200;
+  options.max_exhaustive_runs = 50;
+  const ExploreResult result = explore(body, options);
+  EXPECT_TRUE(result.ok) << result.summary();
+  EXPECT_GE(result.runs, 200);
 }
 
 }  // namespace
