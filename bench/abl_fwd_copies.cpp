@@ -1,0 +1,90 @@
+// Ablation: gateway bytes-copied per byte-forwarded.
+//
+// The pooled forwarding path (docs/FORWARDING.md) re-emits each packet's
+// original gather list straight from the pool buffer, so the gateway's CPU
+// only copies what the drivers themselves demand:
+//   - SCI hops charge ~1 copy/byte for the PIO segment drain (inherent to
+//     the transfer method, not to forwarding),
+//   - BIP/Myrinet long messages move by DMA, so a Myrinet->Myrinet relay
+//     should copy nothing but packet headers.
+// Before the pooled rewrite the gateway also charged one full
+// reassembly copy per forwarded byte (packets were consolidated into a
+// heap payload before retransmit), putting every path ~1.0 copies/byte
+// above these ceilings. This bench is the regression gate for that win:
+// it fails (exit 1) if any path's copies/byte drifts back up.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct Path {
+  const char* label;
+  mad2::mad::NetworkKind from;
+  mad2::mad::NetworkKind to;
+  // Copies/byte ceiling: driver-inherent copies plus header slack.
+  double ceiling;
+};
+
+std::string format_fixed(double value, int digits) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mad2;
+  const std::size_t mtu = 64 * 1024;
+  const std::vector<std::uint64_t> messages{256 * 1024, 1024 * 1024};
+
+  const std::vector<Path> paths{
+      // SCI ingress drains the shared segment with PIO: ~1 copy/byte.
+      {"sci_to_myri", mad::NetworkKind::kSisci, mad::NetworkKind::kBip, 1.05},
+      // SCI egress PIO is bus time, not a charged memcpy: headers only.
+      {"myri_to_sci", mad::NetworkKind::kBip, mad::NetworkKind::kSisci, 0.02},
+      // DMA on both hops: headers only.
+      {"myri_to_myri", mad::NetworkKind::kBip, mad::NetworkKind::kBip, 0.02},
+  };
+
+  Table table({"path", "forwarded", "gw memcpy", "copies/byte", "allocs",
+               "ceiling", "status"});
+  std::vector<bench::FwdJsonSeries> series;
+  std::vector<std::vector<bench::FwdResult>> columns;
+  columns.reserve(paths.size());
+  bool ok = true;
+  for (const Path& path : paths) {
+    columns.push_back(
+        bench::forwarding_sweep(path.from, path.to, mtu, messages));
+    const bench::FwdResult& last = columns.back().back();
+    const double ratio = static_cast<double>(last.gw_memcpy_bytes) /
+                         static_cast<double>(last.forwarded_bytes);
+    const bool pass = ratio <= path.ceiling && last.gw_alloc_count == 0;
+    ok = ok && pass;
+    table.add_row({path.label, format_bytes(last.forwarded_bytes),
+                   format_bytes(last.gw_memcpy_bytes),
+                   format_fixed(ratio, 4), std::to_string(last.gw_alloc_count),
+                   format_fixed(path.ceiling, 2), pass ? "ok" : "REGRESSION"});
+  }
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    series.push_back(bench::FwdJsonSeries{paths[i].label, &columns[i]});
+  }
+
+  std::printf("== Ablation — gateway copies per forwarded byte ==\n");
+  table.print();
+  std::printf(
+      "\npre-pool baseline: every path carried one extra reassembly "
+      "copy/byte at the gateway\n");
+  if (bench::json_mode(argc, argv)) {
+    bench::write_fwd_json("abl_fwd_copies", series);
+  }
+  if (!ok) {
+    std::printf("FAIL: gateway copies/byte regressed above ceiling\n");
+    return 1;
+  }
+  return 0;
+}

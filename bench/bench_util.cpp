@@ -1,5 +1,8 @@
 #include "bench_util.hpp"
 
+#include <cstdio>
+#include <string_view>
+
 #include "mpi/ch_mad.hpp"
 #include "mpi/sci_baselines.hpp"
 #include "net/bip.hpp"
@@ -339,11 +342,96 @@ std::vector<FwdResult> forwarding_sweep(
       reply.end_packing();
     });
     MAD2_CHECK(session.run().is_ok(), "forwarding bench failed");
-    results.push_back(FwdResult{
-        message, static_cast<double>(message) * iterations /
-                     (sim::to_seconds(end - start) * 1e6)});
+    FwdResult result;
+    result.message_bytes = message;
+    result.bandwidth_mbs = static_cast<double>(message) * iterations /
+                           (sim::to_seconds(end - start) * 1e6);
+    result.latency_us = sim::to_us(end - start) / iterations;
+    const hw::MemCounters& gw = session.node(1).mem();
+    result.gw_memcpy_bytes = gw.memcpy_bytes;
+    result.gw_alloc_count = gw.alloc_count;
+    result.gw_pool_recycle_count = gw.pool_recycle_count;
+    result.forwarded_bytes =
+        static_cast<std::uint64_t>(message) * iterations;
+    results.push_back(result);
   }
   return results;
+}
+
+// --- Bench JSON trajectory --------------------------------------------------
+
+bool json_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json") return true;
+  }
+  return false;
+}
+
+namespace {
+
+FILE* open_bench_json(const std::string& figure) {
+  const std::string path = "BENCH_" + figure + ".json";
+  FILE* out = std::fopen(path.c_str(), "w");
+  MAD2_CHECK(out != nullptr, "cannot write bench JSON output");
+  return out;
+}
+
+}  // namespace
+
+void write_fwd_json(const std::string& figure,
+                    const std::vector<FwdJsonSeries>& series) {
+  FILE* out = open_bench_json(figure);
+  std::fprintf(out, "{\n  \"figure\": \"%s\",\n  \"series\": [\n",
+               figure.c_str());
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    std::fprintf(out, "    {\"label\": \"%s\", \"points\": [\n",
+                 series[s].label.c_str());
+    const auto& results = *series[s].results;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const FwdResult& r = results[i];
+      std::fprintf(
+          out,
+          "      {\"size\": %llu, \"latency_us\": %.3f, "
+          "\"bandwidth_mbs\": %.3f, \"gw_memcpy_bytes\": %llu, "
+          "\"gw_alloc_count\": %llu, \"gw_pool_recycle_count\": %llu, "
+          "\"forwarded_bytes\": %llu}%s\n",
+          static_cast<unsigned long long>(r.message_bytes), r.latency_us,
+          r.bandwidth_mbs,
+          static_cast<unsigned long long>(r.gw_memcpy_bytes),
+          static_cast<unsigned long long>(r.gw_alloc_count),
+          static_cast<unsigned long long>(r.gw_pool_recycle_count),
+          static_cast<unsigned long long>(r.forwarded_bytes),
+          i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(out, "    ]}%s\n", s + 1 < series.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_%s.json\n", figure.c_str());
+}
+
+void write_series_json(const std::string& figure,
+                       const std::vector<PerfSeries>& series) {
+  FILE* out = open_bench_json(figure);
+  std::fprintf(out, "{\n  \"figure\": \"%s\",\n  \"series\": [\n",
+               figure.c_str());
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    std::fprintf(out, "    {\"label\": \"%s\", \"points\": [\n",
+                 series[s].label.c_str());
+    const auto& points = series[s].points;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      std::fprintf(out,
+                   "      {\"size\": %llu, \"latency_us\": %.3f, "
+                   "\"bandwidth_mbs\": %.3f}%s\n",
+                   static_cast<unsigned long long>(points[i].size_bytes),
+                   points[i].latency_us, points[i].bandwidth_mbs,
+                   i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(out, "    ]}%s\n", s + 1 < series.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_%s.json\n", figure.c_str());
 }
 
 }  // namespace mad2::bench

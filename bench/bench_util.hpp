@@ -45,12 +45,41 @@ PerfSeries nexus_sweep(const std::string& label, mad::NetworkKind kind,
 /// Inter-cluster forwarding bandwidth through a gateway (Figures 10/11):
 /// clusters {0,gateway} on `from` and {gateway,2} on `to`.
 struct FwdResult {
-  std::uint64_t message_bytes;
-  double bandwidth_mbs;
+  std::uint64_t message_bytes = 0;
+  double bandwidth_mbs = 0.0;
+  /// Per-message transfer time (virtual us, bandwidth-phase average).
+  double latency_us = 0.0;
+  /// Gateway-node memory counters over the sweep point's session — the
+  /// zero-copy forwarding evidence (hw::MemCounters, node 1).
+  std::uint64_t gw_memcpy_bytes = 0;
+  std::uint64_t gw_alloc_count = 0;
+  std::uint64_t gw_pool_recycle_count = 0;
+  /// Total payload bytes pushed through the gateway (messages x iters).
+  std::uint64_t forwarded_bytes = 0;
 };
 std::vector<FwdResult> forwarding_sweep(
     mad::NetworkKind from, mad::NetworkKind to, std::size_t mtu,
     const std::vector<std::uint64_t>& message_sizes,
     std::size_t pipeline_depth = 2, double sender_rate_mbs = 0.0);
+
+/// --- Bench JSON trajectory -----------------------------------------------
+/// `--json` on a figure bench writes BENCH_<figure>.json next to the table
+/// output so the perf trajectory is machine-tracked.
+bool json_mode(int argc, char** argv);
+
+/// One labeled forwarding curve for the JSON output.
+struct FwdJsonSeries {
+  std::string label;
+  const std::vector<FwdResult>* results;
+};
+
+/// Write BENCH_<figure>.json into the current directory: every point
+/// carries size, latency_us, bandwidth_mbs and the gateway stats counters.
+void write_fwd_json(const std::string& figure,
+                    const std::vector<FwdJsonSeries>& series);
+
+/// Same for plain latency/bandwidth curves (the two-node figures).
+void write_series_json(const std::string& figure,
+                       const std::vector<PerfSeries>& series);
 
 }  // namespace mad2::bench

@@ -8,7 +8,7 @@
 #include "bench_util.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mad2;
   const std::vector<std::uint64_t> mtus{8 * 1024, 16 * 1024, 32 * 1024,
                                         64 * 1024, 128 * 1024};
@@ -39,5 +39,13 @@ int main() {
       "(paper: <= 36.5)\n",
       columns.front().back().bandwidth_mbs,
       columns.back().back().bandwidth_mbs);
+  if (bench::json_mode(argc, argv)) {
+    std::vector<bench::FwdJsonSeries> series;
+    for (std::size_t i = 0; i < mtus.size(); ++i) {
+      series.push_back(bench::FwdJsonSeries{
+          "mtu" + std::to_string(mtus[i]), &columns[i]});
+    }
+    bench::write_fwd_json("fig11", series);
+  }
   return 0;
 }

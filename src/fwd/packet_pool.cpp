@@ -1,0 +1,51 @@
+#include "fwd/packet_pool.hpp"
+
+#include "hw/node.hpp"
+
+namespace mad2::fwd {
+
+void PooledBuffer::reset() {
+  if (buffer_ != nullptr) pool_->recycle(buffer_);
+  pool_ = nullptr;
+  buffer_ = nullptr;
+}
+
+PacketPool::PacketPool(std::size_t mtu) : mtu_(mtu) {}
+
+std::unique_ptr<PacketBuffer> PacketPool::make_buffer() const {
+  auto buffer = std::make_unique<PacketBuffer>();
+  buffer->bytes.resize(mtu_);
+  return buffer;
+}
+
+void PacketPool::prewarm(std::size_t count) {
+  while (all_.size() < count) {
+    all_.push_back(make_buffer());
+    free_.push_back(all_.back().get());
+  }
+}
+
+PooledBuffer PacketPool::acquire(hw::Node* node) {
+  if (free_.empty()) {
+    all_.push_back(make_buffer());
+    free_.push_back(all_.back().get());
+    if (node != nullptr) node->count_alloc();
+  } else if (node != nullptr) {
+    node->count_pool_recycle();
+  }
+  PacketBuffer* buffer = free_.back();
+  free_.pop_back();
+  return PooledBuffer(this, buffer);
+}
+
+void PacketPool::recycle(PacketBuffer* buffer) {
+  // Dropping the borrows returns the driver slots to their TMs (in
+  // arrival order — the deque discipline of the gateway queues keeps
+  // releases FIFO, which the credit-window protocols expect).
+  buffer->borrows.clear();
+  buffer->pieces.clear();
+  buffer->sizes.clear();
+  free_.push_back(buffer);
+}
+
+}  // namespace mad2::fwd

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 
 #include "sim/sync.hpp"
 #include "util/bytes.hpp"
@@ -10,7 +11,8 @@ namespace mad2::fwd {
 
 namespace {
 
-/// Indices of the hops containing `node`.
+/// Indices of the hops containing `node` (construction-time only; the hot
+/// path reads the precomputed routing tables).
 std::vector<std::size_t> hops_containing(
     const std::vector<mad::Channel*>& hops, std::uint32_t node) {
   std::vector<std::size_t> result;
@@ -28,7 +30,7 @@ std::vector<std::size_t> hops_containing(
 // ---------------------------------------------------------- VirtualChannel ---
 
 VirtualChannel::VirtualChannel(mad::Session& session, VirtualChannelDef def)
-    : session_(&session), def_(std::move(def)) {
+    : session_(&session), def_(std::move(def)), pool_(def_.mtu) {
   MAD2_CHECK(!def_.hops.empty(), "virtual channel needs at least one hop");
   MAD2_CHECK(def_.mtu > kBlockHeaderBytes, "MTU too small");
   for (const std::string& hop : def_.hops) {
@@ -59,6 +61,55 @@ VirtualChannel::VirtualChannel(mad::Session& session, VirtualChannelDef def)
   }
   std::sort(nodes_.begin(), nodes_.end());
 
+  // Precompute the routing tables once, instead of rebuilding the
+  // hop-membership vectors (two heap allocations) on every packet in the
+  // gateway loop and sender flush.
+  std::map<std::uint32_t, std::vector<std::size_t>> hops_of_node;
+  for (std::uint32_t node : nodes_) {
+    hops_of_node[node] = hops_containing(hop_channels_, node);
+  }
+  for (std::uint32_t node : nodes_) {
+    const auto& node_hops = hops_of_node[node];
+    for (std::uint32_t dst : nodes_) {
+      const auto& dst_hops = hops_of_node[dst];
+      std::size_t hop;
+      auto common = std::find_first_of(node_hops.begin(), node_hops.end(),
+                                       dst_hops.begin(), dst_hops.end());
+      if (common != node_hops.end()) {
+        hop = *common;  // same hop: direct
+      } else if (node_hops.back() < dst_hops.front()) {
+        hop = node_hops.back();  // forward
+      } else {
+        hop = node_hops.front();  // backward
+      }
+      hop_of_.emplace(std::make_pair(node, dst), hop);
+    }
+    if (node_hops.size() == 1) terminal_hop_.emplace(node, node_hops.front());
+  }
+  next_of_.resize(hop_channels_.size());
+  for (std::size_t hop = 0; hop < hop_channels_.size(); ++hop) {
+    const auto& on_hop = hop_channels_[hop]->nodes();
+    for (std::uint32_t dst : nodes_) {
+      std::uint32_t next;
+      if (std::find(on_hop.begin(), on_hop.end(), dst) != on_hop.end()) {
+        next = dst;
+      } else if (hops_of_node[dst].front() > hop) {
+        next = gateways_[hop];  // forward
+      } else {
+        MAD2_CHECK(hop > 0, "no route to destination");
+        next = gateways_[hop - 1];  // backward
+      }
+      next_of_[hop].emplace(dst, next);
+    }
+  }
+
+  // Size the pool for the steady state: every gateway direction keeps
+  // pipeline_depth packets queued plus one in each pump fiber, and each
+  // endpoint looks ahead by a couple of packets while draining. Extra
+  // demand grows the pool (counted via hw::MemCounters::alloc_count).
+  pool_.prewarm(gateways_.size() * 2 * (def_.pipeline_depth + 2) +
+                nodes_.size() * 2);
+
   for (std::uint32_t node : nodes_) {
     endpoints_.emplace(node, std::unique_ptr<VirtualEndpoint>(
                                  new VirtualEndpoint(this, node)));
@@ -81,55 +132,55 @@ VirtualEndpoint& VirtualChannel::endpoint(std::uint32_t node) {
 
 std::size_t VirtualChannel::hop_of(std::uint32_t node,
                                    std::uint32_t dst) const {
-  const auto node_hops = hops_containing(hop_channels_, node);
-  const auto dst_hops = hops_containing(hop_channels_, dst);
-  MAD2_CHECK(!node_hops.empty(), "node not on this virtual channel");
-  MAD2_CHECK(!dst_hops.empty(), "destination not on this virtual channel");
-  for (std::size_t h : node_hops) {
-    if (std::find(dst_hops.begin(), dst_hops.end(), h) != dst_hops.end()) {
-      return h;  // same hop: direct
-    }
+  auto it = hop_of_.find(std::make_pair(node, dst));
+  if (it == hop_of_.end()) {
+    MAD2_CHECK(std::find(nodes_.begin(), nodes_.end(), node) != nodes_.end(),
+               "node not on this virtual channel");
+    MAD2_CHECK(false, "destination not on this virtual channel");
   }
-  if (node_hops.back() < dst_hops.front()) return node_hops.back();
-  return node_hops.front();
+  return it->second;
 }
 
 std::uint32_t VirtualChannel::next_node(std::size_t hop,
                                         std::uint32_t dst) const {
-  const auto& nodes = hop_channels_[hop]->nodes();
-  if (std::find(nodes.begin(), nodes.end(), dst) != nodes.end()) return dst;
-  const auto dst_hops = hops_containing(hop_channels_, dst);
-  MAD2_CHECK(!dst_hops.empty(), "destination not on this virtual channel");
-  if (dst_hops.front() > hop) return gateways_[hop];  // forward
-  MAD2_CHECK(hop > 0, "no route to destination");
-  return gateways_[hop - 1];  // backward
+  const auto& table = next_of_[hop];
+  auto it = table.find(dst);
+  MAD2_CHECK(it != table.end(), "destination not on this virtual channel");
+  return it->second;
 }
 
 std::size_t VirtualChannel::terminal_hop(std::uint32_t node) const {
-  const auto node_hops = hops_containing(hop_channels_, node);
-  MAD2_CHECK(!node_hops.empty(), "node not on this virtual channel");
-  MAD2_CHECK(node_hops.size() == 1,
-             "gateway nodes cannot be virtual-channel receivers");
-  return node_hops.front();
+  auto it = terminal_hop_.find(node);
+  if (it == terminal_hop_.end()) {
+    MAD2_CHECK(std::find(nodes_.begin(), nodes_.end(), node) != nodes_.end(),
+               "node not on this virtual channel");
+    MAD2_CHECK(false, "gateway nodes cannot be virtual-channel receivers");
+  }
+  return it->second;
 }
 
 void VirtualChannel::send_packet(
     mad::ChannelEndpoint& hop_endpoint, std::uint32_t to, PacketHeader header,
-    const std::vector<std::span<const std::byte>>& pieces) {
+    std::span<const std::span<const std::byte>> pieces,
+    std::vector<std::uint32_t>& sizes_scratch) {
   header.n_pieces = static_cast<std::uint32_t>(pieces.size());
-  std::vector<std::uint32_t> sizes;
-  sizes.reserve(pieces.size());
-  std::uint32_t total = 0;
+  sizes_scratch.clear();
+  std::uint64_t total = 0;
   for (const auto& piece : pieces) {
-    sizes.push_back(static_cast<std::uint32_t>(piece.size()));
-    total += static_cast<std::uint32_t>(piece.size());
+    sizes_scratch.push_back(static_cast<std::uint32_t>(piece.size()));
+    total += piece.size();
   }
-  header.payload_len = total;
+  // The header carries the payload length as u32; a >= 4 GiB packet would
+  // silently wrap it. (Messages are fragmented to the MTU well below
+  // that; this guards direct callers handing over-long gather lists.)
+  MAD2_CHECK(total <= std::numeric_limits<std::uint32_t>::max(),
+             "virtual packet payload overflows the u32 length header");
+  header.payload_len = static_cast<std::uint32_t>(total);
 
   mad::Connection& conn = hop_endpoint.begin_packing(to);
   mad::mad_pack_value(conn, header, mad::send_CHEAPER, mad::receive_EXPRESS);
-  if (!sizes.empty()) {
-    conn.pack(std::as_bytes(std::span(sizes)), mad::send_CHEAPER,
+  if (!sizes_scratch.empty()) {
+    conn.pack(std::as_bytes(std::span(sizes_scratch)), mad::send_CHEAPER,
               mad::receive_EXPRESS);
   }
   for (const auto& piece : pieces) {
@@ -138,26 +189,65 @@ void VirtualChannel::send_packet(
   conn.end_packing();
 }
 
-VirtualChannel::Packet VirtualChannel::receive_packet(
-    mad::ChannelEndpoint& hop_endpoint) {
+Packet VirtualChannel::receive_packet(mad::ChannelEndpoint& hop_endpoint,
+                                      Demand* demand) {
   mad::Connection& conn = hop_endpoint.begin_unpacking();
   Packet packet;
+  packet.storage = pool_.acquire(&hop_endpoint.node());
+  PacketBuffer& buffer = *packet.storage;
   mad::mad_unpack_value(conn, packet.header, mad::send_CHEAPER,
                         mad::receive_EXPRESS);
-  std::vector<std::uint32_t> sizes(packet.header.n_pieces);
-  if (!sizes.empty()) {
-    conn.unpack(std::as_writable_bytes(std::span(sizes)), mad::send_CHEAPER,
-                mad::receive_EXPRESS);
+  // The stream is self-described, so a corrupted or hostile header could
+  // otherwise drive the landing loop past the fixed-MTU buffer.
+  MAD2_CHECK(packet.header.payload_len <= def_.mtu,
+             "malformed virtual packet: payload length exceeds the MTU");
+  MAD2_CHECK(packet.header.n_pieces <= def_.mtu,
+             "malformed virtual packet: piece count exceeds the MTU");
+  buffer.sizes.resize(packet.header.n_pieces);
+  if (!buffer.sizes.empty()) {
+    conn.unpack(std::as_writable_bytes(std::span(buffer.sizes)),
+                mad::send_CHEAPER, mad::receive_EXPRESS);
   }
-  packet.payload.resize(packet.header.payload_len);
-  std::size_t offset = 0;
-  for (std::uint32_t size : sizes) {
-    conn.unpack(std::span(packet.payload).subspan(offset, size),
-                mad::send_CHEAPER, mad::receive_CHEAPER);
-    offset += size;
-  }
-  MAD2_CHECK(offset == packet.header.payload_len,
+  std::uint64_t total = 0;
+  for (std::uint32_t size : buffer.sizes) total += size;
+  MAD2_CHECK(total == packet.header.payload_len,
              "piece sizes do not add up to the packet payload");
+
+  // Land the pieces, in stream order. Each piece goes to exactly one
+  // destination so the hop-level unpack sequence stays symmetric with the
+  // sender:
+  //  1. straight into the demanded user window (endpoints, while every
+  //     earlier piece also landed there — staged bytes must keep stream
+  //     order);
+  //  2. borrowed from the hop TM's static receive buffer (no copy at all;
+  //     the slot is released when the packet buffer recycles);
+  //  3. staged into the pooled bytes.
+  bool direct_ok = demand != nullptr && demand->src == packet.header.src;
+  std::size_t offset = 0;
+  for (std::uint32_t size : buffer.sizes) {
+    if (direct_ok && demand->filled + size <= demand->window.size()) {
+      conn.unpack(demand->window.subspan(demand->filled, size),
+                  mad::send_CHEAPER, mad::receive_CHEAPER);
+      demand->filled += size;
+      continue;
+    }
+    direct_ok = false;
+    const std::size_t first_new = buffer.borrows.size();
+    if (conn.unpack_borrow(size, mad::send_CHEAPER, mad::receive_CHEAPER,
+                           buffer.borrows)) {
+      // A borrow may split the piece at protocol-buffer boundaries; each
+      // chunk becomes a piece of its own (the block framing is inline in
+      // the byte stream, so piece granularity is free to change).
+      for (std::size_t i = first_new; i < buffer.borrows.size(); ++i) {
+        buffer.pieces.push_back(buffer.borrows[i].data);
+      }
+    } else {
+      const auto dst = std::span<std::byte>(buffer.bytes).subspan(offset, size);
+      conn.unpack(dst, mad::send_CHEAPER, mad::receive_CHEAPER);
+      buffer.pieces.push_back(dst);
+      offset += size;
+    }
+  }
   conn.end_unpacking();
   return packet;
 }
@@ -168,7 +258,9 @@ void VirtualChannel::spawn_gateway(std::uint32_t gateway, std::size_t hop_in,
   // fiber and a sending fiber exchanging a bounded pool of packet buffers
   // (pipeline_depth == 2 -> dual buffering). pipeline_depth <= 1 degrades
   // to strict store-and-forward (one fiber receives, then sends) — the
-  // no-overlap baseline the dual-buffering design improves on.
+  // no-overlap baseline the dual-buffering design improves on. Either
+  // way the landed buffer is forwarded with its original gather list and
+  // recycled afterwards: the gateway never consolidates the payload.
   auto spawn_direction = [this, gateway](std::size_t in, std::size_t out) {
     if (def_.pipeline_depth <= 1) {
       session_->simulator().spawn_daemon(
@@ -184,8 +276,8 @@ void VirtualChannel::spawn_gateway(std::uint32_t gateway, std::size_t hop_in,
               MAD2_CHECK(packet.header.dst != gateway,
                          "forwarding packet addressed to the gateway");
               const std::uint32_t to = next_node(out, packet.header.dst);
-              send_packet(ep_out, to, packet.header,
-                          {std::span<const std::byte>(packet.payload)});
+              send_packet(ep_out, to, packet.header, packet.storage->pieces,
+                          packet.storage->sizes);
             }
           });
       return;
@@ -213,9 +305,13 @@ void VirtualChannel::spawn_gateway(std::uint32_t gateway, std::size_t hop_in,
         auto packet = queue->receive();
         if (!packet.has_value()) return;
         const std::uint32_t to = next_node(out, packet->header.dst);
-        // Forward the landed buffer as a single gather piece.
-        send_packet(ep, to, packet->header,
-                    {std::span<const std::byte>(packet->payload)});
+        // Re-emit the landed gather list as-is; the outgoing TM rides it
+        // as one send_buffer_group. The received size list is dead by
+        // now, so it doubles as the send-side scratch.
+        send_packet(ep, to, packet->header, packet->storage->pieces,
+                    packet->storage->sizes);
+        // `packet` dies here: borrows release to the incoming TM and the
+        // buffer recycles into the pool.
       }
     });
   };
@@ -246,16 +342,24 @@ VirtualConnection& VirtualEndpoint::begin_packing(std::uint32_t remote) {
   return conn;
 }
 
-std::uint32_t VirtualEndpoint::fetch_packet() {
-  const std::size_t hop = channel_->terminal_hop(local_);
-  mad::ChannelEndpoint& ep =
-      channel_->session().channel(channel_->def().hops[hop]).endpoint(local_);
-  VirtualChannel::Packet packet = channel_->receive_packet(ep);
+std::uint32_t VirtualEndpoint::fetch_packet(Demand* demand) {
+  if (terminal_ep_ == nullptr) {
+    const std::size_t hop = channel_->terminal_hop(local_);
+    terminal_ep_ = &channel_->hop_channels_[hop]->endpoint(local_);
+  }
+  Packet packet = channel_->receive_packet(*terminal_ep_, demand);
   MAD2_CHECK(packet.header.dst == local_,
              "virtual packet delivered to the wrong node");
-  auto& queue = reassembly_[packet.header.src];
-  queue.insert(queue.end(), packet.payload.begin(), packet.payload.end());
-  return packet.header.src;
+  const std::uint32_t src = packet.header.src;
+  std::size_t staged = 0;
+  for (const auto& piece : packet.storage->pieces) staged += piece.size();
+  if (staged > 0) {
+    Stream& stream = streams_[src];
+    stream.packets.push_back(std::move(packet));
+    stream.bytes += staged;
+  }
+  // else: fully direct-landed (or empty) — the buffer recycles right here.
+  return src;
 }
 
 VirtualConnection& VirtualEndpoint::begin_unpacking() {
@@ -265,14 +369,14 @@ VirtualConnection& VirtualEndpoint::begin_unpacking() {
   // previous message start the next one; otherwise fetch.
   std::uint32_t src = 0;
   bool found = false;
-  for (auto& [candidate, queue] : reassembly_) {
-    if (!queue.empty()) {
+  for (auto& [candidate, stream] : streams_) {
+    if (stream.bytes > 0) {
       src = candidate;
       found = true;
       break;
     }
   }
-  if (!found) src = fetch_packet();
+  if (!found) src = fetch_packet(nullptr);
   VirtualConnection& conn = *connections_.at(src);
   MAD2_CHECK(!conn.unpacking_, "virtual connection already unpacking");
   conn.unpacking_ = true;
@@ -280,14 +384,54 @@ VirtualConnection& VirtualEndpoint::begin_unpacking() {
   return conn;
 }
 
+void VirtualEndpoint::retire_front(Stream& stream, PooledBuffer* retain) {
+  if (retain != nullptr) *retain = std::move(stream.packets.front().storage);
+  stream.packets.pop_front();
+  stream.piece_index = 0;
+  stream.piece_offset = 0;
+}
+
+void VirtualEndpoint::settle(Stream& stream) {
+  while (!stream.packets.empty()) {
+    const auto& pieces = stream.packets.front().storage->pieces;
+    while (stream.piece_index < pieces.size() &&
+           stream.piece_offset == pieces[stream.piece_index].size()) {
+      ++stream.piece_index;
+      stream.piece_offset = 0;
+    }
+    if (stream.piece_index < pieces.size()) return;
+    retire_front(stream, nullptr);
+  }
+}
+
 void VirtualEndpoint::read_stream(std::uint32_t src,
                                   std::span<std::byte> out) {
-  auto& queue = reassembly_[src];
-  while (queue.size() < out.size()) fetch_packet();
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    out[i] = queue.front();
-    queue.pop_front();
+  Stream& stream = streams_[src];
+  std::size_t done = 0;
+  while (done < out.size()) {
+    if (stream.bytes == 0) {
+      // Nothing staged: fetch with the remaining window as the landing
+      // demand, so payload goes straight from the hop driver into the
+      // user memory (no pool -> user copy for those bytes).
+      Demand demand{src, out.subspan(done), 0};
+      fetch_packet(&demand);
+      done += demand.filled;
+      continue;
+    }
+    settle(stream);
+    const auto piece = stream.packets.front().storage->pieces[
+        stream.piece_index];
+    const std::size_t chunk =
+        std::min(piece.size() - stream.piece_offset, out.size() - done);
+    // Staged bytes pay the one pool -> user copy.
+    channel_->session().node(local_).charge_memcpy(chunk);
+    std::memcpy(out.data() + done, piece.data() + stream.piece_offset,
+                chunk);
+    stream.piece_offset += chunk;
+    stream.bytes -= chunk;
+    done += chunk;
   }
+  settle(stream);  // recycle a front packet this read fully drained
 }
 
 // ------------------------------------------------------- VirtualConnection ---
@@ -349,14 +493,15 @@ void VirtualConnection::flush_packet(bool last) {
   std::size_t take = std::min(pending_bytes_, mtu);
 
   // Gather pieces off the front of the queue, splitting the last one at
-  // the packet boundary.
-  std::vector<std::span<const std::byte>> gathered;
+  // the packet boundary. The gather list reuses this connection's scratch
+  // vector — after warm-up no allocation happens per packet.
+  gather_scratch_.clear();
   std::size_t taken = 0;
   std::size_t metas_consumed = 0;  // freed only after the send reads them
   while (taken < take) {
     Piece& piece = pieces_.front();
     const std::size_t chunk = std::min(piece.data.size(), take - taken);
-    gathered.push_back(piece.data.subspan(0, chunk));
+    gather_scratch_.push_back(piece.data.subspan(0, chunk));
     taken += chunk;
     if (chunk == piece.data.size()) {
       if (piece.is_meta) ++metas_consumed;
@@ -392,7 +537,7 @@ void VirtualConnection::flush_packet(bool last) {
         sim::transfer_time(taken, channel.def().sender_rate_mbs);
   }
 
-  channel.send_packet(ep, to, header, gathered);
+  channel.send_packet(ep, to, header, gather_scratch_, sizes_scratch_);
   // The packet is fully on the wire (end_packing committed every piece);
   // now the consumed meta buffers can go.
   for (std::size_t i = 0; i < metas_consumed; ++i) metas_.pop_front();
@@ -407,24 +552,79 @@ void VirtualConnection::end_packing() {
   packing_ = false;
 }
 
-void VirtualConnection::unpack(std::span<std::byte> out,
-                               mad::SendMode smode, mad::ReceiveMode rmode) {
-  MAD2_CHECK(unpacking_, "unpack outside begin_unpacking/end_unpacking");
+void VirtualConnection::drop_view() {
+  view_hold_.reset();  // view_scratch_ keeps its capacity for reuse
+}
+
+void VirtualConnection::read_block_header(std::size_t expected_len,
+                                          mad::SendMode smode,
+                                          mad::ReceiveMode rmode) {
   std::byte header[VirtualChannel::kBlockHeaderBytes];
   endpoint_->read_stream(remote_, header);
   const std::uint64_t len = load_u64(header);
-  MAD2_CHECK(len == out.size(),
+  MAD2_CHECK(len == expected_len,
              "virtual unpack size does not match the self-described block");
   MAD2_CHECK(header[8] == static_cast<std::byte>(smode) &&
                  header[9] == static_cast<std::byte>(rmode),
              "virtual unpack modes do not match the self-described block");
-  endpoint_->channel().session().node(endpoint_->local()).charge_memcpy(
-      out.size());
+}
+
+void VirtualConnection::unpack(std::span<std::byte> out,
+                               mad::SendMode smode, mad::ReceiveMode rmode) {
+  MAD2_CHECK(unpacking_, "unpack outside begin_unpacking/end_unpacking");
+  drop_view();
+  read_block_header(out.size(), smode, rmode);
+  // Staged bytes are copied out of the pooled buffers (charged inside
+  // read_stream); the rest of the block lands directly from the hop
+  // driver into `out` via the demand-directed fetch — no blanket
+  // reassembly copy.
   endpoint_->read_stream(remote_, out);
+}
+
+std::span<const std::byte> VirtualConnection::unpack_view(
+    std::size_t len, mad::SendMode smode, mad::ReceiveMode rmode) {
+  MAD2_CHECK(unpacking_, "unpack outside begin_unpacking/end_unpacking");
+  MAD2_CHECK(rmode == mad::receive_CHEAPER,
+             "unpack_view is receive_CHEAPER-only (EXPRESS data must land "
+             "in caller memory)");
+  drop_view();
+  read_block_header(len, smode, rmode);
+  if (len == 0) return {};
+  VirtualEndpoint::Stream& stream = endpoint_->streams_[remote_];
+  while (stream.bytes == 0) endpoint_->fetch_packet(nullptr);
+  endpoint_->settle(stream);
+  const auto piece =
+      stream.packets.front().storage->pieces[stream.piece_index];
+  if (piece.size() - stream.piece_offset >= len) {
+    // Contiguous inside the landed buffer: lend the memory out instead of
+    // copying. Nothing is charged — this is the zero-copy receive_CHEAPER
+    // path. If the view is the packet's tail, the storage moves to
+    // view_hold_ so the memory survives until the next unpack.
+    const auto view = piece.subspan(stream.piece_offset, len);
+    stream.piece_offset += len;
+    stream.bytes -= len;
+    const auto& pieces = stream.packets.front().storage->pieces;
+    std::size_t index = stream.piece_index;
+    std::size_t pos = stream.piece_offset;
+    while (index < pieces.size() && pos == pieces[index].size()) {
+      ++index;
+      pos = 0;
+    }
+    if (index == pieces.size()) {
+      endpoint_->retire_front(stream, &view_hold_);
+    }
+    return view;
+  }
+  // The block straddles packets (or borrowed-slot chunks): stage it
+  // through the scratch copy — still only one copy, pool -> scratch.
+  view_scratch_.resize(len);
+  endpoint_->read_stream(remote_, std::span<std::byte>(view_scratch_));
+  return std::span<const std::byte>(view_scratch_);
 }
 
 void VirtualConnection::end_unpacking() {
   MAD2_CHECK(unpacking_, "end_unpacking without begin_unpacking");
+  drop_view();
   unpacking_ = false;
   endpoint_->active_incoming_ = nullptr;
 }

@@ -19,6 +19,18 @@
 //    k on the outgoing one;
 //  - the hop channels must be dedicated to the virtual channel (the
 //    gateway pump is their only receiver on gateway nodes).
+//
+// Data-path design (docs/FORWARDING.md has the full walk-through):
+//  - every packet lands in a buffer recycled through the channel's
+//    PacketPool, and carries its gather-list piece boundaries, so gateways
+//    re-emit the original scatter/gather list without consolidating;
+//  - where a hop TM uses static buffers, the gateway *borrows* the driver
+//    slot (paper Section 6.1) instead of staging the bytes through a copy;
+//  - receiving endpoints land payload pieces directly into the user
+//    memory demanded by the current unpack whenever the stream cursor
+//    allows it, and keep the rest staged in the pooled buffer until the
+//    application drains it (one pool -> user copy, or none for a
+//    receive_CHEAPER view via unpack_view).
 #pragma once
 
 #include <cstdint>
@@ -26,8 +38,10 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "fwd/packet_pool.hpp"
 #include "mad/madeleine.hpp"
 #include "sim/sync.hpp"
 
@@ -69,6 +83,16 @@ class VirtualConnection {
               mad::ReceiveMode rmode = mad::receive_CHEAPER);
   void end_unpacking();
 
+  /// Zero-copy variant of unpack for receive_CHEAPER blocks: returns a
+  /// read-only view of the next `len` stream bytes, borrowed from the
+  /// landed packet buffer when the block is contiguous inside it (no copy,
+  /// nothing charged), or staged through an internal scratch copy
+  /// otherwise. The view is valid until the next unpack / unpack_view /
+  /// end_unpacking on this connection.
+  std::span<const std::byte> unpack_view(
+      std::size_t len, mad::SendMode smode = mad::send_CHEAPER,
+      mad::ReceiveMode rmode = mad::receive_CHEAPER);
+
   [[nodiscard]] std::uint32_t remote() const { return remote_; }
 
  private:
@@ -79,6 +103,9 @@ class VirtualConnection {
   void flush_packet(bool last);
   void append_meta(std::span<const std::byte> bytes);
   void append_piece(std::span<const std::byte> data);
+  void read_block_header(std::size_t expected_len, mad::SendMode smode,
+                         mad::ReceiveMode rmode);
+  void drop_view();
 
   VirtualEndpoint* endpoint_;
   std::uint32_t remote_;
@@ -95,12 +122,45 @@ class VirtualConnection {
   };
   std::deque<Piece> pieces_;
   std::size_t pending_bytes_ = 0;
+  // Reused per-flush scratch (steady-state: no allocation per packet).
+  std::vector<std::span<const std::byte>> gather_scratch_;
+  std::vector<std::uint32_t> sizes_scratch_;
   // Token-bucket state for sender-side bandwidth control.
   sim::Time pace_next_send_ = 0;
   // --- receive state ---
   bool unpacking_ = false;
+  // Backing for the current unpack_view: a fully consumed packet whose
+  // memory is still lent out, or the scratch copy for non-contiguous
+  // blocks. Released at the next unpack / end_unpacking.
+  PooledBuffer view_hold_;
+  std::vector<std::byte> view_scratch_;
 
   friend class VirtualChannel;
+};
+
+/// A packet in flight through the forwarding layer: self-describing
+/// header plus a pooled buffer carrying the payload and its gather-list
+/// piece boundaries (spans into the pooled bytes or into borrowed driver
+/// slots kept alive by the buffer's holds).
+struct Packet {
+  struct PacketHeader {
+    std::uint32_t src;
+    std::uint32_t dst;
+    std::uint32_t payload_len;
+    std::uint32_t last;      // last packet of the message
+    std::uint32_t n_pieces;  // gather-list entries in this packet
+  } header;
+  PooledBuffer storage;
+};
+
+/// Demand-directed landing window for receive_packet: pieces of a packet
+/// from `src` are unpacked straight into `window` (in stream order, while
+/// they fit) instead of being staged in the pooled buffer. `filled` is the
+/// prefix of `window` that received data this way.
+struct Demand {
+  std::uint32_t src;
+  std::span<std::byte> window;
+  std::size_t filled = 0;
 };
 
 /// Per-node view of a virtual channel.
@@ -117,22 +177,49 @@ class VirtualEndpoint {
   friend class VirtualConnection;
   VirtualEndpoint(VirtualChannel* channel, std::uint32_t local);
 
-  /// Receive one packet from the terminal hop and file its payload into
-  /// the per-source reassembly queue. Returns that source.
-  std::uint32_t fetch_packet();
+  /// The incoming byte stream of one source: landed packets in arrival
+  /// order plus a cursor over the staged pieces of the front packet.
+  /// `bytes` counts staged-and-unconsumed bytes; fully drained packets go
+  /// back to the pool.
+  struct Stream {
+    std::deque<Packet> packets;
+    std::size_t piece_index = 0;   // into the front packet's pieces
+    std::size_t piece_offset = 0;  // into that piece
+    std::size_t bytes = 0;
+  };
+
+  /// Receive one packet from the terminal hop. Pieces may land directly
+  /// into `demand`'s window (see VirtualChannel::Demand); whatever stays
+  /// staged is filed into the per-source stream. Returns the source.
+  std::uint32_t fetch_packet(Demand* demand);
 
   /// Pop `out.size()` bytes for `src`, fetching packets as needed.
+  /// Staged bytes are copied out (charged); bytes landed directly by a
+  /// demand-directed fetch cost nothing here.
   void read_stream(std::uint32_t src, std::span<std::byte> out);
+
+  /// Drop the front packet of `stream`, resetting the cursor; `retain`
+  /// receives the packet's storage instead of the pool when the caller
+  /// still needs the memory (unpack_view).
+  void retire_front(Stream& stream, PooledBuffer* retain);
+
+  /// Normalize the cursor: skip exhausted pieces and recycle fully
+  /// consumed front packets, so the cursor points at unread data whenever
+  /// the stream has any.
+  void settle(Stream& stream);
 
   VirtualChannel* channel_;
   std::uint32_t local_;
   std::map<std::uint32_t, std::unique_ptr<VirtualConnection>> connections_;
-  std::map<std::uint32_t, std::deque<std::byte>> reassembly_;
+  std::map<std::uint32_t, Stream> streams_;
+  mad::ChannelEndpoint* terminal_ep_ = nullptr;  // cached on first fetch
   VirtualConnection* active_incoming_ = nullptr;
 };
 
 class VirtualChannel {
  public:
+  using PacketHeader = Packet::PacketHeader;
+
   /// Build the virtual channel over an existing session and spawn the
   /// gateway forwarding pipelines. The hop channels must not be used for
   /// anything else on the gateway nodes.
@@ -153,18 +240,10 @@ class VirtualChannel {
   /// and receivers should consult this after run() returns early.
   [[nodiscard]] const Status& health() const;
 
+  /// The channel's packet-buffer pool (introspection for tests/benches).
+  [[nodiscard]] const PacketPool& pool() const { return pool_; }
+
   // --- internals shared with endpoints/gateway pumps ---------------------
-  struct PacketHeader {
-    std::uint32_t src;
-    std::uint32_t dst;
-    std::uint32_t payload_len;
-    std::uint32_t last;      // last packet of the message
-    std::uint32_t n_pieces;  // gather-list entries in this packet
-  };
-  struct Packet {
-    PacketHeader header;
-    std::vector<std::byte> payload;
-  };
   /// Per-block self-description prepended to each packed block.
   struct BlockHeader {
     std::uint64_t len;
@@ -175,10 +254,11 @@ class VirtualChannel {
 
   /// Index of the hop channel `node` uses to make progress toward `dst`
   /// (the first hop containing `node` that is not already past `dst`).
+  /// Precomputed per (node, dst) at construction — no per-packet work.
   [[nodiscard]] std::size_t hop_of(std::uint32_t node,
                                    std::uint32_t dst) const;
   /// Next node on hop `hop` toward `dst`: `dst` itself if it is on the
-  /// hop, else the gateway to the following hop.
+  /// hop, else the gateway to the following hop. Precomputed likewise.
   [[nodiscard]] std::uint32_t next_node(std::size_t hop,
                                         std::uint32_t dst) const;
   /// The hop channel on which `node` receives virtual-channel traffic.
@@ -186,14 +266,21 @@ class VirtualChannel {
 
   /// Ship one packet: header + piece-size list (EXPRESS), then the pieces
   /// (CHEAPER — ridden zero-copy by the underlying TMs where possible).
+  /// `sizes_scratch` is caller-owned reusable scratch for the size list.
   void send_packet(mad::ChannelEndpoint& hop_endpoint, std::uint32_t to,
                    PacketHeader header,
-                   const std::vector<std::span<const std::byte>>& pieces);
-  /// Receive one packet, reassembling the pieces into a contiguous
-  /// payload buffer.
-  Packet receive_packet(mad::ChannelEndpoint& hop_endpoint);
+                   std::span<const std::span<const std::byte>> pieces,
+                   std::vector<std::uint32_t>& sizes_scratch);
+  /// Receive one packet into a pooled buffer. Pieces land, in order:
+  /// directly in `demand`'s window (when given, the source matches, and
+  /// the piece fits — endpoints only), as borrowed driver slots (static-
+  /// buffer hop TMs), or staged into the pooled bytes. The returned
+  /// packet's pieces cover exactly the staged/borrowed (non-demand) data.
+  Packet receive_packet(mad::ChannelEndpoint& hop_endpoint,
+                        Demand* demand = nullptr);
 
  private:
+  friend class VirtualEndpoint;
   void spawn_gateway(std::uint32_t gateway, std::size_t hop_in,
                      std::size_t hop_out);
 
@@ -202,6 +289,15 @@ class VirtualChannel {
   std::vector<mad::Channel*> hop_channels_;
   std::vector<std::uint32_t> gateways_;  // gateways_[i] joins hop i, i+1
   std::vector<std::uint32_t> nodes_;
+  // Routing tables, precomputed at construction (satellite of the pooled
+  // data path: hop_of/next_node used to rebuild hop-membership vectors on
+  // every packet).
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::size_t> hop_of_;
+  std::vector<std::map<std::uint32_t, std::uint32_t>> next_of_;  // per hop
+  std::map<std::uint32_t, std::size_t> terminal_hop_;
+  // Declared before every Packet holder below so recycling handles in
+  // endpoints_/gateway_queues_ still find the pool during destruction.
+  PacketPool pool_;
   std::map<std::uint32_t, std::unique_ptr<VirtualEndpoint>> endpoints_;
   std::vector<std::unique_ptr<sim::BoundedChannel<Packet>>> gateway_queues_;
 };

@@ -23,6 +23,7 @@ void Node::charge_memcpy(std::uint64_t bytes) {
   // Outside fiber context (session setup), work is free: virtual time has
   // not started for the application yet.
   if (simulator_->current() == nullptr) return;
+  mem_.memcpy_bytes += bytes;
   simulator_->advance(sim::transfer_time(bytes, params_.memcpy_mbs));
 }
 

@@ -20,6 +20,23 @@
 
 namespace mad2::hw {
 
+/// Per-node host-memory traffic counters. `memcpy_bytes` mirrors the
+/// virtual time charged through charge_memcpy (setup-phase copies outside
+/// fiber context are free and therefore not counted); the allocation /
+/// recycle counters are fed by buffer pools (e.g. the forwarding layer's
+/// PacketPool) so benches and tests can assert steady-state behaviour.
+struct MemCounters {
+  std::uint64_t memcpy_bytes = 0;
+  std::uint64_t alloc_count = 0;
+  std::uint64_t pool_recycle_count = 0;
+
+  void merge(const MemCounters& other) {
+    memcpy_bytes += other.memcpy_bytes;
+    alloc_count += other.alloc_count;
+    pool_recycle_count += other.pool_recycle_count;
+  }
+};
+
 struct HostParams {
   /// Sustained DMA bandwidth a bus-master NIC achieves on this bus.
   double pci_dma_mbs = 126.0;
@@ -56,6 +73,11 @@ class Node {
   /// (does not touch the PCI bus).
   void charge_memcpy(std::uint64_t bytes);
 
+  /// Host-memory traffic accounting (see MemCounters).
+  [[nodiscard]] const MemCounters& mem() const { return mem_; }
+  void count_alloc() { ++mem_.alloc_count; }
+  void count_pool_recycle() { ++mem_.pool_recycle_count; }
+
   /// Charge a fixed CPU cost (protocol bookkeeping, syscalls, ...).
   /// Free outside fiber context (session setup).
   void charge_cpu(sim::Duration d) {
@@ -77,6 +99,7 @@ class Node {
   std::uint32_t id_;
   std::string name_;
   HostParams params_;
+  MemCounters mem_;
   std::unique_ptr<ChunkedResource> pci_bus_;
 };
 

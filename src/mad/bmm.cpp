@@ -5,6 +5,7 @@
 
 #include "hw/node.hpp"
 #include "mad/connection.hpp"
+#include "sim/simulator.hpp"
 
 namespace mad2::mad {
 
@@ -193,11 +194,7 @@ class StaticCopyRecvBmm final : public RecvBmm {
               SendMode, ReceiveMode rmode) override {
     std::size_t done = 0;
     while (done < out.size()) {
-      if (!have_buffer_) {
-        buffer_ = tm.receive_static_buffer(connection);
-        consumed_ = 0;
-        have_buffer_ = true;
-      }
+      if (!have_buffer_) obtain(connection, tm);
       const std::size_t avail = buffer_.used - consumed_;
       const std::size_t chunk = std::min(avail, out.size() - done);
       connection.node().charge_memcpy(chunk);
@@ -217,6 +214,45 @@ class StaticCopyRecvBmm final : public RecvBmm {
     }
   }
 
+  bool unpack_borrow(Connection& connection, Tm& tm, std::size_t len,
+                     ReceiveMode rmode,
+                     std::vector<BorrowedBlock>& out) override {
+    // Same stream-advance as a copying unpack of `len` bytes, but the
+    // chunks are lent out as views instead of copied (and nothing is
+    // charged: no host copy happens). The protocol buffer is returned to
+    // the TM when the last view is dropped.
+    std::size_t done = 0;
+    while (done < len) {
+      if (!have_buffer_) obtain(connection, tm);
+      const std::size_t avail = buffer_.used - consumed_;
+      const std::size_t chunk = std::min(avail, len - done);
+      if (hold_ != nullptr || tm.try_retain_static_buffer(connection)) {
+        out.push_back(BorrowedBlock{
+            std::span<const std::byte>(buffer_.memory.data() + consumed_,
+                                       chunk),
+            hold_for(connection, tm)});
+      } else {
+        // Retention denied (lending this buffer out would starve the
+        // sender's flow-control window): stage the chunk through an owned
+        // copy so the protocol slot can return promptly.
+        connection.node().charge_memcpy(chunk);
+        auto owned = std::make_shared<std::vector<std::byte>>(chunk);
+        std::memcpy(owned->data(), buffer_.memory.data() + consumed_, chunk);
+        const std::span<const std::byte> view(*owned);
+        out.push_back(BorrowedBlock{view, std::move(owned)});
+      }
+      consumed_ += chunk;
+      done += chunk;
+      if (consumed_ == buffer_.used) release(connection, tm);
+    }
+    if (rmode == ReceiveMode::kExpress && have_buffer_) {
+      MAD2_CHECK(consumed_ == buffer_.used,
+                 "asymmetric pack/unpack around receive_EXPRESS block");
+      release(connection, tm);
+    }
+    return true;
+  }
+
   void checkout(Connection& connection, Tm& tm) override {
     // Static-copy extraction is always immediate; nothing is deferred.
     // A leftover partially-consumed buffer would indicate asymmetry.
@@ -229,8 +265,43 @@ class StaticCopyRecvBmm final : public RecvBmm {
   }
 
  private:
+  // Keeps a lent-out buffer alive past release(): the last BorrowedBlock
+  // dropped returns it to the TM. At teardown the simulator discards
+  // fiber stacks without unwinding and channel objects die on the main
+  // thread, where virtual time is over and release could block on credit
+  // traffic — the protocol slot is abandoned there instead.
+  struct Hold {
+    Connection* connection;
+    Tm* tm;
+    StaticBuffer buffer;
+    Hold(Connection* connection, Tm* tm, StaticBuffer buffer)
+        : connection(connection), tm(tm), buffer(buffer) {}
+    Hold(const Hold&) = delete;
+    Hold& operator=(const Hold&) = delete;
+    ~Hold() {
+      if (connection->simulator().current() == nullptr) return;
+      tm->release_retained_static_buffer(*connection, buffer);
+    }
+  };
+
+  void obtain(Connection& connection, Tm& tm) {
+    buffer_ = tm.receive_static_buffer(connection);
+    consumed_ = 0;
+    have_buffer_ = true;
+  }
+
+  std::shared_ptr<Hold> hold_for(Connection& connection, Tm& tm) {
+    if (hold_ == nullptr) {
+      hold_ = std::make_shared<Hold>(&connection, &tm, buffer_);
+    }
+    return hold_;
+  }
+
   void release(Connection& connection, Tm& tm) {
-    tm.release_static_buffer(connection, buffer_);
+    if (hold_ == nullptr) {
+      tm.release_static_buffer(connection, buffer_);
+    }
+    hold_.reset();  // borrowed: the views own the release now
     have_buffer_ = false;
     buffer_ = StaticBuffer{};
     consumed_ = 0;
@@ -239,6 +310,7 @@ class StaticCopyRecvBmm final : public RecvBmm {
   bool have_buffer_ = false;
   StaticBuffer buffer_;
   std::size_t consumed_ = 0;
+  std::shared_ptr<Hold> hold_;
 };
 
 }  // namespace

@@ -55,6 +55,19 @@ class RecvBmm {
                       ReceiveMode rmode) = 0;
   /// Complete all deferred extractions (the paper's *checkout*).
   virtual void checkout(Connection& connection, Tm& tm) = 0;
+
+  /// Zero-copy variant of unpack: instead of copying the next `len` bytes
+  /// into user memory, append views of the protocol buffers holding them
+  /// to `out` (one BorrowedBlock per protocol-buffer chunk, so the block
+  /// boundaries replayed from the sender's sequence are preserved). Only
+  /// the static-copy BMM supports this; others return false without
+  /// consuming anything. The stream advances exactly as a copying unpack
+  /// of `len` bytes would, so borrow and copy calls may be mixed freely.
+  virtual bool unpack_borrow(Connection&, Tm&, std::size_t /*len*/,
+                             ReceiveMode /*rmode*/,
+                             std::vector<BorrowedBlock>& /*out*/) {
+    return false;
+  }
 };
 
 std::unique_ptr<SendBmm> make_send_bmm(BmmKind kind);

@@ -152,6 +152,34 @@ void Connection::unpack_impl(std::span<std::byte> out, SendMode smode,
   bmm->unpack(*this, tm, out, smode, rmode);
 }
 
+bool Connection::unpack_borrow(std::size_t len, SendMode smode,
+                               ReceiveMode rmode,
+                               std::vector<BorrowedBlock>& out) {
+  MAD2_CHECK(unpacking_, "unpack outside begin_unpacking/end_unpacking");
+  // Paranoid channels frame every block with a check block; keep that
+  // path on the plain copying unpack.
+  if (endpoint_->channel().def().paranoid) return false;
+  // Replay the Switch decision *before* touching any state, so a refusal
+  // leaves the stream exactly where a copying unpack expects it.
+  Tm& tm = endpoint_->pmm().select_tm(len, smode, rmode);
+  const BmmKind kind = select_bmm_kind(tm, smode, rmode);
+  if (kind != BmmKind::kStaticCopy) return false;
+
+  node().charge_cpu(endpoint_->costs().unpack);
+  RecvBmm* bmm = recv_bmm_for(&tm, kind);
+  if (bmm != recv_bmm_ || &tm != recv_tm_) {
+    if (recv_bmm_ != nullptr) recv_bmm_->checkout(*this, *recv_tm_);
+    recv_tm_ = &tm;
+    recv_bmm_ = bmm;
+  }
+  TmCounters& counters = stats_.received_by_tm[std::string(tm.name())];
+  ++counters.blocks;
+  counters.bytes += len;
+  const bool borrowed = bmm->unpack_borrow(*this, tm, len, rmode, out);
+  MAD2_CHECK(borrowed, "static-copy BMM refused a borrow");
+  return true;
+}
+
 void Connection::end_unpacking() {
   MAD2_CHECK(unpacking_, "end_unpacking without begin_unpacking");
   if (recv_bmm_ != nullptr) recv_bmm_->checkout(*this, *recv_tm_);

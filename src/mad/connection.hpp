@@ -51,6 +51,17 @@ class Connection {
   /// Finalize the reception: all expected blocks are made available.
   void end_unpacking();
 
+  /// Zero-copy unpack: borrow the next `len` stream bytes as views of the
+  /// protocol's static receive buffers (appended to `out`, one entry per
+  /// protocol-buffer chunk) instead of copying them into user memory.
+  /// Only possible when the Switch would route this block to the
+  /// static-copy BMM (the selected TM uses_static_buffers()) and the
+  /// channel is not paranoid; returns false *without consuming anything*
+  /// otherwise — the caller must then fall back to a copying unpack with
+  /// the same (len, smode, rmode) so both sides stay symmetric.
+  bool unpack_borrow(std::size_t len, SendMode smode, ReceiveMode rmode,
+                     std::vector<BorrowedBlock>& out);
+
   [[nodiscard]] std::uint32_t remote() const { return remote_; }
   [[nodiscard]] std::uint32_t local() const;
   [[nodiscard]] bool packing() const { return packing_; }

@@ -205,6 +205,13 @@ void BipShortTm::send_static_buffer(Connection& connection,
 
 StaticBuffer BipShortTm::receive_static_buffer(Connection& connection) {
   auto& state = connection.state<BipPmm::State>();
+  if (state.data_slots.empty() && state.credit_owed > 0) {
+    // About to block for the next short: flush owed credits first — the
+    // sender may be starved below the batching threshold (retained
+    // lent-out slots shrink its window).
+    pmm_->send_ctrl(state, BipPmm::CtrlKind::kCredit, state.credit_owed);
+    state.credit_owed = 0;
+  }
   while (state.data_slots.empty()) state.recv_wq.wait();
   net::BipShortSlot slot = state.data_slots.front();
   state.data_slots.pop_front();
@@ -222,6 +229,25 @@ void BipShortTm::release_static_buffer(Connection& connection,
     pmm_->send_ctrl(state, BipPmm::CtrlKind::kCredit, state.credit_owed);
     state.credit_owed = 0;
   }
+}
+
+bool BipShortTm::try_retain_static_buffer(Connection& connection) {
+  auto& state = connection.state<BipPmm::State>();
+  // Every retained slot permanently shrinks the sender's credit window
+  // until its views are dropped; lending more than half the window could
+  // leave the sender unable to push the data those views are waiting on.
+  if (state.retained >= pmm_->options().credits / 2) return false;
+  ++state.retained;
+  return true;
+}
+
+void BipShortTm::release_retained_static_buffer(Connection& connection,
+                                                StaticBuffer& buffer) {
+  auto& state = connection.state<BipPmm::State>();
+  MAD2_CHECK(state.retained > 0,
+             "retained-slot release without a matching retain");
+  --state.retained;
+  release_static_buffer(connection, buffer);
 }
 
 // -------------------------------------------------------------- BipLongTm ---

@@ -44,6 +44,9 @@ class BipShortTm final : public Tm {
   StaticBuffer receive_static_buffer(Connection& connection) override;
   void release_static_buffer(Connection& connection,
                              StaticBuffer& buffer) override;
+  [[nodiscard]] bool try_retain_static_buffer(Connection& connection) override;
+  void release_retained_static_buffer(Connection& connection,
+                                      StaticBuffer& buffer) override;
 
  private:
   BipPmm* pmm_;
@@ -96,6 +99,10 @@ class BipPmm final : public Pmm {
     std::deque<std::uint64_t> reqs;  // announced rendezvous sizes
     sim::WaitQueue recv_wq;
     std::size_t credit_owed = 0;
+    // Received slots lent out past consumption (zero-copy borrows); each
+    // one shrinks the sender's effective credit window until dropped, so
+    // BipShortTm caps them at half the window.
+    std::size_t retained = 0;
   };
 
   std::unique_ptr<ConnState> make_conn_state(std::uint32_t remote) override;

@@ -168,6 +168,12 @@ void SbpTm::send_static_buffer(Connection& connection,
 
 StaticBuffer SbpTm::receive_static_buffer(Connection& connection) {
   auto& state = connection.state<SbpPmm::State>();
+  if (state.incoming.empty() && state.credit_owed > 0) {
+    // About to block: flush owed credits, the sender may be starved
+    // below the batching threshold.
+    pmm_->send_credits(state, state.credit_owed);
+    state.credit_owed = 0;
+  }
   while (state.incoming.empty()) state.recv_wq.wait();
   net::SbpRxBuffer buffer = state.incoming.front();
   state.incoming.pop_front();
@@ -184,6 +190,22 @@ void SbpTm::release_static_buffer(Connection& connection,
     pmm_->send_credits(state, state.credit_owed);
     state.credit_owed = 0;
   }
+}
+
+bool SbpTm::try_retain_static_buffer(Connection& connection) {
+  auto& state = connection.state<SbpPmm::State>();
+  if (state.retained >= SbpPmm::kInitialCredits / 2) return false;
+  ++state.retained;
+  return true;
+}
+
+void SbpTm::release_retained_static_buffer(Connection& connection,
+                                           StaticBuffer& buffer) {
+  auto& state = connection.state<SbpPmm::State>();
+  MAD2_CHECK(state.retained > 0,
+             "retained-slot release without a matching retain");
+  --state.retained;
+  release_static_buffer(connection, buffer);
 }
 
 }  // namespace mad2::mad

@@ -31,6 +31,9 @@ class SbpTm final : public Tm {
   StaticBuffer receive_static_buffer(Connection& connection) override;
   void release_static_buffer(Connection& connection,
                              StaticBuffer& buffer) override;
+  [[nodiscard]] bool try_retain_static_buffer(Connection& connection) override;
+  void release_retained_static_buffer(Connection& connection,
+                                      StaticBuffer& buffer) override;
 
  private:
   SbpPmm* pmm_;
@@ -56,6 +59,9 @@ class SbpPmm final : public Pmm {
     std::deque<net::SbpRxBuffer> incoming;
     sim::WaitQueue recv_wq;
     std::size_t credit_owed = 0;
+    // Slots lent out past consumption (zero-copy borrows), capped at half
+    // the credit window so the sender cannot be starved by held views.
+    std::size_t retained = 0;
   };
 
   std::unique_ptr<ConnState> make_conn_state(std::uint32_t remote) override;

@@ -187,6 +187,12 @@ void ViaShortTm::send_static_buffer(Connection& connection,
 
 StaticBuffer ViaShortTm::receive_static_buffer(Connection& connection) {
   auto& state = connection.state<ViaPmm::State>();
+  if (state.data_pkts.empty() && state.credit_owed > 0) {
+    // About to block: flush owed credits, the sender may be starved
+    // below the batching threshold.
+    pmm_->send_ctrl(state, ViaPmm::PacketKind::kCredit, state.credit_owed);
+    state.credit_owed = 0;
+  }
   while (state.data_pkts.empty()) state.recv_wq.wait();
   auto [index, bytes] = state.data_pkts.front();
   state.data_pkts.pop_front();
@@ -207,6 +213,22 @@ void ViaShortTm::release_static_buffer(Connection& connection,
     pmm_->send_ctrl(state, ViaPmm::PacketKind::kCredit, state.credit_owed);
     state.credit_owed = 0;
   }
+}
+
+bool ViaShortTm::try_retain_static_buffer(Connection& connection) {
+  auto& state = connection.state<ViaPmm::State>();
+  if (state.retained >= ViaPmm::kInitialCredits / 2) return false;
+  ++state.retained;
+  return true;
+}
+
+void ViaShortTm::release_retained_static_buffer(Connection& connection,
+                                                StaticBuffer& buffer) {
+  auto& state = connection.state<ViaPmm::State>();
+  MAD2_CHECK(state.retained > 0,
+             "retained-slot release without a matching retain");
+  --state.retained;
+  release_static_buffer(connection, buffer);
 }
 
 // --------------------------------------------------------------- ViaBulkTm ---

@@ -39,6 +39,9 @@ class ViaShortTm final : public Tm {
   StaticBuffer receive_static_buffer(Connection& connection) override;
   void release_static_buffer(Connection& connection,
                              StaticBuffer& buffer) override;
+  [[nodiscard]] bool try_retain_static_buffer(Connection& connection) override;
+  void release_retained_static_buffer(Connection& connection,
+                                      StaticBuffer& buffer) override;
 
  private:
   ViaPmm* pmm_;
@@ -101,6 +104,9 @@ class ViaPmm final : public Pmm {
     std::deque<std::uint64_t> reqs;
     sim::WaitQueue recv_wq;
     std::size_t credit_owed = 0;
+    // Slots lent out past consumption (zero-copy borrows), capped at half
+    // the credit window so the sender cannot be starved by held views.
+    std::size_t retained = 0;
     // Preregistered, pre-posted receive buffers for VI 0.
     std::vector<std::vector<std::byte>> pool;
   };

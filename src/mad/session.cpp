@@ -65,6 +65,9 @@ TrafficStats ChannelEndpoint::stats() const {
     total.reliability.merge(
         network.tcp->reliable()->endpoint(network.port(local_)).counters());
   }
+  // Host-memory traffic of this endpoint's node (node-level, see
+  // TrafficStats::mem).
+  total.mem = session_->node(local_).mem();
   return total;
 }
 

@@ -16,6 +16,7 @@ void TrafficStats::merge(const TrafficStats& other) {
     received_by_tm[tm].bytes += counters.bytes;
   }
   reliability.merge(other.reliability);
+  mem.merge(other.mem);
 }
 
 std::string TrafficStats::to_string() const {
@@ -41,6 +42,16 @@ std::string TrafficStats::to_string() const {
   }
   if (reliability.data_frames != 0 || reliability.give_ups != 0) {
     out += "  " + reliability.to_string() + "\n";
+  }
+  if (mem.memcpy_bytes != 0 || mem.alloc_count != 0 ||
+      mem.pool_recycle_count != 0) {
+    std::snprintf(line, sizeof line,
+                  "  mem %12llu memcpy bytes %8llu allocs %8llu pool "
+                  "recycles\n",
+                  static_cast<unsigned long long>(mem.memcpy_bytes),
+                  static_cast<unsigned long long>(mem.alloc_count),
+                  static_cast<unsigned long long>(mem.pool_recycle_count));
+    out += line;
   }
   return out;
 }

@@ -9,6 +9,7 @@
 #include <map>
 #include <string>
 
+#include "hw/node.hpp"
 #include "net/fault.hpp"
 
 namespace mad2::mad {
@@ -29,6 +30,11 @@ struct TrafficStats {
   /// it, so channels on the same port report the same numbers. All zero on
   /// lossless fabrics.
   net::ReliabilityCounters reliability;
+  /// Host-memory traffic of the endpoint's *node* (charged memcpy bytes,
+  /// buffer-pool allocations/recycles). Node-level: every endpoint on the
+  /// same node reports the same numbers, and merging endpoints that share
+  /// a node double-counts — merge across nodes, not across channels.
+  hw::MemCounters mem;
 
   void merge(const TrafficStats& other);
 

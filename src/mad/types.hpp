@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string_view>
 
@@ -50,6 +51,15 @@ struct StaticBuffer {
   std::span<std::byte> memory;  // protocol-owned capacity
   std::size_t used = 0;         // valid bytes (fill level / received size)
   std::uint64_t handle = 0;     // TM-private bookkeeping
+};
+
+/// A zero-copy view into a received protocol buffer (paper Section 6.1:
+/// the gateway "borrows" the driver's static buffer instead of staging the
+/// payload through a copy). `data` stays valid while `hold` is alive; the
+/// last hold released returns the buffer to the Transmission Module.
+struct BorrowedBlock {
+  std::span<const std::byte> data;
+  std::shared_ptr<void> hold;
 };
 
 }  // namespace mad2::mad

@@ -439,11 +439,14 @@ TEST(VirtualChannel, ForwardingBandwidthIsGatewayBusLimited) {
 TEST(VirtualChannel, MyrinetToSciIsSlowerThanSciToMyrinet) {
   // Section 6.2.3: incoming Myrinet DMA has priority over outgoing SCI
   // PIO on the gateway PCI bus, so this direction is measurably worse.
+  // The margin is thinner than in the paper since the pooled data path
+  // removed the gateway's charged reassembly copies, which used to widen
+  // the bus-contention gap.
   const double sci_to_myri =
       forwarding_bandwidth(NetworkKind::kSisci, NetworkKind::kBip, 64 * 1024);
   const double myri_to_sci =
       forwarding_bandwidth(NetworkKind::kBip, NetworkKind::kSisci, 64 * 1024);
-  EXPECT_LT(myri_to_sci, sci_to_myri * 0.92);
+  EXPECT_LT(myri_to_sci, sci_to_myri * 0.96);
 }
 
 TEST(VirtualChannel, LargerPacketsForwardFaster) {
