@@ -1,0 +1,138 @@
+// Ablation: multi-rail striping across parallel adapters.
+//
+// Two nodes joined by 1..4 identical Fast-Ethernet-class TCP adapters;
+// with more than one adapter the channels form a rail set (the rail
+// scheduler splits every large block across the adapters, see
+// docs/CHANNELS.md). Large-block bandwidth should scale close to linearly
+// with the rail count, because the segments travel concurrently and the
+// only serial parts are the descriptor/trailer framing on the primary.
+//
+// This bench is the regression gate for the rail layer: it fails (exit 1)
+// if 2-rail aggregate bandwidth at 1 MiB drops below 1.5x the best single
+// rail.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace mad2;
+
+/// Two nodes with `rail_count` independent TCP adapters; channels
+/// ch0..chN-1, grouped into rail set "r" when N > 1.
+mad::SessionConfig rails_config(std::size_t rail_count) {
+  mad::SessionConfig config;
+  config.node_count = 2;
+  mad::RailSetDef rails;
+  rails.name = "r";
+  for (std::size_t i = 0; i < rail_count; ++i) {
+    mad::NetworkDef net;
+    net.name = "net" + std::to_string(i);
+    net.kind = mad::NetworkKind::kTcp;
+    net.nodes = {0, 1};
+    config.networks.push_back(net);
+    const std::string channel = "ch" + std::to_string(i);
+    config.channels.emplace_back(channel, net.name);
+    rails.channels.push_back(channel);
+  }
+  if (rail_count > 1) config.rail_sets.push_back(rails);
+  return config;
+}
+
+/// One-way transfer time (us) of `size`-byte messages on the primary
+/// channel, ping-pong averaged (the paper's Section 5.1 methodology).
+double one_way_us(std::size_t rail_count, std::size_t size) {
+  mad::Session session(rails_config(rail_count));
+  const int iterations = 10;
+  sim::Time start = 0;
+  sim::Time end = 0;
+  session.spawn(0, "ping", [&](mad::NodeRuntime& rt) {
+    std::vector<std::byte> payload(size, std::byte{1});
+    std::vector<std::byte> back(size);
+    start = rt.simulator().now();
+    for (int i = 0; i < iterations; ++i) {
+      auto& out = rt.channel("ch0").begin_packing(1);
+      out.pack(payload);
+      out.end_packing();
+      auto& in = rt.channel("ch0").begin_unpacking();
+      in.unpack(back);
+      in.end_unpacking();
+    }
+    end = rt.simulator().now();
+  });
+  session.spawn(1, "pong", [&](mad::NodeRuntime& rt) {
+    std::vector<std::byte> data(size);
+    for (int i = 0; i < iterations; ++i) {
+      auto& in = rt.channel("ch0").begin_unpacking();
+      in.unpack(data);
+      in.end_unpacking();
+      auto& out = rt.channel("ch0").begin_packing(0);
+      out.pack(data);
+      out.end_packing();
+    }
+  });
+  MAD2_CHECK(session.run().is_ok(), "striping bench session failed");
+  return sim::to_us(end - start) / (2.0 * iterations);
+}
+
+std::string format_fixed(double value, int digits) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mad2;
+  const std::vector<std::uint64_t> sizes{64 * 1024, 256 * 1024, 1 << 20};
+  const std::size_t gate_size = 1 << 20;
+
+  std::vector<PerfSeries> series;
+  for (std::size_t rails = 1; rails <= 4; ++rails) {
+    PerfSeries curve;
+    curve.label = std::to_string(rails) + (rails == 1 ? " rail" : " rails");
+    for (std::uint64_t size : sizes) {
+      const double latency = one_way_us(rails, size);
+      curve.points.push_back(
+          PerfPoint{size, latency, static_cast<double>(size) / latency});
+    }
+    series.push_back(std::move(curve));
+  }
+
+  Table table({"size", "1 rail", "2 rails", "3 rails", "4 rails",
+               "2-rail speedup"});
+  for (std::size_t s = 0; s < sizes.size(); ++s) {
+    std::vector<std::string> row{format_bytes(sizes[s])};
+    for (const PerfSeries& curve : series) {
+      row.push_back(format_fixed(curve.points[s].bandwidth_mbs, 1) +
+                    " MB/s");
+    }
+    row.push_back(format_fixed(series[1].points[s].bandwidth_mbs /
+                                   series[0].points[s].bandwidth_mbs,
+                               2) +
+                  "x");
+    table.add_row(row);
+  }
+
+  std::printf("== Ablation — multi-rail striping bandwidth ==\n");
+  table.print();
+
+  if (bench::json_mode(argc, argv)) {
+    bench::write_series_json("abl_striping", series);
+  }
+
+  const double single = series[0].bandwidth_at(gate_size);
+  const double dual = series[1].bandwidth_at(gate_size);
+  std::printf("\n2-rail aggregate at 1 MiB: %.1f MB/s (%.2fx of %.1f MB/s "
+              "single rail, gate 1.50x)\n",
+              dual, dual / single, single);
+  if (dual < 1.5 * single) {
+    std::printf("FAIL: 2-rail striping below 1.5x single-rail bandwidth\n");
+    return 1;
+  }
+  return 0;
+}

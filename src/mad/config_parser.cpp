@@ -1,5 +1,6 @@
 #include "mad/config_parser.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <sstream>
 #include <string>
@@ -144,6 +145,109 @@ Result<SessionConfig> parse_session_config(std::string_view text) {
         channel.paranoid = true;
       }
       config.channels.push_back(std::move(channel));
+      continue;
+    }
+
+    if (directive == "rails") {
+      if (tokens.size() < 4) {
+        return error_at(
+            line_number,
+            "usage: rails NAME CHANNEL CHANNEL [CHANNEL...] [threshold=N]");
+      }
+      RailSetDef rails;
+      rails.name = tokens[1];
+      for (const RailSetDef& existing : config.rail_sets) {
+        if (existing.name == rails.name) {
+          return error_at(line_number,
+                          "duplicate rail set name '" + rails.name + "'");
+        }
+      }
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        const std::string& token = tokens[i];
+        if (token.rfind("threshold=", 0) == 0) {
+          if (i + 1 != tokens.size()) {
+            return error_at(line_number, "threshold= must come last");
+          }
+          std::uint32_t threshold = 0;
+          if (!parse_u32(token.substr(10), &threshold) || threshold == 0) {
+            return error_at(line_number,
+                            "invalid stripe threshold '" + token + "'");
+          }
+          rails.stripe_threshold = threshold;
+          break;
+        }
+        const ChannelDef* member = nullptr;
+        for (const ChannelDef& channel : config.channels) {
+          if (channel.name == token) member = &channel;
+        }
+        if (member == nullptr) {
+          return error_at(line_number, "unknown channel '" + token + "'");
+        }
+        if (member->paranoid) {
+          return error_at(line_number,
+                          "channel '" + token +
+                              "' is paranoid: its check blocks would "
+                              "interleave with striped segments");
+        }
+        for (const std::string& listed : rails.channels) {
+          if (listed == token) {
+            return error_at(line_number,
+                            "channel '" + token + "' listed twice");
+          }
+        }
+        for (const RailSetDef& other : config.rail_sets) {
+          for (const std::string& taken : other.channels) {
+            if (taken == token) {
+              return error_at(line_number,
+                              "channel '" + token +
+                                  "' already belongs to rail set '" +
+                                  other.name + "'");
+            }
+          }
+        }
+        // Rails must add adapters, and every adapter must reach the same
+        // nodes — contradictory member sets are config errors, not
+        // something the scheduler can paper over.
+        auto network_of = [&config](const std::string& channel_name) {
+          const NetworkDef* found = nullptr;
+          for (const ChannelDef& channel : config.channels) {
+            if (channel.name != channel_name) continue;
+            for (const NetworkDef& net : config.networks) {
+              if (net.name == channel.network) found = &net;
+            }
+          }
+          return found;
+        };
+        const NetworkDef* net = network_of(token);
+        for (const std::string& listed : rails.channels) {
+          const NetworkDef* other = network_of(listed);
+          if (other == net) {
+            return error_at(line_number,
+                            "channels '" + listed + "' and '" + token +
+                                "' share network '" + net->name +
+                                "': striping over one adapter adds no "
+                                "bandwidth");
+          }
+          std::vector<std::uint32_t> a = net->nodes;
+          std::vector<std::uint32_t> b = other->nodes;
+          std::sort(a.begin(), a.end());
+          std::sort(b.begin(), b.end());
+          if (a != b) {
+            return error_at(line_number,
+                            "channels '" + listed + "' and '" + token +
+                                "' span different node sets");
+          }
+        }
+        rails.channels.push_back(token);
+      }
+      if (rails.channels.size() < 2) {
+        return error_at(line_number,
+                        "a rail set needs at least two member channels");
+      }
+      if (rails.channels.size() > 32) {
+        return error_at(line_number, "at most 32 rails per set");
+      }
+      config.rail_sets.push_back(std::move(rails));
       continue;
     }
 

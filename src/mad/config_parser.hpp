@@ -8,11 +8,16 @@
 //   network sci0  sisci 0 1
 //   channel ch_bulk myri0
 //   channel ch_ctl  sci0 paranoid
+//   rails   bulk ch_bulk ch_eth threshold=65536
 //
 // Directives:
 //   nodes N                       total node count (required, first)
 //   network NAME KIND NODE...     KIND in {bip, sisci, tcp, via}
 //   channel NAME NETWORK [paranoid]
+//   rails NAME CHANNEL CHANNEL... [threshold=N]
+//       stripe large blocks of the first (primary) channel across all
+//       members (see mad/rail_set.hpp); members must be non-paranoid,
+//       pairwise on distinct networks, spanning the same node set
 //
 // Errors come back as INVALID_ARGUMENT with the line number.
 #pragma once

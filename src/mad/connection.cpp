@@ -1,5 +1,6 @@
 #include "mad/connection.hpp"
 
+#include "mad/rail_set.hpp"
 #include "mad/session.hpp"
 
 namespace mad2::mad {
@@ -80,6 +81,25 @@ void Connection::pack_impl(std::span<const std::byte> data, SendMode smode,
                            ReceiveMode rmode) {
   node().charge_cpu(endpoint_->costs().pack);
 
+  // Striping decision: large CHEAPER/CHEAPER blocks on a rail-set head go
+  // to the rail scheduler. Pure in (len, modes) plus rail state both sides
+  // update symmetrically, so the receiver replays the same decision. The
+  // open BMM is flushed first — a striped block is a TM change like any
+  // other — and `striping_` keeps the scheduler's own framing and inline
+  // segment on the normal path.
+  if (rails_ != nullptr && !striping_ && smode == SendMode::kCheaper &&
+      rmode == ReceiveMode::kCheaper && data.size() >= rails_->threshold()) {
+    if (send_bmm_ != nullptr) {
+      send_bmm_->commit(*this, *send_tm_);
+      send_tm_ = nullptr;
+      send_bmm_ = nullptr;
+    }
+    striping_ = true;
+    rails_->stripe_send(*this, data);
+    striping_ = false;
+    return;
+  }
+
   // The Switch (paper Fig. 3): query the PMM for the best TM, then route
   // to the BMM the policy dictates. A TM or BMM change flushes the
   // previous BMM (*commit*) so delivery order is preserved.
@@ -135,6 +155,20 @@ void Connection::unpack_impl(std::span<std::byte> out, SendMode smode,
                              ReceiveMode rmode) {
   node().charge_cpu(endpoint_->costs().unpack);
 
+  // Mirror of the send-side striping decision.
+  if (rails_ != nullptr && !striping_ && smode == SendMode::kCheaper &&
+      rmode == ReceiveMode::kCheaper && out.size() >= rails_->threshold()) {
+    if (recv_bmm_ != nullptr) {
+      recv_bmm_->checkout(*this, *recv_tm_);
+      recv_tm_ = nullptr;
+      recv_bmm_ = nullptr;
+    }
+    striping_ = true;
+    rails_->stripe_recv(*this, out);
+    striping_ = false;
+    return;
+  }
+
   // Mirror of the send-side Switch: the same pure selection functions run
   // on the same (mandatorily symmetric) arguments, so the TM sequence
   // matches the sender's without any mode information on the wire.
@@ -159,6 +193,13 @@ bool Connection::unpack_borrow(std::size_t len, SendMode smode,
   // Paranoid channels frame every block with a check block; keep that
   // path on the plain copying unpack.
   if (endpoint_->channel().def().paranoid) return false;
+  // A striping-eligible block is scattered across the rails straight into
+  // user memory; it cannot be lent as protocol-buffer views. The copying
+  // fallback the caller performs is the striped (zero-copy-landing) path.
+  if (rails_ != nullptr && smode == SendMode::kCheaper &&
+      rmode == ReceiveMode::kCheaper && len >= rails_->threshold()) {
+    return false;
+  }
   // Replay the Switch decision *before* touching any state, so a refusal
   // leaves the stream exactly where a copying unpack expects it.
   Tm& tm = endpoint_->pmm().select_tm(len, smode, rmode);

@@ -27,6 +27,7 @@ class Simulator;
 namespace mad2::mad {
 
 class ChannelEndpoint;
+class RailSet;
 
 class Connection {
  public:
@@ -88,6 +89,7 @@ class Connection {
 
  private:
   friend class ChannelEndpoint;
+  friend class RailSet;
   void begin_packing_message();
   void begin_unpacking_message();
 
@@ -113,6 +115,16 @@ class Connection {
   std::uint32_t remote_;
   std::unique_ptr<Pmm::ConnState> state_;
   TrafficStats stats_;
+
+  // Rail-set binding (mad/rail_set.hpp): non-null iff this connection's
+  // channel heads a rail set. Large CHEAPER/CHEAPER blocks are then handed
+  // to the scheduler instead of a single TM; `striping_` guards the
+  // framing and inline-segment blocks the scheduler itself packs through
+  // this connection from being striped again.
+  RailSet* rails_ = nullptr;
+  bool striping_ = false;
+  std::uint32_t stripe_seq_tx_ = 0;
+  std::uint32_t stripe_seq_rx_ = 0;
 
   // Send-side switch state.
   bool packing_ = false;

@@ -44,6 +44,13 @@ class Pmm {
   /// on this channel; returns the remote global node id. Called by
   /// begin_unpacking.
   virtual std::uint32_t wait_incoming() = 0;
+
+  /// Nominal large-block bandwidth of this protocol module, decimal MB/s:
+  /// the driver's self-report of what its data path can sustain. Seeds
+  /// the rail scheduler's weight for a rail on this adapter (refined at
+  /// runtime from measured per-segment throughput); never used for TM
+  /// selection, which stays a pure function of (len, modes).
+  [[nodiscard]] virtual double bandwidth_hint_mbs() const { return 100.0; }
 };
 
 }  // namespace mad2::mad

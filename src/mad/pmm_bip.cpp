@@ -1,5 +1,6 @@
 #include "mad/pmm_bip.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "util/bytes.hpp"
@@ -307,6 +308,13 @@ void BipLongTm::receive_sub_buffer_group(
     pmm_->port().wait_recv_long(state.remote_port,
                                 pmm_->data_tag(state.remote_port));
   }
+}
+
+
+double BipPmm::bandwidth_hint_mbs() const {
+  const net::BipParams& p = endpoint_.channel().network().bip->params();
+  // Long messages are NIC DMA transfers: the slower of wire and PCI DMA.
+  return std::min(p.fabric.wire_mbs, endpoint_.node().params().pci_dma_mbs);
 }
 
 }  // namespace mad2::mad

@@ -109,6 +109,7 @@ class BipPmm final : public Pmm {
   void finish_setup() override;
   Tm& select_tm(std::size_t len, SendMode smode, ReceiveMode rmode) override;
   std::uint32_t wait_incoming() override;
+  [[nodiscard]] double bandwidth_hint_mbs() const override;
 
   // --- helpers used by the TMs ---
   [[nodiscard]] net::BipPort& port() { return *port_; }

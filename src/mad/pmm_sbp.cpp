@@ -1,5 +1,6 @@
 #include "mad/pmm_sbp.hpp"
 
+#include <algorithm>
 #include "util/bytes.hpp"
 
 namespace mad2::mad {
@@ -206,6 +207,17 @@ void SbpTm::release_retained_static_buffer(Connection& connection,
              "retained-slot release without a matching retain");
   --state.retained;
   release_static_buffer(connection, buffer);
+}
+
+
+double SbpPmm::bandwidth_hint_mbs() const {
+  const net::SbpParams& p = endpoint_.channel().network().sbp->params();
+  // Fixed kernel buffers: every buffer_bytes of payload pays header_bytes
+  // of framing on the wire.
+  const double framed =
+      p.fabric.wire_mbs * p.buffer_bytes /
+      static_cast<double>(p.buffer_bytes + p.header_bytes);
+  return std::min(framed, endpoint_.node().params().pci_dma_mbs);
 }
 
 }  // namespace mad2::mad

@@ -68,6 +68,7 @@ class SbpPmm final : public Pmm {
   void finish_setup() override;
   Tm& select_tm(std::size_t len, SendMode smode, ReceiveMode rmode) override;
   std::uint32_t wait_incoming() override;
+  [[nodiscard]] double bandwidth_hint_mbs() const override;
 
   [[nodiscard]] net::SbpPort& port() { return *port_; }
   [[nodiscard]] ChannelEndpoint& endpoint() { return endpoint_; }

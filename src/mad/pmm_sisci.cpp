@@ -1,5 +1,6 @@
 #include "mad/pmm_sisci.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "util/bytes.hpp"
@@ -229,6 +230,18 @@ void SciBulkTm::send_buffer(Connection& connection,
 void SciBulkTm::receive_buffer(Connection& connection,
                                std::span<std::byte> out) {
   pmm_->recv_bulk(connection, out);
+}
+
+
+double SciPmm::bandwidth_hint_mbs() const {
+  const net::SciParams& p = endpoint_.channel().network().sci->params();
+  if (options_.enable_dma) {
+    // Bulk blocks ride the (D310: poor) DMA engine above dma_min_bytes.
+    return std::min(p.fabric.wire_mbs, p.dma_engine_mbs);
+  }
+  // PIO drain: CPU stores through the mapped remote window.
+  return std::min(p.fabric.wire_mbs,
+                  endpoint_.node().params().pci_pio_mbs);
 }
 
 }  // namespace mad2::mad

@@ -84,6 +84,7 @@ class SciPmm final : public Pmm {
   void finish_setup() override;
   Tm& select_tm(std::size_t len, SendMode smode, ReceiveMode rmode) override;
   std::uint32_t wait_incoming() override;
+  [[nodiscard]] double bandwidth_hint_mbs() const override;
 
   // --- ring geometry and helpers used by the TMs -------------------------
   [[nodiscard]] const SciPmmOptions& options() const { return options_; }

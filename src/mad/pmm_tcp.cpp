@@ -135,4 +135,13 @@ std::uint32_t TcpPmm::wait_incoming() {
   return found;
 }
 
+
+double TcpPmm::bandwidth_hint_mbs() const {
+  const net::TcpParams& p = endpoint_.channel().network().tcp->params();
+  // Wire rate minus Ethernet/IP/TCP framing; kernel costs are per-block,
+  // not per-byte, so they do not cap the large-block rate.
+  return p.fabric.wire_mbs * static_cast<double>(p.mss) /
+         static_cast<double>(p.mss + p.frame_overhead);
+}
+
 }  // namespace mad2::mad

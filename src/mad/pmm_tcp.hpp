@@ -67,6 +67,7 @@ class TcpPmm final : public Pmm {
   std::unique_ptr<ConnState> make_conn_state(std::uint32_t remote) override;
   Tm& select_tm(std::size_t len, SendMode smode, ReceiveMode rmode) override;
   std::uint32_t wait_incoming() override;
+  [[nodiscard]] double bandwidth_hint_mbs() const override;
 
   [[nodiscard]] ChannelEndpoint& endpoint() { return endpoint_; }
   [[nodiscard]] net::TcpPort& port() { return *port_; }

@@ -1,5 +1,6 @@
 #include "mad/pmm_via.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "util/bytes.hpp"
@@ -282,6 +283,12 @@ void ViaBulkTm::receive_sub_buffer_group(
   for (std::size_t i = 0; i < group.size(); ++i) {
     (void)pmm_->port().wait_recv(state.remote_port, pmm_->bulk_vi());
   }
+}
+
+
+double ViaPmm::bandwidth_hint_mbs() const {
+  const net::ViaParams& p = endpoint_.channel().network().via->params();
+  return std::min(p.fabric.wire_mbs, endpoint_.node().params().pci_dma_mbs);
 }
 
 }  // namespace mad2::mad

@@ -115,6 +115,7 @@ class ViaPmm final : public Pmm {
   void finish_setup() override;
   Tm& select_tm(std::size_t len, SendMode smode, ReceiveMode rmode) override;
   std::uint32_t wait_incoming() override;
+  [[nodiscard]] double bandwidth_hint_mbs() const override;
 
   [[nodiscard]] net::ViaPort& port() { return *port_; }
   [[nodiscard]] ChannelEndpoint& endpoint() { return endpoint_; }

@@ -157,10 +157,14 @@ Session::Session(SessionConfig config) : config_(std::move(config)) {
         instance->tcp = std::make_unique<net::TcpNetwork>(
             &simulator_, members,
             def.tcp_params.value_or(net::TcpParams::fast_ethernet()));
-        // A faulty fabric can give up on a link; degrade to a clean
-        // session failure instead of deadlocking the stuck fibers.
+        // A faulty fabric can give up on a link. A rail set that owns the
+        // network as a secondary rail absorbs the failure (the session
+        // runs on degraded); otherwise fail cleanly instead of
+        // deadlocking the stuck fibers.
         instance->tcp->set_error_handler(
-            [this](const Status& status) { fail(status); });
+            [this, raw = instance.get()](const Status& status) {
+              if (!route_network_failure(raw, status)) fail(status);
+            });
         break;
       case NetworkKind::kVia:
         instance->via = std::make_unique<net::ViaNetwork>(
@@ -187,11 +191,28 @@ Session::Session(SessionConfig config) : config_(std::move(config)) {
         std::make_unique<Channel>(this, channel_id++, def, net));
   }
 
+  for (const RailSetDef& def : config_.rail_sets) {
+    for (const auto& existing : rail_sets_) {
+      MAD2_CHECK(existing->name() != def.name, "duplicate rail set name");
+      for (const std::string& channel : def.channels) {
+        for (const std::string& taken : existing->def().channels) {
+          MAD2_CHECK(channel != taken,
+                     "channel is a member of two rail sets");
+        }
+      }
+    }
+    rail_sets_.push_back(std::make_unique<RailSet>(this, def));
+  }
+
   // Second phase: cross-node handle resolution (see Pmm::finish_setup).
   for (auto& channel : channels_) {
     for (std::uint32_t node : channel->nodes()) {
       channel->endpoint(node).pmm().finish_setup();
     }
+  }
+  // Rail sets bind last: their lanes drive fully-resolved protocol state.
+  for (auto& rail_set : rail_sets_) {
+    rail_set->finish_setup();
   }
 }
 
@@ -219,6 +240,21 @@ NetworkInstance& Session::network(const std::string& name) {
     if (network->def.name == name) return *network;
   }
   MAD2_CHECK(false, "unknown network name");
+}
+
+RailSet& Session::rail_set(const std::string& name) {
+  for (auto& rail_set : rail_sets_) {
+    if (rail_set->name() == name) return *rail_set;
+  }
+  MAD2_CHECK(false, "unknown rail set name");
+}
+
+bool Session::route_network_failure(const NetworkInstance* network,
+                                    const Status& status) {
+  for (auto& rail_set : rail_sets_) {
+    if (rail_set->on_network_failed(network, status)) return true;
+  }
+  return false;
 }
 
 void Session::spawn(std::uint32_t node, std::string name,

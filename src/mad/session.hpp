@@ -15,6 +15,7 @@
 #include "hw/node.hpp"
 #include "mad/connection.hpp"
 #include "mad/bip_options.hpp"
+#include "mad/rail_set.hpp"
 #include "mad/sci_options.hpp"
 #include "net/bip.hpp"
 #include "net/sbp.hpp"
@@ -100,6 +101,10 @@ struct SessionConfig {
   std::size_t node_count = 0;
   std::vector<NetworkDef> networks;
   std::vector<ChannelDef> channels;
+  /// Rail sets striping large blocks across several channels (see
+  /// mad/rail_set.hpp). Each names existing channels; members must be
+  /// dedicated to the set.
+  std::vector<RailSetDef> rail_sets;
   hw::HostParams host = hw::HostParams::pentium_ii_450();
   MadCosts costs;
 };
@@ -150,6 +155,7 @@ class ChannelEndpoint {
 
  private:
   friend class Connection;
+  friend class RailSet;
   Session* session_;
   Channel* channel_;
   std::uint32_t local_;
@@ -217,6 +223,7 @@ class Session {
   [[nodiscard]] ChannelEndpoint& endpoint(const std::string& channel_name,
                                           std::uint32_t node);
   [[nodiscard]] NetworkInstance& network(const std::string& name);
+  [[nodiscard]] RailSet& rail_set(const std::string& name);
 
   /// Run `body` as a fiber on `node` when run() starts.
   void spawn(std::uint32_t node, std::string name,
@@ -236,12 +243,20 @@ class Session {
   [[nodiscard]] const Status& health() const { return health_; }
 
  private:
+  /// Network-failure triage: true if some rail set absorbed the failure
+  /// (the network backed one of its secondary rails, now marked dead and
+  /// out of the schedule) — the session keeps running degraded. False
+  /// routes the failure to fail().
+  bool route_network_failure(const NetworkInstance* network,
+                             const Status& status);
+
   SessionConfig config_;
   sim::Simulator simulator_;
   Status health_;
   std::vector<std::unique_ptr<hw::Node>> nodes_;
   std::vector<std::unique_ptr<NetworkInstance>> networks_;
   std::vector<std::unique_ptr<Channel>> channels_;
+  std::vector<std::unique_ptr<RailSet>> rail_sets_;
 };
 
 }  // namespace mad2::mad

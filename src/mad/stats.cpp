@@ -15,6 +15,14 @@ void TrafficStats::merge(const TrafficStats& other) {
     received_by_tm[tm].blocks += counters.blocks;
     received_by_tm[tm].bytes += counters.bytes;
   }
+  for (const auto& [rail, counters] : other.rails) {
+    RailCounters& mine = rails[rail];
+    mine.bytes += counters.bytes;
+    mine.segments += counters.segments;
+    mine.resubmits += counters.resubmits;
+    // Weights are snapshots, not sums; keep the largest observed.
+    if (counters.weight > mine.weight) mine.weight = counters.weight;
+  }
   reliability.merge(other.reliability);
   mem.merge(other.mem);
 }
@@ -38,6 +46,17 @@ std::string TrafficStats::to_string() const {
                   "  rx %-12s %8llu blocks %12llu bytes\n", tm.c_str(),
                   static_cast<unsigned long long>(counters.blocks),
                   static_cast<unsigned long long>(counters.bytes));
+    out += line;
+  }
+  for (const auto& [rail, counters] : rails) {
+    std::snprintf(line, sizeof line,
+                  "  rail %-10s %8llu segs %12llu bytes %6llu resubmits "
+                  "w=%.1f MB/s\n",
+                  rail.c_str(),
+                  static_cast<unsigned long long>(counters.segments),
+                  static_cast<unsigned long long>(counters.bytes),
+                  static_cast<unsigned long long>(counters.resubmits),
+                  counters.weight);
     out += line;
   }
   if (reliability.data_frames != 0 || reliability.give_ups != 0) {

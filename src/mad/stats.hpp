@@ -19,12 +19,29 @@ struct TmCounters {
   std::uint64_t bytes = 0;
 };
 
+/// Striping activity of one rail (see mad/rail_set.hpp), as observed by
+/// the connection whose blocks were striped. Both directions update it:
+/// the sender when it posts segments, the receiver when it lands them.
+struct RailCounters {
+  /// Payload bytes this rail carried as striped segments.
+  std::uint64_t bytes = 0;
+  /// Striped segments posted on this rail.
+  std::uint64_t segments = 0;
+  /// Segments reassigned to surviving rails after this rail failed.
+  std::uint64_t resubmits = 0;
+  /// Scheduler weight (measured MB/s, EWMA) at the last striped block.
+  double weight = 0.0;
+};
+
 struct TrafficStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_received = 0;
   /// Keyed by TM name (e.g. "bip-short", "sci-pio").
   std::map<std::string, TmCounters> sent_by_tm;
   std::map<std::string, TmCounters> received_by_tm;
+  /// Striping activity per rail, keyed by the rail channel's name. Empty
+  /// unless the connection's channel heads a rail set.
+  std::map<std::string, RailCounters> rails;
   /// Ack/retransmit work done by the reliable shim under this endpoint's
   /// networks. Link-level: a TCP port's shim serves every channel crossing
   /// it, so channels on the same port report the same numbers. All zero on

@@ -104,6 +104,20 @@ Status ReliableEndpoint::send(std::uint32_t dst, std::uint32_t channel,
   return Status::ok();
 }
 
+Status ReliableEndpoint::wait_drained(std::uint32_t dst) {
+  // handle_ack and fail_link both notify window_room_, so the wait set
+  // below covers every way the outstanding map can shrink or the loop
+  // can become hopeless.
+  for (;;) {
+    if (!health_.is_ok()) return health_;
+    auto it = tx_.find(dst);
+    if (it == tx_.end() || it->second.outstanding.empty()) {
+      return Status::ok();
+    }
+    window_room_.wait();
+  }
+}
+
 Status ReliableEndpoint::recv(Message& out) {
   while (delivery_.empty() && health_.is_ok()) rx_ready_.wait();
   if (!delivery_.empty()) {
@@ -269,6 +283,9 @@ void ReliableEndpoint::fail_link(std::uint32_t peer,
   // waiting on a dead link.
   rx_ready_.notify_all();
   window_room_.notify_all();
+  if (network_->link_error_handler_) {
+    network_->link_error_handler_(rank_, peer, health_);
+  }
   if (network_->error_handler_) network_->error_handler_(health_);
 }
 

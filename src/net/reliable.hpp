@@ -98,6 +98,17 @@ class ReliableNetwork {
     error_handler_ = std::move(handler);
   }
 
+  /// Like set_error_handler, but identifies the dead link: (rank, peer)
+  /// is the directed link whose sender gave up. Fires before the plain
+  /// error handler, so an embedding driver can tear its own per-link
+  /// state down before the session-level handler runs.
+  void set_link_error_handler(
+      std::function<void(std::uint32_t rank, std::uint32_t peer,
+                         const Status&)>
+          handler) {
+    link_error_handler_ = std::move(handler);
+  }
+
  private:
   friend class ReliableEndpoint;
   sim::Simulator* simulator_;
@@ -105,6 +116,8 @@ class ReliableNetwork {
   PacketFabric<ReliableFrame> fabric_;
   std::vector<std::unique_ptr<ReliableEndpoint>> endpoints_;
   std::function<void(const Status&)> error_handler_;
+  std::function<void(std::uint32_t, std::uint32_t, const Status&)>
+      link_error_handler_;
 };
 
 class ReliableEndpoint {
@@ -125,6 +138,11 @@ class ReliableEndpoint {
   /// with UNAVAILABLE once the endpoint declared a link dead and no
   /// already-delivered messages remain.
   Status recv(Message& out);
+
+  /// Block until every data frame sent to `dst` has been acknowledged
+  /// (or the link died). A send() that returned OK only means "queued in
+  /// the window"; this is the delivered barrier.
+  Status wait_drained(std::uint32_t dst);
 
   [[nodiscard]] bool pending() const { return !delivery_.empty(); }
   [[nodiscard]] std::uint32_t rank() const { return rank_; }

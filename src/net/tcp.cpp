@@ -33,6 +33,9 @@ TcpNetwork::TcpNetwork(sim::Simulator* simulator,
     // raw one stays empty (no ports) and injects no faults.
     reliable_ = std::make_unique<ReliableNetwork>(
         simulator, params_.fabric, params_.reliability);
+    reliable_->set_link_error_handler(
+        [this](std::uint32_t rank, std::uint32_t peer,
+               const Status& status) { on_link_failed(rank, peer, status); });
   }
   for (hw::Node* node : nodes) {
     const std::uint32_t rank =
@@ -45,7 +48,22 @@ TcpNetwork::~TcpNetwork() = default;
 
 void TcpNetwork::set_error_handler(
     std::function<void(const Status&)> handler) {
-  if (reliable_) reliable_->set_error_handler(std::move(handler));
+  error_handler_ = std::move(handler);
+}
+
+void TcpNetwork::on_link_failed(std::uint32_t a, std::uint32_t b,
+                                const Status& status) {
+  // Endpoint `a` gave up, so nothing it sends reaches anyone and its rx
+  // pump is winding down: poison all of a's streams, plus every stream
+  // pointed at a from the other ports. Streams between unaffected pairs
+  // keep working.
+  for (auto& port : ports_) {
+    for (auto& [key, stream] : port->streams_) {
+      if (port->rank_ == a || stream->peer() == a) stream->fail(status);
+    }
+  }
+  (void)b;
+  if (error_handler_) error_handler_(status);
 }
 
 // -------------------------------------------------------------- TcpPort ---
@@ -205,6 +223,67 @@ std::size_t TcpStream::recv_some(std::span<std::byte> out) {
 
 void TcpStream::wait_readable() {
   while (rx_buffer_.empty()) rx_data_->wait();
+}
+
+void TcpStream::fail(const Status& status) {
+  if (!failed_.is_ok()) return;  // first failure wins
+  failed_ = status;
+  // Unpark everyone; rx_buffer_ keeps its bytes (delivered data always
+  // wins over the failure) and checked callers observe status().
+  tx_room_->notify_all();
+  tx_data_->notify_all();
+  rx_data_->notify_all();
+}
+
+Status TcpStream::send_checked(std::span<const std::byte> data) {
+  const TcpParams& params = port_->network_->params_;
+  port_->node_->charge_cpu(params.send_syscall);
+  std::size_t done = 0;
+  while (done < data.size()) {
+    while (failed_.is_ok() && tx_buffer_.size() >= params.socket_buffer) {
+      tx_room_->wait();
+    }
+    if (!failed_.is_ok()) return failed_;
+    const std::size_t room = params.socket_buffer - tx_buffer_.size();
+    const std::size_t chunk = std::min(room, data.size() - done);
+    port_->node_->charge_memcpy(chunk);
+    tx_buffer_.insert(tx_buffer_.end(), data.begin() + done,
+                      data.begin() + done + chunk);
+    done += chunk;
+    tx_data_->notify_all();
+  }
+  return Status::ok();
+}
+
+Status TcpStream::recv_some_checked(std::span<std::byte> out,
+                                    std::size_t* got) {
+  const TcpParams& params = port_->network_->params_;
+  port_->node_->charge_cpu(params.recv_syscall);
+  while (rx_buffer_.empty() && failed_.is_ok()) rx_data_->wait();
+  if (rx_buffer_.empty()) {
+    *got = 0;
+    return failed_;
+  }
+  const std::size_t chunk = std::min(rx_buffer_.size(), out.size());
+  port_->node_->charge_memcpy(chunk);
+  std::copy(rx_buffer_.begin(), rx_buffer_.begin() + chunk, out.begin());
+  rx_buffer_.erase(rx_buffer_.begin(), rx_buffer_.begin() + chunk);
+  *got = chunk;
+  return Status::ok();
+}
+
+Status TcpStream::flush() {
+  // tx_loop notifies tx_room_ after every chunk it takes, including the
+  // one that empties the buffer, so this wait set is complete.
+  while (failed_.is_ok() && !tx_buffer_.empty()) tx_room_->wait();
+  if (!failed_.is_ok()) return failed_;
+  ReliableNetwork* reliable = port_->network_->reliable_.get();
+  if (reliable != nullptr) {
+    const Status drained =
+        reliable->endpoint(port_->rank_).wait_drained(peer_);
+    if (!drained.is_ok()) return drained;
+  }
+  return failed_;
 }
 
 }  // namespace mad2::net

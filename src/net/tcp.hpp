@@ -60,13 +60,21 @@ class TcpNetwork {
   /// fabric is lossless (no FaultPlan attached).
   [[nodiscard]] ReliableNetwork* reliable() { return reliable_.get(); }
 
-  /// Forwarded to the reliable shim: fires when a link gives up
-  /// retransmitting. No-op on a lossless fabric, which cannot fail.
+  /// Fires when a link gives up retransmitting, after every stream
+  /// touching the dead link has been poisoned (see TcpStream::status()).
+  /// Never fires on a lossless fabric, which cannot fail.
   void set_error_handler(std::function<void(const Status&)> handler);
 
  private:
   friend class TcpPort;
   friend class TcpStream;
+
+  /// Reliable-shim link (a -> b) declared dead: tear down both directions
+  /// of the affected streams — a real stack would collapse the connection
+  /// pair via RSTs and keepalive timeouts — then report upward.
+  void on_link_failed(std::uint32_t a, std::uint32_t b,
+                      const Status& status);
+
   struct Packet {
     std::uint32_t src;
     std::uint32_t stream;
@@ -78,6 +86,7 @@ class TcpNetwork {
   PacketFabric<Packet> fabric_;
   std::unique_ptr<ReliableNetwork> reliable_;
   std::vector<std::unique_ptr<TcpPort>> ports_;
+  std::function<void(const Status&)> error_handler_;
 };
 
 /// One directed byte stream endpoint pair. Obtained from TcpPort::stream();
@@ -100,6 +109,28 @@ class TcpStream {
 
   [[nodiscard]] std::uint32_t peer() const { return peer_; }
 
+  // --- Failure-aware variants (the rail layer's data path) ---------------
+  // The plain calls above park forever on a dead link (their callers rely
+  // on the session tearing the simulation down). These unblock with the
+  // link's Status instead, so a caller can fail over to another adapter.
+
+  /// OK while the stream's link is healthy; the link's death Status after.
+  [[nodiscard]] const Status& status() const { return failed_; }
+
+  /// send(), but aborts with the link Status instead of blocking on the
+  /// socket buffer of a dead link. Bytes accepted before the failure are
+  /// still in flight.
+  Status send_checked(std::span<const std::byte> data);
+
+  /// recv_some(), but returns the link Status once the stream is poisoned
+  /// *and* drained — buffered bytes always win over the failure.
+  Status recv_some_checked(std::span<std::byte> out, std::size_t* got);
+
+  /// Block until every byte accepted by send() has left the socket buffer
+  /// and — over a faulty fabric — been acknowledged by the peer's shim.
+  /// OK from flush() therefore means delivered, not merely queued.
+  Status flush();
+
  private:
   friend class TcpPort;
   friend class TcpNetwork;
@@ -107,10 +138,12 @@ class TcpStream {
 
   void tx_loop();
   void on_frame(std::vector<std::byte> data);
+  void fail(const Status& status);
 
   TcpPort* port_;
   std::uint32_t peer_;
   std::uint32_t stream_id_;
+  Status failed_;
   std::deque<std::byte> tx_buffer_;
   std::deque<std::byte> rx_buffer_;
   std::unique_ptr<sim::WaitQueue> tx_room_;

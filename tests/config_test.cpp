@@ -38,6 +38,24 @@ channel ctl  eth0 paranoid
   EXPECT_TRUE(config.channels[1].paranoid);
 }
 
+TEST(ConfigParser, ParsesRailSets) {
+  auto result = parse_session_config(R"(
+nodes 2
+network myri0 bip 0 1
+network eth0  tcp 0 1
+channel bulk myri0
+channel aux  eth0
+rails fat bulk aux threshold=131072
+)");
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  const SessionConfig& config = result.value();
+  ASSERT_EQ(config.rail_sets.size(), 1u);
+  EXPECT_EQ(config.rail_sets[0].name, "fat");
+  EXPECT_EQ(config.rail_sets[0].channels,
+            (std::vector<std::string>{"bulk", "aux"}));
+  EXPECT_EQ(config.rail_sets[0].stripe_threshold, 131072u);
+}
+
 TEST(ConfigParser, ParsedConfigRunsASession) {
   auto result = parse_session_config(R"(
 nodes 2
@@ -98,7 +116,43 @@ INSTANTIATE_TEST_SUITE_P(
         BadCase{"nodes 2\nnetwork n tcp 0 4294967296\n", "invalid node id"},
         BadCase{"nodes 2\nchannel c\n", "usage: channel"},
         BadCase{"nodes 2\nnetwork n tcp 0 1\nchannel c n paranoid extra\n",
-                "usage: channel"}));
+                "usage: channel"},
+        // Rail-set stanza misuse: contradictory sets must be rejected at
+        // parse time with an explanation, not die in the scheduler.
+        BadCase{"nodes 2\nrails r\n", "usage: rails"},
+        BadCase{"nodes 2\nnetwork n tcp 0 1\nchannel a n\nrails r a\n",
+                "usage: rails"},
+        BadCase{"nodes 2\nnetwork n tcp 0 1\nnetwork m tcp 0 1\n"
+                "channel a n\nchannel b m\nrails r a ghost\n",
+                "unknown channel 'ghost'"},
+        BadCase{"nodes 2\nnetwork n tcp 0 1\nnetwork m tcp 0 1\n"
+                "channel a n\nchannel b m\nrails r a b\nrails r b a\n",
+                "duplicate rail set name"},
+        BadCase{"nodes 2\nnetwork n tcp 0 1\nnetwork m tcp 0 1\n"
+                "channel a n\nchannel b m\nrails r a a\n",
+                "listed twice"},
+        BadCase{"nodes 2\nnetwork n tcp 0 1\nnetwork m tcp 0 1\n"
+                "network o tcp 0 1\nchannel a n\nchannel b m\nchannel c o\n"
+                "rails r a b\nrails s b c\n",
+                "already belongs to rail set 'r'"},
+        BadCase{"nodes 2\nnetwork n tcp 0 1\nnetwork m tcp 0 1\n"
+                "channel a n paranoid\nchannel b m\nrails r a b\n",
+                "is paranoid"},
+        BadCase{"nodes 2\nnetwork n tcp 0 1\nchannel a n\nchannel b n\n"
+                "rails r a b\n",
+                "share network 'n'"},
+        BadCase{"nodes 3\nnetwork n tcp 0 1\nnetwork m tcp 1 2\n"
+                "channel a n\nchannel b m\nrails r a b\n",
+                "span different node sets"},
+        BadCase{"nodes 2\nnetwork n tcp 0 1\nnetwork m tcp 0 1\n"
+                "channel a n\nchannel b m\nrails r a b threshold=0\n",
+                "invalid stripe threshold"},
+        BadCase{"nodes 2\nnetwork n tcp 0 1\nnetwork m tcp 0 1\n"
+                "channel a n\nchannel b m\nrails r a b threshold=many\n",
+                "invalid stripe threshold"},
+        BadCase{"nodes 2\nnetwork n tcp 0 1\nnetwork m tcp 0 1\n"
+                "channel a n\nchannel b m\nrails r a threshold=4096 b\n",
+                "threshold= must come last"}));
 
 TEST_P(ConfigErrors, AreReportedWithContext) {
   auto result = parse_session_config(GetParam().text);
