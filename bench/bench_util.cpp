@@ -5,6 +5,9 @@
 
 #include "mpi/ch_mad.hpp"
 #include "mpi/sci_baselines.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "net/bip.hpp"
 #include "net/sisci.hpp"
 #include "nexus/nexus.hpp"
@@ -25,7 +28,7 @@ mad::SessionConfig two_node_config(mad::NetworkKind kind) {
 }
 
 double mad_one_way_us(mad::NetworkKind kind, std::size_t size,
-                      int iterations) {
+                      int iterations, SampleSet* samples) {
   mad::Session session(two_node_config(kind));
   sim::Time start = 0;
   sim::Time end = 0;
@@ -33,6 +36,7 @@ double mad_one_way_us(mad::NetworkKind kind, std::size_t size,
     std::vector<std::byte> payload(size, std::byte{1});
     std::vector<std::byte> back(size);
     start = rt.simulator().now();
+    sim::Time previous = start;
     for (int i = 0; i < iterations; ++i) {
       auto& out = rt.channel("ch").begin_packing(1);
       out.pack(payload);
@@ -40,6 +44,11 @@ double mad_one_way_us(mad::NetworkKind kind, std::size_t size,
       auto& in = rt.channel("ch").begin_unpacking();
       in.unpack(back);
       in.end_unpacking();
+      if (samples != nullptr) {
+        const sim::Time t = rt.simulator().now();
+        samples->add(sim::to_us(t - previous) / 2.0);
+        previous = t;
+      }
     }
     end = rt.simulator().now();
   });
@@ -60,15 +69,20 @@ double mad_one_way_us(mad::NetworkKind kind, std::size_t size,
 
 namespace {
 
-PerfSeries sweep_with(const std::string& label,
-                      const std::vector<std::uint64_t>& sizes,
-                      const std::function<double(std::size_t)>& one_way_us) {
+PerfSeries sweep_with(
+    const std::string& label, const std::vector<std::uint64_t>& sizes,
+    const std::function<double(std::size_t, SampleSet*)>& one_way_us) {
   PerfSeries series;
   series.label = label;
   for (std::uint64_t size : sizes) {
-    const double latency = one_way_us(size);
-    series.points.push_back(PerfPoint{
-        size, latency, static_cast<double>(size) / latency});
+    SampleSet samples;
+    const double latency = one_way_us(size, &samples);
+    PerfPoint point{size, latency, static_cast<double>(size) / latency};
+    if (samples.count() > 0) {
+      point.p50_us = samples.quantile(0.5);
+      point.p99_us = samples.quantile(0.99);
+    }
+    series.points.push_back(point);
   }
   return series;
 }
@@ -77,13 +91,15 @@ PerfSeries sweep_with(const std::string& label,
 
 PerfSeries mad_sweep(const std::string& label, mad::NetworkKind kind,
                      const std::vector<std::uint64_t>& sizes) {
-  return sweep_with(label, sizes, [kind](std::size_t size) {
-    return mad_one_way_us(kind, size);
+  return sweep_with(label, sizes, [kind](std::size_t size,
+                                         SampleSet* samples) {
+    return mad_one_way_us(kind, size, 20, samples);
   });
 }
 
 PerfSeries raw_bip_sweep(const std::vector<std::uint64_t>& sizes) {
-  return sweep_with("raw BIP", sizes, [](std::size_t size) {
+  return sweep_with("raw BIP", sizes, [](std::size_t size,
+                                         SampleSet* samples) {
     sim::Simulator simulator;
     std::vector<std::unique_ptr<hw::Node>> nodes;
     for (int i = 0; i < 2; ++i) {
@@ -104,6 +120,7 @@ PerfSeries raw_bip_sweep(const std::vector<std::uint64_t>& sizes) {
         std::vector<std::byte> payload(size, std::byte{1});
         std::vector<std::byte> incoming(size);
         if (me == 0) start = simulator.now();
+        sim::Time previous = simulator.now();
         for (int i = 0; i < iterations; ++i) {
           auto do_send = [&] {
             if (size <= short_max) {
@@ -127,6 +144,11 @@ PerfSeries raw_bip_sweep(const std::vector<std::uint64_t>& sizes) {
           if (me == 0) {
             do_send();
             do_recv();
+            if (samples != nullptr) {
+              const sim::Time t = simulator.now();
+              samples->add(sim::to_us(t - previous) / 2.0);
+              previous = t;
+            }
           } else {
             do_recv();
             do_send();
@@ -141,7 +163,8 @@ PerfSeries raw_bip_sweep(const std::vector<std::uint64_t>& sizes) {
 }
 
 PerfSeries raw_sisci_sweep(const std::vector<std::uint64_t>& sizes) {
-  return sweep_with("raw SISCI", sizes, [](std::size_t size) {
+  return sweep_with("raw SISCI", sizes, [](std::size_t size,
+                                           SampleSet* samples) {
     sim::Simulator simulator;
     std::vector<std::unique_ptr<hw::Node>> nodes;
     for (int i = 0; i < 2; ++i) {
@@ -166,6 +189,7 @@ PerfSeries raw_sisci_sweep(const std::vector<std::uint64_t>& sizes) {
         auto local = network.port(me).segment_memory(seg[me]);
         std::vector<std::byte> payload(size, std::byte{1});
         if (me == 0) start = simulator.now();
+        sim::Time previous = simulator.now();
         for (int i = 0; i < iterations; ++i) {
           auto do_send = [&, i] {
             if (size > 0) network.port(me).pio_write(remote, 0, payload);
@@ -184,6 +208,11 @@ PerfSeries raw_sisci_sweep(const std::vector<std::uint64_t>& sizes) {
           if (me == 0) {
             do_send();
             do_recv();
+            if (samples != nullptr) {
+              const sim::Time t = simulator.now();
+              samples->add(sim::to_us(t - previous) / 2.0);
+              previous = t;
+            }
           } else {
             do_recv();
             do_send();
@@ -199,7 +228,8 @@ PerfSeries raw_sisci_sweep(const std::vector<std::uint64_t>& sizes) {
 
 PerfSeries mpi_sweep(const std::string& label, MpiImpl impl,
                      const std::vector<std::uint64_t>& sizes) {
-  return sweep_with(label, sizes, [impl](std::size_t size) {
+  return sweep_with(label, sizes, [impl](std::size_t size,
+                                         SampleSet* samples) {
     mad::Session session(two_node_config(mad::NetworkKind::kSisci));
     std::unique_ptr<mpi::ChMadWorld> chmad;
     std::unique_ptr<mpi::SciBaselineWorld> baseline;
@@ -233,9 +263,15 @@ PerfSeries mpi_sweep(const std::string& label, MpiImpl impl,
       std::vector<std::byte> payload(size, std::byte{1});
       std::vector<std::byte> back(size);
       start = rt.simulator().now();
+      sim::Time previous = start;
       for (int i = 0; i < iterations; ++i) {
         a->send(payload, 1, 0);
         a->recv(back, 1, 0);
+        if (samples != nullptr) {
+          const sim::Time t = rt.simulator().now();
+          samples->add(sim::to_us(t - previous) / 2.0);
+          previous = t;
+        }
       }
       end = rt.simulator().now();
     });
@@ -253,12 +289,14 @@ PerfSeries mpi_sweep(const std::string& label, MpiImpl impl,
 
 PerfSeries nexus_sweep(const std::string& label, mad::NetworkKind kind,
                        const std::vector<std::uint64_t>& sizes) {
-  return sweep_with(label, sizes, [kind](std::size_t size) {
+  return sweep_with(label, sizes, [kind](std::size_t size,
+                                         SampleSet* samples) {
     mad::Session session(two_node_config(kind));
     nexus::NexusWorld world(session, "ch");
     const int iterations = 10;
     sim::Time start = 0;
     sim::Time end = 0;
+    sim::Time previous = 0;
     int remaining = iterations;
     auto payload = make_pattern_buffer(size, 1);
     world.context(1).register_handler(
@@ -268,6 +306,11 @@ PerfSeries nexus_sweep(const std::string& label, mad::NetworkKind kind,
         });
     world.context(0).register_handler(
         2, [&](std::uint32_t, nexus::ReadBuffer&) {
+          if (samples != nullptr) {
+            const sim::Time t = session.simulator().now();
+            samples->add(sim::to_us(t - previous) / 2.0);
+            previous = t;
+          }
           if (--remaining == 0) {
             end = session.simulator().now();
             session.simulator().stop();
@@ -277,6 +320,7 @@ PerfSeries nexus_sweep(const std::string& label, mad::NetworkKind kind,
         });
     session.spawn(0, "client", [&](mad::NodeRuntime& rt) {
       start = rt.simulator().now();
+      previous = start;
       world.context(0).rsr(1, 1, payload);
     });
     MAD2_CHECK(session.run().is_ok(), "nexus bench failed");
@@ -329,12 +373,17 @@ std::vector<FwdResult> forwarding_sweep(
       in.end_unpacking();
       end = rt.simulator().now();
     });
-    session.spawn(2, "receiver", [&](mad::NodeRuntime&) {
+    SampleSet landings;
+    session.spawn(2, "receiver", [&](mad::NodeRuntime& rt) {
       std::vector<std::byte> out(message);
+      sim::Time previous = rt.simulator().now();
       for (int i = 0; i < iterations; ++i) {
         auto& conn = vc.endpoint(2).begin_unpacking();
         conn.unpack(out);
         conn.end_unpacking();
+        const sim::Time t = rt.simulator().now();
+        landings.add(sim::to_us(t - previous));
+        previous = t;
       }
       auto& reply = vc.endpoint(2).begin_packing(0);
       std::byte ack{1};
@@ -347,6 +396,8 @@ std::vector<FwdResult> forwarding_sweep(
     result.bandwidth_mbs = static_cast<double>(message) * iterations /
                            (sim::to_seconds(end - start) * 1e6);
     result.latency_us = sim::to_us(end - start) / iterations;
+    result.p50_us = landings.quantile(0.5);
+    result.p99_us = landings.quantile(0.99);
     const hw::MemCounters& gw = session.node(1).mem();
     result.gw_memcpy_bytes = gw.memcpy_bytes;
     result.gw_alloc_count = gw.alloc_count;
@@ -362,7 +413,16 @@ std::vector<FwdResult> forwarding_sweep(
 
 bool json_mode(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]) == "--json") return true;
+    if (std::string_view(argv[i]) == "--json") {
+      // Honor MAD2_TRACE for bench runs: the trace/metrics sidecar files
+      // the JSON writers emit need an ambient recorder and registry.
+      obs::ensure_env_recorder();
+      if (obs::recorder() != nullptr && obs::metrics() == nullptr) {
+        static obs::MetricsRegistry registry;
+        obs::install_metrics(&registry);
+      }
+      return true;
+    }
   }
   return false;
 }
@@ -376,13 +436,39 @@ FILE* open_bench_json(const std::string& figure) {
   return out;
 }
 
+/// When tracing is on, dump the recorder / registry next to the bench
+/// JSON and return the "trace_file"/"metrics_file" lines referencing
+/// them; null values otherwise (so the schema is stable either way).
+std::string trace_sidecar_fields(const std::string& figure) {
+  std::string fields = "  \"trace_file\": ";
+  if (obs::recorder() != nullptr) {
+    const std::string path = "BENCH_" + figure + "_trace.json";
+    MAD2_CHECK(obs::write_chrome_trace(*obs::recorder(), path),
+               "cannot write bench trace sidecar");
+    fields += "\"" + path + "\"";
+  } else {
+    fields += "null";
+  }
+  fields += ",\n  \"metrics_file\": ";
+  if (obs::metrics() != nullptr) {
+    const std::string path = "BENCH_" + figure + "_metrics.json";
+    MAD2_CHECK(obs::metrics()->write_json(path),
+               "cannot write bench metrics sidecar");
+    fields += "\"" + path + "\"";
+  } else {
+    fields += "null";
+  }
+  fields += ",\n";
+  return fields;
+}
+
 }  // namespace
 
 void write_fwd_json(const std::string& figure,
                     const std::vector<FwdJsonSeries>& series) {
   FILE* out = open_bench_json(figure);
-  std::fprintf(out, "{\n  \"figure\": \"%s\",\n  \"series\": [\n",
-               figure.c_str());
+  std::fprintf(out, "{\n  \"figure\": \"%s\",\n%s  \"series\": [\n",
+               figure.c_str(), trace_sidecar_fields(figure).c_str());
   for (std::size_t s = 0; s < series.size(); ++s) {
     std::fprintf(out, "    {\"label\": \"%s\", \"points\": [\n",
                  series[s].label.c_str());
@@ -392,11 +478,12 @@ void write_fwd_json(const std::string& figure,
       std::fprintf(
           out,
           "      {\"size\": %llu, \"latency_us\": %.3f, "
-          "\"bandwidth_mbs\": %.3f, \"gw_memcpy_bytes\": %llu, "
+          "\"bandwidth_mbs\": %.3f, \"p50_us\": %.3f, \"p99_us\": %.3f, "
+          "\"gw_memcpy_bytes\": %llu, "
           "\"gw_alloc_count\": %llu, \"gw_pool_recycle_count\": %llu, "
           "\"forwarded_bytes\": %llu}%s\n",
           static_cast<unsigned long long>(r.message_bytes), r.latency_us,
-          r.bandwidth_mbs,
+          r.bandwidth_mbs, r.p50_us, r.p99_us,
           static_cast<unsigned long long>(r.gw_memcpy_bytes),
           static_cast<unsigned long long>(r.gw_alloc_count),
           static_cast<unsigned long long>(r.gw_pool_recycle_count),
@@ -413,8 +500,8 @@ void write_fwd_json(const std::string& figure,
 void write_series_json(const std::string& figure,
                        const std::vector<PerfSeries>& series) {
   FILE* out = open_bench_json(figure);
-  std::fprintf(out, "{\n  \"figure\": \"%s\",\n  \"series\": [\n",
-               figure.c_str());
+  std::fprintf(out, "{\n  \"figure\": \"%s\",\n%s  \"series\": [\n",
+               figure.c_str(), trace_sidecar_fields(figure).c_str());
   for (std::size_t s = 0; s < series.size(); ++s) {
     std::fprintf(out, "    {\"label\": \"%s\", \"points\": [\n",
                  series[s].label.c_str());
@@ -422,9 +509,11 @@ void write_series_json(const std::string& figure,
     for (std::size_t i = 0; i < points.size(); ++i) {
       std::fprintf(out,
                    "      {\"size\": %llu, \"latency_us\": %.3f, "
-                   "\"bandwidth_mbs\": %.3f}%s\n",
+                   "\"bandwidth_mbs\": %.3f, \"p50_us\": %.3f, "
+                   "\"p99_us\": %.3f}%s\n",
                    static_cast<unsigned long long>(points[i].size_bytes),
                    points[i].latency_us, points[i].bandwidth_mbs,
+                   points[i].p50_us, points[i].p99_us,
                    i + 1 < points.size() ? "," : "");
     }
     std::fprintf(out, "    ]}%s\n", s + 1 < series.size() ? "," : "");

@@ -22,8 +22,10 @@ namespace mad2::bench {
 mad::SessionConfig two_node_config(mad::NetworkKind kind);
 
 /// One-way latency (us) of `size`-byte Madeleine messages over `kind`.
+/// When `samples` is non-null it receives one one-way latency sample per
+/// ping-pong iteration (for percentile reporting).
 double mad_one_way_us(mad::NetworkKind kind, std::size_t size,
-                      int iterations = 20);
+                      int iterations = 20, SampleSet* samples = nullptr);
 
 /// Full latency/bandwidth sweep for Madeleine over `kind`.
 PerfSeries mad_sweep(const std::string& label, mad::NetworkKind kind,
@@ -49,6 +51,10 @@ struct FwdResult {
   double bandwidth_mbs = 0.0;
   /// Per-message transfer time (virtual us, bandwidth-phase average).
   double latency_us = 0.0;
+  /// Percentiles of receiver-side per-message landing time (inter-arrival
+  /// of end_unpacking completions; the first message includes pipe fill).
+  double p50_us = 0.0;
+  double p99_us = 0.0;
   /// Gateway-node memory counters over the sweep point's session — the
   /// zero-copy forwarding evidence (hw::MemCounters, node 1).
   std::uint64_t gw_memcpy_bytes = 0;
@@ -64,7 +70,10 @@ std::vector<FwdResult> forwarding_sweep(
 
 /// --- Bench JSON trajectory -----------------------------------------------
 /// `--json` on a figure bench writes BENCH_<figure>.json next to the table
-/// output so the perf trajectory is machine-tracked.
+/// output so the perf trajectory is machine-tracked. Also honors the
+/// MAD2_TRACE environment: when tracing is on, the writers below dump a
+/// Chrome-trace JSON + metrics JSON next to the bench JSON and reference
+/// them from its "trace_file" / "metrics_file" keys.
 bool json_mode(int argc, char** argv);
 
 /// One labeled forwarding curve for the JSON output.

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <limits>
 
+#include "obs/trace.hpp"
 #include "sim/sync.hpp"
 #include "util/bytes.hpp"
 
@@ -177,6 +178,8 @@ void VirtualChannel::send_packet(
              "virtual packet payload overflows the u32 length header");
   header.payload_len = static_cast<std::uint32_t>(total);
 
+  MAD2_TRACE_SPAN(span, obs::Category::kFwd, "fwd.packet_flush");
+  span.args(header.payload_len, header.dst);
   mad::Connection& conn = hop_endpoint.begin_packing(to);
   mad::mad_pack_value(conn, header, mad::send_CHEAPER, mad::receive_EXPRESS);
   if (!sizes_scratch.empty()) {
@@ -192,6 +195,9 @@ void VirtualChannel::send_packet(
 Packet VirtualChannel::receive_packet(mad::ChannelEndpoint& hop_endpoint,
                                       Demand* demand) {
   mad::Connection& conn = hop_endpoint.begin_unpacking();
+  // Starts after begin_unpacking returns (a message is incoming), so the
+  // span measures the packet landing, not idle waiting for traffic.
+  MAD2_TRACE_SPAN(span, obs::Category::kFwd, "fwd.packet_land");
   Packet packet;
   packet.storage = pool_.acquire(&hop_endpoint.node());
   PacketBuffer& buffer = *packet.storage;
@@ -249,6 +255,7 @@ Packet VirtualChannel::receive_packet(mad::ChannelEndpoint& hop_endpoint,
     }
   }
   conn.end_unpacking();
+  span.args(packet.header.payload_len, packet.header.src);
   return packet;
 }
 
@@ -276,6 +283,10 @@ void VirtualChannel::spawn_gateway(std::uint32_t gateway, std::size_t hop_in,
               MAD2_CHECK(packet.header.dst != gateway,
                          "forwarding packet addressed to the gateway");
               const std::uint32_t to = next_node(out, packet.header.dst);
+              // Gateway residence: from fully landed to fully re-sent.
+              MAD2_TRACE_SPAN(hop, obs::Category::kFwd, "fwd.hop",
+                              "store_forward");
+              hop.args(packet.header.payload_len, packet.header.dst);
               send_packet(ep_out, to, packet.header, packet.storage->pieces,
                           packet.storage->sizes);
             }
@@ -295,6 +306,10 @@ void VirtualChannel::spawn_gateway(std::uint32_t gateway, std::size_t hop_in,
         Packet packet = receive_packet(ep);
         MAD2_CHECK(packet.header.dst != gateway,
                    "forwarding packet addressed to the gateway itself");
+        // Time spent waiting for a free pipeline slot (backpressure from
+        // the sending fiber shows up as a long enqueue).
+        MAD2_TRACE_SPAN(stage, obs::Category::kFwd, "fwd.gw_enqueue");
+        stage.args(packet.header.payload_len, packet.header.dst);
         queue->send(std::move(packet));
       }
     });
@@ -305,6 +320,10 @@ void VirtualChannel::spawn_gateway(std::uint32_t gateway, std::size_t hop_in,
         auto packet = queue->receive();
         if (!packet.has_value()) return;
         const std::uint32_t to = next_node(out, packet->header.dst);
+        // Outgoing half of the gateway hop (the incoming half is the rx
+        // fiber's packet_land + gw_enqueue spans on its own track).
+        MAD2_TRACE_SPAN(hop, obs::Category::kFwd, "fwd.hop", "pipelined");
+        hop.args(packet->header.payload_len, packet->header.dst);
         // Re-emit the landed gather list as-is; the outgoing TM rides it
         // as one send_buffer_group. The received size list is dead by
         // now, so it doubles as the send-side scratch.

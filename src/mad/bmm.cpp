@@ -5,6 +5,7 @@
 
 #include "hw/node.hpp"
 #include "mad/connection.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace mad2::mad {
@@ -53,10 +54,14 @@ class GroupSendBmm final : public SendBmm {
  public:
   void pack(Connection&, Tm&, std::span<const std::byte> data, SendMode,
             ReceiveMode) override {
+    MAD2_TRACE_EVENT(obs::Category::kBmm, "bmm.group_add", nullptr,
+                     data.size(), group_.size());
     group_.push_back(data);
   }
   void commit(Connection& connection, Tm& tm) override {
     if (group_.empty()) return;
+    MAD2_TRACE_EVENT(obs::Category::kBmm, "bmm.group_flush", nullptr,
+                     group_.size());
     tm.send_buffer_group(connection, group_);
     group_.clear();
   }
@@ -94,6 +99,10 @@ class LaterSendBmm final : public SendBmm {
     recorded_.push_back(data);
   }
   void commit(Connection& connection, Tm& tm) override {
+    if (!recorded_.empty()) {
+      MAD2_TRACE_EVENT(obs::Category::kBmm, "bmm.later_flush", nullptr,
+                       recorded_.size());
+    }
     for (const auto& block : recorded_) tm.send_buffer(connection, block);
     recorded_.clear();
   }
@@ -177,6 +186,8 @@ class StaticCopySendBmm final : public SendBmm {
     }
     deferred_.clear();
     if (buffer_.used > 0) {
+      MAD2_TRACE_EVENT(obs::Category::kBmm, "bmm.static_flush", nullptr,
+                       buffer_.used, buffer_.memory.size());
       tm.send_static_buffer(connection, buffer_);
     }
     have_buffer_ = false;
@@ -235,6 +246,8 @@ class StaticCopyRecvBmm final : public RecvBmm {
         // Retention denied (lending this buffer out would starve the
         // sender's flow-control window): stage the chunk through an owned
         // copy so the protocol slot can return promptly.
+        MAD2_TRACE_EVENT(obs::Category::kBmm, "bmm.borrow_denied", nullptr,
+                         chunk);
         connection.node().charge_memcpy(chunk);
         auto owned = std::make_shared<std::vector<std::byte>>(chunk);
         std::memcpy(owned->data(), buffer_.memory.data() + consumed_, chunk);

@@ -251,6 +251,64 @@ Result<SessionConfig> parse_session_config(std::string_view text) {
       continue;
     }
 
+    if (directive == "trace") {
+      if (config.trace.has_value()) {
+        return error_at(line_number, "duplicate 'trace'");
+      }
+      obs::TraceConfig trace;
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        const std::string& token = tokens[i];
+        if (token.rfind("categories=", 0) == 0) {
+          std::uint32_t mask = 0;
+          if (!obs::parse_categories(token.substr(11), &mask)) {
+            return error_at(line_number,
+                            "invalid trace categories '" + token + "'");
+          }
+          trace.categories = mask;
+        } else if (token.rfind("ring_kb=", 0) == 0) {
+          std::uint32_t ring_kb = 0;
+          if (!parse_u32(token.substr(8), &ring_kb) || ring_kb == 0) {
+            return error_at(line_number,
+                            "invalid trace ring size '" + token + "'");
+          }
+          trace.ring_kb = ring_kb;
+        } else if (token.rfind("channels=", 0) == 0) {
+          // Comma-separated channel filter for the Switch category.
+          std::string rest = token.substr(9);
+          std::size_t start = 0;
+          while (start <= rest.size()) {
+            const std::size_t comma = rest.find(',', start);
+            const std::string name =
+                rest.substr(start, comma == std::string::npos
+                                       ? std::string::npos
+                                       : comma - start);
+            if (name.empty()) {
+              return error_at(line_number,
+                              "invalid trace channel list '" + token + "'");
+            }
+            bool known = false;
+            for (const ChannelDef& channel : config.channels) {
+              if (channel.name == name) known = true;
+            }
+            if (!known) {
+              return error_at(line_number,
+                              "unknown channel '" + name + "' in trace");
+            }
+            trace.channels.push_back(name);
+            if (comma == std::string::npos) break;
+            start = comma + 1;
+          }
+        } else {
+          return error_at(line_number,
+                          "unknown trace option '" + token +
+                              "' (expected categories=, ring_kb=, "
+                              "channels=)");
+        }
+      }
+      config.trace = std::move(trace);
+      continue;
+    }
+
     return error_at(line_number, "unknown directive '" + directive + "'");
   }
 

@@ -18,6 +18,12 @@
 //       stripe large blocks of the first (primary) channel across all
 //       members (see mad/rail_set.hpp); members must be non-paranoid,
 //       pairwise on distinct networks, spanning the same node set
+//   trace [categories=C,C...] [ring_kb=N] [channels=NAME,NAME...]
+//       enable madtrace for sessions built from this config: categories
+//       from {switch, bmm, tm, net, fwd, rail, all} (default all),
+//       ring_kb sizes the event ring, channels= restricts Switch-level
+//       events to the named channels (see obs/trace.hpp). The MAD2_TRACE
+//       environment variable overrides this stanza.
 //
 // Errors come back as INVALID_ARGUMENT with the line number.
 #pragma once

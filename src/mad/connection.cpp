@@ -23,6 +23,31 @@ const Status& Connection::link_status() const {
   return endpoint_->session().health();
 }
 
+void Connection::obs_bind() {
+  obs::MetricsRegistry* registry = obs::metrics();
+  const obs::TraceRecorder* recorder = obs::recorder();
+  if (registry == obs_registry_ && recorder == obs_recorder_) return;
+  obs_registry_ = registry;
+  obs_recorder_ = recorder;
+
+  const std::string& channel = endpoint_->channel().def().name;
+  obs_channel_ok_ =
+      recorder == nullptr || recorder->channel_enabled(channel);
+  if (registry == nullptr || !obs_channel_ok_) {
+    obs_hist_pack_ = nullptr;
+    obs_hist_unpack_ = nullptr;
+    obs_hist_e2e_ = nullptr;
+    return;
+  }
+  obs_hist_pack_ = registry->histogram(channel + ".pack_to_wire");
+  obs_hist_unpack_ = registry->histogram(channel + ".wire_to_unpack");
+  obs_hist_e2e_ = registry->histogram(channel + ".e2e");
+  obs_flow_tx_ = channel + "/" + std::to_string(local()) + "-" +
+                 std::to_string(remote_);
+  obs_flow_rx_ = channel + "/" + std::to_string(remote_) + "-" +
+                 std::to_string(local());
+}
+
 void Connection::begin_packing_message() {
   MAD2_CHECK(!packing_, "begin_packing with a message already open");
   packing_ = true;
@@ -30,6 +55,15 @@ void Connection::begin_packing_message() {
   pack_sequence_ = 0;
   send_tm_ = nullptr;
   send_bmm_ = nullptr;
+  obs_bind();
+  if (obs_hist_e2e_ != nullptr) {
+    obs_pack_start_ = obs_now();
+    // Stamp for the receiving endpoint's end_unpacking: channels deliver
+    // messages in FIFO order per connection, so a deque matches exactly.
+    obs_registry_->push_stamp(obs_flow_tx_, obs_pack_start_);
+  } else if (obs_switch_on()) {
+    obs_pack_start_ = obs_now();
+  }
   node().charge_cpu(endpoint_->costs().begin_packing);
 }
 
@@ -40,6 +74,10 @@ void Connection::begin_unpacking_message() {
   unpack_sequence_ = 0;
   recv_tm_ = nullptr;
   recv_bmm_ = nullptr;
+  obs_bind();
+  if (obs_hist_unpack_ != nullptr || obs_switch_on()) {
+    obs_unpack_start_ = obs_now();
+  }
   node().charge_cpu(endpoint_->costs().begin_unpacking);
 }
 
@@ -90,6 +128,9 @@ void Connection::pack_impl(std::span<const std::byte> data, SendMode smode,
   if (rails_ != nullptr && !striping_ && smode == SendMode::kCheaper &&
       rmode == ReceiveMode::kCheaper && data.size() >= rails_->threshold()) {
     if (send_bmm_ != nullptr) {
+      if (obs_switch_on()) {
+        obs::trace_event(obs::Category::kSwitch, "switch.flush", "stripe");
+      }
       send_bmm_->commit(*this, *send_tm_);
       send_tm_ = nullptr;
       send_bmm_ = nullptr;
@@ -106,8 +147,20 @@ void Connection::pack_impl(std::span<const std::byte> data, SendMode smode,
   Tm& tm = endpoint_->pmm().select_tm(data.size(), smode, rmode);
   const BmmKind kind = select_bmm_kind(tm, smode, rmode);
   SendBmm* bmm = send_bmm_for(&tm, kind);
+  if (obs_switch_on()) {
+    // TM names are string literals, so the pointer is safe to retain.
+    obs::trace_event(obs::Category::kSwitch, "switch.tm_select",
+                     tm.name().data(), data.size(),
+                     static_cast<std::uint64_t>(kind));
+  }
   if (bmm != send_bmm_ || &tm != send_tm_) {
-    if (send_bmm_ != nullptr) send_bmm_->commit(*this, *send_tm_);
+    if (send_bmm_ != nullptr) {
+      if (obs_switch_on()) {
+        obs::trace_event(obs::Category::kSwitch, "switch.flush",
+                         "tm_change");
+      }
+      send_bmm_->commit(*this, *send_tm_);
+    }
     send_tm_ = &tm;
     send_bmm_ = bmm;
   }
@@ -119,10 +172,24 @@ void Connection::pack_impl(std::span<const std::byte> data, SendMode smode,
 
 void Connection::end_packing() {
   MAD2_CHECK(packing_, "end_packing without begin_packing");
-  if (send_bmm_ != nullptr) send_bmm_->commit(*this, *send_tm_);
+  if (send_bmm_ != nullptr) {
+    if (obs_switch_on()) {
+      obs::trace_event(obs::Category::kSwitch, "switch.flush",
+                       "end_packing");
+    }
+    send_bmm_->commit(*this, *send_tm_);
+  }
   send_tm_ = nullptr;
   send_bmm_ = nullptr;
   packing_ = false;
+  if (obs_hist_pack_ != nullptr) {
+    obs_hist_pack_->record(obs_now() - obs_pack_start_);
+  }
+  if (obs_switch_on()) {
+    obs::recorder()->record(obs::Category::kSwitch, "msg.pack", nullptr,
+                            obs_pack_start_, obs_now() - obs_pack_start_,
+                            stats_.messages_sent, remote_);
+  }
   node().charge_cpu(endpoint_->costs().end_packing);
 }
 
@@ -159,6 +226,10 @@ void Connection::unpack_impl(std::span<std::byte> out, SendMode smode,
   if (rails_ != nullptr && !striping_ && smode == SendMode::kCheaper &&
       rmode == ReceiveMode::kCheaper && out.size() >= rails_->threshold()) {
     if (recv_bmm_ != nullptr) {
+      if (obs_switch_on()) {
+        obs::trace_event(obs::Category::kSwitch, "switch.checkout",
+                         "stripe");
+      }
       recv_bmm_->checkout(*this, *recv_tm_);
       recv_tm_ = nullptr;
       recv_bmm_ = nullptr;
@@ -175,8 +246,19 @@ void Connection::unpack_impl(std::span<std::byte> out, SendMode smode,
   Tm& tm = endpoint_->pmm().select_tm(out.size(), smode, rmode);
   const BmmKind kind = select_bmm_kind(tm, smode, rmode);
   RecvBmm* bmm = recv_bmm_for(&tm, kind);
+  if (obs_switch_on()) {
+    obs::trace_event(obs::Category::kSwitch, "switch.tm_replay",
+                     tm.name().data(), out.size(),
+                     static_cast<std::uint64_t>(kind));
+  }
   if (bmm != recv_bmm_ || &tm != recv_tm_) {
-    if (recv_bmm_ != nullptr) recv_bmm_->checkout(*this, *recv_tm_);
+    if (recv_bmm_ != nullptr) {
+      if (obs_switch_on()) {
+        obs::trace_event(obs::Category::kSwitch, "switch.checkout",
+                         "tm_change");
+      }
+      recv_bmm_->checkout(*this, *recv_tm_);
+    }
     recv_tm_ = &tm;
     recv_bmm_ = bmm;
   }
@@ -223,12 +305,34 @@ bool Connection::unpack_borrow(std::size_t len, SendMode smode,
 
 void Connection::end_unpacking() {
   MAD2_CHECK(unpacking_, "end_unpacking without begin_unpacking");
-  if (recv_bmm_ != nullptr) recv_bmm_->checkout(*this, *recv_tm_);
+  if (recv_bmm_ != nullptr) {
+    if (obs_switch_on()) {
+      obs::trace_event(obs::Category::kSwitch, "switch.checkout",
+                       "end_unpacking");
+    }
+    recv_bmm_->checkout(*this, *recv_tm_);
+  }
   recv_tm_ = nullptr;
   recv_bmm_ = nullptr;
   unpacking_ = false;
   if (endpoint_->active_incoming_ == this) {
     endpoint_->active_incoming_ = nullptr;
+  }
+  if (obs_hist_unpack_ != nullptr) {
+    const sim::Time now = obs_now();
+    obs_hist_unpack_->record(now - obs_unpack_start_);
+    // Match this message to the sender's begin_packing stamp (FIFO per
+    // flow); a miss just means sender-side metrics were off.
+    sim::Time sent = 0;
+    if (obs_registry_->pop_stamp(obs_flow_rx_, &sent)) {
+      obs_hist_e2e_->record(now - sent);
+    }
+  }
+  if (obs_switch_on()) {
+    obs::recorder()->record(obs::Category::kSwitch, "msg.unpack", nullptr,
+                            obs_unpack_start_,
+                            obs_now() - obs_unpack_start_,
+                            stats_.messages_received, remote_);
   }
   node().charge_cpu(endpoint_->costs().end_unpacking);
 }

@@ -13,6 +13,8 @@
 #include "mad/bmm.hpp"
 #include "mad/pmm.hpp"
 #include "mad/stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/status.hpp"
 
 namespace mad2 {
@@ -111,10 +113,39 @@ class Connection {
   SendBmm* send_bmm_for(Tm* tm, BmmKind kind);
   RecvBmm* recv_bmm_for(Tm* tm, BmmKind kind);
 
+  // --- madtrace bindings (obs/) ------------------------------------------
+  /// Rebind the cached histogram/flow state when the ambient recorder or
+  /// metrics registry changed since the last message. Called from the
+  /// begin_* hooks, so mid-message installs take effect on the next one.
+  void obs_bind();
+  [[nodiscard]] sim::Time obs_now() const {
+    const obs::ExecContext& exec = obs::exec_context();
+    return exec.now != nullptr ? *exec.now : 0;
+  }
+  [[nodiscard]] bool obs_switch_on() const {
+    return obs_channel_ok_ &&
+           obs::trace_enabled(obs::Category::kSwitch);
+  }
+
   ChannelEndpoint* endpoint_;
   std::uint32_t remote_;
   std::unique_ptr<Pmm::ConnState> state_;
   TrafficStats stats_;
+
+  // madtrace state: histogram pointers are cached find-or-create results
+  // (valid for the registry's lifetime); e2e stamps correlate through the
+  // ambient registry because sender and receiver are distinct Connection
+  // objects. All of it reads the clock only — zero virtual-time cost.
+  obs::MetricsRegistry* obs_registry_ = nullptr;
+  const obs::TraceRecorder* obs_recorder_ = nullptr;
+  obs::Histogram* obs_hist_pack_ = nullptr;
+  obs::Histogram* obs_hist_unpack_ = nullptr;
+  obs::Histogram* obs_hist_e2e_ = nullptr;
+  std::string obs_flow_tx_;  // "<channel>/<local>-<remote>"
+  std::string obs_flow_rx_;  // "<channel>/<remote>-<local>"
+  bool obs_channel_ok_ = false;  // recorder channel filter verdict
+  sim::Time obs_pack_start_ = 0;
+  sim::Time obs_unpack_start_ = 0;
 
   // Rail-set binding (mad/rail_set.hpp): non-null iff this connection's
   // channel heads a rail set. Large CHEAPER/CHEAPER blocks are then handed

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/trace.hpp"
 #include "util/bytes.hpp"
 
 namespace mad2::mad {
@@ -195,8 +196,14 @@ void BipShortTm::send_static_buffer(Connection& connection,
   auto& state = connection.state<BipPmm::State>();
   // Credit-based flow control: never exceed the receiver's preallocated
   // buffer pool (the paper's short-TM algorithm).
-  while (state.credits == 0) state.credits_wq.wait();
+  if (state.credits == 0) {
+    MAD2_TRACE_SPAN(wait, obs::Category::kTm, "bip.credit_wait");
+    wait.args(buffer.used);
+    while (state.credits == 0) state.credits_wq.wait();
+  }
   --state.credits;
+  MAD2_TRACE_EVENT(obs::Category::kTm, "bip.send_short", nullptr,
+                   buffer.used, state.credits);
   const std::uint32_t my_port =
       pmm_->endpoint().channel().network().port(pmm_->endpoint().local());
   pmm_->port().send_short(state.remote_port, pmm_->data_tag(my_port),
@@ -268,11 +275,17 @@ void BipLongTm::send_buffer_group(
   // Rendezvous: announce, wait for the receiver's acknowledgment (BIP
   // long receives must be posted before data arrives), then ship.
   pmm_->send_ctrl(state, BipPmm::CtrlKind::kReq, total);
-  while (state.acks == 0) state.ack_wq.wait();
+  {
+    MAD2_TRACE_SPAN(wait, obs::Category::kTm, "bip.rdv_wait");
+    wait.args(total, group.size());
+    while (state.acks == 0) state.ack_wq.wait();
+  }
   --state.acks;
 
   const std::uint32_t my_port =
       pmm_->endpoint().channel().network().port(pmm_->endpoint().local());
+  MAD2_TRACE_SPAN(post, obs::Category::kTm, "bip.send_long");
+  post.args(total, group.size());
   for (const auto& block : group) {
     pmm_->port().send_long(state.remote_port, pmm_->data_tag(my_port),
                            block);
@@ -304,6 +317,8 @@ void BipLongTm::receive_sub_buffer_group(
                                 pmm_->data_tag(state.remote_port), block);
   }
   pmm_->send_ctrl(state, BipPmm::CtrlKind::kAck, 0);
+  MAD2_TRACE_SPAN(land, obs::Category::kTm, "bip.recv_long");
+  land.args(total, group.size());
   for (std::size_t i = 0; i < group.size(); ++i) {
     pmm_->port().wait_recv_long(state.remote_port,
                                 pmm_->data_tag(state.remote_port));

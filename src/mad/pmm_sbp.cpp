@@ -1,6 +1,8 @@
 #include "mad/pmm_sbp.hpp"
 
 #include <algorithm>
+
+#include "obs/trace.hpp"
 #include "util/bytes.hpp"
 
 namespace mad2::mad {
@@ -157,7 +159,11 @@ StaticBuffer SbpTm::obtain_static_buffer(Connection&) {
 void SbpTm::send_static_buffer(Connection& connection,
                                StaticBuffer& buffer) {
   auto& state = connection.state<SbpPmm::State>();
-  while (state.credits == 0) state.credits_wq.wait();
+  if (state.credits == 0) {
+    MAD2_TRACE_SPAN(wait, obs::Category::kTm, "sbp.credit_wait");
+    wait.args(buffer.used);
+    while (state.credits == 0) state.credits_wq.wait();
+  }
   --state.credits;
   net::SbpTxBuffer raw = pmm_->unwrap_tx(buffer);
   const std::uint32_t my_port = pmm_->endpoint().channel().network().port(

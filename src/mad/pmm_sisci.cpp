@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/trace.hpp"
 #include "util/bytes.hpp"
 
 namespace mad2::mad {
@@ -99,6 +100,8 @@ void SciPmm::send_short_unit(Connection& connection,
                              std::span<const std::byte> data) {
   auto& state = connection.state<State>();
   MAD2_CHECK(data.size() <= options_.short_capacity, "short unit too large");
+  MAD2_TRACE_SPAN(span, obs::Category::kTm, "sci.send_short");
+  span.args(data.size());
 
   // Flow control: wait until the target slot has been consumed.
   auto feedback = port_->segment_memory(state.tx_feedback);
@@ -151,6 +154,9 @@ void SciPmm::recv_short_unit(Connection& connection,
 void SciPmm::send_bulk(Connection& connection,
                        std::span<const std::byte> data, bool dma) {
   auto& state = connection.state<State>();
+  MAD2_TRACE_SPAN(span, obs::Category::kTm, "sci.send_bulk",
+                  dma ? "dma" : "pio");
+  span.args(data.size());
   auto feedback = port_->segment_memory(state.tx_feedback);
   std::size_t done = 0;
   while (done < data.size()) {
@@ -183,6 +189,8 @@ void SciPmm::send_bulk(Connection& connection,
 
 void SciPmm::recv_bulk(Connection& connection, std::span<std::byte> out) {
   auto& state = connection.state<State>();
+  MAD2_TRACE_SPAN(span, obs::Category::kTm, "sci.recv_bulk");
+  span.args(out.size());
   auto ring = port_->segment_memory(state.rx_ring);
   std::size_t done = 0;
   while (done < out.size()) {

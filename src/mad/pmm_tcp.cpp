@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/trace.hpp"
+
 namespace mad2::mad {
 
 // ------------------------------------------------------------------ TcpTm ---
@@ -9,12 +11,16 @@ namespace mad2::mad {
 void TcpTm::send_buffer(Connection& connection,
                         std::span<const std::byte> data) {
   if (data.empty()) return;
+  MAD2_TRACE_SPAN(span, obs::Category::kTm, "tcp.send");
+  span.args(data.size());
   connection.state<TcpPmm::State>().stream->send(data);
 }
 
 void TcpTm::receive_buffer(Connection& connection,
                            std::span<std::byte> out) {
   if (out.empty()) return;
+  MAD2_TRACE_SPAN(span, obs::Category::kTm, "tcp.recv");
+  span.args(out.size());
   connection.state<TcpPmm::State>().stream->recv(out);
 }
 

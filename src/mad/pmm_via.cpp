@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/trace.hpp"
 #include "util/bytes.hpp"
 
 namespace mad2::mad {
@@ -175,7 +176,11 @@ void ViaShortTm::send_static_buffer(Connection& connection,
             static_cast<std::uint32_t>(ViaPmm::PacketKind::kData));
   store_u32(packet.data() + 4, static_cast<std::uint32_t>(buffer.used));
 
-  while (state.credits == 0) state.credits_wq.wait();
+  if (state.credits == 0) {
+    MAD2_TRACE_SPAN(wait, obs::Category::kTm, "via.credit_wait");
+    wait.args(buffer.used);
+    while (state.credits == 0) state.credits_wq.wait();
+  }
   --state.credits;
   pmm_->port().send(
       state.remote_port,
@@ -247,7 +252,11 @@ void ViaBulkTm::send_buffer_group(
   for (const auto& block : group) total += block.size();
 
   pmm_->send_ctrl(state, ViaPmm::PacketKind::kReq, total);
-  while (state.acks == 0) state.ack_wq.wait();
+  {
+    MAD2_TRACE_SPAN(wait, obs::Category::kTm, "via.rdv_wait");
+    wait.args(total, group.size());
+    while (state.acks == 0) state.ack_wq.wait();
+  }
   --state.acks;
 
   for (const auto& block : group) {

@@ -8,6 +8,7 @@
 #include "mad/pmm_tcp.hpp"
 #include "mad/session.hpp"
 #include "net/tcp.hpp"
+#include "obs/trace.hpp"
 #include "util/bytes.hpp"
 
 namespace mad2::mad {
@@ -129,6 +130,7 @@ bool RailSet::on_network_failed(const NetworkInstance* network,
 void RailSet::mark_rail_dead(std::size_t rail, const Status& status) {
   Rail& r = rails_[rail];
   if (!r.alive) return;
+  MAD2_TRACE_EVENT(obs::Category::kRail, "rail.dead", nullptr, rail);
   r.alive = false;
   r.weight_mbs = 0.0;
   if (degraded_.is_ok()) degraded_ = status;  // first failure wins
@@ -254,6 +256,8 @@ void RailSet::stripe_send_block(Connection& primary,
     if (lens[i] == 0) continue;
     if ((failed_mask & (1u << i)) != 0) {
       ++stats.rails[rails_[i].channel->name()].resubmits;
+      MAD2_TRACE_EVENT(obs::Category::kRail, "rail.resubmit", "send",
+                       lens[i], i);
       stripe_send_block(primary, data.subspan(offset, lens[i]), src, dst);
     }
     offset += lens[i];
@@ -351,6 +355,8 @@ void RailSet::stripe_recv_block(Connection& primary, std::span<std::byte> out,
     if (lens[i] == 0) continue;
     if ((failed_mask & (1u << i)) != 0) {
       ++stats.rails[rails_[i].channel->name()].resubmits;
+      MAD2_TRACE_EVENT(obs::Category::kRail, "rail.resubmit", "recv",
+                       lens[i], i);
       stripe_recv_block(primary, out.subspan(offset, lens[i]), src, dst);
     }
     offset += lens[i];
@@ -379,6 +385,8 @@ void RailSet::send_lane(std::size_t rail,
     std::optional<SendJob> job = jobs->receive();
     if (!job) return;
     const sim::Time start = session_->simulator().now();
+    MAD2_TRACE_SPAN(span, obs::Category::kRail, "rail.send_segment");
+    span.args(job->len, rail);
     const Status status =
         send_segment(rail, job->src, job->dst, {job->data, job->len});
     BlockState::LaneResult& lane = job->block->lanes[rail];
@@ -400,6 +408,8 @@ void RailSet::recv_lane(std::size_t rail,
     std::optional<RecvJob> job = jobs->receive();
     if (!job) return;
     const sim::Time start = session_->simulator().now();
+    MAD2_TRACE_SPAN(span, obs::Category::kRail, "rail.recv_segment");
+    span.args(job->len, rail);
     std::size_t got = 0;
     const Status status =
         recv_segment(rail, job->src, job->dst, {job->out, job->len}, &got);

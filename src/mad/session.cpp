@@ -62,12 +62,18 @@ TrafficStats ChannelEndpoint::stats() const {
   NetworkInstance& network = channel_->network();
   if (network.tcp && network.tcp->reliable() != nullptr &&
       network.has_node(local_)) {
-    total.reliability.merge(
-        network.tcp->reliable()->endpoint(network.port(local_)).counters());
+    const net::ReliabilityCounters& link =
+        network.tcp->reliable()->endpoint(network.port(local_)).counters();
+    total.reliability.merge(link);
+    // Identity tag so merging endpoints that share this port dedupes
+    // instead of double-counting (see TrafficStats::reliability_by_link).
+    total.reliability_by_link[network.def.name + ":" +
+                              std::to_string(network.port(local_))] = link;
   }
   // Host-memory traffic of this endpoint's node (node-level, see
-  // TrafficStats::mem).
+  // TrafficStats::mem). Tagged by node id for the same dedupe-on-merge.
   total.mem = session_->node(local_).mem();
+  total.mem_by_node[local_] = total.mem;
   return total;
 }
 
@@ -127,6 +133,18 @@ sim::Simulator& NodeRuntime::simulator() { return session_->simulator(); }
 
 Session::Session(SessionConfig config) : config_(std::move(config)) {
   MAD2_CHECK(config_.node_count > 0, "session needs at least one node");
+  // madtrace enablement: the MAD2_TRACE environment wins (process-wide
+  // recorder, survives this session for failure dumps); otherwise a
+  // `trace` config stanza installs a session-lifetime recorder.
+  obs::ensure_env_recorder();
+  if (config_.trace.has_value() && obs::recorder() == nullptr) {
+    trace_recorder_ = std::make_unique<obs::TraceRecorder>(*config_.trace);
+    obs::install_recorder(trace_recorder_.get());
+    if (obs::metrics() == nullptr) {
+      trace_metrics_ = std::make_unique<obs::MetricsRegistry>();
+      obs::install_metrics(trace_metrics_.get());
+    }
+  }
   for (std::uint32_t i = 0; i < config_.node_count; ++i) {
     nodes_.push_back(std::make_unique<hw::Node>(
         &simulator_, i, "node" + std::to_string(i), config_.host));
@@ -216,7 +234,14 @@ Session::Session(SessionConfig config) : config_(std::move(config)) {
   }
 }
 
-Session::~Session() = default;
+Session::~Session() {
+  if (trace_recorder_ != nullptr) {
+    obs::uninstall_recorder(trace_recorder_.get());
+  }
+  if (trace_metrics_ != nullptr) {
+    obs::uninstall_metrics(trace_metrics_.get());
+  }
+}
 
 hw::Node& Session::node(std::uint32_t id) {
   MAD2_CHECK(id < nodes_.size(), "unknown node id");
@@ -272,6 +297,67 @@ void Session::fail(const Status& status) {
   if (!health_.is_ok()) return;  // first failure wins
   health_ = status;
   simulator_.stop();
+}
+
+void Session::export_metrics(obs::MetricsRegistry& registry) {
+  const auto u = [](std::uint64_t v) { return static_cast<std::int64_t>(v); };
+  // Channel-level traffic: TM usage and rail activity, merged (and
+  // identity-deduped) across the channel's endpoints.
+  for (auto& channel : channels_) {
+    TrafficStats total;
+    for (std::uint32_t node : channel->nodes()) {
+      total.merge(channel->endpoint(node).stats());
+    }
+    const std::string prefix = "stats." + channel->name() + ".";
+    registry.set_value(prefix + "messages_sent", u(total.messages_sent));
+    registry.set_value(prefix + "messages_received",
+                       u(total.messages_received));
+    for (const auto& [tm, counters] : total.sent_by_tm) {
+      registry.set_value(prefix + "tx." + tm + ".blocks",
+                         u(counters.blocks));
+      registry.set_value(prefix + "tx." + tm + ".bytes", u(counters.bytes));
+    }
+    for (const auto& [tm, counters] : total.received_by_tm) {
+      registry.set_value(prefix + "rx." + tm + ".blocks",
+                         u(counters.blocks));
+      registry.set_value(prefix + "rx." + tm + ".bytes", u(counters.bytes));
+    }
+    for (const auto& [rail, counters] : total.rails) {
+      registry.set_value(prefix + "rail." + rail + ".bytes",
+                         u(counters.bytes));
+      registry.set_value(prefix + "rail." + rail + ".segments",
+                         u(counters.segments));
+      registry.set_value(prefix + "rail." + rail + ".resubmits",
+                         u(counters.resubmits));
+    }
+  }
+  // Node-level memory traffic, once per node regardless of how many
+  // channel endpoints live on it.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const hw::MemCounters mem = nodes_[i]->mem();
+    const std::string prefix = "mem.node" + std::to_string(i) + ".";
+    registry.set_value(prefix + "memcpy_bytes", u(mem.memcpy_bytes));
+    registry.set_value(prefix + "allocs", u(mem.alloc_count));
+    registry.set_value(prefix + "pool_recycles", u(mem.pool_recycle_count));
+  }
+  // Link-level reliable-shim work, once per (network, port).
+  for (auto& network : networks_) {
+    if (network->tcp == nullptr || network->tcp->reliable() == nullptr) {
+      continue;
+    }
+    for (const auto& [node, port] : network->port_of_node) {
+      const net::ReliabilityCounters& c =
+          network->tcp->reliable()->endpoint(port).counters();
+      const std::string prefix =
+          "rel." + network->def.name + ":" + std::to_string(port) + ".";
+      registry.set_value(prefix + "data_frames", u(c.data_frames));
+      registry.set_value(prefix + "retransmits", u(c.retransmits));
+      registry.set_value(prefix + "acks_sent", u(c.acks_sent));
+      registry.set_value(prefix + "dup_frames", u(c.dup_frames));
+      registry.set_value(prefix + "corrupt_frames", u(c.corrupt_frames));
+      registry.set_value(prefix + "give_ups", u(c.give_ups));
+    }
+  }
 }
 
 Status Session::run() {

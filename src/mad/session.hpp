@@ -22,6 +22,8 @@
 #include "net/sisci.hpp"
 #include "net/tcp.hpp"
 #include "net/via.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "util/status.hpp"
 
@@ -107,6 +109,11 @@ struct SessionConfig {
   std::vector<RailSetDef> rail_sets;
   hw::HostParams host = hw::HostParams::pentium_ii_450();
   MadCosts costs;
+  /// madtrace stanza (`trace { ... }` in config files): when set, the
+  /// Session installs its own TraceRecorder + MetricsRegistry for its
+  /// lifetime — unless the MAD2_TRACE environment already installed a
+  /// process-wide one, which takes precedence (see obs/trace.hpp).
+  std::optional<obs::TraceConfig> trace;
 };
 
 /// A session network instance: the driver plus the global-node -> local
@@ -242,6 +249,14 @@ class Session {
   /// OK until fail() was called; then the first recorded failure.
   [[nodiscard]] const Status& health() const { return health_; }
 
+  /// Pour every counter family this session owns into `registry` as flat
+  /// scalar values: TrafficStats per channel endpoint (TM block/byte
+  /// counts, rail activity), MemCounters per node, ReliabilityCounters
+  /// per reliable link. Latency histograms accumulate in the ambient
+  /// registry as messages flow; this adds the counters next to them so
+  /// one to_json() snapshot covers the whole stack.
+  void export_metrics(obs::MetricsRegistry& registry);
+
  private:
   /// Network-failure triage: true if some rail set absorbed the failure
   /// (the network backed one of its secondary rails, now marked dead and
@@ -251,6 +266,11 @@ class Session {
                              const Status& status);
 
   SessionConfig config_;
+  /// Config-driven madtrace state; owned here so a recorder installed by
+  /// this session is uninstalled in ~Session (declared before the
+  /// simulator/channels: destroyed last, after every span closed).
+  std::unique_ptr<obs::TraceRecorder> trace_recorder_;
+  std::unique_ptr<obs::MetricsRegistry> trace_metrics_;
   sim::Simulator simulator_;
   Status health_;
   std::vector<std::unique_ptr<hw::Node>> nodes_;

@@ -1,8 +1,38 @@
 #include "mad/stats.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace mad2::mad {
+
+namespace {
+
+// Two samples with the same identity are snapshots of one monotonic
+// counter family, possibly taken at different times; field-wise max keeps
+// the most recent one instead of summing the duplicate.
+hw::MemCounters newest(const hw::MemCounters& a, const hw::MemCounters& b) {
+  hw::MemCounters out;
+  out.memcpy_bytes = std::max(a.memcpy_bytes, b.memcpy_bytes);
+  out.alloc_count = std::max(a.alloc_count, b.alloc_count);
+  out.pool_recycle_count =
+      std::max(a.pool_recycle_count, b.pool_recycle_count);
+  return out;
+}
+
+net::ReliabilityCounters newest(const net::ReliabilityCounters& a,
+                                const net::ReliabilityCounters& b) {
+  net::ReliabilityCounters out;
+  out.data_frames = std::max(a.data_frames, b.data_frames);
+  out.retransmits = std::max(a.retransmits, b.retransmits);
+  out.acks_sent = std::max(a.acks_sent, b.acks_sent);
+  out.dup_frames = std::max(a.dup_frames, b.dup_frames);
+  out.corrupt_frames = std::max(a.corrupt_frames, b.corrupt_frames);
+  out.give_ups = std::max(a.give_ups, b.give_ups);
+  out.max_rto = std::max(a.max_rto, b.max_rto);
+  return out;
+}
+
+}  // namespace
 
 void TrafficStats::merge(const TrafficStats& other) {
   messages_sent += other.messages_sent;
@@ -23,8 +53,35 @@ void TrafficStats::merge(const TrafficStats& other) {
     // Weights are snapshots, not sums; keep the largest observed.
     if (counters.weight > mine.weight) mine.weight = counters.weight;
   }
-  reliability.merge(other.reliability);
-  mem.merge(other.mem);
+  // Link- and node-level counters dedupe by identity: two endpoints on
+  // the same node (or sharing a reliable TCP port) report the *same*
+  // underlying counters, so blind addition double-counts them. When the
+  // incoming stats carry identity tags, fold per key and rebuild the flat
+  // field from the deduped map; untagged stats keep the legacy blind add.
+  if (!other.reliability_by_link.empty()) {
+    for (const auto& [link, counters] : other.reliability_by_link) {
+      auto [it, inserted] = reliability_by_link.emplace(link, counters);
+      if (!inserted) it->second = newest(it->second, counters);
+    }
+    reliability = {};
+    for (const auto& [link, counters] : reliability_by_link) {
+      reliability.merge(counters);
+    }
+  } else {
+    reliability.merge(other.reliability);
+  }
+  if (!other.mem_by_node.empty()) {
+    for (const auto& [node, counters] : other.mem_by_node) {
+      auto [it, inserted] = mem_by_node.emplace(node, counters);
+      if (!inserted) it->second = newest(it->second, counters);
+    }
+    mem = {};
+    for (const auto& [node, counters] : mem_by_node) {
+      mem.merge(counters);
+    }
+  } else {
+    mem.merge(other.mem);
+  }
 }
 
 std::string TrafficStats::to_string() const {

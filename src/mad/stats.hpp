@@ -53,6 +53,15 @@ struct TrafficStats {
   /// a node double-counts — merge across nodes, not across channels.
   hw::MemCounters mem;
 
+  /// Identity-tagged views of `reliability` and `mem`: which link
+  /// ("network:port") / which node each sample came from. merge() dedupes
+  /// by key — endpoints sharing a node or a reliable port contribute one
+  /// sample, not one per endpoint — and recomputes the flat fields from
+  /// the deduped maps. ChannelEndpoint::stats() tags both; hand-built
+  /// stats with empty maps fall back to the legacy blind add.
+  std::map<std::string, net::ReliabilityCounters> reliability_by_link;
+  std::map<std::uint32_t, hw::MemCounters> mem_by_node;
+
   void merge(const TrafficStats& other);
 
   /// Human-readable multi-line summary.

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "util/bytes.hpp"
+#include "util/debug_hook.hpp"
 
 namespace mad2::net {
 
@@ -250,6 +252,8 @@ void ReliableEndpoint::retransmit_loop() {
         }
         ++out.retransmits;
         ++counters_.retransmits;
+        MAD2_TRACE_EVENT(obs::Category::kNet, "rel.retransmit", nullptr,
+                         out.frame.seq, out.retransmits);
         out.rto = std::min(
             static_cast<sim::Duration>(static_cast<double>(out.rto) *
                                        params.backoff),
@@ -274,11 +278,16 @@ void ReliableEndpoint::fail_link(std::uint32_t peer,
                                  const Outstanding& frame) {
   if (!health_.is_ok()) return;
   ++counters_.give_ups;
+  MAD2_TRACE_EVENT(obs::Category::kNet, "rel.give_up", nullptr,
+                   frame.frame.seq, frame.retransmits);
   health_ = unavailable(
       "reliable link " + std::to_string(rank_) + "->" +
       std::to_string(peer) + " gave up: seq " +
       std::to_string(frame.frame.seq) + " unacked after " +
       std::to_string(frame.retransmits) + " retransmits");
+  // A give-up is terminal for the link: dump the trace tail now, while
+  // the events leading up to it are still in the ring.
+  invoke_failure_dump_hook(health_.to_string().c_str());
   // Unblock everyone; they observe health() and fail cleanly instead of
   // waiting on a dead link.
   rx_ready_.notify_all();

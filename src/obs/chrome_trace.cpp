@@ -1,0 +1,208 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace mad2::obs {
+
+namespace {
+
+void append_escaped(std::string* out, const char* s) {
+  out->push_back('"');
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+void append_us(std::string* out, sim::Time ns) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.3f",
+                static_cast<double>(ns) / 1000.0);
+  out->append(buffer);
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const TraceRecorder& recorder) {
+  std::vector<TraceEvent> events = recorder.snapshot();
+  // Spans are recorded at completion; re-sort by start so Perfetto (and
+  // our round-trip invariants) see non-decreasing timestamps per track.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts < b.ts;
+                   });
+
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const auto& [track, name] : recorder.tracks()) {
+    if (!first) out.append(",\n");
+    first = false;
+    out.append(
+        " {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":");
+    out.append(std::to_string(track));
+    out.append(",\"args\":{\"name\":");
+    append_escaped(&out, name.c_str());
+    out.append("}}");
+  }
+  for (const TraceEvent& event : events) {
+    if (!first) out.append(",\n");
+    first = false;
+    out.append(" {\"name\":");
+    append_escaped(&out, event.name != nullptr ? event.name : "?");
+    out.append(",\"cat\":");
+    append_escaped(&out, std::string(to_string(event.cat)).c_str());
+    if (event.dur >= 0) {
+      out.append(",\"ph\":\"X\",\"ts\":");
+      append_us(&out, event.ts);
+      out.append(",\"dur\":");
+      append_us(&out, event.dur);
+    } else {
+      out.append(",\"ph\":\"i\",\"s\":\"t\",\"ts\":");
+      append_us(&out, event.ts);
+    }
+    out.append(",\"pid\":1,\"tid\":");
+    out.append(std::to_string(event.track));
+    out.append(",\"args\":{\"a0\":");
+    out.append(std::to_string(event.a0));
+    out.append(",\"a1\":");
+    out.append(std::to_string(event.a1));
+    if (event.detail != nullptr) {
+      out.append(",\"detail\":");
+      append_escaped(&out, event.detail);
+    }
+    out.append("}}");
+  }
+  out.append("\n]}\n");
+  return out;
+}
+
+bool write_chrome_trace(const TraceRecorder& recorder,
+                        const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const std::string json = chrome_trace_json(recorder);
+  const bool ok =
+      std::fwrite(json.data(), 1, json.size(), file) == json.size();
+  std::fclose(file);
+  return ok;
+}
+
+namespace {
+
+// Cursor over the serialized text; parse_* helpers consume whitespace
+// first and return false (without a precise position) on malformed input
+// — good enough for round-trip tests over our own exporter output.
+struct Cursor {
+  const char* p;
+  const char* end;
+
+  void skip_ws() {
+    while (p != end && (*p == ' ' || *p == '\n' || *p == '\t' || *p == '\r'))
+      ++p;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (p == end || *p != c) return false;
+    ++p;
+    return true;
+  }
+  bool peek(char c) {
+    skip_ws();
+    return p != end && *p == c;
+  }
+};
+
+bool parse_string(Cursor* cursor, std::string* out) {
+  if (!cursor->eat('"')) return false;
+  out->clear();
+  while (cursor->p != cursor->end && *cursor->p != '"') {
+    char c = *cursor->p++;
+    if (c == '\\' && cursor->p != cursor->end) c = *cursor->p++;
+    out->push_back(c);
+  }
+  return cursor->eat('"');
+}
+
+bool parse_number(Cursor* cursor, double* out) {
+  cursor->skip_ws();
+  char* parse_end = nullptr;
+  *out = std::strtod(cursor->p, &parse_end);
+  if (parse_end == cursor->p) return false;
+  cursor->p = parse_end;
+  return true;
+}
+
+// Parses a {"key": value, ...} object where values are strings, numbers,
+// or one nested object (flattened as "parent.key").
+bool parse_object(Cursor* cursor, const std::string& prefix,
+                  std::map<std::string, std::string>* strings,
+                  std::map<std::string, double>* numbers) {
+  if (!cursor->eat('{')) return false;
+  if (cursor->eat('}')) return true;
+  while (true) {
+    std::string key;
+    if (!parse_string(cursor, &key)) return false;
+    if (!cursor->eat(':')) return false;
+    const std::string full = prefix.empty() ? key : prefix + "." + key;
+    if (cursor->peek('"')) {
+      std::string value;
+      if (!parse_string(cursor, &value)) return false;
+      (*strings)[full] = std::move(value);
+    } else if (cursor->peek('{')) {
+      if (!parse_object(cursor, full, strings, numbers)) return false;
+    } else {
+      double value = 0.0;
+      if (!parse_number(cursor, &value)) return false;
+      (*numbers)[full] = value;
+    }
+    if (cursor->eat(',')) continue;
+    return cursor->eat('}');
+  }
+}
+
+}  // namespace
+
+Result<std::vector<ParsedEvent>> parse_chrome_trace(const std::string& json) {
+  Cursor cursor{json.data(), json.data() + json.size()};
+  if (!cursor.eat('{')) return invalid_argument("trace: expected '{'");
+  std::string key;
+  if (!parse_string(&cursor, &key) || key != "traceEvents" ||
+      !cursor.eat(':') || !cursor.eat('[')) {
+    return invalid_argument("trace: expected \"traceEvents\":[");
+  }
+
+  std::vector<ParsedEvent> events;
+  if (!cursor.eat(']')) {
+    while (true) {
+      std::map<std::string, std::string> strings;
+      std::map<std::string, double> numbers;
+      if (!parse_object(&cursor, "", &strings, &numbers)) {
+        return invalid_argument("trace: malformed event object near index " +
+                                std::to_string(events.size()));
+      }
+      ParsedEvent event;
+      event.phase = strings["ph"];
+      event.name = strings["name"];
+      event.category = strings["cat"];
+      event.thread_name = strings["args.name"];
+      event.tid = static_cast<std::uint64_t>(numbers["tid"]);
+      event.ts_us = numbers["ts"];
+      event.dur_us = numbers["dur"];
+      if (event.phase.empty() || event.name.empty()) {
+        return invalid_argument("trace: event missing ph/name");
+      }
+      events.push_back(std::move(event));
+      if (cursor.eat(',')) continue;
+      if (cursor.eat(']')) break;
+      return invalid_argument("trace: expected ',' or ']' in traceEvents");
+    }
+  }
+  if (!cursor.eat('}')) return invalid_argument("trace: expected final '}'");
+  return events;
+}
+
+}  // namespace mad2::obs

@@ -1,0 +1,43 @@
+// Chrome trace-event JSON exporter (and a small parser for round-trip
+// tests). The output loads directly in Perfetto / chrome://tracing: one
+// process, one "thread" (track) per fiber — so every lane fiber, gateway
+// pump and application fiber gets its own swim-lane. Spans become "X"
+// complete events, instants become "i" events; track names ship as "M"
+// thread_name metadata. Timestamps are virtual-time microseconds
+// (Chrome's native unit), durations likewise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "util/status.hpp"
+
+namespace mad2::obs {
+
+/// Serialize the recorder's current contents. Events are emitted sorted
+/// by timestamp (Perfetto requires non-decreasing ts per track).
+[[nodiscard]] std::string chrome_trace_json(const TraceRecorder& recorder);
+
+/// chrome_trace_json() to a file; returns false on I/O failure.
+bool write_chrome_trace(const TraceRecorder& recorder,
+                        const std::string& path);
+
+/// Parsed-back view of one trace event, for exporter round-trip tests.
+struct ParsedEvent {
+  std::string phase;  // "X", "i" or "M"
+  std::string name;
+  std::string category;
+  std::uint64_t tid = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;      // X events only
+  std::string thread_name;  // M events only
+};
+
+/// Minimal parser for the exact JSON shape chrome_trace_json emits
+/// (object with a "traceEvents" array). Not a general JSON parser.
+[[nodiscard]] Result<std::vector<ParsedEvent>> parse_chrome_trace(
+    const std::string& json);
+
+}  // namespace mad2::obs

@@ -1,0 +1,243 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "util/debug_hook.hpp"
+
+namespace mad2::obs {
+
+namespace detail {
+std::uint32_t g_trace_mask = 0;
+TraceRecorder* g_recorder = nullptr;
+}  // namespace detail
+
+namespace {
+
+ExecContext g_exec_context;
+std::string g_dump_directory;      // overrides MAD2_TRACE_DUMP when set
+bool g_dump_directory_set = false;
+std::string g_last_dump_path;
+std::uint64_t g_dump_counter = 0;
+
+struct CategoryName {
+  Category cat;
+  const char* name;
+};
+
+constexpr CategoryName kCategoryNames[] = {
+    {Category::kSwitch, "switch"}, {Category::kBmm, "bmm"},
+    {Category::kTm, "tm"},         {Category::kNet, "net"},
+    {Category::kFwd, "fwd"},       {Category::kRail, "rail"},
+};
+
+}  // namespace
+
+std::string_view to_string(Category category) {
+  for (const CategoryName& entry : kCategoryNames) {
+    if (entry.cat == category) return entry.name;
+  }
+  return "?";
+}
+
+bool parse_categories(std::string_view text, std::uint32_t* mask) {
+  *mask = 0;
+  while (!text.empty()) {
+    const std::size_t comma = text.find(',');
+    std::string_view token = text.substr(0, comma);
+    text = comma == std::string_view::npos ? std::string_view{}
+                                           : text.substr(comma + 1);
+    if (token.empty()) continue;
+    if (token == "all" || token == "1") {
+      *mask |= kAllCategories;
+      continue;
+    }
+    bool known = false;
+    for (const CategoryName& entry : kCategoryNames) {
+      if (token == entry.name) {
+        *mask |= static_cast<std::uint32_t>(entry.cat);
+        known = true;
+        break;
+      }
+    }
+    if (!known) return false;
+  }
+  return true;
+}
+
+ExecContext& exec_context() { return g_exec_context; }
+
+TraceRecorder::TraceRecorder(TraceConfig config)
+    : config_(std::move(config)) {
+  std::size_t slots =
+      config_.ring_kb * std::size_t{1024} / sizeof(TraceEvent);
+  if (slots == 0) slots = 1;
+  ring_.resize(slots);
+  tracks_[0] = "main";
+}
+
+TraceRecorder::~TraceRecorder() { uninstall_recorder(this); }
+
+bool TraceRecorder::channel_enabled(const std::string& name) const {
+  if (config_.channels.empty()) return true;
+  for (const std::string& allowed : config_.channels) {
+    if (allowed == name) return true;
+  }
+  return false;
+}
+
+void TraceRecorder::record(Category cat, const char* name,
+                           const char* detail, sim::Time ts,
+                           sim::Duration dur, std::uint64_t a0,
+                           std::uint64_t a1) {
+  const ExecContext& context = g_exec_context;
+  TraceEvent& slot = ring_[recorded_ % ring_.size()];
+  ++recorded_;
+  slot.ts = ts >= 0 ? ts : (context.now != nullptr ? *context.now : 0);
+  slot.dur = dur;
+  slot.track = context.fiber;
+  slot.name = name;
+  slot.detail = detail;
+  slot.a0 = a0;
+  slot.a1 = a1;
+  slot.cat = cat;
+  // Intern the fiber name on first sight; the const char* dies with the
+  // simulator, the exported trace must not.
+  if (auto [it, inserted] = tracks_.try_emplace(context.fiber); inserted) {
+    it->second = context.fiber_name != nullptr ? context.fiber_name : "?";
+  }
+}
+
+std::size_t TraceRecorder::size() const {
+  return recorded_ < ring_.size() ? static_cast<std::size_t>(recorded_)
+                                  : ring_.size();
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::vector<TraceEvent> events;
+  const std::size_t n = size();
+  events.reserve(n);
+  const std::uint64_t start = recorded_ - n;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    events.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return events;
+}
+
+void TraceRecorder::clear() {
+  recorded_ = 0;
+  tracks_.clear();
+  tracks_[0] = "main";
+}
+
+void install_recorder(TraceRecorder* recorder) {
+  detail::g_recorder = recorder;
+  detail::g_trace_mask =
+      recorder != nullptr ? recorder->config().categories : 0;
+  set_failure_dump_hook(recorder != nullptr ? &dump_on_failure : nullptr);
+}
+
+void uninstall_recorder(TraceRecorder* recorder) {
+  if (detail::g_recorder == recorder) install_recorder(nullptr);
+}
+
+TraceRecorder* recorder() { return detail::g_recorder; }
+
+TraceRecorder* ensure_env_recorder() {
+  const char* spec = std::getenv(kTraceEnvVar);
+  if (spec == nullptr || *spec == '\0') return nullptr;
+  if (detail::g_recorder != nullptr) return nullptr;
+
+  TraceConfig config;
+  if (!parse_categories(spec, &config.categories) ||
+      config.categories == 0) {
+    std::fprintf(stderr, "madtrace: ignoring unparsable %s='%s'\n",
+                 kTraceEnvVar, spec);
+    return nullptr;
+  }
+  if (const char* ring = std::getenv(kTraceRingEnvVar);
+      ring != nullptr && *ring != '\0') {
+    const long kb = std::strtol(ring, nullptr, 10);
+    if (kb > 0) config.ring_kb = static_cast<std::size_t>(kb);
+  }
+  // Deliberately leaked: this recorder must outlive every Session so the
+  // failure hook can still dump after the stack is torn down.
+  static TraceRecorder* env_recorder = nullptr;
+  static MetricsRegistry* env_metrics = nullptr;
+  if (env_recorder == nullptr) {
+    env_recorder = new TraceRecorder(std::move(config));
+    env_metrics = new MetricsRegistry;
+  }
+  install_recorder(env_recorder);
+  if (metrics() == nullptr) install_metrics(env_metrics);
+  return env_recorder;
+}
+
+void set_dump_directory(std::string directory) {
+  g_dump_directory = std::move(directory);
+  g_dump_directory_set = !g_dump_directory.empty();
+}
+
+const std::string& last_dump_path() { return g_last_dump_path; }
+
+void dump_on_failure(const char* reason) {
+  TraceRecorder* rec = detail::g_recorder;
+  if (rec == nullptr) return;
+
+  constexpr std::size_t kTail = 64;
+  const std::vector<TraceEvent> events = rec->snapshot();
+  const std::size_t begin =
+      events.size() > kTail ? events.size() - kTail : 0;
+  std::fprintf(stderr,
+               "madtrace: dumping last %zu of %llu events (reason: %s)\n",
+               events.size() - begin,
+               static_cast<unsigned long long>(rec->recorded()),
+               reason != nullptr ? reason : "?");
+  for (std::size_t i = begin; i < events.size(); ++i) {
+    const TraceEvent& event = events[i];
+    const auto track_it = rec->tracks().find(event.track);
+    const char* track = track_it != rec->tracks().end()
+                            ? track_it->second.c_str()
+                            : "?";
+    if (event.dur >= 0) {
+      std::fprintf(stderr,
+                   "  [%10.3fus] %-6s %-24s dur=%.3fus track=%s %s\n",
+                   static_cast<double>(event.ts) / 1000.0,
+                   std::string(to_string(event.cat)).c_str(), event.name,
+                   static_cast<double>(event.dur) / 1000.0, track,
+                   event.detail != nullptr ? event.detail : "");
+    } else {
+      std::fprintf(stderr, "  [%10.3fus] %-6s %-24s track=%s %s\n",
+                   static_cast<double>(event.ts) / 1000.0,
+                   std::string(to_string(event.cat)).c_str(), event.name,
+                   track, event.detail != nullptr ? event.detail : "");
+    }
+  }
+
+  const char* env_dir = std::getenv(kTraceDumpEnvVar);
+  const std::string dir = g_dump_directory_set
+                              ? g_dump_directory
+                              : (env_dir != nullptr ? env_dir : "");
+  if (dir.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string stem =
+      dir + "/trace-dump-" + std::to_string(g_dump_counter++);
+  const std::string trace_path = stem + ".json";
+  if (write_chrome_trace(*rec, trace_path)) {
+    g_last_dump_path = trace_path;
+    std::fprintf(stderr, "madtrace: wrote %s\n", trace_path.c_str());
+  }
+  if (MetricsRegistry* registry = metrics(); registry != nullptr) {
+    const std::string metrics_path = stem + "-metrics.json";
+    if (registry->write_json(metrics_path)) {
+      std::fprintf(stderr, "madtrace: wrote %s\n", metrics_path.c_str());
+    }
+  }
+}
+
+}  // namespace mad2::obs

@@ -4,6 +4,7 @@
 #include <charconv>
 #include <cstdlib>
 
+#include "util/debug_hook.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 
@@ -130,6 +131,9 @@ void record_failure(ExploreResult& result, const ExploreBody& body,
                     const ExploreOptions& options) {
   result.ok = false;
   result.failure = status.to_string();
+  // Dump the trace ring before shrinking reruns the body and overwrites
+  // the failing run's events with passing-schedule noise.
+  invoke_failure_dump_hook(result.failure.c_str());
   strip_trailing_zeros(trace);
   if (options.shrink) {
     trace = shrink_trace(body, std::move(trace), options.shrink_budget);
@@ -203,6 +207,7 @@ ExploreResult explore(const ExploreBody& body, ExploreOptions options) {
         // Report verbatim — no shrinking during a pinned replay.
         result.ok = false;
         result.failure = status.to_string();
+        invoke_failure_dump_hook(result.failure.c_str());
         result.trace = trace;
         result.replay_hint =
             std::string(kScheduleEnvVar) + "=" + trace_to_string(trace);

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace mad2::sim {
@@ -159,6 +160,12 @@ Status Simulator::run() {
   running_ = true;
   stop_requested_ = false;
 
+  // Publish this simulator's clock to the tracing layer for the duration
+  // of the run (restored on exit so stacked runs observe the right one).
+  obs::ExecContext& exec = obs::exec_context();
+  const sim::Time* previous_clock = exec.now;
+  exec.now = &now_;
+
   Event event;
   while (!stop_requested_ && next_event(&event)) {
     MAD2_CHECK(event.time >= now_, "event queue went backwards");
@@ -184,6 +191,7 @@ Status Simulator::run() {
   }
 
   running_ = false;
+  exec.now = previous_clock;
 
   std::string stuck;
   for (const auto& fiber : fibers_) {
@@ -202,7 +210,14 @@ Status Simulator::run() {
 void Simulator::resume(Fiber* fiber) {
   fiber->state_ = Fiber::State::kRunning;
   current_ = fiber;
+  // Trace events attribute to the running fiber's track; callbacks and
+  // the scheduler itself fall back to track 0 ("main").
+  obs::ExecContext& exec = obs::exec_context();
+  exec.fiber = fiber->id();
+  exec.fiber_name = fiber->name().c_str();
   swapcontext(&scheduler_context_, &fiber->context_);
+  exec.fiber = 0;
+  exec.fiber_name = "main";
   current_ = nullptr;
 }
 

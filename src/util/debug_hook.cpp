@@ -1,0 +1,19 @@
+#include "util/debug_hook.hpp"
+
+namespace mad2 {
+
+namespace {
+FailureDumpHook g_hook = nullptr;
+bool g_in_hook = false;
+}  // namespace
+
+void set_failure_dump_hook(FailureDumpHook hook) { g_hook = hook; }
+
+void invoke_failure_dump_hook(const char* reason) {
+  if (g_hook == nullptr || g_in_hook) return;
+  g_in_hook = true;
+  g_hook(reason);
+  g_in_hook = false;
+}
+
+}  // namespace mad2

@@ -1,0 +1,20 @@
+// Process-wide failure hook. Low layers (MAD2_CHECK aborts, madcheck's
+// failure recorder, the reliable shim's give-up path) call
+// invoke_failure_dump_hook just before reporting a fatal condition;
+// higher layers — in practice obs::install_recorder — register a dump
+// function here. util must not depend on obs, so the indirection lives
+// down here as a bare function pointer.
+#pragma once
+
+namespace mad2 {
+
+using FailureDumpHook = void (*)(const char* reason);
+
+/// Replaces any previous hook; nullptr disarms.
+void set_failure_dump_hook(FailureDumpHook hook);
+
+/// Calls the installed hook, guarding against reentry (a hook that
+/// itself fails a check must not recurse). No-op when disarmed.
+void invoke_failure_dump_hook(const char* reason);
+
+}  // namespace mad2

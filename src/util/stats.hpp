@@ -75,6 +75,10 @@ struct PerfPoint {
   std::uint64_t size_bytes = 0;
   double latency_us = 0.0;
   double bandwidth_mbs = 0.0;
+  /// Per-iteration one-way latency percentiles (0 when the harness did
+  /// not collect per-iteration samples for this point).
+  double p50_us = 0.0;
+  double p99_us = 0.0;
 };
 
 /// A labeled curve of PerfPoints (one line of a paper figure).

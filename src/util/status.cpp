@@ -1,5 +1,7 @@
 #include "util/status.hpp"
 
+#include "util/debug_hook.hpp"
+
 namespace mad2 {
 
 std::string_view error_code_name(ErrorCode code) {
@@ -44,6 +46,7 @@ void check_failed(const char* file, int line, const char* expr,
                   const char* msg) {
   std::fprintf(stderr, "MAD2_CHECK failed at %s:%d: (%s) %s\n", file, line,
                expr, msg);
+  invoke_failure_dump_hook(expr);
   std::abort();
 }
 

@@ -687,5 +687,98 @@ TEST(MadCalibration, SisciDualBufferingKinkAtEightKB) {
   EXPECT_GT(above_mbs, below_mbs * 1.2);
 }
 
+// ------------------------------------------------- stats merge dedupe ---
+//
+// Regression: TrafficStats::merge used to blind-add node-level MemCounters
+// and link-level ReliabilityCounters, so merging endpoints that share a
+// node (or a reliable port) double-counted them. Identity-tagged samples
+// (mem_by_node / reliability_by_link) must dedupe by key.
+
+TEST(TrafficStatsMerge, SharedIdentityCountsOnce) {
+  TrafficStats a;
+  a.mem.memcpy_bytes = 1000;
+  a.mem.alloc_count = 3;
+  a.mem_by_node[0] = a.mem;
+  a.reliability.data_frames = 50;
+  a.reliability.retransmits = 2;
+  a.reliability_by_link["tcp0:4"] = a.reliability;
+
+  // A second endpoint on the same node and reliable port took a slightly
+  // newer snapshot of the same monotonic counters.
+  TrafficStats b = a;
+  b.mem.memcpy_bytes = 1200;
+  b.mem_by_node[0] = b.mem;
+  b.reliability.retransmits = 3;
+  b.reliability_by_link["tcp0:4"] = b.reliability;
+
+  a.merge(b);
+  EXPECT_EQ(a.mem.memcpy_bytes, 1200u);  // newest snapshot, not 2200
+  EXPECT_EQ(a.mem.alloc_count, 3u);
+  EXPECT_EQ(a.reliability.data_frames, 50u);  // not 100
+  EXPECT_EQ(a.reliability.retransmits, 3u);
+}
+
+TEST(TrafficStatsMerge, DistinctIdentitiesStillAdd) {
+  TrafficStats a;
+  TrafficStats b;
+  a.mem.memcpy_bytes = 100;
+  a.mem_by_node[0].memcpy_bytes = 100;
+  b.mem.memcpy_bytes = 70;
+  b.mem_by_node[1].memcpy_bytes = 70;
+  a.reliability.data_frames = 5;
+  a.reliability_by_link["tcp0:0"].data_frames = 5;
+  b.reliability.data_frames = 7;
+  b.reliability_by_link["tcp0:1"].data_frames = 7;
+  a.merge(b);
+  EXPECT_EQ(a.mem.memcpy_bytes, 170u);
+  EXPECT_EQ(a.reliability.data_frames, 12u);
+}
+
+TEST(TrafficStatsMerge, UntaggedStatsFallBackToBlindAdd) {
+  TrafficStats a;
+  TrafficStats b;
+  a.mem.memcpy_bytes = 10;
+  b.mem.memcpy_bytes = 5;
+  a.reliability.retransmits = 1;
+  b.reliability.retransmits = 2;
+  a.merge(b);
+  EXPECT_EQ(a.mem.memcpy_bytes, 15u);
+  EXPECT_EQ(a.reliability.retransmits, 3u);
+}
+
+TEST(TrafficStatsMerge, EndpointsSharingANodeDoNotDoubleCountMem) {
+  // Two channels over one network: node 0 has two endpoints, both
+  // reporting the same node-level memory counters.
+  Session session(one_network_config(NetworkKind::kTcp, 2, 2));
+  session.spawn(0, "sender", [&](NodeRuntime& rt) {
+    for (const char* ch : {"ch0", "ch1"}) {
+      auto payload = make_pattern_buffer(4096, 9);
+      auto& conn = rt.channel(ch).begin_packing(1);
+      conn.pack(payload);
+      conn.end_packing();
+    }
+  });
+  session.spawn(1, "receiver", [&](NodeRuntime& rt) {
+    for (const char* ch : {"ch0", "ch1"}) {
+      auto& conn = rt.channel(ch).begin_unpacking();
+      std::vector<std::byte> out(4096);
+      conn.unpack(out);
+      conn.end_unpacking();
+    }
+  });
+  ASSERT_TRUE(session.run().is_ok());
+
+  const TrafficStats s0 = session.endpoint("ch0", 0).stats();
+  const TrafficStats s1 = session.endpoint("ch1", 0).stats();
+  ASSERT_GT(s0.mem.memcpy_bytes, 0u);
+  ASSERT_EQ(s0.mem.memcpy_bytes, s1.mem.memcpy_bytes);  // same node
+
+  TrafficStats merged = s0;
+  merged.merge(s1);
+  EXPECT_EQ(merged.mem.memcpy_bytes, s0.mem.memcpy_bytes)
+      << "merging two endpoints of one node double-counted its memory";
+  EXPECT_EQ(merged.messages_sent, s0.messages_sent + s1.messages_sent);
+}
+
 }  // namespace
 }  // namespace mad2::mad
