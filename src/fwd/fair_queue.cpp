@@ -1,0 +1,101 @@
+#include "fwd/fair_queue.hpp"
+
+#include <algorithm>
+
+#include "util/debug_hook.hpp"
+
+namespace mad2::fwd {
+
+FairPacketQueue::FairPacketQueue(sim::Simulator* simulator,
+                                 std::size_t capacity, std::size_t quantum)
+    : capacity_(capacity),
+      quantum_(quantum),
+      not_empty_(simulator),
+      not_full_(simulator) {
+  MAD2_CHECK(capacity_ > 0, "fair queue capacity must be positive");
+  MAD2_CHECK(quantum_ > 0, "fair queue quantum must be positive");
+}
+
+void FairPacketQueue::send(Packet packet) {
+  while (depth_ >= capacity_ && !closed_) not_full_.wait();
+  MAD2_CHECK(!closed_, "send on a closed fair queue");
+  const std::uint64_t key = flow_key(packet.header.src, packet.header.dst);
+  FlowQueue& flow = flows_[key];
+  if (flow.packets.empty()) {
+    // DRR+-style two-class reactivation. A weighted (> 1) flow waking
+    // from idle joins the round at the head with a fresh quantum: the
+    // latency-sensitive kind keeps no standing backlog, so it waits
+    // behind at most the packet in service. Weight-1 flows must rejoin
+    // at the tail with no credit — windowed bulk flows drain their lane
+    // to empty between round trips, and expediting that churn would let
+    // a herd of them leapfrog the head forever (observed as seconds of
+    // starvation in the incast bench).
+    if (flow.weight > 1.0) {
+      active_.push_front(key);
+      flow.deficit = scaled_quantum(flow.weight);
+    } else {
+      active_.push_back(key);
+    }
+  }
+  flow.packets.push_back(std::move(packet));
+  ++depth_;
+  depth_hwm_ = std::max(depth_hwm_, depth_);
+  FlowStats& stats = flows_stats_[key];
+  ++stats.enqueued;
+  stats.depth = flow.packets.size();
+  stats.depth_hwm = std::max(stats.depth_hwm, stats.depth);
+  not_empty_.notify_all();
+}
+
+std::optional<Packet> FairPacketQueue::receive() {
+  while (depth_ == 0 && !closed_) not_empty_.wait();
+  if (depth_ == 0) return std::nullopt;  // closed and drained
+  for (;;) {
+    MAD2_CHECK(!active_.empty(), "fair queue depth/schedule drift");
+    const std::uint64_t key = active_.front();
+    FlowQueue& flow = flows_.at(key);
+    MAD2_CHECK(!flow.packets.empty(), "empty flow on the active list");
+    // +1 so zero-payload packets still consume deficit (no free spins).
+    const std::size_t cost = flow.packets.front().header.payload_len + 1;
+    if (flow.deficit < cost) {
+      flow.deficit += scaled_quantum(flow.weight);
+      active_.pop_front();
+      active_.push_back(key);
+      continue;
+    }
+    flow.deficit -= cost;
+    Packet packet = std::move(flow.packets.front());
+    flow.packets.pop_front();
+    --depth_;
+    if (flow.packets.empty()) {
+      // An idle flow must not bank deficit against future rounds.
+      active_.pop_front();
+      flow.deficit = 0;
+    }
+    FlowStats& stats = flows_stats_.at(key);
+    ++stats.dequeued;
+    stats.bytes += packet.header.payload_len;
+    stats.depth = flow.packets.size();
+    not_full_.notify_all();
+    return packet;
+  }
+}
+
+void FairPacketQueue::set_weight(std::uint64_t flow, double weight) {
+  MAD2_CHECK(weight > 0.0, "fair queue flow weight must be positive");
+  flows_[flow].weight = weight;
+}
+
+std::size_t FairPacketQueue::scaled_quantum(double weight) const {
+  const auto scaled =
+      static_cast<std::size_t>(static_cast<double>(quantum_) * weight);
+  return scaled < 1 ? 1 : scaled;
+}
+
+void FairPacketQueue::close() {
+  closed_ = true;
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+}  // namespace mad2::fwd

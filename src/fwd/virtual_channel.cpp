@@ -4,6 +4,8 @@
 #include <cstring>
 #include <limits>
 
+#include "fwd/fair_queue.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/sync.hpp"
 #include "util/bytes.hpp"
@@ -34,6 +36,11 @@ VirtualChannel::VirtualChannel(mad::Session& session, VirtualChannelDef def)
     : session_(&session), def_(std::move(def)), pool_(def_.mtu) {
   MAD2_CHECK(!def_.hops.empty(), "virtual channel needs at least one hop");
   MAD2_CHECK(def_.mtu > kBlockHeaderBytes, "MTU too small");
+  if (def_.congestion.has_value()) {
+    congestion_ = *def_.congestion;
+  } else if (session_->config().congestion.has_value()) {
+    congestion_ = *session_->config().congestion;
+  }
   for (const std::string& hop : def_.hops) {
     hop_channels_.push_back(&session_->channel(hop));
   }
@@ -163,7 +170,7 @@ std::size_t VirtualChannel::terminal_hop(std::uint32_t node) const {
 void VirtualChannel::send_packet(
     mad::ChannelEndpoint& hop_endpoint, std::uint32_t to, PacketHeader header,
     std::span<const std::span<const std::byte>> pieces,
-    std::vector<std::uint32_t>& sizes_scratch) {
+    std::vector<std::uint32_t>& sizes_scratch, sim::Time stamp) {
   header.n_pieces = static_cast<std::uint32_t>(pieces.size());
   sizes_scratch.clear();
   std::uint64_t total = 0;
@@ -182,6 +189,13 @@ void VirtualChannel::send_packet(
   span.args(header.payload_len, header.dst);
   mad::Connection& conn = hop_endpoint.begin_packing(to);
   mad::mad_pack_value(conn, header, mad::send_CHEAPER, mad::receive_EXPRESS);
+  if (congestion_.enabled) {
+    // Congestion control rides the send timestamp as its own EXPRESS
+    // block; with the feature off the byte stream is bit-identical to the
+    // pre-congestion wire format.
+    mad::mad_pack_value(conn, stamp, mad::send_CHEAPER,
+                        mad::receive_EXPRESS);
+  }
   if (!sizes_scratch.empty()) {
     conn.pack(std::as_bytes(std::span(sizes_scratch)), mad::send_CHEAPER,
               mad::receive_EXPRESS);
@@ -203,6 +217,10 @@ Packet VirtualChannel::receive_packet(mad::ChannelEndpoint& hop_endpoint,
   PacketBuffer& buffer = *packet.storage;
   mad::mad_unpack_value(conn, packet.header, mad::send_CHEAPER,
                         mad::receive_EXPRESS);
+  if (congestion_.enabled) {
+    mad::mad_unpack_value(conn, packet.stamp, mad::send_CHEAPER,
+                          mad::receive_EXPRESS);
+  }
   // The stream is self-described, so a corrupted or hostile header could
   // otherwise drive the landing loop past the fixed-MTU buffer.
   MAD2_CHECK(packet.header.payload_len <= def_.mtu,
@@ -288,17 +306,55 @@ void VirtualChannel::spawn_gateway(std::uint32_t gateway, std::size_t hop_in,
                               "store_forward");
               hop.args(packet.header.payload_len, packet.header.dst);
               send_packet(ep_out, to, packet.header, packet.storage->pieces,
-                          packet.storage->sizes);
+                          packet.storage->sizes, packet.stamp);
             }
           });
+      return;
+    }
+    const std::string tag = def_.name + ".gw" + std::to_string(gateway) +
+                            "." + std::to_string(in) + "to" +
+                            std::to_string(out);
+    if (congestion_.enabled) {
+      // Congestion mode swaps the FIFO pipeline queue for a deficit-
+      // round-robin queue keyed by (src, dst): when N inbound flows
+      // converge on this gateway, the tx fiber drains them by byte-fair
+      // quanta instead of arrival order, so one heavy flow cannot
+      // monopolize the outgoing hop.
+      fair_queues_.push_back(std::make_unique<FairPacketQueue>(
+          &session_->simulator(), congestion_.gateway_queue,
+          congestion_.quantum));
+      FairPacketQueue* queue = fair_queues_.back().get();
+      fair_gateways_.push_back(FairGateway{gateway, in, out, queue});
+      session_->simulator().spawn_daemon(tag + ".rx", [this, in, gateway,
+                                                       queue] {
+        mad::ChannelEndpoint& ep = hop_channels_[in]->endpoint(gateway);
+        for (;;) {
+          Packet packet = receive_packet(ep);
+          MAD2_CHECK(packet.header.dst != gateway,
+                     "forwarding packet addressed to the gateway itself");
+          MAD2_TRACE_SPAN(stage, obs::Category::kFwd, "fwd.gw_enqueue");
+          stage.args(packet.header.payload_len, packet.header.dst);
+          queue->send(std::move(packet));
+        }
+      });
+      session_->simulator().spawn_daemon(tag + ".tx", [this, out, gateway,
+                                                       queue] {
+        mad::ChannelEndpoint& ep = hop_channels_[out]->endpoint(gateway);
+        for (;;) {
+          auto packet = queue->receive();
+          if (!packet.has_value()) return;
+          const std::uint32_t to = next_node(out, packet->header.dst);
+          MAD2_TRACE_SPAN(hop, obs::Category::kFwd, "fwd.hop", "fair");
+          hop.args(packet->header.payload_len, packet->header.dst);
+          send_packet(ep, to, packet->header, packet->storage->pieces,
+                      packet->storage->sizes, packet->stamp);
+        }
+      });
       return;
     }
     gateway_queues_.push_back(std::make_unique<sim::BoundedChannel<Packet>>(
         &session_->simulator(), def_.pipeline_depth));
     sim::BoundedChannel<Packet>* queue = gateway_queues_.back().get();
-    const std::string tag = def_.name + ".gw" + std::to_string(gateway) +
-                            "." + std::to_string(in) + "to" +
-                            std::to_string(out);
     session_->simulator().spawn_daemon(tag + ".rx", [this, in, gateway,
                                                      queue] {
       mad::ChannelEndpoint& ep = hop_channels_[in]->endpoint(gateway);
@@ -328,7 +384,7 @@ void VirtualChannel::spawn_gateway(std::uint32_t gateway, std::size_t hop_in,
         // as one send_buffer_group. The received size list is dead by
         // now, so it doubles as the send-side scratch.
         send_packet(ep, to, packet->header, packet->storage->pieces,
-                    packet->storage->sizes);
+                    packet->storage->sizes, packet->stamp);
         // `packet` dies here: borrows release to the incoming TM and the
         // buffer recycles into the pool.
       }
@@ -336,6 +392,108 @@ void VirtualChannel::spawn_gateway(std::uint32_t gateway, std::size_t hop_in,
   };
   spawn_direction(hop_in, hop_out);
   spawn_direction(hop_out, hop_in);
+}
+
+VirtualChannel::FlowControl& VirtualChannel::flow_control(std::uint32_t src,
+                                                          std::uint32_t dst) {
+  const auto key = std::make_pair(src, dst);
+  auto it = flows_.find(key);
+  if (it != flows_.end()) return it->second;
+  // First packet of this flow: seed the window from the sender's first-hop
+  // driver bandwidth self-report (about one millisecond of line rate, in
+  // MTU packets), clamped to the configured window bounds.
+  const std::size_t hop = hop_of(src, dst);
+  const double hint =
+      hop_channels_[hop]->endpoint(src).pmm().bandwidth_hint_mbs();
+  const double initial = mad::seed_window(congestion_, hint, def_.mtu);
+  FlowControl flow;
+  flow.window = std::make_unique<mad::CongestionWindow>(
+      &session_->simulator(), congestion_, initial);
+  flow.hist_name = def_.name + ".flow." + std::to_string(src) + "-" +
+                   std::to_string(dst) + ".e2e";
+  return flows_.emplace(key, std::move(flow)).first->second;
+}
+
+void VirtualChannel::set_flow_weight(std::uint32_t src, std::uint32_t dst,
+                                     double weight) {
+  MAD2_CHECK(congestion_.enabled,
+             "flow weights need the congestion stanza (the FIFO pipeline "
+             "has no per-flow schedule to weight)");
+  const std::uint64_t key = FairPacketQueue::flow_key(src, dst);
+  for (auto& queue : fair_queues_) queue->set_weight(key, weight);
+}
+
+void VirtualChannel::on_packet_delivered(const Packet& packet) {
+  FlowControl& flow = flow_control(packet.header.src, packet.header.dst);
+  const sim::Duration delay =
+      session_->simulator().now() - packet.stamp;
+  flow.window->on_delivered(delay);
+  ++flow.packets;
+  flow.bytes += packet.header.payload_len;
+  if (obs::MetricsRegistry* registry = obs::metrics()) {
+    registry->histogram(flow.hist_name)->record(delay);
+  }
+}
+
+mad::TrafficStats VirtualChannel::stats() const {
+  mad::TrafficStats stats;
+  for (const auto& [key, flow] : flows_) {
+    mad::FlowCounters counters;
+    counters.packets = flow.packets;
+    counters.bytes = flow.bytes;
+    counters.cwnd = flow.window->cwnd();
+    counters.srtt_us = sim::to_us(flow.window->srtt());
+    stats.flows[std::to_string(key.first) + "->" +
+                std::to_string(key.second)] = counters;
+  }
+  for (const auto& queue : fair_queues_) {
+    for (const auto& [key, fstats] : queue->flow_stats()) {
+      const std::string name =
+          std::to_string(FairPacketQueue::flow_src(key)) + "->" +
+          std::to_string(FairPacketQueue::flow_dst(key));
+      mad::FlowCounters& mine = stats.flows[name];
+      mine.queue_depth_hwm =
+          std::max<std::uint64_t>(mine.queue_depth_hwm, fstats.depth_hwm);
+    }
+  }
+  return stats;
+}
+
+void VirtualChannel::export_metrics(obs::MetricsRegistry& registry) const {
+  for (const auto& [key, flow] : flows_) {
+    const std::string prefix = def_.name + ".flow." +
+                               std::to_string(key.first) + "-" +
+                               std::to_string(key.second);
+    registry.set_value(
+        prefix + ".cwnd_x1000",
+        static_cast<std::int64_t>(flow.window->cwnd() * 1000.0));
+    registry.set_value(
+        prefix + ".srtt_us",
+        static_cast<std::int64_t>(sim::to_us(flow.window->srtt())));
+    registry.set_value(prefix + ".packets",
+                       static_cast<std::int64_t>(flow.packets));
+  }
+  for (const auto& gw : fair_gateways_) {
+    const std::string prefix =
+        def_.name + ".gw" + std::to_string(gw.gateway) + "." +
+        std::to_string(gw.hop_in) + "to" + std::to_string(gw.hop_out);
+    registry.set_value(prefix + ".queue_depth_hwm",
+                       static_cast<std::int64_t>(gw.queue->depth_hwm()));
+  }
+}
+
+const mad::CongestionWindow* VirtualChannel::flow_window(
+    std::uint32_t src, std::uint32_t dst) const {
+  auto it = flows_.find(std::make_pair(src, dst));
+  if (it == flows_.end()) return nullptr;
+  return it->second.window.get();
+}
+
+std::vector<std::size_t> VirtualChannel::gateway_queue_depths() const {
+  std::vector<std::size_t> depths;
+  depths.reserve(fair_queues_.size());
+  for (const auto& queue : fair_queues_) depths.push_back(queue->depth());
+  return depths;
 }
 
 // --------------------------------------------------------- VirtualEndpoint ---
@@ -369,6 +527,12 @@ std::uint32_t VirtualEndpoint::fetch_packet(Demand* demand) {
   Packet packet = channel_->receive_packet(*terminal_ep_, demand);
   MAD2_CHECK(packet.header.dst == local_,
              "virtual packet delivered to the wrong node");
+  // End-to-end feedback: free the sender's window slot and feed the
+  // delivery delay into the flow's estimator. Empty packets (bare `last`
+  // markers) never took a slot, so they must not release one.
+  if (channel_->congestion_enabled() && packet.header.payload_len > 0) {
+    channel_->on_packet_delivered(packet);
+  }
   const std::uint32_t src = packet.header.src;
   std::size_t staged = 0;
   for (const auto& piece : packet.storage->pieces) staged += piece.size();
@@ -556,7 +720,19 @@ void VirtualConnection::flush_packet(bool last) {
         sim::transfer_time(taken, channel.def().sender_rate_mbs);
   }
 
-  channel.send_packet(ep, to, header, gather_scratch_, sizes_scratch_);
+  // End-to-end window: block until the flow has room in flight. The stamp
+  // is taken after admission, so time spent waiting here is the sender's
+  // own queueing, not network delay — the estimator only sees the path.
+  sim::Time stamp = 0;
+  if (channel.congestion_enabled() && taken > 0) {
+    VirtualChannel::FlowControl& flow =
+        channel.flow_control(endpoint_->local(), remote_);
+    flow.window->before_send();
+    stamp = channel.session().simulator().now();
+  }
+
+  channel.send_packet(ep, to, header, gather_scratch_, sizes_scratch_,
+                      stamp);
   // The packet is fully on the wire (end_packing committed every piece);
   // now the consumed meta buffers can go.
   for (std::size_t i = 0; i < metas_consumed; ++i) metas_.pop_front();

@@ -37,15 +37,19 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "fwd/packet_pool.hpp"
+#include "mad/congestion.hpp"
 #include "mad/madeleine.hpp"
 #include "sim/sync.hpp"
 
 namespace mad2::fwd {
+
+class FairPacketQueue;
 
 struct VirtualChannelDef {
   std::string name;
@@ -65,6 +69,12 @@ struct VirtualChannelDef {
   /// token bucket, so inbound traffic cannot thrash the gateway's PCI bus.
   /// 0 disables pacing.
   double sender_rate_mbs = 0.0;
+  /// End-to-end congestion control override for this virtual channel
+  /// (per-flow windows + fair gateway queues, see mad/congestion.hpp).
+  /// Unset falls back to the session's `congestion` stanza; neither set
+  /// leaves the data path exactly as before (no stamp on the wire, FIFO
+  /// gateway queues, no windowing).
+  std::optional<mad::CongestionConfig> congestion;
 };
 
 class VirtualChannel;
@@ -150,6 +160,11 @@ struct Packet {
     std::uint32_t last;      // last packet of the message
     std::uint32_t n_pieces;  // gather-list entries in this packet
   } header;
+  /// Send timestamp for the end-to-end delay feedback. Travels as a
+  /// separate EXPRESS block after the header — and ONLY when congestion
+  /// control is enabled, so the wire byte stream of existing sessions is
+  /// bit-identical. Gateways forward it unchanged.
+  sim::Time stamp = 0;
   PooledBuffer storage;
 };
 
@@ -243,6 +258,38 @@ class VirtualChannel {
   /// The channel's packet-buffer pool (introspection for tests/benches).
   [[nodiscard]] const PacketPool& pool() const { return pool_; }
 
+  /// Resolved congestion config: the def's override, else the session's
+  /// `congestion` stanza, else disabled.
+  [[nodiscard]] const mad::CongestionConfig& congestion() const {
+    return congestion_;
+  }
+  [[nodiscard]] bool congestion_enabled() const {
+    return congestion_.enabled;
+  }
+
+  /// Weighted-fair share for flow src -> dst at every gateway fair queue
+  /// of this channel: backlogged flows split each forwarding hop in
+  /// weight proportion (default 1). Requires the congestion stanza — the
+  /// FIFO pipeline has no per-flow schedule to weight.
+  void set_flow_weight(std::uint32_t src, std::uint32_t dst, double weight);
+
+  /// Per-flow traffic/control snapshot: TrafficStats with `flows` filled
+  /// (delivered packets/bytes, window + smoothed delay, gateway-queue
+  /// depth high-water marks). Empty unless congestion control is on.
+  [[nodiscard]] mad::TrafficStats stats() const;
+  /// Pour cwnd / srtt / queue-depth gauges into `registry` (per-flow e2e
+  /// delay histograms accumulate in the ambient registry as packets
+  /// deliver; this adds the control-state scalars next to them).
+  void export_metrics(obs::MetricsRegistry& registry) const;
+
+  /// The send window of flow src -> dst; nullptr while congestion is off
+  /// or the flow never sent. Test/bench introspection.
+  [[nodiscard]] const mad::CongestionWindow* flow_window(
+      std::uint32_t src, std::uint32_t dst) const;
+  /// Current depth of every gateway fair queue (drain evidence for
+  /// tests). Empty when congestion control is off.
+  [[nodiscard]] std::vector<std::size_t> gateway_queue_depths() const;
+
   // --- internals shared with endpoints/gateway pumps ---------------------
   /// Per-block self-description prepended to each packed block.
   struct BlockHeader {
@@ -267,10 +314,13 @@ class VirtualChannel {
   /// Ship one packet: header + piece-size list (EXPRESS), then the pieces
   /// (CHEAPER — ridden zero-copy by the underlying TMs where possible).
   /// `sizes_scratch` is caller-owned reusable scratch for the size list.
+  /// With congestion control on, `stamp` (the flow's send time) rides as
+  /// an extra EXPRESS block right after the header.
   void send_packet(mad::ChannelEndpoint& hop_endpoint, std::uint32_t to,
                    PacketHeader header,
                    std::span<const std::span<const std::byte>> pieces,
-                   std::vector<std::uint32_t>& sizes_scratch);
+                   std::vector<std::uint32_t>& sizes_scratch,
+                   sim::Time stamp = 0);
   /// Receive one packet into a pooled buffer. Pieces land, in order:
   /// directly in `demand`'s window (when given, the source matches, and
   /// the piece fits — endpoints only), as borrowed driver slots (static-
@@ -281,11 +331,27 @@ class VirtualChannel {
 
  private:
   friend class VirtualEndpoint;
+  friend class VirtualConnection;
   void spawn_gateway(std::uint32_t gateway, std::size_t hop_in,
                      std::size_t hop_out);
 
+  /// End-to-end control state of one flow (src, dst). The sending fiber
+  /// blocks on the window in flush_packet; the receiving endpoint feeds
+  /// delivery timestamps back through on_packet_delivered — fibers share
+  /// the channel object, so the feedback edge is a call, not a wire
+  /// message (the simulated analogue of ack-borne signaling).
+  struct FlowControl {
+    std::unique_ptr<mad::CongestionWindow> window;
+    std::string hist_name;  // per-flow e2e histogram in the registry
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+  };
+  FlowControl& flow_control(std::uint32_t src, std::uint32_t dst);
+  void on_packet_delivered(const Packet& packet);
+
   mad::Session* session_;
   VirtualChannelDef def_;
+  mad::CongestionConfig congestion_;  // resolved (def > session > off)
   std::vector<mad::Channel*> hop_channels_;
   std::vector<std::uint32_t> gateways_;  // gateways_[i] joins hop i, i+1
   std::vector<std::uint32_t> nodes_;
@@ -300,6 +366,16 @@ class VirtualChannel {
   PacketPool pool_;
   std::map<std::uint32_t, std::unique_ptr<VirtualEndpoint>> endpoints_;
   std::vector<std::unique_ptr<sim::BoundedChannel<Packet>>> gateway_queues_;
+  // Congestion-control state (all empty/idle when congestion_ is off).
+  std::map<std::pair<std::uint32_t, std::uint32_t>, FlowControl> flows_;
+  struct FairGateway {
+    std::uint32_t gateway;
+    std::size_t hop_in;
+    std::size_t hop_out;
+    FairPacketQueue* queue;
+  };
+  std::vector<std::unique_ptr<FairPacketQueue>> fair_queues_;
+  std::vector<FairGateway> fair_gateways_;
 };
 
 }  // namespace mad2::fwd

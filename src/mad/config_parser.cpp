@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cstdlib>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -26,6 +27,13 @@ bool parse_u32(const std::string& token, std::uint32_t* out) {
   const char* end = begin + token.size();
   auto [ptr, ec] = std::from_chars(begin, end, *out);
   return ec == std::errc() && ptr == end;
+}
+
+bool parse_f64(const std::string& token, double* out) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(token.c_str(), &end);
+  return end == token.c_str() + token.size();
 }
 
 Status error_at(int line, const std::string& message) {
@@ -248,6 +256,102 @@ Result<SessionConfig> parse_session_config(std::string_view text) {
         return error_at(line_number, "at most 32 rails per set");
       }
       config.rail_sets.push_back(std::move(rails));
+      continue;
+    }
+
+    if (directive == "congestion") {
+      if (config.congestion.has_value()) {
+        return error_at(line_number, "duplicate 'congestion'");
+      }
+      CongestionConfig cc;
+      cc.enabled = true;
+      // Contradictory knob combinations are config errors, not something
+      // the window arithmetic can paper over — mirror the rails checks.
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        const std::string& token = tokens[i];
+        if (token.rfind("window=", 0) == 0) {
+          std::uint32_t window = 0;
+          if (!parse_u32(token.substr(7), &window) || window == 0) {
+            return error_at(line_number,
+                            "invalid congestion window '" + token + "'");
+          }
+          cc.init_window = window;
+        } else if (token.rfind("min_window=", 0) == 0) {
+          std::uint32_t window = 0;
+          if (!parse_u32(token.substr(11), &window) || window == 0) {
+            return error_at(
+                line_number,
+                "invalid congestion min_window '" + token +
+                    "' (a zero minimum would starve the flow forever)");
+          }
+          cc.min_window = window;
+        } else if (token.rfind("max_window=", 0) == 0) {
+          std::uint32_t window = 0;
+          if (!parse_u32(token.substr(11), &window) || window == 0) {
+            return error_at(line_number,
+                            "invalid congestion max_window '" + token + "'");
+          }
+          cc.max_window = window;
+        } else if (token.rfind("gain=", 0) == 0) {
+          double gain = 0.0;
+          if (!parse_f64(token.substr(5), &gain) || gain <= 0.0) {
+            return error_at(line_number,
+                            "invalid congestion gain '" + token +
+                                "' (must be positive)");
+          }
+          cc.gain = gain;
+        } else if (token.rfind("decrease=", 0) == 0) {
+          double decrease = 0.0;
+          if (!parse_f64(token.substr(9), &decrease) || decrease <= 0.0 ||
+              decrease >= 1.0) {
+            return error_at(line_number,
+                            "invalid congestion decrease '" + token +
+                                "' (must be in (0, 1))");
+          }
+          cc.decrease = decrease;
+        } else if (token.rfind("backlog=", 0) == 0) {
+          double backlog = 0.0;
+          if (!parse_f64(token.substr(8), &backlog) || backlog <= 1.0) {
+            return error_at(line_number,
+                            "invalid congestion backlog '" + token +
+                                "' (must be > 1: smoothed delay at the "
+                                "observed floor is not congestion)");
+          }
+          cc.backlog_factor = backlog;
+        } else if (token.rfind("quantum=", 0) == 0) {
+          std::uint32_t quantum = 0;
+          if (!parse_u32(token.substr(8), &quantum) || quantum == 0) {
+            return error_at(line_number,
+                            "invalid congestion quantum '" + token + "'");
+          }
+          cc.quantum = quantum;
+        } else if (token.rfind("gateway_queue=", 0) == 0) {
+          std::uint32_t depth = 0;
+          if (!parse_u32(token.substr(14), &depth) || depth == 0) {
+            return error_at(line_number,
+                            "invalid congestion gateway_queue '" + token +
+                                "'");
+          }
+          cc.gateway_queue = depth;
+        } else {
+          return error_at(line_number,
+                          "unknown congestion option '" + token +
+                              "' (expected window=, min_window=, "
+                              "max_window=, gain=, decrease=, backlog=, "
+                              "quantum=, gateway_queue=)");
+        }
+      }
+      if (cc.max_window < cc.min_window) {
+        return error_at(line_number,
+                        "congestion max_window is below min_window");
+      }
+      if (cc.init_window != 0 && (cc.init_window < cc.min_window ||
+                                  cc.init_window > cc.max_window)) {
+        return error_at(line_number,
+                        "congestion window is outside "
+                        "[min_window, max_window]");
+      }
+      config.congestion = cc;
       continue;
     }
 

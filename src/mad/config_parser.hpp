@@ -24,6 +24,18 @@
 //       ring_kb sizes the event ring, channels= restricts Switch-level
 //       events to the named channels (see obs/trace.hpp). The MAD2_TRACE
 //       environment variable overrides this stanza.
+//   congestion [window=N] [min_window=N] [max_window=N] [gain=F]
+//              [decrease=F] [backlog=F] [quantum=N] [gateway_queue=N]
+//       enable end-to-end congestion windows and weighted-fair flow
+//       scheduling (see mad/congestion.hpp and docs/CONGESTION.md):
+//       window= seeds the per-flow window in packets (0/omitted derives
+//       a bandwidth-delay product from the driver's bandwidth hint),
+//       clamped to [min_window, max_window]; gain/decrease/backlog tune
+//       the AIMD loop (additive increase per delivered window, cut
+//       factor in (0,1), congestion threshold > 1 relative to the delay
+//       floor); quantum= is the DRR byte credit per scheduling round and
+//       gateway_queue= the gateway forwarding-queue depth in packets.
+//       Absent stanza = everything off (the default fast path).
 //
 // Errors come back as INVALID_ARGUMENT with the line number.
 #pragma once

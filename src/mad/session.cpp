@@ -356,6 +356,11 @@ void Session::export_metrics(obs::MetricsRegistry& registry) {
       registry.set_value(prefix + "dup_frames", u(c.dup_frames));
       registry.set_value(prefix + "corrupt_frames", u(c.corrupt_frames));
       registry.set_value(prefix + "give_ups", u(c.give_ups));
+      registry.set_value(prefix + "rtt_samples", u(c.rtt_samples));
+      registry.set_value(prefix + "srtt_us",
+                         static_cast<std::int64_t>(sim::to_us(c.srtt)));
+      registry.set_value(prefix + "min_rtt_us",
+                         static_cast<std::int64_t>(sim::to_us(c.min_rtt)));
     }
   }
 }

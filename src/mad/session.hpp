@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "hw/node.hpp"
+#include "mad/congestion.hpp"
 #include "mad/connection.hpp"
 #include "mad/bip_options.hpp"
 #include "mad/rail_set.hpp"
@@ -114,6 +115,11 @@ struct SessionConfig {
   /// lifetime — unless the MAD2_TRACE environment already installed a
   /// process-wide one, which takes precedence (see obs/trace.hpp).
   std::optional<obs::TraceConfig> trace;
+  /// `congestion` stanza: end-to-end windows and weighted-fair flow
+  /// scheduling (see mad/congestion.hpp). Consumed by rail sets (lane
+  /// arbitration) and by virtual channels built over this session
+  /// (gateway fair queues + per-flow windows). Absent = all off.
+  std::optional<CongestionConfig> congestion;
 };
 
 /// A session network instance: the driver plus the global-node -> local

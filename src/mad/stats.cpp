@@ -29,6 +29,15 @@ net::ReliabilityCounters newest(const net::ReliabilityCounters& a,
   out.corrupt_frames = std::max(a.corrupt_frames, b.corrupt_frames);
   out.give_ups = std::max(a.give_ups, b.give_ups);
   out.max_rto = std::max(a.max_rto, b.max_rto);
+  out.rtt_samples = std::max(a.rtt_samples, b.rtt_samples);
+  out.srtt = std::max(a.srtt, b.srtt);
+  if (a.min_rtt == 0) {
+    out.min_rtt = b.min_rtt;
+  } else if (b.min_rtt == 0) {
+    out.min_rtt = a.min_rtt;
+  } else {
+    out.min_rtt = std::min(a.min_rtt, b.min_rtt);
+  }
   return out;
 }
 
@@ -52,6 +61,16 @@ void TrafficStats::merge(const TrafficStats& other) {
     mine.resubmits += counters.resubmits;
     // Weights are snapshots, not sums; keep the largest observed.
     if (counters.weight > mine.weight) mine.weight = counters.weight;
+  }
+  for (const auto& [flow, counters] : other.flows) {
+    FlowCounters& mine = flows[flow];
+    mine.packets += counters.packets;
+    mine.bytes += counters.bytes;
+    // Depth high-water marks and control state are snapshots, not sums.
+    mine.queue_depth_hwm =
+        std::max(mine.queue_depth_hwm, counters.queue_depth_hwm);
+    if (counters.cwnd > mine.cwnd) mine.cwnd = counters.cwnd;
+    if (counters.srtt_us > mine.srtt_us) mine.srtt_us = counters.srtt_us;
   }
   // Link- and node-level counters dedupe by identity: two endpoints on
   // the same node (or sharing a reliable TCP port) report the *same*
@@ -114,6 +133,17 @@ std::string TrafficStats::to_string() const {
                   static_cast<unsigned long long>(counters.bytes),
                   static_cast<unsigned long long>(counters.resubmits),
                   counters.weight);
+    out += line;
+  }
+  for (const auto& [flow, counters] : flows) {
+    std::snprintf(line, sizeof line,
+                  "  flow %-10s %8llu pkts %12llu bytes q.hwm=%llu "
+                  "cwnd=%.1f srtt=%.1f us\n",
+                  flow.c_str(),
+                  static_cast<unsigned long long>(counters.packets),
+                  static_cast<unsigned long long>(counters.bytes),
+                  static_cast<unsigned long long>(counters.queue_depth_hwm),
+                  counters.cwnd, counters.srtt_us);
     out += line;
   }
   if (reliability.data_frames != 0 || reliability.give_ups != 0) {

@@ -33,6 +33,21 @@ struct RailCounters {
   double weight = 0.0;
 };
 
+/// End-to-end activity of one congestion-controlled flow (src -> dst
+/// through a virtual channel; see mad/congestion.hpp). packets/bytes
+/// count delivered traffic; the rest are snapshots of the control state:
+/// queue_depth_hwm is the flow's high-water mark across every gateway
+/// fair queue it crossed (boundedness evidence for tests — no trace-dump
+/// parsing needed), cwnd/srtt_us the window and smoothed delay at
+/// collection time.
+struct FlowCounters {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t queue_depth_hwm = 0;
+  double cwnd = 0.0;
+  double srtt_us = 0.0;
+};
+
 struct TrafficStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_received = 0;
@@ -42,6 +57,10 @@ struct TrafficStats {
   /// Striping activity per rail, keyed by the rail channel's name. Empty
   /// unless the connection's channel heads a rail set.
   std::map<std::string, RailCounters> rails;
+  /// Congestion-controlled flows, keyed "src->dst". Empty unless the
+  /// stats come from a virtual channel with the congestion stanza on
+  /// (fwd::VirtualChannel::stats()).
+  std::map<std::string, FlowCounters> flows;
   /// Ack/retransmit work done by the reliable shim under this endpoint's
   /// networks. Link-level: a TCP port's shim serves every channel crossing
   /// it, so channels on the same port report the same numbers. All zero on

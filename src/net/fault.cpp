@@ -42,6 +42,13 @@ void ReliabilityCounters::merge(const ReliabilityCounters& other) {
   corrupt_frames += other.corrupt_frames;
   give_ups += other.give_ups;
   if (other.max_rto > max_rto) max_rto = other.max_rto;
+  rtt_samples += other.rtt_samples;
+  // srtt is a snapshot, not a sum; keep the largest observed, and the
+  // smallest non-zero floor.
+  if (other.srtt > srtt) srtt = other.srtt;
+  if (other.min_rtt != 0 && (min_rtt == 0 || other.min_rtt < min_rtt)) {
+    min_rtt = other.min_rtt;
+  }
 }
 
 std::string ReliabilityCounters::to_string() const {
@@ -57,7 +64,15 @@ std::string ReliabilityCounters::to_string() const {
                 static_cast<unsigned long long>(corrupt_frames),
                 static_cast<unsigned long long>(give_ups),
                 sim::to_us(max_rto));
-  return line;
+  std::string out = line;
+  if (rtt_samples != 0) {
+    std::snprintf(line, sizeof line,
+                  ", %llu rtt samples, srtt %.1f us, min rtt %.1f us",
+                  static_cast<unsigned long long>(rtt_samples),
+                  sim::to_us(srtt), sim::to_us(min_rtt));
+    out += line;
+  }
+  return out;
 }
 
 const LinkFaults& FaultPlan::faults_for(std::uint32_t src,

@@ -82,6 +82,14 @@ struct ReliabilityCounters {
   /// Largest retransmit timeout any frame backed off to (for asserting the
   /// exponential-backoff cap).
   sim::Duration max_rto = 0;
+  /// RTT sampling over the shim's seq/ack stamps, feeding the congestion
+  /// layer (mad/congestion.hpp). Karn's rule: only frames that were never
+  /// retransmitted are sampled, so a retransmit ack cannot be mistaken
+  /// for the original's. srtt is the smoothed estimate at the last
+  /// sample; min_rtt the smallest clean sample. Both 0 until sampled.
+  std::uint64_t rtt_samples = 0;
+  sim::Duration srtt = 0;
+  sim::Duration min_rtt = 0;
 
   void merge(const ReliabilityCounters& other);
   [[nodiscard]] std::string to_string() const;

@@ -91,7 +91,8 @@ Status ReliableEndpoint::send(std::uint32_t dst, std::uint32_t channel,
   const bool inserted =
       tx.outstanding
           .emplace(seq, Outstanding{frame, sim::kNever,
-                                    network_->params_.rto_initial, 0})
+                                    network_->params_.rto_initial, 0,
+                                    network_->simulator_->now()})
           .second;
   MAD2_CHECK(inserted, "duplicate sequence number in flight");
   ++counters_.data_frames;
@@ -176,6 +177,12 @@ void ReliableEndpoint::handle_ack(std::uint32_t peer, std::uint32_t ack) {
   PeerTx& tx = it->second;
   bool erased = false;
   while (!tx.outstanding.empty() && tx.outstanding.begin()->first <= ack) {
+    const Outstanding& out = tx.outstanding.begin()->second;
+    // Karn's rule: a retransmitted frame's ack is ambiguous (it may
+    // answer any copy), so only never-retransmitted frames are sampled.
+    if (out.retransmits == 0) {
+      sample_rtt(tx, network_->simulator_->now() - out.sent_at);
+    }
     tx.outstanding.erase(tx.outstanding.begin());
     erased = true;
   }
@@ -183,6 +190,34 @@ void ReliableEndpoint::handle_ack(std::uint32_t peer, std::uint32_t ack) {
     window_room_.notify_all();
     timer_wakeup_.notify_all();  // earliest deadline may have changed
   }
+}
+
+void ReliableEndpoint::sample_rtt(PeerTx& tx, sim::Duration rtt) {
+  if (rtt < 0) rtt = 0;
+  if (tx.rtt_samples == 0) {
+    tx.srtt = rtt;
+    tx.min_rtt = rtt;
+  } else {
+    tx.srtt += (rtt - tx.srtt) / 8;  // classic 1/8 EWMA
+    if (rtt < tx.min_rtt) tx.min_rtt = rtt;
+  }
+  ++tx.rtt_samples;
+  ++counters_.rtt_samples;
+  counters_.srtt = tx.srtt;
+  if (tx.min_rtt != 0 &&
+      (counters_.min_rtt == 0 || tx.min_rtt < counters_.min_rtt)) {
+    counters_.min_rtt = tx.min_rtt;
+  }
+}
+
+sim::Duration ReliableEndpoint::srtt(std::uint32_t peer) const {
+  auto it = tx_.find(peer);
+  return it == tx_.end() ? 0 : it->second.srtt;
+}
+
+sim::Duration ReliableEndpoint::min_rtt(std::uint32_t peer) const {
+  auto it = tx_.find(peer);
+  return it == tx_.end() ? 0 : it->second.min_rtt;
 }
 
 void ReliableEndpoint::queue_ack(std::uint32_t peer) {

@@ -152,6 +152,16 @@ class ReliableEndpoint {
     return counters_;
   }
 
+  /// Smoothed round-trip time of the directed link to `peer`, sampled
+  /// from the seq/ack stamps under Karn's rule (retransmitted frames are
+  /// never sampled, so a retransmit's ack cannot be mistaken for the
+  /// original's). 0 until the first clean sample. Retransmit timing is
+  /// deliberately NOT driven by this estimate — RTO behavior is
+  /// unchanged; the samples feed the congestion layer and telemetry.
+  [[nodiscard]] sim::Duration srtt(std::uint32_t peer) const;
+  /// Smallest clean RTT sample to `peer` (the delay floor). 0 = none.
+  [[nodiscard]] sim::Duration min_rtt(std::uint32_t peer) const;
+
  private:
   friend class ReliableNetwork;
   ReliableEndpoint(ReliableNetwork* network, std::uint32_t rank);
@@ -161,10 +171,15 @@ class ReliableEndpoint {
     sim::Time deadline;
     sim::Duration rto;
     std::uint32_t retransmits = 0;
+    sim::Time sent_at = 0;  // first transmission time (RTT sampling)
   };
   struct PeerTx {
     std::uint32_t next_seq = 1;
     std::map<std::uint32_t, Outstanding> outstanding;
+    // RTT estimate of this directed link (see srtt()/min_rtt()).
+    sim::Duration srtt = 0;
+    sim::Duration min_rtt = 0;
+    std::uint64_t rtt_samples = 0;
   };
   struct PeerRx {
     std::uint32_t next_expected = 1;
@@ -176,6 +191,7 @@ class ReliableEndpoint {
   void retransmit_loop();
   void handle_data(ReliableFrame frame);
   void handle_ack(std::uint32_t peer, std::uint32_t ack);
+  void sample_rtt(PeerTx& tx, sim::Duration rtt);
   void queue_ack(std::uint32_t peer);
   void fail_link(std::uint32_t peer, const Outstanding& frame);
   [[nodiscard]] std::uint64_t wire_bytes(const ReliableFrame& frame) const;

@@ -56,6 +56,57 @@ rails fat bulk aux threshold=131072
   EXPECT_EQ(config.rail_sets[0].stripe_threshold, 131072u);
 }
 
+TEST(ConfigParser, ParsesCongestionStanza) {
+  auto result = parse_session_config(R"(
+nodes 2
+network n tcp 0 1
+channel c n
+congestion window=8 min_window=2 max_window=32 gain=0.5 decrease=0.25 backlog=3.0 quantum=8192 gateway_queue=16
+)");
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  const SessionConfig& config = result.value();
+  ASSERT_TRUE(config.congestion.has_value());
+  const CongestionConfig& cc = *config.congestion;
+  EXPECT_TRUE(cc.enabled);
+  EXPECT_EQ(cc.init_window, 8u);
+  EXPECT_EQ(cc.min_window, 2u);
+  EXPECT_EQ(cc.max_window, 32u);
+  EXPECT_DOUBLE_EQ(cc.gain, 0.5);
+  EXPECT_DOUBLE_EQ(cc.decrease, 0.25);
+  EXPECT_DOUBLE_EQ(cc.backlog_factor, 3.0);
+  EXPECT_EQ(cc.quantum, 8192u);
+  EXPECT_EQ(cc.gateway_queue, 16u);
+}
+
+TEST(ConfigParser, BareCongestionStanzaEnablesDefaults) {
+  auto result = parse_session_config(R"(
+nodes 2
+network n tcp 0 1
+channel c n
+congestion
+)");
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  ASSERT_TRUE(result.value().congestion.has_value());
+  const CongestionConfig& cc = *result.value().congestion;
+  const CongestionConfig defaults;
+  EXPECT_TRUE(cc.enabled);
+  // window=0 means "seed from the driver's bandwidth hint".
+  EXPECT_EQ(cc.init_window, 0u);
+  EXPECT_EQ(cc.min_window, defaults.min_window);
+  EXPECT_EQ(cc.max_window, defaults.max_window);
+  EXPECT_DOUBLE_EQ(cc.gain, defaults.gain);
+  EXPECT_DOUBLE_EQ(cc.decrease, defaults.decrease);
+  EXPECT_DOUBLE_EQ(cc.backlog_factor, defaults.backlog_factor);
+  EXPECT_EQ(cc.quantum, defaults.quantum);
+  EXPECT_EQ(cc.gateway_queue, defaults.gateway_queue);
+}
+
+TEST(ConfigParser, NoCongestionStanzaLeavesItDisabled) {
+  auto result = parse_session_config("nodes 2\nnetwork n tcp 0 1\n");
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_FALSE(result.value().congestion.has_value());
+}
+
 TEST(ConfigParser, ParsedConfigRunsASession) {
   auto result = parse_session_config(R"(
 nodes 2
@@ -152,7 +203,39 @@ INSTANTIATE_TEST_SUITE_P(
                 "invalid stripe threshold"},
         BadCase{"nodes 2\nnetwork n tcp 0 1\nnetwork m tcp 0 1\n"
                 "channel a n\nchannel b m\nrails r a threshold=4096 b\n",
-                "threshold= must come last"}));
+                "threshold= must come last"},
+        // Congestion stanza misuse: contradictory window arithmetic is a
+        // parse-time error, never something the AIMD loop clamps around.
+        BadCase{"nodes 2\ncongestion\ncongestion\n",
+                "duplicate 'congestion'"},
+        BadCase{"nodes 2\ncongestion window=0\n",
+                "invalid congestion window"},
+        BadCase{"nodes 2\ncongestion window=wide\n",
+                "invalid congestion window"},
+        BadCase{"nodes 2\ncongestion min_window=0\n",
+                "invalid congestion min_window"},
+        BadCase{"nodes 2\ncongestion max_window=0\n",
+                "invalid congestion max_window"},
+        BadCase{"nodes 2\ncongestion gain=0\n",
+                "invalid congestion gain"},
+        BadCase{"nodes 2\ncongestion gain=-0.5\n",
+                "invalid congestion gain"},
+        BadCase{"nodes 2\ncongestion decrease=0\n",
+                "invalid congestion decrease"},
+        BadCase{"nodes 2\ncongestion decrease=1\n",
+                "invalid congestion decrease"},
+        BadCase{"nodes 2\ncongestion backlog=1\n",
+                "invalid congestion backlog"},
+        BadCase{"nodes 2\ncongestion quantum=0\n",
+                "invalid congestion quantum"},
+        BadCase{"nodes 2\ncongestion gateway_queue=0\n",
+                "invalid congestion gateway_queue"},
+        BadCase{"nodes 2\ncongestion turbo=1\n",
+                "unknown congestion option"},
+        BadCase{"nodes 2\ncongestion min_window=4 max_window=2\n",
+                "max_window is below min_window"},
+        BadCase{"nodes 2\ncongestion window=16 max_window=8\n",
+                "outside"}));
 
 TEST_P(ConfigErrors, AreReportedWithContext) {
   auto result = parse_session_config(GetParam().text);

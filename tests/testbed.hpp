@@ -1,10 +1,15 @@
-// Shared test scaffolding: a simulator plus N paper-calibrated nodes.
+// Shared test scaffolding: a simulator plus N paper-calibrated nodes,
+// and the stock many-to-one (incast) session topology used by the
+// congestion suite and benches.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "hw/node.hpp"
+#include "mad/session.hpp"
 #include "sim/simulator.hpp"
 
 namespace mad2 {
@@ -27,5 +32,56 @@ struct Testbed {
   sim::Simulator simulator;
   std::vector<std::unique_ptr<hw::Node>> nodes;
 };
+
+/// Many-to-one (incast) topology: nodes 0..N-1 are senders on a "left"
+/// network, node N is the gateway joining it to a "right" network, and
+/// node N+1 is the single receiver. Tests lay a virtual channel over the
+/// two channels ({kLeftChannel, kRightChannel}) so all N flows converge
+/// on the gateway's forwarding queue — the classic incast choke point.
+///
+/// Header-only on purpose: building the config touches no out-of-line
+/// mad symbols, so the net-only tests that include this file keep
+/// linking without the mad library.
+struct IncastBed {
+  static constexpr const char* kLeftChannel = "incast_left";
+  static constexpr const char* kRightChannel = "incast_right";
+
+  mad::SessionConfig config;
+  std::vector<std::uint32_t> senders;
+  std::uint32_t gateway = 0;
+  std::uint32_t receiver = 0;
+};
+
+inline IncastBed make_incast(std::size_t sender_count,
+                             mad::NetworkKind left = mad::NetworkKind::kTcp,
+                             mad::NetworkKind right = mad::NetworkKind::kTcp) {
+  IncastBed bed;
+  bed.config.node_count = sender_count + 2;
+  bed.gateway = static_cast<std::uint32_t>(sender_count);
+  bed.receiver = static_cast<std::uint32_t>(sender_count + 1);
+
+  mad::NetworkDef left_net;
+  left_net.name = "incast_left_net";
+  left_net.kind = left;
+  for (std::size_t i = 0; i < sender_count; ++i) {
+    bed.senders.push_back(static_cast<std::uint32_t>(i));
+    left_net.nodes.push_back(static_cast<std::uint32_t>(i));
+  }
+  left_net.nodes.push_back(bed.gateway);
+
+  mad::NetworkDef right_net;
+  right_net.name = "incast_right_net";
+  right_net.kind = right;
+  right_net.nodes.push_back(bed.gateway);
+  right_net.nodes.push_back(bed.receiver);
+
+  bed.config.networks.push_back(left_net);
+  bed.config.networks.push_back(right_net);
+  bed.config.channels.push_back(
+      mad::ChannelDef{IncastBed::kLeftChannel, left_net.name});
+  bed.config.channels.push_back(
+      mad::ChannelDef{IncastBed::kRightChannel, right_net.name});
+  return bed;
+}
 
 }  // namespace mad2
