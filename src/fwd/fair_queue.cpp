@@ -81,6 +81,11 @@ std::optional<Packet> FairPacketQueue::receive() {
   }
 }
 
+std::optional<Packet> FairPacketQueue::try_receive() {
+  if (depth_ == 0) return std::nullopt;
+  return receive();  // depth_ > 0: the DRR loop never blocks
+}
+
 void FairPacketQueue::set_weight(std::uint64_t flow, double weight) {
   MAD2_CHECK(weight > 0.0, "fair queue flow weight must be positive");
   flows_[flow].weight = weight;

@@ -38,6 +38,9 @@ class FairPacketQueue {
   void send(Packet packet);
   /// Blocks while the queue is empty; nullopt after close() drained it.
   std::optional<Packet> receive();
+  /// Non-blocking receive: the next DRR packet, or nullopt when empty.
+  /// Used to drain a dead gateway's queue without parking a fiber on it.
+  std::optional<Packet> try_receive();
   void close();
 
   /// Weighted-fair share: the flow's deficit replenishes by

@@ -96,6 +96,9 @@ class PacketPool {
 
   [[nodiscard]] std::size_t mtu() const { return mtu_; }
   [[nodiscard]] std::size_t total_buffers() const { return all_.size(); }
+  /// Buffers currently at home in the pool. free == total means every
+  /// handed-out buffer came back — the leak check after a gateway death.
+  [[nodiscard]] std::size_t free_buffers() const { return free_.size(); }
 
  private:
   friend class PooledBuffer;

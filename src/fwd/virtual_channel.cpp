@@ -41,23 +41,43 @@ VirtualChannel::VirtualChannel(mad::Session& session, VirtualChannelDef def)
   } else if (session_->config().congestion.has_value()) {
     congestion_ = *session_->config().congestion;
   }
+  if (def_.topology.has_value()) {
+    topology_ = *def_.topology;
+  } else if (session_->config().topology.has_value()) {
+    topology_ = *session_->config().topology;
+  }
+  if (topology_.enabled) {
+    MAD2_CHECK(topology_.replay_quota > 0,
+               "topology replay_quota must be positive");
+  }
   for (const std::string& hop : def_.hops) {
     hop_channels_.push_back(&session_->channel(hop));
   }
 
-  // Gateways: the unique common node of each consecutive hop pair.
+  // Boundaries: the common nodes of each consecutive hop pair, in hop-a
+  // membership order. Without the topology stanza only one gateway is
+  // allowed — redundant siblings would silently idle, which is a config
+  // mistake, not a feature.
+  std::size_t total_gateways = 0;
   for (std::size_t i = 0; i + 1 < hop_channels_.size(); ++i) {
     const auto& a = hop_channels_[i]->nodes();
     const auto& b = hop_channels_[i + 1]->nodes();
-    std::vector<std::uint32_t> common;
+    Boundary boundary;
     for (std::uint32_t node : a) {
       if (std::find(b.begin(), b.end(), node) != b.end()) {
-        common.push_back(node);
+        boundary.gateways.push_back(node);
       }
     }
-    MAD2_CHECK(common.size() == 1,
-               "consecutive hops must share exactly one gateway node");
-    gateways_.push_back(common.front());
+    MAD2_CHECK(!boundary.gateways.empty(),
+               "consecutive hops must share at least one gateway node");
+    if (!topology_.enabled) {
+      MAD2_CHECK(boundary.gateways.size() == 1,
+                 "consecutive hops share several gateway nodes; redundant "
+                 "gateways need the topology stanza");
+    }
+    boundary.healthy = boundary.gateways;
+    total_gateways += boundary.gateways.size();
+    boundaries_.push_back(std::move(boundary));
   }
 
   for (const mad::Channel* hop : hop_channels_) {
@@ -69,17 +89,26 @@ VirtualChannel::VirtualChannel(mad::Session& session, VirtualChannelDef def)
   }
   std::sort(nodes_.begin(), nodes_.end());
 
-  // Precompute the routing tables once, instead of rebuilding the
-  // hop-membership vectors (two heap allocations) on every packet in the
-  // gateway loop and sender flush.
-  std::map<std::uint32_t, std::vector<std::size_t>> hops_of_node;
-  for (std::uint32_t node : nodes_) {
-    hops_of_node[node] = hops_containing(hop_channels_, node);
+  // Flat directory-indexed routing tables, precomputed once: a dense
+  // node index over the session directory, then n x n vectors instead of
+  // per-pair maps — O(1) cell reads with no tree walks, which is what
+  // keeps the 256-1024-node scenarios' routing cost flat.
+  node_index_.assign(session_->node_count(), kNoIndex);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    node_index_[nodes_[i]] = static_cast<std::uint32_t>(i);
   }
-  for (std::uint32_t node : nodes_) {
-    const auto& node_hops = hops_of_node[node];
-    for (std::uint32_t dst : nodes_) {
-      const auto& dst_hops = hops_of_node[dst];
+  const std::size_t n = nodes_.size();
+  MAD2_CHECK(hop_channels_.size() < kNoHop, "too many hops");
+  std::vector<std::vector<std::size_t>> hops_of_node(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    hops_of_node[i] = hops_containing(hop_channels_, nodes_[i]);
+  }
+  hop_table_.assign(n * n, kNoHop);
+  terminal_table_.assign(n, kNoHop);
+  for (std::size_t ni = 0; ni < n; ++ni) {
+    const auto& node_hops = hops_of_node[ni];
+    for (std::size_t di = 0; di < n; ++di) {
+      const auto& dst_hops = hops_of_node[di];
       std::size_t hop;
       auto common = std::find_first_of(node_hops.begin(), node_hops.end(),
                                        dst_hops.begin(), dst_hops.end());
@@ -90,32 +119,46 @@ VirtualChannel::VirtualChannel(mad::Session& session, VirtualChannelDef def)
       } else {
         hop = node_hops.front();  // backward
       }
-      hop_of_.emplace(std::make_pair(node, dst), hop);
+      hop_table_[ni * n + di] = static_cast<std::uint16_t>(hop);
     }
-    if (node_hops.size() == 1) terminal_hop_.emplace(node, node_hops.front());
+    if (node_hops.size() == 1) {
+      terminal_table_[ni] = static_cast<std::uint16_t>(node_hops.front());
+    }
   }
-  next_of_.resize(hop_channels_.size());
+  next_table_.resize(hop_channels_.size());
   for (std::size_t hop = 0; hop < hop_channels_.size(); ++hop) {
+    next_table_[hop].assign(n, NextHop{});
     const auto& on_hop = hop_channels_[hop]->nodes();
-    for (std::uint32_t dst : nodes_) {
-      std::uint32_t next;
+    for (std::size_t di = 0; di < n; ++di) {
+      const std::uint32_t dst = nodes_[di];
+      NextHop& cell = next_table_[hop][di];
       if (std::find(on_hop.begin(), on_hop.end(), dst) != on_hop.end()) {
-        next = dst;
-      } else if (hops_of_node[dst].front() > hop) {
-        next = gateways_[hop];  // forward
+        cell.kind = NextHop::Kind::kDirect;
+      } else if (hops_of_node[di].front() > hop) {
+        cell.kind = NextHop::Kind::kForward;
+        cell.boundary = static_cast<std::uint32_t>(hop);
       } else {
         MAD2_CHECK(hop > 0, "no route to destination");
-        next = gateways_[hop - 1];  // backward
+        cell.kind = NextHop::Kind::kBackward;
+        cell.boundary = static_cast<std::uint32_t>(hop - 1);
       }
-      next_of_[hop].emplace(dst, next);
+    }
+  }
+
+  // Register the gateway roles in the session directory (liveness is
+  // consulted on the pump hot paths in resilient mode).
+  for (const Boundary& boundary : boundaries_) {
+    for (std::uint32_t gateway : boundary.gateways) {
+      session_->hostdb().set_gateway_role(gateway);
     }
   }
 
   // Size the pool for the steady state: every gateway direction keeps
   // pipeline_depth packets queued plus one in each pump fiber, and each
   // endpoint looks ahead by a couple of packets while draining. Extra
-  // demand grows the pool (counted via hw::MemCounters::alloc_count).
-  pool_.prewarm(gateways_.size() * 2 * (def_.pipeline_depth + 2) +
+  // demand (e.g. a failover's out-of-order stash) grows the pool
+  // (counted via hw::MemCounters::alloc_count).
+  pool_.prewarm(total_gateways * 2 * (def_.pipeline_depth + 2) +
                 nodes_.size() * 2);
 
   for (std::uint32_t node : nodes_) {
@@ -123,12 +166,29 @@ VirtualChannel::VirtualChannel(mad::Session& session, VirtualChannelDef def)
                                  new VirtualEndpoint(this, node)));
   }
 
-  for (std::size_t i = 0; i < gateways_.size(); ++i) {
-    spawn_gateway(gateways_[i], i, i + 1);
+  for (std::size_t i = 0; i < boundaries_.size(); ++i) {
+    for (std::uint32_t gateway : boundaries_[i].gateways) {
+      spawn_gateway(gateway, i, i + 1);
+    }
+  }
+
+  if (topology_.enabled) {
+    replay_settled_ =
+        std::make_unique<sim::WaitQueue>(&session_->simulator());
+    retention_freed_ =
+        std::make_unique<sim::WaitQueue>(&session_->simulator());
+    failure_listener_id_ = session_->add_failure_listener(
+        [this](const mad::NetworkFailure& failure) {
+          return on_network_failure(failure);
+        });
   }
 }
 
-VirtualChannel::~VirtualChannel() = default;
+VirtualChannel::~VirtualChannel() {
+  if (failure_listener_id_ != 0) {
+    session_->remove_failure_listener(failure_listener_id_);
+  }
+}
 
 const Status& VirtualChannel::health() const { return session_->health(); }
 
@@ -138,39 +198,63 @@ VirtualEndpoint& VirtualChannel::endpoint(std::uint32_t node) {
   return *it->second;
 }
 
-std::size_t VirtualChannel::hop_of(std::uint32_t node,
-                                   std::uint32_t dst) const {
-  auto it = hop_of_.find(std::make_pair(node, dst));
-  if (it == hop_of_.end()) {
-    MAD2_CHECK(std::find(nodes_.begin(), nodes_.end(), node) != nodes_.end(),
-               "node not on this virtual channel");
-    MAD2_CHECK(false, "destination not on this virtual channel");
-  }
-  return it->second;
+std::uint32_t VirtualChannel::dense_index(std::uint32_t node) const {
+  MAD2_CHECK(node < node_index_.size() && node_index_[node] != kNoIndex,
+             "node not on this virtual channel");
+  return node_index_[node];
 }
 
-std::uint32_t VirtualChannel::next_node(std::size_t hop,
+std::size_t VirtualChannel::hop_of(std::uint32_t node,
+                                   std::uint32_t dst) const {
+  const std::uint32_t ni = dense_index(node);
+  MAD2_CHECK(dst < node_index_.size() && node_index_[dst] != kNoIndex,
+             "destination not on this virtual channel");
+  return hop_table_[static_cast<std::size_t>(ni) * nodes_.size() +
+                    node_index_[dst]];
+}
+
+std::uint32_t VirtualChannel::pick_gateway(std::uint32_t boundary,
+                                           std::uint32_t src,
+                                           std::uint32_t dst) const {
+  const Boundary& b = boundaries_[boundary];
+  MAD2_CHECK(!b.healthy.empty(), "no healthy gateway left on a boundary");
+  if (b.healthy.size() == 1) return b.healthy.front();
+  // Deterministic flow spreading: splitmix64 of the flow identity (plus
+  // the configured salt) over the *healthy* set. Same flow -> same
+  // gateway while membership holds; an epoch bump re-deals only because
+  // the healthy list changed.
+  std::uint64_t x = ((static_cast<std::uint64_t>(src) << 32) | dst) ^
+                    topology_.spread_salt;
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return b.healthy[x % b.healthy.size()];
+}
+
+std::uint32_t VirtualChannel::next_node(std::size_t hop, std::uint32_t src,
                                         std::uint32_t dst) const {
-  const auto& table = next_of_[hop];
-  auto it = table.find(dst);
-  MAD2_CHECK(it != table.end(), "destination not on this virtual channel");
-  return it->second;
+  MAD2_CHECK(dst < node_index_.size() && node_index_[dst] != kNoIndex,
+             "destination not on this virtual channel");
+  const NextHop& cell = next_table_[hop][node_index_[dst]];
+  MAD2_CHECK(cell.kind != NextHop::Kind::kUnreachable,
+             "no route to destination");
+  if (cell.kind == NextHop::Kind::kDirect) return dst;
+  return pick_gateway(cell.boundary, src, dst);
 }
 
 std::size_t VirtualChannel::terminal_hop(std::uint32_t node) const {
-  auto it = terminal_hop_.find(node);
-  if (it == terminal_hop_.end()) {
-    MAD2_CHECK(std::find(nodes_.begin(), nodes_.end(), node) != nodes_.end(),
-               "node not on this virtual channel");
-    MAD2_CHECK(false, "gateway nodes cannot be virtual-channel receivers");
-  }
-  return it->second;
+  const std::uint32_t ni = dense_index(node);
+  MAD2_CHECK(terminal_table_[ni] != kNoHop,
+             "gateway nodes cannot be virtual-channel receivers");
+  return terminal_table_[ni];
 }
 
 void VirtualChannel::send_packet(
     mad::ChannelEndpoint& hop_endpoint, std::uint32_t to, PacketHeader header,
     std::span<const std::span<const std::byte>> pieces,
-    std::vector<std::uint32_t>& sizes_scratch, sim::Time stamp) {
+    std::vector<std::uint32_t>& sizes_scratch, sim::Time stamp,
+    std::uint64_t seq) {
   header.n_pieces = static_cast<std::uint32_t>(pieces.size());
   sizes_scratch.clear();
   std::uint64_t total = 0;
@@ -196,6 +280,11 @@ void VirtualChannel::send_packet(
     mad::mad_pack_value(conn, stamp, mad::send_CHEAPER,
                         mad::receive_EXPRESS);
   }
+  if (topology_.enabled) {
+    // Resilient routing rides the per-flow sequence the same way: an
+    // extra EXPRESS block only when the feature is on.
+    mad::mad_pack_value(conn, seq, mad::send_CHEAPER, mad::receive_EXPRESS);
+  }
   if (!sizes_scratch.empty()) {
     conn.pack(std::as_bytes(std::span(sizes_scratch)), mad::send_CHEAPER,
               mad::receive_EXPRESS);
@@ -207,7 +296,7 @@ void VirtualChannel::send_packet(
 }
 
 Packet VirtualChannel::receive_packet(mad::ChannelEndpoint& hop_endpoint,
-                                      Demand* demand) {
+                                      Demand* demand, bool at_destination) {
   mad::Connection& conn = hop_endpoint.begin_unpacking();
   // Starts after begin_unpacking returns (a message is incoming), so the
   // span measures the packet landing, not idle waiting for traffic.
@@ -220,6 +309,21 @@ Packet VirtualChannel::receive_packet(mad::ChannelEndpoint& hop_endpoint,
   if (congestion_.enabled) {
     mad::mad_unpack_value(conn, packet.stamp, mad::send_CHEAPER,
                           mad::receive_EXPRESS);
+  }
+  bool in_sequence = true;
+  if (topology_.enabled) {
+    mad::mad_unpack_value(conn, packet.seq, mad::send_CHEAPER,
+                          mad::receive_EXPRESS);
+    if (at_destination) {
+      // The sequence unpacks before any payload lands, so an
+      // out-of-order packet (replay duplicate or a packet that overtook
+      // a replayed one) is known up front and must stage everything —
+      // demand landing would put its bytes into user memory out of
+      // stream order.
+      const FlowControl& flow =
+          flow_control(packet.header.src, packet.header.dst);
+      in_sequence = packet.seq == flow.expected_seq;
+    }
   }
   // The stream is self-described, so a corrupted or hostile header could
   // otherwise drive the landing loop past the fixed-MTU buffer.
@@ -246,7 +350,8 @@ Packet VirtualChannel::receive_packet(mad::ChannelEndpoint& hop_endpoint,
   //  2. borrowed from the hop TM's static receive buffer (no copy at all;
   //     the slot is released when the packet buffer recycles);
   //  3. staged into the pooled bytes.
-  bool direct_ok = demand != nullptr && demand->src == packet.header.src;
+  bool direct_ok =
+      demand != nullptr && demand->src == packet.header.src && in_sequence;
   std::size_t offset = 0;
   for (std::uint32_t size : buffer.sizes) {
     if (direct_ok && demand->filled + size <= demand->window.size()) {
@@ -288,6 +393,7 @@ void VirtualChannel::spawn_gateway(std::uint32_t gateway, std::size_t hop_in,
   // recycled afterwards: the gateway never consolidates the payload.
   auto spawn_direction = [this, gateway](std::size_t in, std::size_t out) {
     if (def_.pipeline_depth <= 1) {
+      pumps_.push_back(GatewayPump{gateway, in, out, nullptr, nullptr});
       session_->simulator().spawn_daemon(
           def_.name + ".gw" + std::to_string(gateway) + "." +
               std::to_string(in) + "to" + std::to_string(out) + ".sf",
@@ -298,15 +404,27 @@ void VirtualChannel::spawn_gateway(std::uint32_t gateway, std::size_t hop_in,
                 hop_channels_[out]->endpoint(gateway);
             for (;;) {
               Packet packet = receive_packet(ep_in);
+              // Dead-check before the sanity CHECK: a poisoned stream
+              // hands a dying gateway zero-filled truncated packets
+              // whose garbage headers must not trip assertions.
+              if (resilient()) {
+                note_gateway_packet(gateway);
+                if (!session_->hostdb().alive(gateway)) {
+                  ++counters_.discarded;
+                  continue;  // dead gateway black-holes; replay redelivers
+                }
+              }
               MAD2_CHECK(packet.header.dst != gateway,
                          "forwarding packet addressed to the gateway");
-              const std::uint32_t to = next_node(out, packet.header.dst);
+              const std::uint32_t to =
+                  next_node(out, packet.header.src, packet.header.dst);
               // Gateway residence: from fully landed to fully re-sent.
               MAD2_TRACE_SPAN(hop, obs::Category::kFwd, "fwd.hop",
                               "store_forward");
               hop.args(packet.header.payload_len, packet.header.dst);
+              ++forwarded_by_gateway_[gateway];
               send_packet(ep_out, to, packet.header, packet.storage->pieces,
-                          packet.storage->sizes, packet.stamp);
+                          packet.storage->sizes, packet.stamp, packet.seq);
             }
           });
       return;
@@ -324,12 +442,19 @@ void VirtualChannel::spawn_gateway(std::uint32_t gateway, std::size_t hop_in,
           &session_->simulator(), congestion_.gateway_queue,
           congestion_.quantum));
       FairPacketQueue* queue = fair_queues_.back().get();
-      fair_gateways_.push_back(FairGateway{gateway, in, out, queue});
+      pumps_.push_back(GatewayPump{gateway, in, out, nullptr, queue});
       session_->simulator().spawn_daemon(tag + ".rx", [this, in, gateway,
                                                        queue] {
         mad::ChannelEndpoint& ep = hop_channels_[in]->endpoint(gateway);
         for (;;) {
           Packet packet = receive_packet(ep);
+          if (resilient()) {
+            note_gateway_packet(gateway);
+            if (!session_->hostdb().alive(gateway)) {
+              ++counters_.discarded;
+              continue;
+            }
+          }
           MAD2_CHECK(packet.header.dst != gateway,
                      "forwarding packet addressed to the gateway itself");
           MAD2_TRACE_SPAN(stage, obs::Category::kFwd, "fwd.gw_enqueue");
@@ -343,11 +468,20 @@ void VirtualChannel::spawn_gateway(std::uint32_t gateway, std::size_t hop_in,
         for (;;) {
           auto packet = queue->receive();
           if (!packet.has_value()) return;
-          const std::uint32_t to = next_node(out, packet->header.dst);
+          if (resilient() && !session_->hostdb().alive(gateway)) {
+            // A packet that slipped into the queue around the kill's
+            // drain (e.g. an rx fiber unblocked mid-enqueue): discard it
+            // here so the queue still ends empty and the buffer recycles.
+            ++counters_.discarded;
+            continue;
+          }
+          const std::uint32_t to =
+              next_node(out, packet->header.src, packet->header.dst);
           MAD2_TRACE_SPAN(hop, obs::Category::kFwd, "fwd.hop", "fair");
           hop.args(packet->header.payload_len, packet->header.dst);
+          ++forwarded_by_gateway_[gateway];
           send_packet(ep, to, packet->header, packet->storage->pieces,
-                      packet->storage->sizes, packet->stamp);
+                      packet->storage->sizes, packet->stamp, packet->seq);
         }
       });
       return;
@@ -355,11 +489,19 @@ void VirtualChannel::spawn_gateway(std::uint32_t gateway, std::size_t hop_in,
     gateway_queues_.push_back(std::make_unique<sim::BoundedChannel<Packet>>(
         &session_->simulator(), def_.pipeline_depth));
     sim::BoundedChannel<Packet>* queue = gateway_queues_.back().get();
+    pumps_.push_back(GatewayPump{gateway, in, out, queue, nullptr});
     session_->simulator().spawn_daemon(tag + ".rx", [this, in, gateway,
                                                      queue] {
       mad::ChannelEndpoint& ep = hop_channels_[in]->endpoint(gateway);
       for (;;) {
         Packet packet = receive_packet(ep);
+        if (resilient()) {
+          note_gateway_packet(gateway);
+          if (!session_->hostdb().alive(gateway)) {
+            ++counters_.discarded;
+            continue;
+          }
+        }
         MAD2_CHECK(packet.header.dst != gateway,
                    "forwarding packet addressed to the gateway itself");
         // Time spent waiting for a free pipeline slot (backpressure from
@@ -375,16 +517,22 @@ void VirtualChannel::spawn_gateway(std::uint32_t gateway, std::size_t hop_in,
       for (;;) {
         auto packet = queue->receive();
         if (!packet.has_value()) return;
-        const std::uint32_t to = next_node(out, packet->header.dst);
+        if (resilient() && !session_->hostdb().alive(gateway)) {
+          ++counters_.discarded;
+          continue;
+        }
+        const std::uint32_t to =
+            next_node(out, packet->header.src, packet->header.dst);
         // Outgoing half of the gateway hop (the incoming half is the rx
         // fiber's packet_land + gw_enqueue spans on its own track).
         MAD2_TRACE_SPAN(hop, obs::Category::kFwd, "fwd.hop", "pipelined");
         hop.args(packet->header.payload_len, packet->header.dst);
+        ++forwarded_by_gateway_[gateway];
         // Re-emit the landed gather list as-is; the outgoing TM rides it
         // as one send_buffer_group. The received size list is dead by
         // now, so it doubles as the send-side scratch.
         send_packet(ep, to, packet->header, packet->storage->pieces,
-                    packet->storage->sizes, packet->stamp);
+                    packet->storage->sizes, packet->stamp, packet->seq);
         // `packet` dies here: borrows release to the incoming TM and the
         // buffer recycles into the pool.
       }
@@ -394,23 +542,229 @@ void VirtualChannel::spawn_gateway(std::uint32_t gateway, std::size_t hop_in,
   spawn_direction(hop_out, hop_in);
 }
 
+sim::Mutex& VirtualChannel::send_mutex(std::uint32_t src) {
+  auto it = send_mutexes_.find(src);
+  if (it == send_mutexes_.end()) {
+    it = send_mutexes_
+             .emplace(src, std::make_unique<sim::Mutex>(
+                               &session_->simulator()))
+             .first;
+  }
+  return *it->second;
+}
+
+void VirtualChannel::trim_unacked(FlowControl& flow) {
+  // Confirmation is the receiver's in-order cursor: everything below
+  // expected_seq was delivered exactly once. Only the sender/repair fiber
+  // (holding the send mutex) pops, so replay iteration by index is safe.
+  while (!flow.unacked.empty() &&
+         flow.unacked.front().seq < flow.expected_seq) {
+    flow.unacked.pop_front();
+  }
+}
+
+bool VirtualChannel::route_uses_gateway(std::uint32_t src, std::uint32_t dst,
+                                        std::uint32_t gateway) const {
+  std::uint32_t node = src;
+  while (node != dst) {
+    const std::size_t hop = hop_of(node, dst);
+    const std::uint32_t next = next_node(hop, src, dst);
+    if (next == gateway) return true;
+    if (next == node) return false;  // defensive: no progress
+    node = next;
+  }
+  return false;
+}
+
+bool VirtualChannel::can_absorb_gateway(std::uint32_t node) const {
+  bool member = false;
+  for (const Boundary& boundary : boundaries_) {
+    const auto it = std::find(boundary.healthy.begin(),
+                              boundary.healthy.end(), node);
+    if (it == boundary.healthy.end()) continue;
+    if (boundary.healthy.size() < 2) return false;  // last one standing
+    member = true;
+  }
+  return member;
+}
+
+void VirtualChannel::kill_gateway(std::uint32_t node) {
+  MAD2_CHECK(resilient(),
+             "kill_gateway requires the topology stanza (resilient mode)");
+  mad::Hostdb& hostdb = session_->hostdb();
+  if (!hostdb.alive(node)) return;  // idempotent
+  MAD2_CHECK(hostdb.is_gateway(node), "kill_gateway on a non-gateway node");
+  MAD2_CHECK(can_absorb_gateway(node),
+             "killing the last healthy gateway of a boundary");
+
+  // 1. While the pre-death routes are still in force, find the flows
+  //    whose unconfirmed packets were traveling through the dying
+  //    gateway: those are the ones that must replay.
+  for (auto& [key, flow] : flows_) {
+    if (flow.unacked.empty()) continue;
+    trim_unacked(flow);
+    if (flow.unacked.empty()) continue;
+    if (route_uses_gateway(key.first, key.second, node)) {
+      flow.replay_pending = true;
+    }
+  }
+
+  // 2. Membership update: directory epoch bump + healthy-set shrink.
+  //    From this call on, every next_node() resolves around the corpse.
+  hostdb.mark_dead(node);
+  for (Boundary& boundary : boundaries_) {
+    boundary.healthy.erase(std::remove(boundary.healthy.begin(),
+                                       boundary.healthy.end(), node),
+                           boundary.healthy.end());
+  }
+  ++counters_.gateway_kills;
+
+  // 3. Packets parked in the dead gateway's pump queues go back to the
+  //    pool (they are unconfirmed by definition — replay covers them).
+  drain_gateway_queues(node);
+
+  // 4. Repair: replay the marked flows over surviving gateways, off the
+  //    killer's fiber so a kill from inside a pump cannot deadlock on
+  //    its own queue.
+  session_->simulator().spawn(
+      def_.name + ".repair.gw" + std::to_string(node),
+      [this] { replay_pending_flows(); });
+}
+
+void VirtualChannel::arm_gateway_kill(std::uint32_t node,
+                                      std::uint64_t after_packets) {
+  MAD2_CHECK(resilient(),
+             "arm_gateway_kill requires the topology stanza");
+  armed_kill_ = ArmedKill{node, gateway_rx_packets_ + after_packets};
+}
+
+void VirtualChannel::note_gateway_packet(std::uint32_t gateway) {
+  (void)gateway;
+  ++gateway_rx_packets_;
+  if (armed_kill_.has_value() &&
+      gateway_rx_packets_ >= armed_kill_->after_packets) {
+    const std::uint32_t victim = armed_kill_->gateway;
+    armed_kill_.reset();
+    kill_gateway(victim);
+  }
+}
+
+void VirtualChannel::drain_gateway_queues(std::uint32_t gateway) {
+  for (GatewayPump& pump : pumps_) {
+    if (pump.gateway != gateway) continue;
+    if (pump.pipe != nullptr) {
+      while (auto packet = pump.pipe->try_receive()) {
+        ++counters_.discarded;  // buffer recycles as `packet` dies
+      }
+    }
+    if (pump.fair != nullptr) {
+      while (auto packet = pump.fair->try_receive()) {
+        ++counters_.discarded;
+      }
+    }
+  }
+}
+
+void VirtualChannel::replay_pending_flows() {
+  std::vector<std::span<const std::byte>> one_piece(1);
+  std::vector<std::uint32_t> sizes_scratch;
+  for (auto& [key, flow] : flows_) {
+    if (!flow.replay_pending) continue;
+    const std::uint32_t src = key.first;
+    const std::uint32_t dst = key.second;
+    sim::Mutex& mutex = send_mutex(src);
+    mutex.lock();
+    trim_unacked(flow);
+    const std::size_t hop = hop_of(src, dst);
+    mad::ChannelEndpoint& ep = hop_channels_[hop]->endpoint(src);
+    // Confirmations only advance the watermark, so indexing stays valid
+    // across the blocking sends; already-confirmed entries are skipped
+    // instead of replayed as guaranteed duplicates.
+    for (std::size_t i = 0; i < flow.unacked.size(); ++i) {
+      RetainedPacket& retained = flow.unacked[i];
+      if (retained.seq < flow.expected_seq) continue;
+      const std::uint32_t to = next_node(hop, src, dst);
+      one_piece[0] = std::span<const std::byte>(retained.bytes);
+      // A retained bare `last` marker has no payload: replay it with an
+      // empty gather list, exactly as it first went out.
+      const std::span<const std::span<const std::byte>> pieces =
+          retained.bytes.empty()
+              ? std::span<const std::span<const std::byte>>()
+              : std::span<const std::span<const std::byte>>(one_piece);
+      MAD2_TRACE_SPAN(span, obs::Category::kFwd, "fwd.replay");
+      span.args(static_cast<std::uint32_t>(retained.bytes.size()), dst);
+      send_packet(ep, to, retained.header, pieces, sizes_scratch,
+                  retained.stamp, retained.seq);
+      ++counters_.replayed_packets;
+      counters_.replayed_bytes += retained.bytes.size();
+      ++flow.replays;
+    }
+    flow.replay_pending = false;
+    mutex.unlock();
+    replay_settled_->notify_all();
+  }
+}
+
+mad::FailureDomain VirtualChannel::on_network_failure(
+    const mad::NetworkFailure& failure) {
+  // Only failures of networks backing this channel's hops concern us.
+  bool ours = false;
+  for (mad::Channel* hop : hop_channels_) {
+    if (&hop->network() == failure.network) {
+      ours = true;
+      break;
+    }
+  }
+  if (!ours) return mad::FailureDomain::kUnknown;
+  // The unresponsive end decides whether this is our failure to absorb:
+  // a dead leaf is a node-domain problem however it was reported, so
+  // anything but a gateway with healthy siblings passes through.
+  const auto attributable = [this](std::uint32_t node) {
+    return node != mad::NetworkFailure::kNoNode &&
+           node < node_index_.size() && node_index_[node] != kNoIndex;
+  };
+  const std::uint32_t dst = failure.dst_node;
+  if (!attributable(dst)) return mad::FailureDomain::kUnknown;
+  if (session_->hostdb().alive(dst)) {
+    if (!can_absorb_gateway(dst)) return mad::FailureDomain::kUnknown;
+    kill_gateway(dst);
+  }
+  // A give-up is terminal for the *reporting* endpoint too (the net
+  // layer fails the whole endpoint and poisons every stream touching
+  // it, see net/reliable.cpp and TcpNetwork::on_link_failed), so the
+  // reporter must leave the gateway rotation as well — routing replays
+  // through it would black-hole them. If it is the last healthy gateway
+  // of a boundary it stays, and flows hashed there are on their own;
+  // there is no failover left to run.
+  const std::uint32_t src = failure.src_node;
+  if (attributable(src) && session_->hostdb().alive(src) &&
+      can_absorb_gateway(src)) {
+    kill_gateway(src);
+  }
+  return mad::FailureDomain::kHop;
+}
+
 VirtualChannel::FlowControl& VirtualChannel::flow_control(std::uint32_t src,
                                                           std::uint32_t dst) {
   const auto key = std::make_pair(src, dst);
   auto it = flows_.find(key);
   if (it != flows_.end()) return it->second;
-  // First packet of this flow: seed the window from the sender's first-hop
-  // driver bandwidth self-report (about one millisecond of line rate, in
-  // MTU packets), clamped to the configured window bounds.
-  const std::size_t hop = hop_of(src, dst);
-  const double hint =
-      hop_channels_[hop]->endpoint(src).pmm().bandwidth_hint_mbs();
-  const double initial = mad::seed_window(congestion_, hint, def_.mtu);
   FlowControl flow;
-  flow.window = std::make_unique<mad::CongestionWindow>(
-      &session_->simulator(), congestion_, initial);
-  flow.hist_name = def_.name + ".flow." + std::to_string(src) + "-" +
-                   std::to_string(dst) + ".e2e";
+  if (congestion_.enabled) {
+    // First packet of this flow: seed the window from the sender's
+    // first-hop driver bandwidth self-report (about one millisecond of
+    // line rate, in MTU packets), clamped to the configured window
+    // bounds. Resilient-only flows keep no window — the entry then just
+    // carries the failover cursors.
+    const std::size_t hop = hop_of(src, dst);
+    const double hint =
+        hop_channels_[hop]->endpoint(src).pmm().bandwidth_hint_mbs();
+    const double initial = mad::seed_window(congestion_, hint, def_.mtu);
+    flow.window = std::make_unique<mad::CongestionWindow>(
+        &session_->simulator(), congestion_, initial);
+    flow.hist_name = def_.name + ".flow." + std::to_string(src) + "-" +
+                     std::to_string(dst) + ".e2e";
+  }
   return flows_.emplace(key, std::move(flow)).first->second;
 }
 
@@ -425,11 +779,12 @@ void VirtualChannel::set_flow_weight(std::uint32_t src, std::uint32_t dst,
 
 void VirtualChannel::on_packet_delivered(const Packet& packet) {
   FlowControl& flow = flow_control(packet.header.src, packet.header.dst);
+  ++flow.packets;
+  flow.bytes += packet.header.payload_len;
+  if (flow.window == nullptr) return;  // resilient-only: no windowing
   const sim::Duration delay =
       session_->simulator().now() - packet.stamp;
   flow.window->on_delivered(delay);
-  ++flow.packets;
-  flow.bytes += packet.header.payload_len;
   if (obs::MetricsRegistry* registry = obs::metrics()) {
     registry->histogram(flow.hist_name)->record(delay);
   }
@@ -441,8 +796,12 @@ mad::TrafficStats VirtualChannel::stats() const {
     mad::FlowCounters counters;
     counters.packets = flow.packets;
     counters.bytes = flow.bytes;
-    counters.cwnd = flow.window->cwnd();
-    counters.srtt_us = sim::to_us(flow.window->srtt());
+    if (flow.window != nullptr) {
+      counters.cwnd = flow.window->cwnd();
+      counters.srtt_us = sim::to_us(flow.window->srtt());
+    }
+    counters.replays = flow.replays;
+    counters.dup_drops = flow.dup_drops;
     stats.flows[std::to_string(key.first) + "->" +
                 std::to_string(key.second)] = counters;
   }
@@ -464,21 +823,40 @@ void VirtualChannel::export_metrics(obs::MetricsRegistry& registry) const {
     const std::string prefix = def_.name + ".flow." +
                                std::to_string(key.first) + "-" +
                                std::to_string(key.second);
-    registry.set_value(
-        prefix + ".cwnd_x1000",
-        static_cast<std::int64_t>(flow.window->cwnd() * 1000.0));
-    registry.set_value(
-        prefix + ".srtt_us",
-        static_cast<std::int64_t>(sim::to_us(flow.window->srtt())));
+    if (flow.window != nullptr) {
+      registry.set_value(
+          prefix + ".cwnd_x1000",
+          static_cast<std::int64_t>(flow.window->cwnd() * 1000.0));
+      registry.set_value(
+          prefix + ".srtt_us",
+          static_cast<std::int64_t>(sim::to_us(flow.window->srtt())));
+    }
     registry.set_value(prefix + ".packets",
                        static_cast<std::int64_t>(flow.packets));
   }
-  for (const auto& gw : fair_gateways_) {
+  for (const auto& pump : pumps_) {
+    if (pump.fair == nullptr) continue;
     const std::string prefix =
-        def_.name + ".gw" + std::to_string(gw.gateway) + "." +
-        std::to_string(gw.hop_in) + "to" + std::to_string(gw.hop_out);
+        def_.name + ".gw" + std::to_string(pump.gateway) + "." +
+        std::to_string(pump.hop_in) + "to" + std::to_string(pump.hop_out);
     registry.set_value(prefix + ".queue_depth_hwm",
-                       static_cast<std::int64_t>(gw.queue->depth_hwm()));
+                       static_cast<std::int64_t>(pump.fair->depth_hwm()));
+  }
+  if (resilient()) {
+    const std::string prefix = def_.name + ".routing";
+    registry.set_value(prefix + ".gateway_kills",
+                       static_cast<std::int64_t>(counters_.gateway_kills));
+    registry.set_value(prefix + ".replayed_packets",
+                       static_cast<std::int64_t>(counters_.replayed_packets));
+    registry.set_value(prefix + ".dup_drops",
+                       static_cast<std::int64_t>(counters_.dup_drops));
+    registry.set_value(prefix + ".discarded",
+                       static_cast<std::int64_t>(counters_.discarded));
+    for (const auto& [gateway, forwarded] : forwarded_by_gateway_) {
+      registry.set_value(
+          def_.name + ".gw" + std::to_string(gateway) + ".forwarded",
+          static_cast<std::int64_t>(forwarded));
+    }
   }
 }
 
@@ -491,9 +869,21 @@ const mad::CongestionWindow* VirtualChannel::flow_window(
 
 std::vector<std::size_t> VirtualChannel::gateway_queue_depths() const {
   std::vector<std::size_t> depths;
-  depths.reserve(fair_queues_.size());
-  for (const auto& queue : fair_queues_) depths.push_back(queue->depth());
+  depths.reserve(pumps_.size());
+  for (const auto& pump : pumps_) {
+    if (pump.fair != nullptr) {
+      depths.push_back(pump.fair->depth());
+    } else if (pump.pipe != nullptr) {
+      depths.push_back(pump.pipe->size());
+    }
+    // store-and-forward pumps hold no queue: nothing to report.
+  }
   return depths;
+}
+
+std::uint64_t VirtualChannel::gateway_forwarded(std::uint32_t gateway) const {
+  auto it = forwarded_by_gateway_.find(gateway);
+  return it == forwarded_by_gateway_.end() ? 0 : it->second;
 }
 
 // --------------------------------------------------------- VirtualEndpoint ---
@@ -524,14 +914,66 @@ std::uint32_t VirtualEndpoint::fetch_packet(Demand* demand) {
     const std::size_t hop = channel_->terminal_hop(local_);
     terminal_ep_ = &channel_->hop_channels_[hop]->endpoint(local_);
   }
-  Packet packet = channel_->receive_packet(*terminal_ep_, demand);
-  MAD2_CHECK(packet.header.dst == local_,
-             "virtual packet delivered to the wrong node");
+  const bool resilient = channel_->resilient();
+  for (;;) {
+    Packet packet =
+        channel_->receive_packet(*terminal_ep_, demand, resilient);
+    MAD2_CHECK(packet.header.dst == local_,
+               "virtual packet delivered to the wrong node");
+    if (resilient) {
+      VirtualChannel::FlowControl& flow =
+          channel_->flow_control(packet.header.src, local_);
+      if (packet.seq < flow.expected_seq ||
+          flow.ooo.count(packet.seq) != 0) {
+        // Replay duplicate of something already delivered or already
+        // stashed: drop it (the buffer recycles right here) and keep
+        // waiting for the cursor packet.
+        ++flow.dup_drops;
+        ++channel_->counters_.dup_drops;
+        continue;
+      }
+      if (packet.seq > flow.expected_seq) {
+        // A later packet overtook the cursor across the re-route. Park
+        // it whole (demand landing was disabled for it) until the gap
+        // fills; delivery order per flow never deviates from seq order.
+        ++channel_->counters_.stashed;
+        flow.ooo.emplace(packet.seq, std::move(packet));
+        continue;
+      }
+    }
+    const std::uint32_t src = packet.header.src;
+    deliver_packet(std::move(packet));
+    if (resilient) {
+      // The cursor moved: drain every consecutive stashed successor of
+      // this flow behind it.
+      VirtualChannel::FlowControl& flow =
+          channel_->flow_control(src, local_);
+      auto next = flow.ooo.begin();
+      while (next != flow.ooo.end() && next->first == flow.expected_seq) {
+        Packet stashed = std::move(next->second);
+        next = flow.ooo.erase(next);
+        deliver_packet(std::move(stashed));
+      }
+    }
+    return src;
+  }
+}
+
+void VirtualEndpoint::deliver_packet(Packet packet) {
   // End-to-end feedback: free the sender's window slot and feed the
   // delivery delay into the flow's estimator. Empty packets (bare `last`
   // markers) never took a slot, so they must not release one.
-  if (channel_->congestion_enabled() && packet.header.payload_len > 0) {
+  if ((channel_->congestion_enabled() || channel_->resilient()) &&
+      packet.header.payload_len > 0) {
     channel_->on_packet_delivered(packet);
+  }
+  if (channel_->resilient()) {
+    // Advancing the receiver cursor doubles as confirming seq-1 to the
+    // sender: its retain buffer trims against this watermark.
+    VirtualChannel::FlowControl& flow =
+        channel_->flow_control(packet.header.src, local_);
+    flow.expected_seq = packet.seq + 1;
+    channel_->retention_freed_->notify_all();
   }
   const std::uint32_t src = packet.header.src;
   std::size_t staged = 0;
@@ -542,7 +984,6 @@ std::uint32_t VirtualEndpoint::fetch_packet(Demand* demand) {
     stream.bytes += staged;
   }
   // else: fully direct-landed (or empty) — the buffer recycles right here.
-  return src;
 }
 
 VirtualConnection& VirtualEndpoint::begin_unpacking() {
@@ -703,10 +1144,9 @@ void VirtualConnection::flush_packet(bool last) {
 
   VirtualChannel& channel = endpoint_->channel();
   const std::size_t hop = channel.hop_of(endpoint_->local(), remote_);
+  const std::uint32_t local = endpoint_->local();
   mad::ChannelEndpoint& ep =
-      channel.session().channel(channel.def().hops[hop]).endpoint(
-          endpoint_->local());
-  const std::uint32_t to = channel.next_node(hop, remote_);
+      channel.session().channel(channel.def().hops[hop]).endpoint(local);
 
   // Bandwidth control (paper future work): pace packet departures so the
   // inbound flow at the gateway stays below the configured rate.
@@ -723,16 +1163,64 @@ void VirtualConnection::flush_packet(bool last) {
   // End-to-end window: block until the flow has room in flight. The stamp
   // is taken after admission, so time spent waiting here is the sender's
   // own queueing, not network delay — the estimator only sees the path.
+  // Admission happens BEFORE the send mutex below: a failover replay
+  // needs that mutex to redeliver the lost packets that free the window,
+  // so blocking on the window while holding it would deadlock.
   sim::Time stamp = 0;
   if (channel.congestion_enabled() && taken > 0) {
-    VirtualChannel::FlowControl& flow =
-        channel.flow_control(endpoint_->local(), remote_);
+    VirtualChannel::FlowControl& flow = channel.flow_control(local, remote_);
     flow.window->before_send();
     stamp = channel.session().simulator().now();
   }
 
-  channel.send_packet(ep, to, header, gather_scratch_, sizes_scratch_,
-                      stamp);
+  if (!channel.resilient()) {
+    const std::uint32_t to = channel.next_node(hop, local, remote_);
+    channel.send_packet(ep, to, header, gather_scratch_, sizes_scratch_,
+                        stamp);
+  } else {
+    // Resilient send: serialize with the repair fiber, then sequence and
+    // retain the packet before it leaves, so a gateway death at any
+    // point can replay it. Empty `last` markers are sequenced too —
+    // losing one would wedge the receiver cursor forever.
+    sim::Mutex& mutex = channel.send_mutex(local);
+    mutex.lock();
+    VirtualChannel::FlowControl& flow = channel.flow_control(local, remote_);
+    for (;;) {
+      channel.trim_unacked(flow);
+      if (!flow.replay_pending &&
+          flow.unacked.size() < channel.topology().replay_quota) {
+        break;
+      }
+      // A failover is mid-replay for this flow, or the retain buffer is
+      // full of unconfirmed packets: park until the repair fiber settles
+      // / the receiver cursor advances, re-checking from scratch (the
+      // kill may land exactly in this window).
+      mutex.unlock();
+      (flow.replay_pending ? channel.replay_settled_
+                           : channel.retention_freed_)
+          ->wait();
+      mutex.lock();
+    }
+    const std::uint64_t seq = flow.next_seq++;
+    VirtualChannel::RetainedPacket retained;
+    retained.header = header;
+    retained.seq = seq;
+    retained.stamp = stamp;
+    retained.bytes.reserve(taken);
+    for (const auto& piece : gather_scratch_) {
+      retained.bytes.insert(retained.bytes.end(), piece.begin(),
+                            piece.end());
+    }
+    channel.session().node(local).charge_memcpy(taken);
+    flow.unacked.push_back(std::move(retained));
+    // Route picked under the mutex, against the current healthy sets: a
+    // kill that already happened re-routes this packet, a kill that
+    // lands later replays it from the retain buffer.
+    const std::uint32_t to = channel.next_node(hop, local, remote_);
+    channel.send_packet(ep, to, header, gather_scratch_, sizes_scratch_,
+                        stamp, seq);
+    mutex.unlock();
+  }
   // The packet is fully on the wire (end_packing committed every piece);
   // now the consumed meta buffers can go.
   for (std::size_t i = 0; i < metas_consumed; ++i) metas_.pop_front();

@@ -1,11 +1,19 @@
 // Inter-device data forwarding for clusters of clusters (paper Section 6).
 //
 // A *virtual channel* spans a sequence of real Madeleine channels joined at
-// gateway nodes (each consecutive pair of hop channels shares exactly one
-// node). The application uses the same pack/unpack interface; the only
-// difference is the channel definition (Section 6: "instead of a single
-// channel ... one has to specify a virtual channel that includes a
-// sequence of real channels").
+// gateway nodes (each consecutive pair of hop channels shares at least one
+// node — the *boundary*'s gateway set). The application uses the same
+// pack/unpack interface; the only difference is the channel definition
+// (Section 6: "instead of a single channel ... one has to specify a
+// virtual channel that includes a sequence of real channels").
+//
+// Beyond the paper: with the `topology` stanza (mad::TopologyConfig) the
+// channel runs in *resilient* mode — boundaries may hold several
+// gateways, flows spread across the healthy ones by a deterministic
+// hash, and a gateway death at runtime re-routes in-flight traffic with
+// zero lost and zero duplicated bytes (per-flow sequence numbers, a
+// bounded sender retain buffer replayed over a surviving gateway, and a
+// receiver-side out-of-order stash). docs/ROUTING.md has the protocol.
 //
 // Mechanics, faithful to Section 6.1:
 //  - all inter-cluster traffic goes through a *Generic TM*: messages are
@@ -53,8 +61,10 @@ class FairPacketQueue;
 
 struct VirtualChannelDef {
   std::string name;
-  /// Real channel names, in hop order. Consecutive hops must share exactly
-  /// one (gateway) node.
+  /// Real channel names, in hop order. Consecutive hops must share at
+  /// least one (gateway) node; several shared nodes form a redundant
+  /// gateway set (requires the topology stanza to be exploited — without
+  /// it only the first common node forwards).
   std::vector<std::string> hops;
   /// Fixed packet size used along the route (paper: chosen at compile time
   /// so no network needs to re-fragment; Section 6.2 sweeps 8-128 kB).
@@ -75,6 +85,11 @@ struct VirtualChannelDef {
   /// leaves the data path exactly as before (no stamp on the wire, FIFO
   /// gateway queues, no windowing).
   std::optional<mad::CongestionConfig> congestion;
+  /// Resilient multi-gateway routing override for this virtual channel
+  /// (see mad/hostdb.hpp). Unset falls back to the session's `topology`
+  /// stanza; neither set keeps single-gateway routing and the wire
+  /// format bit-identical to earlier releases.
+  std::optional<mad::TopologyConfig> topology;
 };
 
 class VirtualChannel;
@@ -165,6 +180,12 @@ struct Packet {
   /// control is enabled, so the wire byte stream of existing sessions is
   /// bit-identical. Gateways forward it unchanged.
   sim::Time stamp = 0;
+  /// Per-flow sequence number for resilient routing. Travels as its own
+  /// EXPRESS block (after the stamp, when both features are on) ONLY in
+  /// resilient mode — same bit-identical-wire rule as the stamp.
+  /// Gateways forward it unchanged; the receiving endpoint uses it to
+  /// drop replay duplicates and re-order around a failover.
+  std::uint64_t seq = 0;
   PooledBuffer storage;
 };
 
@@ -207,6 +228,11 @@ class VirtualEndpoint {
   /// into `demand`'s window (see VirtualChannel::Demand); whatever stays
   /// staged is filed into the per-source stream. Returns the source.
   std::uint32_t fetch_packet(Demand* demand);
+
+  /// Land one in-sequence packet: window/cursor bookkeeping, then file
+  /// whatever stayed staged into the per-source stream (recycling the
+  /// buffer immediately when nothing did).
+  void deliver_packet(Packet packet);
 
   /// Pop `out.size()` bytes for `src`, fetching packets as needed.
   /// Staged bytes are copied out (charged); bytes landed directly by a
@@ -267,6 +293,56 @@ class VirtualChannel {
     return congestion_.enabled;
   }
 
+  /// Resolved topology config: the def's override, else the session's
+  /// `topology` stanza, else disabled (single-gateway routing).
+  [[nodiscard]] const mad::TopologyConfig& topology() const {
+    return topology_;
+  }
+  /// Resilient mode: gateway sets per boundary, per-flow sequencing, and
+  /// runtime failover are all active.
+  [[nodiscard]] bool resilient() const { return topology_.enabled; }
+
+  /// Declare gateway `node` dead right now (resilient mode only): mark it
+  /// in the host directory (epoch bump), shrink every boundary's healthy
+  /// set, drain its pump queues back to the pool, and replay unconfirmed
+  /// packets of the flows routed through it over surviving gateways.
+  /// Idempotent on an already-dead gateway. Every boundary holding the
+  /// gateway must keep at least one healthy sibling.
+  void kill_gateway(std::uint32_t node);
+
+  /// Arm a one-shot kill_gateway(`node`) after the channel's gateways
+  /// have received `after_packets` more packets (tests/bench: kill
+  /// mid-transfer at a deterministic point in the packet stream).
+  void arm_gateway_kill(std::uint32_t node, std::uint64_t after_packets);
+
+  /// Failover bookkeeping (resilient mode; all zero otherwise).
+  struct RoutingCounters {
+    std::uint64_t gateway_kills = 0;
+    std::uint64_t replayed_packets = 0;
+    std::uint64_t replayed_bytes = 0;
+    std::uint64_t dup_drops = 0;   // replay duplicates dropped at receivers
+    std::uint64_t stashed = 0;     // packets parked in out-of-order stashes
+    std::uint64_t discarded = 0;   // packets black-holed at dead gateways
+  };
+  [[nodiscard]] const RoutingCounters& routing_counters() const {
+    return counters_;
+  }
+  /// Packets forwarded by `gateway`'s pumps (spread/evidence for tests).
+  [[nodiscard]] std::uint64_t gateway_forwarded(std::uint32_t gateway) const;
+
+  /// Boundary introspection: gateway sets joining consecutive hops.
+  [[nodiscard]] std::size_t boundary_count() const {
+    return boundaries_.size();
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& boundary_gateways(
+      std::size_t boundary) const {
+    return boundaries_[boundary].gateways;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& healthy_gateways(
+      std::size_t boundary) const {
+    return boundaries_[boundary].healthy;
+  }
+
   /// Weighted-fair share for flow src -> dst at every gateway fair queue
   /// of this channel: backlogged flows split each forwarding hop in
   /// weight proportion (default 1). Requires the congestion stanza — the
@@ -286,8 +362,10 @@ class VirtualChannel {
   /// or the flow never sent. Test/bench introspection.
   [[nodiscard]] const mad::CongestionWindow* flow_window(
       std::uint32_t src, std::uint32_t dst) const;
-  /// Current depth of every gateway fair queue (drain evidence for
-  /// tests). Empty when congestion control is off.
+  /// Current depth of every gateway pump queue (drain evidence for
+  /// tests): the fair queues under congestion control, the pipeline
+  /// queues otherwise. Empty only in store-and-forward mode
+  /// (pipeline_depth <= 1), which holds no queue at all.
   [[nodiscard]] std::vector<std::size_t> gateway_queue_depths() const;
 
   // --- internals shared with endpoints/gateway pumps ---------------------
@@ -301,12 +379,15 @@ class VirtualChannel {
 
   /// Index of the hop channel `node` uses to make progress toward `dst`
   /// (the first hop containing `node` that is not already past `dst`).
-  /// Precomputed per (node, dst) at construction — no per-packet work.
+  /// Precomputed into a flat dense table at construction (O(1) at
+  /// 1024-node fan-out) — no per-packet work.
   [[nodiscard]] std::size_t hop_of(std::uint32_t node,
                                    std::uint32_t dst) const;
-  /// Next node on hop `hop` toward `dst`: `dst` itself if it is on the
-  /// hop, else the gateway to the following hop. Precomputed likewise.
-  [[nodiscard]] std::uint32_t next_node(std::size_t hop,
+  /// Next node on hop `hop` for flow src -> dst: `dst` itself if it is on
+  /// the hop, else a gateway of the boundary toward `dst` — the flow's
+  /// deterministic hash pick among the boundary's *currently healthy*
+  /// gateways, so an epoch bump re-routes the very next packet.
+  [[nodiscard]] std::uint32_t next_node(std::size_t hop, std::uint32_t src,
                                         std::uint32_t dst) const;
   /// The hop channel on which `node` receives virtual-channel traffic.
   [[nodiscard]] std::size_t terminal_hop(std::uint32_t node) const;
@@ -315,19 +396,24 @@ class VirtualChannel {
   /// (CHEAPER — ridden zero-copy by the underlying TMs where possible).
   /// `sizes_scratch` is caller-owned reusable scratch for the size list.
   /// With congestion control on, `stamp` (the flow's send time) rides as
-  /// an extra EXPRESS block right after the header.
+  /// an extra EXPRESS block right after the header; in resilient mode
+  /// `seq` rides likewise.
   void send_packet(mad::ChannelEndpoint& hop_endpoint, std::uint32_t to,
                    PacketHeader header,
                    std::span<const std::span<const std::byte>> pieces,
                    std::vector<std::uint32_t>& sizes_scratch,
-                   sim::Time stamp = 0);
+                   sim::Time stamp = 0, std::uint64_t seq = 0);
   /// Receive one packet into a pooled buffer. Pieces land, in order:
   /// directly in `demand`'s window (when given, the source matches, and
   /// the piece fits — endpoints only), as borrowed driver slots (static-
   /// buffer hop TMs), or staged into the pooled bytes. The returned
   /// packet's pieces cover exactly the staged/borrowed (non-demand) data.
+  /// `at_destination` (resilient endpoints only) disables demand landing
+  /// for out-of-sequence packets — they are stashed whole, so stream
+  /// order is restored before any byte reaches user memory.
   Packet receive_packet(mad::ChannelEndpoint& hop_endpoint,
-                        Demand* demand = nullptr);
+                        Demand* demand = nullptr,
+                        bool at_destination = false);
 
  private:
   friend class VirtualEndpoint;
@@ -335,47 +421,132 @@ class VirtualChannel {
   void spawn_gateway(std::uint32_t gateway, std::size_t hop_in,
                      std::size_t hop_out);
 
+  /// One retained (sent but unconfirmed) packet of a resilient flow: the
+  /// payload flattened to owned bytes (piece granularity is free to
+  /// change — the block framing is inline in the byte stream), replayed
+  /// as a single piece over a surviving gateway on failover.
+  struct RetainedPacket {
+    PacketHeader header;
+    std::uint64_t seq = 0;
+    sim::Time stamp = 0;
+    std::vector<std::byte> bytes;
+  };
+
   /// End-to-end control state of one flow (src, dst). The sending fiber
   /// blocks on the window in flush_packet; the receiving endpoint feeds
   /// delivery timestamps back through on_packet_delivered — fibers share
   /// the channel object, so the feedback edge is a call, not a wire
-  /// message (the simulated analogue of ack-borne signaling).
+  /// message (the simulated analogue of ack-borne signaling). Resilient
+  /// mode adds the failover protocol state: sender cursor + retain
+  /// buffer, receiver cursor (doubling as the confirm watermark — only
+  /// the sender/repair fiber trims `unacked` against it, so there is no
+  /// cross-fiber deque mutation) and out-of-order stash.
   struct FlowControl {
     std::unique_ptr<mad::CongestionWindow> window;
     std::string hist_name;  // per-flow e2e histogram in the registry
     std::uint64_t packets = 0;
     std::uint64_t bytes = 0;
+    // --- resilient-mode state ---
+    std::uint64_t next_seq = 0;      // sender: next sequence to assign
+    std::uint64_t expected_seq = 0;  // receiver cursor / confirm watermark
+    bool replay_pending = false;     // failover marked; sender must wait
+    std::deque<RetainedPacket> unacked;
+    std::map<std::uint64_t, Packet> ooo;  // seq -> stashed future packet
+    std::uint64_t replays = 0;
+    std::uint64_t dup_drops = 0;
   };
   FlowControl& flow_control(std::uint32_t src, std::uint32_t dst);
   void on_packet_delivered(const Packet& packet);
 
+  /// Gateway set joining hops i and i+1. `healthy` shrinks on deaths;
+  /// `gateways` is the construction-time inventory.
+  struct Boundary {
+    std::vector<std::uint32_t> gateways;
+    std::vector<std::uint32_t> healthy;
+  };
+
+  /// One routing-table cell: how hop `hop` reaches a destination.
+  struct NextHop {
+    enum class Kind : std::uint8_t {
+      kUnreachable,
+      kDirect,    // dst is on the hop
+      kForward,   // through boundary `boundary` (toward hop+1)
+      kBackward,  // through boundary `boundary` (toward hop-1)
+    };
+    Kind kind = Kind::kUnreachable;
+    std::uint32_t boundary = 0;
+  };
+
+  static constexpr std::uint32_t kNoIndex = 0xffffffffu;
+  static constexpr std::uint16_t kNoHop = 0xffffu;
+
+  [[nodiscard]] std::uint32_t dense_index(std::uint32_t node) const;
+  [[nodiscard]] std::uint32_t pick_gateway(std::uint32_t boundary,
+                                           std::uint32_t src,
+                                           std::uint32_t dst) const;
+  /// Walks the flow's current deterministic route; true if it crosses
+  /// `gateway`. Used at kill time, before the healthy sets shrink, to
+  /// find the flows that need replay.
+  [[nodiscard]] bool route_uses_gateway(std::uint32_t src, std::uint32_t dst,
+                                        std::uint32_t gateway) const;
+  /// True if this channel can absorb `node`'s death: it is a healthy
+  /// gateway here and every boundary holding it keeps a sibling.
+  [[nodiscard]] bool can_absorb_gateway(std::uint32_t node) const;
+  mad::FailureDomain on_network_failure(const mad::NetworkFailure& failure);
+  sim::Mutex& send_mutex(std::uint32_t src);
+  void trim_unacked(FlowControl& flow);
+  void note_gateway_packet(std::uint32_t gateway);
+  void drain_gateway_queues(std::uint32_t gateway);
+  void replay_pending_flows();
+
   mad::Session* session_;
   VirtualChannelDef def_;
   mad::CongestionConfig congestion_;  // resolved (def > session > off)
+  mad::TopologyConfig topology_;      // resolved (def > session > off)
   std::vector<mad::Channel*> hop_channels_;
-  std::vector<std::uint32_t> gateways_;  // gateways_[i] joins hop i, i+1
+  std::vector<Boundary> boundaries_;  // boundaries_[i] joins hop i, i+1
   std::vector<std::uint32_t> nodes_;
-  // Routing tables, precomputed at construction (satellite of the pooled
-  // data path: hop_of/next_node used to rebuild hop-membership vectors on
-  // every packet).
-  std::map<std::pair<std::uint32_t, std::uint32_t>, std::size_t> hop_of_;
-  std::vector<std::map<std::uint32_t, std::uint32_t>> next_of_;  // per hop
-  std::map<std::uint32_t, std::size_t> terminal_hop_;
+  // Flat directory-indexed routing tables, precomputed at construction:
+  // global node id -> dense index, then dense n x n lookups. O(1) with no
+  // tree walks at 256-1024-node fan-out.
+  std::vector<std::uint32_t> node_index_;   // by global id; kNoIndex = off
+  std::vector<std::uint16_t> hop_table_;    // [src_dense * n + dst_dense]
+  std::vector<std::uint16_t> terminal_table_;  // [dense]; kNoHop = gateway
+  std::vector<std::vector<NextHop>> next_table_;  // [hop][dst_dense]
   // Declared before every Packet holder below so recycling handles in
-  // endpoints_/gateway_queues_ still find the pool during destruction.
+  // endpoints_/gateway_queues_/flows_ still find the pool during
+  // destruction.
   PacketPool pool_;
   std::map<std::uint32_t, std::unique_ptr<VirtualEndpoint>> endpoints_;
   std::vector<std::unique_ptr<sim::BoundedChannel<Packet>>> gateway_queues_;
-  // Congestion-control state (all empty/idle when congestion_ is off).
+  // Congestion-control / failover state (empty/idle when both are off).
   std::map<std::pair<std::uint32_t, std::uint32_t>, FlowControl> flows_;
-  struct FairGateway {
+  std::vector<std::unique_ptr<FairPacketQueue>> fair_queues_;
+  /// Every gateway pump direction, uniformly across the three modes:
+  /// exactly one of pipe/fair is set (neither in store-and-forward).
+  struct GatewayPump {
     std::uint32_t gateway;
     std::size_t hop_in;
     std::size_t hop_out;
-    FairPacketQueue* queue;
+    sim::BoundedChannel<Packet>* pipe = nullptr;
+    FairPacketQueue* fair = nullptr;
   };
-  std::vector<std::unique_ptr<FairPacketQueue>> fair_queues_;
-  std::vector<FairGateway> fair_gateways_;
+  std::vector<GatewayPump> pumps_;
+  // --- resilient-mode machinery ---
+  RoutingCounters counters_;
+  std::map<std::uint32_t, std::uint64_t> forwarded_by_gateway_;
+  /// Per-source send serialization: flush and replay of the same flow
+  /// must not interleave, or a replayed seq could chase a newer one.
+  std::map<std::uint32_t, std::unique_ptr<sim::Mutex>> send_mutexes_;
+  std::unique_ptr<sim::WaitQueue> replay_settled_;   // replay_pending off
+  std::unique_ptr<sim::WaitQueue> retention_freed_;  // unacked slot freed
+  struct ArmedKill {
+    std::uint32_t gateway;
+    std::uint64_t after_packets;
+  };
+  std::optional<ArmedKill> armed_kill_;
+  std::uint64_t gateway_rx_packets_ = 0;
+  std::uint64_t failure_listener_id_ = 0;  // 0 = not registered
 };
 
 }  // namespace mad2::fwd

@@ -355,6 +355,40 @@ Result<SessionConfig> parse_session_config(std::string_view text) {
       continue;
     }
 
+    if (directive == "topology") {
+      if (config.topology.has_value()) {
+        return error_at(line_number, "duplicate 'topology'");
+      }
+      TopologyConfig tc;
+      tc.enabled = true;
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        const std::string& token = tokens[i];
+        if (token.rfind("salt=", 0) == 0) {
+          std::uint32_t salt = 0;
+          if (!parse_u32(token.substr(5), &salt)) {
+            return error_at(line_number,
+                            "invalid topology salt '" + token + "'");
+          }
+          tc.spread_salt = salt;
+        } else if (token.rfind("replay_quota=", 0) == 0) {
+          std::uint32_t quota = 0;
+          if (!parse_u32(token.substr(13), &quota) || quota == 0) {
+            return error_at(line_number,
+                            "invalid topology replay_quota '" + token +
+                                "' (a zero quota could never admit a "
+                                "packet)");
+          }
+          tc.replay_quota = quota;
+        } else {
+          return error_at(line_number,
+                          "unknown topology option '" + token +
+                              "' (expected salt=, replay_quota=)");
+        }
+      }
+      config.topology = tc;
+      continue;
+    }
+
     if (directive == "trace") {
       if (config.trace.has_value()) {
         return error_at(line_number, "duplicate 'trace'");

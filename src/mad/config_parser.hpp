@@ -36,6 +36,16 @@
 //       floor); quantum= is the DRR byte credit per scheduling round and
 //       gateway_queue= the gateway forwarding-queue depth in packets.
 //       Absent stanza = everything off (the default fast path).
+//   topology [salt=N] [replay_quota=N]
+//       enable resilient multi-gateway routing for the session's virtual
+//       channels (see mad/hostdb.hpp and docs/ROUTING.md): consecutive
+//       hops may share a *set* of gateways, flows spread across the
+//       healthy ones by deterministic hash (salt= perturbs the spread),
+//       and a gateway death re-routes and replays unconfirmed packets.
+//       replay_quota= bounds the per-flow retain buffer in packets
+//       (default 1024; must be positive — a zero quota could never
+//       admit a packet). Absent stanza = single-gateway routing with no
+//       per-packet sequencing overhead (the default fast path).
 //
 // Errors come back as INVALID_ARGUMENT with the line number.
 #pragma once

@@ -1,0 +1,44 @@
+#include "mad/hostdb.hpp"
+
+#include <algorithm>
+
+#include "util/status.hpp"
+
+namespace mad2::mad {
+
+void Hostdb::reset(std::size_t node_count) {
+  hosts_.assign(node_count, HostEntry{});
+  epoch_ = 0;
+  dead_ = 0;
+}
+
+const Hostdb::HostEntry& Hostdb::host(std::uint32_t node) const {
+  MAD2_CHECK(node < hosts_.size(), "unknown node id in the host directory");
+  return hosts_[node];
+}
+
+void Hostdb::add_adapter(std::uint32_t node, const std::string& network) {
+  MAD2_CHECK(node < hosts_.size(), "unknown node id in the host directory");
+  std::vector<std::string>& adapters = hosts_[node].adapters;
+  if (std::find(adapters.begin(), adapters.end(), network) ==
+      adapters.end()) {
+    adapters.push_back(network);
+  }
+}
+
+void Hostdb::set_gateway_role(std::uint32_t node) {
+  MAD2_CHECK(node < hosts_.size(), "unknown node id in the host directory");
+  hosts_[node].gateway = true;
+}
+
+bool Hostdb::mark_dead(std::uint32_t node) {
+  MAD2_CHECK(node < hosts_.size(), "unknown node id in the host directory");
+  HostEntry& host = hosts_[node];
+  if (!host.alive) return false;
+  host.alive = false;
+  host.death_epoch = ++epoch_;
+  ++dead_;
+  return true;
+}
+
+}  // namespace mad2::mad

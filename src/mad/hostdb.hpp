@@ -1,0 +1,86 @@
+// Topology/membership directory (ROADMAP item 1; modeled on production
+// membership tables like Gigablast's Hostdb): one flat entry per global
+// node id with its adapter inventory, gateway role, and liveness state.
+//
+// Routing layers consult the directory at O(1) cost on hot paths
+// (`alive()` is a vector index), and react to deaths through the
+// *liveness epoch*: every mark_dead() bumps a session-global counter, so
+// a cached route is valid exactly while the epoch it was computed under
+// still matches. In the simulator all state updates are synchronous
+// calls, which makes the epoch the total order of membership changes —
+// the fwd layer re-resolves gateway choices against the current healthy
+// sets and uses the epoch as evidence in stats and tests.
+//
+// The directory is owned by mad::Session: adapters are filled from the
+// network definitions at construction, gateway roles are registered by
+// the virtual channels built over the session (fwd/virtual_channel.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mad2::mad {
+
+/// `topology` config stanza: opt-in resilient multi-gateway routing for
+/// virtual channels (see docs/ROUTING.md). Off by default — without the
+/// stanza the forwarding wire format and routing behavior are
+/// bit-identical to the single-gateway data path.
+struct TopologyConfig {
+  bool enabled = false;
+  /// Salt folded into the deterministic flow -> gateway spreading hash;
+  /// lets deployments (and seed sweeps) re-deal the flow placement
+  /// without changing the flow identities.
+  std::uint64_t spread_salt = 0;
+  /// Per-flow cap on retained (sent but unconfirmed) packets. The sender
+  /// blocks when the retain buffer is full, so the failover replay memory
+  /// is bounded; confirmations (in-order delivery) free slots.
+  std::size_t replay_quota = 1024;
+};
+
+class Hostdb {
+ public:
+  struct HostEntry {
+    /// Names of the networks this node has an adapter on.
+    std::vector<std::string> adapters;
+    bool gateway = false;
+    bool alive = true;
+    /// Epoch at which the node died; 0 while alive.
+    std::uint64_t death_epoch = 0;
+  };
+
+  /// (Re)build the directory for `node_count` dense global node ids.
+  void reset(std::size_t node_count);
+
+  [[nodiscard]] std::size_t size() const { return hosts_.size(); }
+  [[nodiscard]] const HostEntry& host(std::uint32_t node) const;
+
+  /// Adapter inventory, filled from the session's network definitions.
+  void add_adapter(std::uint32_t node, const std::string& network);
+  /// Role registration by the routing layers (virtual-channel gateways).
+  void set_gateway_role(std::uint32_t node);
+
+  [[nodiscard]] bool alive(std::uint32_t node) const {
+    return hosts_[node].alive;
+  }
+  [[nodiscard]] bool is_gateway(std::uint32_t node) const {
+    return hosts_[node].gateway;
+  }
+
+  /// Liveness epoch: 0 initially, +1 per death. Routes cached under an
+  /// older epoch must be re-resolved against the current healthy sets.
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] std::size_t dead_count() const { return dead_; }
+
+  /// Declare `node` dead and bump the epoch. Idempotent: marking an
+  /// already-dead node changes nothing and returns false, so the same
+  /// failure reported through several links bumps the epoch once.
+  bool mark_dead(std::uint32_t node);
+
+ private:
+  std::vector<HostEntry> hosts_;
+  std::uint64_t epoch_ = 0;
+  std::size_t dead_ = 0;
+};
+
+}  // namespace mad2::mad

@@ -23,6 +23,20 @@ std::string_view to_string(NetworkKind kind) {
   return "?";
 }
 
+std::string_view to_string(FailureDomain domain) {
+  switch (domain) {
+    case FailureDomain::kUnknown:
+      return "unknown";
+    case FailureDomain::kRail:
+      return "rail";
+    case FailureDomain::kHop:
+      return "hop";
+    case FailureDomain::kNode:
+      return "node";
+  }
+  return "?";
+}
+
 std::uint32_t NetworkInstance::port(std::uint32_t node) const {
   auto it = port_of_node.find(node);
   MAD2_CHECK(it != port_of_node.end(), "node not attached to this network");
@@ -149,6 +163,7 @@ Session::Session(SessionConfig config) : config_(std::move(config)) {
     nodes_.push_back(std::make_unique<hw::Node>(
         &simulator_, i, "node" + std::to_string(i), config_.host));
   }
+  hostdb_.reset(config_.node_count);
 
   for (const NetworkDef& def : config_.networks) {
     auto instance = std::make_unique<NetworkInstance>();
@@ -158,6 +173,8 @@ Session::Session(SessionConfig config) : config_(std::move(config)) {
       MAD2_CHECK(node < nodes_.size(), "network references unknown node");
       instance->port_of_node[node] =
           static_cast<std::uint32_t>(members.size());
+      instance->node_of_port.push_back(node);
+      hostdb_.add_adapter(node, def.name);
       members.push_back(nodes_[node].get());
     }
     switch (def.kind) {
@@ -175,13 +192,25 @@ Session::Session(SessionConfig config) : config_(std::move(config)) {
         instance->tcp = std::make_unique<net::TcpNetwork>(
             &simulator_, members,
             def.tcp_params.value_or(net::TcpParams::fast_ethernet()));
-        // A faulty fabric can give up on a link. A rail set that owns the
-        // network as a secondary rail absorbs the failure (the session
-        // runs on degraded); otherwise fail cleanly instead of
-        // deadlocking the stuck fibers.
-        instance->tcp->set_error_handler(
-            [this, raw = instance.get()](const Status& status) {
-              if (!route_network_failure(raw, status)) fail(status);
+        // A faulty fabric can give up on a link. Triage in
+        // route_network_failure decides whether a rail set or a resilient
+        // forwarding layer absorbs the failure (the session runs on
+        // degraded) or the session fails cleanly instead of deadlocking
+        // the stuck fibers. Ports map back to global node ids so the
+        // failure carries its endpoints.
+        instance->tcp->set_link_error_handler(
+            [this, raw = instance.get()](std::uint32_t a, std::uint32_t b,
+                                         const Status& status) {
+              NetworkFailure failure;
+              failure.network = raw;
+              failure.status = status;
+              if (a < raw->node_of_port.size()) {
+                failure.src_node = raw->node_of_port[a];
+              }
+              if (b < raw->node_of_port.size()) {
+                failure.dst_node = raw->node_of_port[b];
+              }
+              route_network_failure(failure);
             });
         break;
       case NetworkKind::kVia:
@@ -274,12 +303,63 @@ RailSet& Session::rail_set(const std::string& name) {
   MAD2_CHECK(false, "unknown rail set name");
 }
 
-bool Session::route_network_failure(const NetworkInstance* network,
-                                    const Status& status) {
-  for (auto& rail_set : rail_sets_) {
-    if (rail_set->on_network_failed(network, status)) return true;
+std::uint64_t Session::add_failure_listener(FailureListener listener) {
+  const std::uint64_t id = next_listener_id_++;
+  failure_listeners_.emplace_back(id, std::move(listener));
+  return id;
+}
+
+void Session::remove_failure_listener(std::uint64_t id) {
+  for (auto it = failure_listeners_.begin(); it != failure_listeners_.end();
+       ++it) {
+    if (it->first == id) {
+      failure_listeners_.erase(it);
+      return;
+    }
   }
-  return false;
+}
+
+FailureDomain Session::route_network_failure(const NetworkFailure& failure) {
+  MAD2_CHECK(!failure.status.is_ok(),
+             "route_network_failure with an OK status");
+  // A failure is identified by its (network, src, dst) link; routing it is
+  // idempotent — a double report (several streams noticing the same dead
+  // link, or a misbehaving caller) replays the recorded verdict without
+  // re-triggering rail or hop repairs.
+  const auto key =
+      std::make_tuple(failure.network, failure.src_node, failure.dst_node);
+  if (const auto it = routed_failures_.find(key);
+      it != routed_failures_.end()) {
+    return it->second;
+  }
+  FailureDomain domain = FailureDomain::kUnknown;
+  for (auto& rail_set : rail_sets_) {
+    if (rail_set->on_network_failed(failure.network, failure.status)) {
+      domain = FailureDomain::kRail;
+      break;
+    }
+  }
+  if (domain == FailureDomain::kUnknown) {
+    for (auto& [id, listener] : failure_listeners_) {
+      const FailureDomain claimed = listener(failure);
+      if (claimed != FailureDomain::kUnknown) {
+        domain = claimed;
+        break;
+      }
+    }
+  }
+  if (domain == FailureDomain::kUnknown &&
+      failure.dst_node != NetworkFailure::kNoNode) {
+    // Nobody could route around it: record the death in the directory so
+    // post-mortems see which node took the session down.
+    hostdb_.mark_dead(failure.dst_node);
+    domain = FailureDomain::kNode;
+  }
+  routed_failures_[key] = domain;
+  if (domain == FailureDomain::kUnknown || domain == FailureDomain::kNode) {
+    fail(failure.status);
+  }
+  return domain;
 }
 
 void Session::spawn(std::uint32_t node, std::string name,

@@ -10,11 +10,13 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "hw/node.hpp"
 #include "mad/congestion.hpp"
 #include "mad/connection.hpp"
+#include "mad/hostdb.hpp"
 #include "mad/bip_options.hpp"
 #include "mad/rail_set.hpp"
 #include "mad/sci_options.hpp"
@@ -120,6 +122,11 @@ struct SessionConfig {
   /// arbitration) and by virtual channels built over this session
   /// (gateway fair queues + per-flow windows). Absent = all off.
   std::optional<CongestionConfig> congestion;
+  /// `topology` stanza: resilient multi-gateway routing for virtual
+  /// channels built over this session (see mad/hostdb.hpp and
+  /// docs/ROUTING.md). Absent = single-gateway routing, wire-identical
+  /// to earlier releases.
+  std::optional<TopologyConfig> topology;
 };
 
 /// A session network instance: the driver plus the global-node -> local
@@ -132,11 +139,41 @@ struct NetworkInstance {
   std::unique_ptr<net::ViaNetwork> via;
   std::unique_ptr<net::SbpNetwork> sbp;
   std::map<std::uint32_t, std::uint32_t> port_of_node;
+  /// Reverse lookup (port index -> global node id); same order as
+  /// def.nodes since ports are assigned by membership order.
+  std::vector<std::uint32_t> node_of_port;
 
   [[nodiscard]] bool has_node(std::uint32_t node) const {
     return port_of_node.count(node) != 0;
   }
   [[nodiscard]] std::uint32_t port(std::uint32_t node) const;
+};
+
+/// Where a network failure was absorbed (Session::route_network_failure).
+enum class FailureDomain {
+  /// Nobody claimed it: the session is failing.
+  kUnknown,
+  /// A rail set marked a secondary rail dead and rescheduled around it.
+  kRail,
+  /// A forwarding layer re-routed the affected virtual-channel hop
+  /// (e.g. a dead gateway with surviving siblings on its boundary).
+  kHop,
+  /// A node was declared dead in the host directory with no routing
+  /// layer able to absorb it; the session is failing.
+  kNode,
+};
+
+std::string_view to_string(FailureDomain domain);
+
+/// A link/network failure report. src_node is the (global id of the)
+/// reporting end, dst_node the unresponsive end; either may be kNoNode
+/// when the driver cannot attribute the failure to specific endpoints.
+struct NetworkFailure {
+  static constexpr std::uint32_t kNoNode = 0xffffffffu;
+  const NetworkInstance* network = nullptr;
+  Status status;
+  std::uint32_t src_node = kNoNode;
+  std::uint32_t dst_node = kNoNode;
 };
 
 /// Per-node local view of a channel: where begin_packing / begin_unpacking
@@ -255,6 +292,29 @@ class Session {
   /// OK until fail() was called; then the first recorded failure.
   [[nodiscard]] const Status& health() const { return health_; }
 
+  /// Topology/membership directory (adapters filled from the network
+  /// defs; gateway roles registered by virtual channels).
+  [[nodiscard]] Hostdb& hostdb() { return hostdb_; }
+
+  /// A routing layer's claim on network failures. Return the domain that
+  /// absorbed the failure, or kUnknown to pass it to the next listener.
+  using FailureListener = std::function<FailureDomain(const NetworkFailure&)>;
+
+  /// Register/unregister a failure listener (e.g. a resilient virtual
+  /// channel). Listeners are consulted after rail sets, in registration
+  /// order; remove before the listener's owner dies.
+  std::uint64_t add_failure_listener(FailureListener listener);
+  void remove_failure_listener(std::uint64_t id);
+
+  /// Network-failure triage, in order: (1) a repeated report of an
+  /// already-routed failure returns its recorded domain with no side
+  /// effects; (2) rail sets absorb failures of their secondary rails
+  /// (kRail); (3) registered failure listeners may re-route a forwarding
+  /// hop (kHop); (4) otherwise the unresponsive node — when the driver
+  /// named one — is marked dead in the host directory (kNode) and the
+  /// session fails. kUnknown also fails the session.
+  FailureDomain route_network_failure(const NetworkFailure& failure);
+
   /// Pour every counter family this session owns into `registry` as flat
   /// scalar values: TrafficStats per channel endpoint (TM block/byte
   /// counts, rail activity), MemCounters per node, ReliabilityCounters
@@ -264,13 +324,6 @@ class Session {
   void export_metrics(obs::MetricsRegistry& registry);
 
  private:
-  /// Network-failure triage: true if some rail set absorbed the failure
-  /// (the network backed one of its secondary rails, now marked dead and
-  /// out of the schedule) — the session keeps running degraded. False
-  /// routes the failure to fail().
-  bool route_network_failure(const NetworkInstance* network,
-                             const Status& status);
-
   SessionConfig config_;
   /// Config-driven madtrace state; owned here so a recorder installed by
   /// this session is uninstalled in ~Session (declared before the
@@ -279,10 +332,18 @@ class Session {
   std::unique_ptr<obs::MetricsRegistry> trace_metrics_;
   sim::Simulator simulator_;
   Status health_;
+  Hostdb hostdb_;
   std::vector<std::unique_ptr<hw::Node>> nodes_;
   std::vector<std::unique_ptr<NetworkInstance>> networks_;
   std::vector<std::unique_ptr<Channel>> channels_;
   std::vector<std::unique_ptr<RailSet>> rail_sets_;
+  std::vector<std::pair<std::uint64_t, FailureListener>> failure_listeners_;
+  std::uint64_t next_listener_id_ = 1;
+  /// Failures already triaged, keyed by (network, src, dst): a repeated
+  /// report returns the recorded domain instead of re-routing.
+  std::map<std::tuple<const NetworkInstance*, std::uint32_t, std::uint32_t>,
+           FailureDomain>
+      routed_failures_;
 };
 
 }  // namespace mad2::mad

@@ -71,6 +71,8 @@ void TrafficStats::merge(const TrafficStats& other) {
         std::max(mine.queue_depth_hwm, counters.queue_depth_hwm);
     if (counters.cwnd > mine.cwnd) mine.cwnd = counters.cwnd;
     if (counters.srtt_us > mine.srtt_us) mine.srtt_us = counters.srtt_us;
+    mine.replays += counters.replays;
+    mine.dup_drops += counters.dup_drops;
   }
   // Link- and node-level counters dedupe by identity: two endpoints on
   // the same node (or sharing a reliable TCP port) report the *same*
@@ -145,6 +147,13 @@ std::string TrafficStats::to_string() const {
                   static_cast<unsigned long long>(counters.queue_depth_hwm),
                   counters.cwnd, counters.srtt_us);
     out += line;
+    if (counters.replays != 0 || counters.dup_drops != 0) {
+      std::snprintf(line, sizeof line,
+                    "    failover %llu replays %llu dup drops\n",
+                    static_cast<unsigned long long>(counters.replays),
+                    static_cast<unsigned long long>(counters.dup_drops));
+      out += line;
+    }
   }
   if (reliability.data_frames != 0 || reliability.give_ups != 0) {
     out += "  " + reliability.to_string() + "\n";

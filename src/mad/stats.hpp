@@ -46,6 +46,9 @@ struct FlowCounters {
   std::uint64_t queue_depth_hwm = 0;
   double cwnd = 0.0;
   double srtt_us = 0.0;
+  /// Failover activity (resilient routing only; zero otherwise).
+  std::uint64_t replays = 0;
+  std::uint64_t dup_drops = 0;
 };
 
 struct TrafficStats {

@@ -51,6 +51,12 @@ void TcpNetwork::set_error_handler(
   error_handler_ = std::move(handler);
 }
 
+void TcpNetwork::set_link_error_handler(
+    std::function<void(std::uint32_t, std::uint32_t, const Status&)>
+        handler) {
+  link_error_handler_ = std::move(handler);
+}
+
 void TcpNetwork::on_link_failed(std::uint32_t a, std::uint32_t b,
                                 const Status& status) {
   // Endpoint `a` gave up, so nothing it sends reaches anyone and its rx
@@ -62,7 +68,10 @@ void TcpNetwork::on_link_failed(std::uint32_t a, std::uint32_t b,
       if (port->rank_ == a || stream->peer() == a) stream->fail(status);
     }
   }
-  (void)b;
+  if (link_error_handler_) {
+    link_error_handler_(a, b, status);
+    return;
+  }
   if (error_handler_) error_handler_(status);
 }
 
@@ -145,7 +154,15 @@ void TcpStream::send(std::span<const std::byte> data) {
   // Kernel copies user data into the socket buffer (checksum + copy).
   std::size_t done = 0;
   while (done < data.size()) {
-    while (tx_buffer_.size() >= params.socket_buffer) tx_room_->wait();
+    while (failed_.is_ok() && tx_buffer_.size() >= params.socket_buffer) {
+      tx_room_->wait();
+    }
+    // A poisoned stream black-holes the remaining bytes instead of
+    // parking forever with the socket buffer full: resilient sessions
+    // keep running after a link death, and a sender wedged inside send()
+    // would hold its flow's send mutex across the failover (the replay
+    // machinery redelivers whatever the dead link swallowed).
+    if (!failed_.is_ok()) return;
     const std::size_t room = params.socket_buffer - tx_buffer_.size();
     const std::size_t chunk = std::min(room, data.size() - done);
     port_->node_->charge_memcpy(chunk);
@@ -199,7 +216,19 @@ void TcpStream::recv(std::span<std::byte> out) {
   port_->node_->charge_cpu(params.recv_syscall);
   std::size_t done = 0;
   while (done < out.size()) {
-    while (rx_buffer_.empty()) rx_data_->wait();
+    while (rx_buffer_.empty() && failed_.is_ok()) rx_data_->wait();
+    // Poisoned and drained: the rest of this message is gone. Zero-fill
+    // and return — the mirror of send()'s black-hole — so a reader parked
+    // mid-message completes and releases whatever buffers it holds
+    // instead of pinning them forever (resilient sessions keep running
+    // after a link death and discard the truncated packet downstream).
+    // recv_some()/wait_readable() keep ignoring the poison on purpose:
+    // the rail drain relies on reading already-delivered bytes from a
+    // failed stream (see RailSet::drain_segment).
+    if (rx_buffer_.empty()) {
+      std::fill(out.begin() + done, out.end(), std::byte{0});
+      return;
+    }
     const std::size_t chunk =
         std::min(rx_buffer_.size(), out.size() - done);
     port_->node_->charge_memcpy(chunk);

@@ -65,6 +65,14 @@ class TcpNetwork {
   /// Never fires on a lossless fabric, which cannot fail.
   void set_error_handler(std::function<void(const Status&)> handler);
 
+  /// Like set_error_handler but keeps the endpoint ranks of the dead link:
+  /// `a` is the rank whose shim gave up, `b` the unresponsive peer. When
+  /// both handlers are set, only this one fires — the caller is expected
+  /// to fold the plain handler's behavior into its richer one.
+  void set_link_error_handler(
+      std::function<void(std::uint32_t a, std::uint32_t b, const Status&)>
+          handler);
+
  private:
   friend class TcpPort;
   friend class TcpStream;
@@ -87,6 +95,8 @@ class TcpNetwork {
   std::unique_ptr<ReliableNetwork> reliable_;
   std::vector<std::unique_ptr<TcpPort>> ports_;
   std::function<void(const Status&)> error_handler_;
+  std::function<void(std::uint32_t, std::uint32_t, const Status&)>
+      link_error_handler_;
 };
 
 /// One directed byte stream endpoint pair. Obtained from TcpPort::stream();

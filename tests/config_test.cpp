@@ -107,6 +107,42 @@ TEST(ConfigParser, NoCongestionStanzaLeavesItDisabled) {
   EXPECT_FALSE(result.value().congestion.has_value());
 }
 
+TEST(ConfigParser, ParsesTopologyStanza) {
+  auto result = parse_session_config(R"(
+nodes 2
+network n tcp 0 1
+channel c n
+topology salt=42 replay_quota=256
+)");
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  const SessionConfig& config = result.value();
+  ASSERT_TRUE(config.topology.has_value());
+  EXPECT_TRUE(config.topology->enabled);
+  EXPECT_EQ(config.topology->spread_salt, 42u);
+  EXPECT_EQ(config.topology->replay_quota, 256u);
+}
+
+TEST(ConfigParser, BareTopologyStanzaEnablesDefaults) {
+  auto result = parse_session_config(R"(
+nodes 2
+network n tcp 0 1
+channel c n
+topology
+)");
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  ASSERT_TRUE(result.value().topology.has_value());
+  const TopologyConfig defaults;
+  EXPECT_TRUE(result.value().topology->enabled);
+  EXPECT_EQ(result.value().topology->spread_salt, defaults.spread_salt);
+  EXPECT_EQ(result.value().topology->replay_quota, defaults.replay_quota);
+}
+
+TEST(ConfigParser, NoTopologyStanzaLeavesItDisabled) {
+  auto result = parse_session_config("nodes 2\nnetwork n tcp 0 1\n");
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_FALSE(result.value().topology.has_value());
+}
+
 TEST(ConfigParser, ParsedConfigRunsASession) {
   auto result = parse_session_config(R"(
 nodes 2
@@ -235,7 +271,16 @@ INSTANTIATE_TEST_SUITE_P(
         BadCase{"nodes 2\ncongestion min_window=4 max_window=2\n",
                 "max_window is below min_window"},
         BadCase{"nodes 2\ncongestion window=16 max_window=8\n",
-                "outside"}));
+                "outside"},
+        // Topology stanza misuse.
+        BadCase{"nodes 2\ntopology\ntopology\n", "duplicate 'topology'"},
+        BadCase{"nodes 2\ntopology salt=pepper\n", "invalid topology salt"},
+        BadCase{"nodes 2\ntopology replay_quota=0\n",
+                "invalid topology replay_quota"},
+        BadCase{"nodes 2\ntopology replay_quota=lots\n",
+                "invalid topology replay_quota"},
+        BadCase{"nodes 2\ntopology turbo=1\n",
+                "unknown topology option"}));
 
 TEST_P(ConfigErrors, AreReportedWithContext) {
   auto result = parse_session_config(GetParam().text);

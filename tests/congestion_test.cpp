@@ -12,6 +12,7 @@
 #include "fwd/virtual_channel.hpp"
 #include "mad/congestion.hpp"
 #include "obs/metrics.hpp"
+#include "routing_testlib.hpp"
 #include "sim/explore.hpp"
 #include "testbed.hpp"
 #include "util/bytes.hpp"
@@ -360,7 +361,11 @@ TEST(VirtualChannelCongestion, DisabledByDefault) {
   Session session(bed.config);
   VirtualChannel vc(session, incast_vdef());
   EXPECT_FALSE(vc.congestion_enabled());
-  EXPECT_TRUE(vc.gateway_queue_depths().empty());
+  // Without the congestion stanza the gateway runs its FIFO pipeline
+  // queues; they report their depths (idle here), not fair-queue state.
+  for (std::size_t depth : vc.gateway_queue_depths()) {
+    EXPECT_EQ(depth, 0u);
+  }
   EXPECT_TRUE(vc.stats().flows.empty());
   ASSERT_TRUE(session.run().is_ok());
 }
@@ -604,6 +609,58 @@ TEST(Incast, GatewaySchedulerSurvivesScheduleExploration) {
   const sim::ExploreResult result = sim::explore(body, options);
   EXPECT_TRUE(result.ok) << result.summary();
   EXPECT_GE(result.runs, 200);
+}
+
+TEST(VirtualChannelCongestion, WindowSurvivesGatewayDeathMidTransfer) {
+  // Congestion control overlaid on resilient routing (both stanzas on,
+  // via the session config): a gateway dies mid-transfer with window
+  // slots charged to packets it had swallowed. Those slots are only
+  // refunded when the replayed copies deliver — if replay lost them, the
+  // windows would wedge at min_window with phantom in-flight packets and
+  // the transfer would never finish. Completion IS the deadlock check.
+  FatTreeBed bed = make_fat_tree(2, 4, 2);
+  CongestionConfig cc;
+  cc.enabled = true;
+  cc.min_window = 1;
+  cc.max_window = 8;
+  cc.gateway_queue = 8;
+  cc.quantum = 4096;
+  bed.config.congestion = cc;
+  mad::TopologyConfig topology;
+  topology.enabled = true;
+  bed.config.topology = topology;
+  Session session(bed.config);
+
+  VirtualChannelDef def;
+  def.name = "vc";
+  def.hops = bed.route(0, 1);
+  def.mtu = 4 * 1024;
+  VirtualChannel vc(session, def);
+  ASSERT_TRUE(vc.congestion().enabled);
+  ASSERT_TRUE(vc.topology().enabled);
+
+  const std::vector<FlowSpec> flows = {{bed.leaf(0, 0), bed.leaf(1, 0)},
+                                       {bed.leaf(0, 1), bed.leaf(1, 1)}};
+  const std::uint32_t victim = vc.next_node(0, flows[0].src, flows[0].dst);
+  GatewayKiller::at_packet_count(vc, victim, 6);
+
+  auto failure = run_flows(session, vc, flows, /*messages=*/2,
+                           /*message_bytes=*/24 * 1024);
+  const Status run = session.run();
+  ASSERT_TRUE(run.is_ok()) << run.to_string();
+  EXPECT_TRUE(failure->empty()) << *failure;
+  EXPECT_EQ(check_channel_drained(vc), "");
+  EXPECT_EQ(vc.routing_counters().gateway_kills, 1u);
+
+  for (const FlowSpec& flow : flows) {
+    const CongestionWindow* window = vc.flow_window(flow.src, flow.dst);
+    ASSERT_NE(window, nullptr);
+    EXPECT_EQ(window->in_flight(), 0u)
+        << "flow " << flow.src << "->" << flow.dst
+        << " still charging the window for packets the dead gateway ate";
+    EXPECT_GE(window->cwnd(), static_cast<double>(cc.min_window));
+    EXPECT_LE(window->cwnd(), static_cast<double>(cc.max_window));
+  }
 }
 
 }  // namespace

@@ -318,5 +318,18 @@ TEST(Misuse, StaticBufferAccountingCatchesGrossAsymmetry) {
   EXPECT_DEATH({ (void)session.run(); }, "asymmetric");
 }
 
+// Failure triage is for failures: reporting a healthy link (OK status)
+// into route_network_failure is a driver bug, not a routable event.
+TEST(Misuse, RouteNetworkFailureWithOkStatusAborts) {
+  Session session(config_for(NetworkKind::kTcp, false));
+  NetworkFailure report;
+  report.network = &session.network("net0");
+  report.status = Status::ok();
+  report.src_node = 0;
+  report.dst_node = 1;
+  EXPECT_DEATH({ (void)session.route_network_failure(report); },
+               "OK status");
+}
+
 }  // namespace
 }  // namespace mad2::mad

@@ -163,31 +163,31 @@ struct ChainBed {
 TEST(Routing, SameHopIsDirect) {
   ChainBed bed;
   EXPECT_EQ(bed.vc->hop_of(0, 4), 0u);
-  EXPECT_EQ(bed.vc->next_node(0, 4), 4u);
+  EXPECT_EQ(bed.vc->next_node(0, 0, 4), 4u);
 }
 
 TEST(Routing, ForwardAcrossOneGateway) {
   ChainBed bed;
   EXPECT_EQ(bed.vc->hop_of(0, 2), 0u);
-  EXPECT_EQ(bed.vc->next_node(0, 2), 1u);  // via gateway 1
+  EXPECT_EQ(bed.vc->next_node(0, 0, 2), 1u);  // via gateway 1
   // At gateway 1, hop 1 reaches node 2 directly.
-  EXPECT_EQ(bed.vc->next_node(1, 2), 2u);
+  EXPECT_EQ(bed.vc->next_node(1, 0, 2), 2u);
 }
 
 TEST(Routing, ForwardAcrossTwoGateways) {
   ChainBed bed;
   EXPECT_EQ(bed.vc->hop_of(0, 3), 0u);
-  EXPECT_EQ(bed.vc->next_node(0, 3), 1u);  // first gateway
-  EXPECT_EQ(bed.vc->next_node(1, 3), 2u);  // second gateway
-  EXPECT_EQ(bed.vc->next_node(2, 3), 3u);  // final hop
+  EXPECT_EQ(bed.vc->next_node(0, 0, 3), 1u);  // first gateway
+  EXPECT_EQ(bed.vc->next_node(1, 0, 3), 2u);  // second gateway
+  EXPECT_EQ(bed.vc->next_node(2, 0, 3), 3u);  // final hop
 }
 
 TEST(Routing, BackwardDirection) {
   ChainBed bed;
   EXPECT_EQ(bed.vc->hop_of(3, 0), 2u);
-  EXPECT_EQ(bed.vc->next_node(2, 0), 2u);  // gateway joining hops 1,2
-  EXPECT_EQ(bed.vc->next_node(1, 0), 1u);
-  EXPECT_EQ(bed.vc->next_node(0, 0), 0u);
+  EXPECT_EQ(bed.vc->next_node(2, 3, 0), 2u);  // gateway joining hops 1,2
+  EXPECT_EQ(bed.vc->next_node(1, 3, 0), 1u);
+  EXPECT_EQ(bed.vc->next_node(0, 3, 0), 0u);
 }
 
 TEST(Routing, TerminalHopOfNonGatewayNodes) {
@@ -226,7 +226,66 @@ TEST(Routing, HopsMustShareExactlyOneNode) {
   def.name = "vc";
   def.hops = {"cha", "chb"};
   EXPECT_DEATH({ VirtualChannel vc(session, def); },
-               "exactly one gateway");
+               "at least one gateway");
+}
+
+TEST(Routing, RedundantGatewaysNeedTheTopologyStanza) {
+  // Two shared nodes between consecutive hops is a gateway *set* — legal
+  // only in resilient mode (topology stanza / def override), a hard
+  // misconfiguration otherwise.
+  SessionConfig config;
+  config.node_count = 4;
+  NetworkDef a;
+  a.name = "a";
+  a.kind = NetworkKind::kTcp;
+  a.nodes = {0, 1, 2};
+  NetworkDef b;
+  b.name = "b";
+  b.kind = NetworkKind::kTcp;
+  b.nodes = {1, 2, 3};  // nodes 1 and 2 both join the hops
+  config.networks = {a, b};
+  config.channels = {ChannelDef{"cha", "a"}, ChannelDef{"chb", "b"}};
+  Session session(std::move(config));
+  VirtualChannelDef def;
+  def.name = "vc";
+  def.hops = {"cha", "chb"};
+  EXPECT_DEATH({ VirtualChannel vc(session, def); },
+               "topology stanza");
+}
+
+TEST(Routing, KillGatewayNeedsTheTopologyStanza) {
+  // Failover is a resilient-mode feature: without the stanza there is no
+  // retained-packet replay, so a kill could only lose data.
+  ChainBed bed;
+  EXPECT_DEATH({ bed.vc->kill_gateway(1); }, "topology stanza");
+  EXPECT_DEATH({ bed.vc->arm_gateway_kill(1, 10); }, "topology stanza");
+}
+
+TEST(Routing, KillingTheLastHealthyGatewayAborts) {
+  // A single-gateway boundary has no failover to run: killing its only
+  // gateway is a test-harness (or operator) error, not a survivable
+  // fault, and must fail loudly instead of black-holing the hop.
+  SessionConfig config;
+  config.node_count = 4;
+  NetworkDef a;
+  a.name = "a";
+  a.kind = NetworkKind::kTcp;
+  a.nodes = {0, 1};
+  NetworkDef b;
+  b.name = "b";
+  b.kind = NetworkKind::kTcp;
+  b.nodes = {1, 2, 3};
+  config.networks = {a, b};
+  config.channels = {ChannelDef{"cha", "a"}, ChannelDef{"chb", "b"}};
+  mad::TopologyConfig topology;
+  topology.enabled = true;
+  config.topology = topology;
+  Session session(std::move(config));
+  VirtualChannelDef def;
+  def.name = "vc";
+  def.hops = {"cha", "chb"};
+  VirtualChannel vc(session, def);
+  EXPECT_DEATH({ vc.kill_gateway(1); }, "last healthy gateway");
 }
 
 }  // namespace

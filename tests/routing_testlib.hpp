@@ -1,0 +1,119 @@
+// Shared scaffolding for the resilient-routing test tier: a mesh of
+// pattern-tagged flows over one virtual channel plus the flow invariant
+// checker — every message arrives exactly once, in per-flow order, with
+// its payload intact, no matter how many gateways died along the way.
+//
+// Kept gtest-free so the madcheck explore bodies (which report through
+// Status, not assertions) can reuse it verbatim.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fwd/virtual_channel.hpp"
+#include "mad/session.hpp"
+#include "util/bytes.hpp"
+
+namespace mad2 {
+
+struct FlowSpec {
+  std::uint32_t src;
+  std::uint32_t dst;
+};
+
+/// Pattern seed of message `k` of the flow from `src`: unique per
+/// (flow, message), so a replayed/duplicated/reordered delivery can never
+/// masquerade as the right one.
+inline int flow_seed(std::uint32_t src, std::size_t k) {
+  return static_cast<int>(src) * 131 + static_cast<int>(k) * 7 + 1;
+}
+
+/// Spawn one sender fiber per flow (flows must have distinct sources —
+/// a virtual endpoint packs one message at a time) and one receiver
+/// fiber per distinct destination. Each flow ships `messages` messages
+/// of `message_bytes`; each receiver checks, per source: sequential
+/// seeds (in-order, no loss, no duplication) and intact payloads.
+/// The returned string holds the first invariant violation ("" = all
+/// held) once session.run() finished.
+inline std::shared_ptr<std::string> run_flows(mad::Session& session,
+                                              fwd::VirtualChannel& vc,
+                                              const std::vector<FlowSpec>& flows,
+                                              std::size_t messages,
+                                              std::size_t message_bytes) {
+  auto failure = std::make_shared<std::string>();
+  auto fail = [failure](const std::string& what) {
+    if (failure->empty()) *failure = what;
+  };
+
+  std::map<std::uint32_t, std::vector<std::uint32_t>> senders_of_dst;
+  for (const FlowSpec& flow : flows) {
+    senders_of_dst[flow.dst].push_back(flow.src);
+    session.spawn(flow.src, "flow" + std::to_string(flow.src),
+                  [&vc, flow, messages, message_bytes](mad::NodeRuntime&) {
+                    for (std::size_t k = 0; k < messages; ++k) {
+                      auto payload = make_pattern_buffer(
+                          message_bytes, flow_seed(flow.src, k));
+                      auto& conn =
+                          vc.endpoint(flow.src).begin_packing(flow.dst);
+                      conn.pack(payload);
+                      conn.end_packing();
+                    }
+                  });
+  }
+  for (const auto& [dst, srcs] : senders_of_dst) {
+    const std::size_t total = srcs.size() * messages;
+    session.spawn(
+        dst, "sink" + std::to_string(dst),
+        [&vc, fail, dst = dst, srcs = srcs, total, messages,
+         message_bytes](mad::NodeRuntime&) {
+          std::map<std::uint32_t, std::size_t> next_k;
+          for (std::size_t i = 0; i < total; ++i) {
+            auto& conn = vc.endpoint(dst).begin_unpacking();
+            const std::uint32_t src = conn.remote();
+            std::vector<std::byte> out(message_bytes);
+            conn.unpack(out);
+            conn.end_unpacking();
+            const std::size_t k = next_k[src]++;
+            if (k >= messages) {
+              fail("node " + std::to_string(dst) + " received message " +
+                   std::to_string(k) + " from " + std::to_string(src) +
+                   ": duplicated delivery");
+            } else if (!verify_pattern(out, flow_seed(src, k))) {
+              fail("node " + std::to_string(dst) + " message " +
+                   std::to_string(k) + " from " + std::to_string(src) +
+                   ": corrupt or out-of-order payload");
+            }
+          }
+          for (const std::uint32_t src : srcs) {
+            if (next_k[src] != messages) {
+              fail("node " + std::to_string(dst) + " got " +
+                   std::to_string(next_k[src]) + "/" +
+                   std::to_string(messages) + " messages from " +
+                   std::to_string(src));
+            }
+          }
+        });
+  }
+  return failure;
+}
+
+/// Post-run channel hygiene shared by every scale/fault scenario: every
+/// gateway queue drained and every pooled packet buffer back home (a
+/// killed gateway's in-flight buffers must recycle, not leak).
+inline std::string check_channel_drained(const fwd::VirtualChannel& vc) {
+  for (std::size_t depth : vc.gateway_queue_depths()) {
+    if (depth != 0) return "gateway queue not drained after the run";
+  }
+  if (vc.pool().free_buffers() != vc.pool().total_buffers()) {
+    return "packet pool leak: " +
+           std::to_string(vc.pool().total_buffers() -
+                          vc.pool().free_buffers()) +
+           " buffers never recycled";
+  }
+  return "";
+}
+
+}  // namespace mad2

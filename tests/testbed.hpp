@@ -84,4 +84,187 @@ inline IncastBed make_incast(std::size_t sender_count,
   return bed;
 }
 
+// ---------------------------------------------------- scale topologies ---
+//
+// Multi-gateway cluster topologies for the resilient-routing scale tier
+// (docs/ROUTING.md). Both builders only assemble SessionConfig /
+// VirtualChannelDef data — header-only, like the incast bed above — and
+// number nodes cluster-major: cluster c occupies a contiguous id block
+// with its leaves first and its gateways after them.
+
+/// Fat tree of sub-clusters: every cluster is one network (leaves +
+/// that cluster's gateways) and all gateways share a core network.
+/// A route between two clusters is the 3-hop chain
+///   cluster_net(from) -> core_net -> cluster_net(to)
+/// whose boundaries are the *gateway sets* of the two clusters — the
+/// redundancy the resilient router spreads across and fails over within.
+struct FatTreeBed {
+  mad::SessionConfig config;
+  std::size_t clusters = 0;
+  std::size_t leaves_per_cluster = 0;
+  std::size_t gateways_per_cluster = 0;
+
+  [[nodiscard]] std::uint32_t leaf(std::size_t cluster,
+                                   std::size_t i) const {
+    return static_cast<std::uint32_t>(
+        cluster * (leaves_per_cluster + gateways_per_cluster) + i);
+  }
+  [[nodiscard]] std::uint32_t gateway(std::size_t cluster,
+                                      std::size_t g) const {
+    return static_cast<std::uint32_t>(
+        cluster * (leaves_per_cluster + gateways_per_cluster) +
+        leaves_per_cluster + g);
+  }
+  [[nodiscard]] static std::string cluster_channel(std::size_t cluster) {
+    return "ft_c" + std::to_string(cluster);
+  }
+  static constexpr const char* kCoreChannel = "ft_core";
+
+  /// Hop chain for traffic between two distinct clusters.
+  [[nodiscard]] std::vector<std::string> route(std::size_t from,
+                                               std::size_t to) const {
+    return {cluster_channel(from), kCoreChannel, cluster_channel(to)};
+  }
+};
+
+inline FatTreeBed make_fat_tree(
+    std::size_t clusters, std::size_t leaves_per_cluster,
+    std::size_t gateways_per_cluster,
+    mad::NetworkKind kind = mad::NetworkKind::kTcp) {
+  FatTreeBed bed;
+  bed.clusters = clusters;
+  bed.leaves_per_cluster = leaves_per_cluster;
+  bed.gateways_per_cluster = gateways_per_cluster;
+  bed.config.node_count =
+      clusters * (leaves_per_cluster + gateways_per_cluster);
+
+  mad::NetworkDef core;
+  core.name = "ft_core_net";
+  core.kind = kind;
+  for (std::size_t c = 0; c < clusters; ++c) {
+    mad::NetworkDef net;
+    net.name = "ft_c" + std::to_string(c) + "_net";
+    net.kind = kind;
+    for (std::size_t i = 0; i < leaves_per_cluster; ++i) {
+      net.nodes.push_back(bed.leaf(c, i));
+    }
+    for (std::size_t g = 0; g < gateways_per_cluster; ++g) {
+      net.nodes.push_back(bed.gateway(c, g));
+      core.nodes.push_back(bed.gateway(c, g));
+    }
+    bed.config.networks.push_back(net);
+    bed.config.channels.push_back(
+        mad::ChannelDef{FatTreeBed::cluster_channel(c), net.name});
+  }
+  bed.config.networks.push_back(core);
+  bed.config.channels.push_back(
+      mad::ChannelDef{FatTreeBed::kCoreChannel, core.name});
+  return bed;
+}
+
+/// Ring ("torus" of sub-clusters, one dimension): cluster c's network
+/// holds its leaves, its own east gateway set, and the east gateways of
+/// cluster c-1 (its west side). Consecutive cluster networks therefore
+/// overlap in exactly one gateway set, so a route is simply the chain of
+/// cluster channels along the shorter arc. Needs >= 3 clusters (with 2,
+/// the east and west sets would both join the same two networks).
+struct TorusBed {
+  mad::SessionConfig config;
+  std::size_t clusters = 0;
+  std::size_t leaves_per_cluster = 0;
+  std::size_t gateways_per_side = 0;
+
+  [[nodiscard]] std::uint32_t leaf(std::size_t cluster,
+                                   std::size_t i) const {
+    return static_cast<std::uint32_t>(
+        cluster * (leaves_per_cluster + gateways_per_side) + i);
+  }
+  /// Gateway g of cluster `cluster`'s east side (shared with the network
+  /// of cluster (cluster + 1) % clusters).
+  [[nodiscard]] std::uint32_t east_gateway(std::size_t cluster,
+                                           std::size_t g) const {
+    return static_cast<std::uint32_t>(
+        cluster * (leaves_per_cluster + gateways_per_side) +
+        leaves_per_cluster + g);
+  }
+  [[nodiscard]] static std::string cluster_channel(std::size_t cluster) {
+    return "torus_c" + std::to_string(cluster);
+  }
+
+  /// Hop chain along the shorter arc (east on ties).
+  [[nodiscard]] std::vector<std::string> route(std::size_t from,
+                                               std::size_t to) const {
+    const std::size_t east = (to + clusters - from) % clusters;
+    const std::size_t west = (from + clusters - to) % clusters;
+    std::vector<std::string> hops;
+    std::size_t c = from;
+    hops.push_back(cluster_channel(c));
+    const bool go_east = east <= west;
+    while (c != to) {
+      c = go_east ? (c + 1) % clusters : (c + clusters - 1) % clusters;
+      hops.push_back(cluster_channel(c));
+    }
+    return hops;
+  }
+};
+
+inline TorusBed make_torus(std::size_t clusters,
+                           std::size_t leaves_per_cluster,
+                           std::size_t gateways_per_side,
+                           mad::NetworkKind kind = mad::NetworkKind::kTcp) {
+  TorusBed bed;
+  bed.clusters = clusters;
+  bed.leaves_per_cluster = leaves_per_cluster;
+  bed.gateways_per_side = gateways_per_side;
+  bed.config.node_count =
+      clusters * (leaves_per_cluster + gateways_per_side);
+  for (std::size_t c = 0; c < clusters; ++c) {
+    mad::NetworkDef net;
+    net.name = "torus_c" + std::to_string(c) + "_net";
+    net.kind = kind;
+    for (std::size_t i = 0; i < leaves_per_cluster; ++i) {
+      net.nodes.push_back(bed.leaf(c, i));
+    }
+    const std::size_t west_of = (c + clusters - 1) % clusters;
+    for (std::size_t g = 0; g < gateways_per_side; ++g) {
+      net.nodes.push_back(bed.east_gateway(west_of, g));
+    }
+    for (std::size_t g = 0; g < gateways_per_side; ++g) {
+      net.nodes.push_back(bed.east_gateway(c, g));
+    }
+    bed.config.networks.push_back(net);
+    bed.config.channels.push_back(
+        mad::ChannelDef{TorusBed::cluster_channel(c), net.name});
+  }
+  return bed;
+}
+
+/// Deterministic mid-transfer gateway deaths for tests and benches.
+/// Templated on the virtual-channel type so net-only tests including
+/// this header never even parse the fwd headers.
+struct GatewayKiller {
+  /// Kill after the channel's gateways have received `count` more
+  /// packets — a point in the packet stream, stable across schedules.
+  template <typename VirtualChannel>
+  static void at_packet_count(VirtualChannel& vc, std::uint32_t gateway,
+                              std::uint64_t count) {
+    vc.arm_gateway_kill(gateway, count);
+  }
+
+  /// Kill at simulated time `when` (a daemon fiber sleeps and strikes;
+  /// daemons never hold session.run() open).
+  template <typename VirtualChannel>
+  static void at_time(mad::Session& session, VirtualChannel& vc,
+                      std::uint32_t gateway, sim::Time when) {
+    session.simulator().spawn_daemon(
+        "gateway_killer", [&session, &vc, gateway, when] {
+          sim::Simulator& simulator = session.simulator();
+          if (simulator.now() < when) {
+            simulator.advance(when - simulator.now());
+          }
+          vc.kill_gateway(gateway);
+        });
+  }
+};
+
 }  // namespace mad2
