@@ -3,10 +3,22 @@
 // clock, not virtual time — they answer "how fast does the simulation
 // itself run", which bounds how large an experiment the harness can
 // sweep.
+//
+// With --json the binary instead runs traced ping-pong workloads per
+// driver and writes BENCH_micro_pack.json: virtual-time pack-path
+// latency percentiles (p50/p99) taken from the madtrace histograms the
+// Switch records ("ch.pack_to_wire", "ch.wire_to_unpack", "ch.e2e"), so
+// CI keeps a trajectory of the library's per-message overhead
+// distribution, not just its mean.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "mad/madeleine.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sync.hpp"
 #include "util/bytes.hpp"
@@ -75,6 +87,107 @@ void BM_PatternFillVerify(benchmark::State& state) {
 }
 BENCHMARK(BM_PatternFillVerify);
 
+// --- --json mode: virtual-time pack-path percentiles ------------------------
+
+struct PackPathPoint {
+  std::uint64_t size_bytes = 0;
+  double one_way_us = 0.0;
+  std::uint64_t messages = 0;
+  double pack_to_wire_p50_us = 0.0;
+  double pack_to_wire_p99_us = 0.0;
+  double wire_to_unpack_p50_us = 0.0;
+  double wire_to_unpack_p99_us = 0.0;
+  double e2e_p50_us = 0.0;
+  double e2e_p99_us = 0.0;
+};
+
+double percentile_us(const obs::MetricsRegistry& registry,
+                     const std::string& name, double q) {
+  auto it = registry.histograms().find(name);
+  if (it == registry.histograms().end()) return 0.0;
+  return static_cast<double>(it->second.percentile(q)) / 1000.0;
+}
+
+/// One traced ping-pong per (driver, size), with a registry local to the
+/// run so the shared channel name "ch" never mixes drivers or sizes.
+PackPathPoint traced_point(mad::NetworkKind kind, std::uint64_t size) {
+  obs::MetricsRegistry* previous = obs::metrics();
+  obs::MetricsRegistry registry;
+  obs::install_metrics(&registry);
+  PackPathPoint point;
+  point.size_bytes = size;
+  point.one_way_us = bench::mad_one_way_us(kind, size, /*iterations=*/40);
+  obs::install_metrics(previous);
+
+  auto e2e = registry.histograms().find("ch.e2e");
+  point.messages =
+      e2e == registry.histograms().end() ? 0 : e2e->second.count();
+  point.pack_to_wire_p50_us = percentile_us(registry, "ch.pack_to_wire", 0.5);
+  point.pack_to_wire_p99_us = percentile_us(registry, "ch.pack_to_wire", 0.99);
+  point.wire_to_unpack_p50_us =
+      percentile_us(registry, "ch.wire_to_unpack", 0.5);
+  point.wire_to_unpack_p99_us =
+      percentile_us(registry, "ch.wire_to_unpack", 0.99);
+  point.e2e_p50_us = percentile_us(registry, "ch.e2e", 0.5);
+  point.e2e_p99_us = percentile_us(registry, "ch.e2e", 0.99);
+  return point;
+}
+
+int run_json_mode() {
+  struct Driver {
+    const char* label;
+    mad::NetworkKind kind;
+  };
+  const std::vector<Driver> drivers{
+      {"bip", mad::NetworkKind::kBip},
+      {"sisci", mad::NetworkKind::kSisci},
+      {"tcp", mad::NetworkKind::kTcp},
+  };
+  const std::vector<std::uint64_t> sizes{64, 4096, 64 * 1024};
+
+  FILE* out = std::fopen("BENCH_micro_pack.json", "w");
+  MAD2_CHECK(out != nullptr, "cannot write bench JSON output");
+  std::fprintf(out, "{\n  \"figure\": \"micro_pack\",\n  \"series\": [\n");
+  for (std::size_t d = 0; d < drivers.size(); ++d) {
+    std::fprintf(out, "    {\"label\": \"%s\", \"points\": [\n",
+                 drivers[d].label);
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      const PackPathPoint p = traced_point(drivers[d].kind, sizes[i]);
+      std::printf("%-6s %7llu B: one-way %.2f us, pack_to_wire p50/p99 "
+                  "%.2f/%.2f us, e2e p50/p99 %.2f/%.2f us (%llu msgs)\n",
+                  drivers[d].label,
+                  static_cast<unsigned long long>(p.size_bytes),
+                  p.one_way_us, p.pack_to_wire_p50_us, p.pack_to_wire_p99_us,
+                  p.e2e_p50_us, p.e2e_p99_us,
+                  static_cast<unsigned long long>(p.messages));
+      std::fprintf(
+          out,
+          "      {\"size\": %llu, \"latency_us\": %.3f, "
+          "\"messages\": %llu, "
+          "\"pack_to_wire_p50_us\": %.3f, \"pack_to_wire_p99_us\": %.3f, "
+          "\"wire_to_unpack_p50_us\": %.3f, "
+          "\"wire_to_unpack_p99_us\": %.3f, "
+          "\"e2e_p50_us\": %.3f, \"e2e_p99_us\": %.3f}%s\n",
+          static_cast<unsigned long long>(p.size_bytes), p.one_way_us,
+          static_cast<unsigned long long>(p.messages),
+          p.pack_to_wire_p50_us, p.pack_to_wire_p99_us,
+          p.wire_to_unpack_p50_us, p.wire_to_unpack_p99_us, p.e2e_p50_us,
+          p.e2e_p99_us, i + 1 < sizes.size() ? "," : "");
+    }
+    std::fprintf(out, "    ]}%s\n", d + 1 < drivers.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_micro_pack.json\n");
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (mad2::bench::json_mode(argc, argv)) return run_json_mode();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "mad/connection.hpp"
 
+#include <algorithm>
+
 #include "mad/rail_set.hpp"
 #include "mad/session.hpp"
 
@@ -65,6 +67,8 @@ void Connection::begin_packing_message() {
     obs_pack_start_ = obs_now();
   }
   node().charge_cpu(endpoint_->costs().begin_packing);
+  stats_.switching.pack_cpu_ticks +=
+      static_cast<std::uint64_t>(endpoint_->costs().begin_packing);
 }
 
 void Connection::begin_unpacking_message() {
@@ -79,6 +83,59 @@ void Connection::begin_unpacking_message() {
     obs_unpack_start_ = obs_now();
   }
   node().charge_cpu(endpoint_->costs().begin_unpacking);
+  stats_.switching.unpack_cpu_ticks +=
+      static_cast<std::uint64_t>(endpoint_->costs().begin_unpacking);
+}
+
+void Connection::build_dispatch() {
+  dispatch_built_ = true;
+  std::optional<std::vector<std::size_t>> breaks =
+      endpoint_->pmm().selection_breakpoints();
+  if (!breaks.has_value()) return;  // PMM keeps the per-call query
+  dispatch_breaks_ = std::move(*breaks);
+  std::sort(dispatch_breaks_.begin(), dispatch_breaks_.end());
+  dispatch_breaks_.erase(
+      std::unique(dispatch_breaks_.begin(), dispatch_breaks_.end()),
+      dispatch_breaks_.end());
+  const std::size_t classes = dispatch_breaks_.size() + 1;
+  dispatch_.assign(kModePairs * classes, DispatchEntry{});
+  for (std::uint8_t s = 0; s < 3; ++s) {
+    for (std::uint8_t r = 0; r < 2; ++r) {
+      const auto smode = static_cast<SendMode>(s);
+      const auto rmode = static_cast<ReceiveMode>(r);
+      for (std::size_t c = 0; c < classes; ++c) {
+        // Any length inside the class answers for the whole class; use
+        // the smallest one. BMMs and stats rows resolve lazily on first
+        // use so building the table leaves no trace in the stats maps.
+        const std::size_t rep = c == 0 ? 0 : dispatch_breaks_[c - 1] + 1;
+        DispatchEntry& entry = dispatch_[mode_pair(smode, rmode) * classes + c];
+        entry.tm = &endpoint_->pmm().select_tm(rep, smode, rmode);
+        entry.kind = select_bmm_kind(*entry.tm, smode, rmode);
+      }
+    }
+  }
+  dispatch_enabled_ = true;
+}
+
+Connection::DispatchEntry* Connection::dispatch_entry(std::size_t len,
+                                                      SendMode smode,
+                                                      ReceiveMode rmode) {
+  if (!dispatch_built_) build_dispatch();
+  if (!dispatch_enabled_) return nullptr;
+  const std::size_t classes = dispatch_breaks_.size() + 1;
+  std::size_t c = 0;
+  while (c < dispatch_breaks_.size() && len > dispatch_breaks_[c]) ++c;
+  return &dispatch_[mode_pair(smode, rmode) * classes + c];
+}
+
+Connection::SwitchDecision Connection::probe_switch(std::size_t len,
+                                                    SendMode smode,
+                                                    ReceiveMode rmode) {
+  if (DispatchEntry* entry = dispatch_entry(len, smode, rmode)) {
+    return SwitchDecision{entry->tm, entry->kind, true};
+  }
+  Tm& tm = endpoint_->pmm().select_tm(len, smode, rmode);
+  return SwitchDecision{&tm, select_bmm_kind(tm, smode, rmode), false};
 }
 
 SendBmm* Connection::send_bmm_for(Tm* tm, BmmKind kind) {
@@ -118,6 +175,11 @@ void Connection::pack(std::span<const std::byte> data, SendMode smode,
 void Connection::pack_impl(std::span<const std::byte> data, SendMode smode,
                            ReceiveMode rmode) {
   node().charge_cpu(endpoint_->costs().pack);
+  stats_.switching.pack_cpu_ticks +=
+      static_cast<std::uint64_t>(endpoint_->costs().pack);
+  // One tracing verdict per block: the recorder/category flags cannot
+  // change mid-call, so the repeated obs_switch_on() queries collapse.
+  const bool obs_on = obs_switch_on();
 
   // Striping decision: large CHEAPER/CHEAPER blocks on a rail-set head go
   // to the rail scheduler. Pure in (len, modes) plus rail state both sides
@@ -128,7 +190,7 @@ void Connection::pack_impl(std::span<const std::byte> data, SendMode smode,
   if (rails_ != nullptr && !striping_ && smode == SendMode::kCheaper &&
       rmode == ReceiveMode::kCheaper && data.size() >= rails_->threshold()) {
     if (send_bmm_ != nullptr) {
-      if (obs_switch_on()) {
+      if (obs_on) {
         obs::trace_event(obs::Category::kSwitch, "switch.flush", "stripe");
       }
       send_bmm_->commit(*this, *send_tm_);
@@ -141,39 +203,59 @@ void Connection::pack_impl(std::span<const std::byte> data, SendMode smode,
     return;
   }
 
-  // The Switch (paper Fig. 3): query the PMM for the best TM, then route
-  // to the BMM the policy dictates. A TM or BMM change flushes the
-  // previous BMM (*commit*) so delivery order is preserved.
-  Tm& tm = endpoint_->pmm().select_tm(data.size(), smode, rmode);
-  const BmmKind kind = select_bmm_kind(tm, smode, rmode);
-  SendBmm* bmm = send_bmm_for(&tm, kind);
-  if (obs_switch_on()) {
+  // The Switch (paper Fig. 3): pick the best TM, then route to the BMM
+  // the policy dictates. The dispatch table answers when the PMM declared
+  // its size classes; otherwise fall back to the per-call virtual query.
+  // A TM or BMM change flushes the previous BMM (*commit*) so delivery
+  // order is preserved.
+  Tm* tm;
+  BmmKind kind;
+  SendBmm* bmm;
+  TmCounters* counters;
+  if (DispatchEntry* entry = dispatch_entry(data.size(), smode, rmode)) {
+    ++stats_.switching.fast_selects;
+    if (entry->send_bmm == nullptr) {
+      entry->send_bmm = send_bmm_for(entry->tm, entry->kind);
+      entry->sent = &stats_.sent_by_tm[std::string(entry->tm->name())];
+    }
+    tm = entry->tm;
+    kind = entry->kind;
+    bmm = entry->send_bmm;
+    counters = entry->sent;
+  } else {
+    ++stats_.switching.legacy_selects;
+    tm = &endpoint_->pmm().select_tm(data.size(), smode, rmode);
+    kind = select_bmm_kind(*tm, smode, rmode);
+    bmm = send_bmm_for(tm, kind);
+    counters = &stats_.sent_by_tm[std::string(tm->name())];
+  }
+  if (obs_on) {
     // TM names are string literals, so the pointer is safe to retain.
     obs::trace_event(obs::Category::kSwitch, "switch.tm_select",
-                     tm.name().data(), data.size(),
+                     tm->name().data(), data.size(),
                      static_cast<std::uint64_t>(kind));
   }
-  if (bmm != send_bmm_ || &tm != send_tm_) {
+  if (bmm != send_bmm_ || tm != send_tm_) {
     if (send_bmm_ != nullptr) {
-      if (obs_switch_on()) {
+      if (obs_on) {
         obs::trace_event(obs::Category::kSwitch, "switch.flush",
                          "tm_change");
       }
       send_bmm_->commit(*this, *send_tm_);
     }
-    send_tm_ = &tm;
+    send_tm_ = tm;
     send_bmm_ = bmm;
   }
-  TmCounters& counters = stats_.sent_by_tm[std::string(tm.name())];
-  ++counters.blocks;
-  counters.bytes += data.size();
-  bmm->pack(*this, tm, data, smode, rmode);
+  ++counters->blocks;
+  counters->bytes += data.size();
+  bmm->pack(*this, *tm, data, smode, rmode);
 }
 
 void Connection::end_packing() {
   MAD2_CHECK(packing_, "end_packing without begin_packing");
+  const bool obs_on = obs_switch_on();
   if (send_bmm_ != nullptr) {
-    if (obs_switch_on()) {
+    if (obs_on) {
       obs::trace_event(obs::Category::kSwitch, "switch.flush",
                        "end_packing");
     }
@@ -185,12 +267,14 @@ void Connection::end_packing() {
   if (obs_hist_pack_ != nullptr) {
     obs_hist_pack_->record(obs_now() - obs_pack_start_);
   }
-  if (obs_switch_on()) {
+  if (obs_on) {
     obs::recorder()->record(obs::Category::kSwitch, "msg.pack", nullptr,
                             obs_pack_start_, obs_now() - obs_pack_start_,
                             stats_.messages_sent, remote_);
   }
   node().charge_cpu(endpoint_->costs().end_packing);
+  stats_.switching.pack_cpu_ticks +=
+      static_cast<std::uint64_t>(endpoint_->costs().end_packing);
 }
 
 void Connection::unpack(std::span<std::byte> out, SendMode smode,
@@ -221,12 +305,15 @@ void Connection::unpack(std::span<std::byte> out, SendMode smode,
 void Connection::unpack_impl(std::span<std::byte> out, SendMode smode,
                              ReceiveMode rmode) {
   node().charge_cpu(endpoint_->costs().unpack);
+  stats_.switching.unpack_cpu_ticks +=
+      static_cast<std::uint64_t>(endpoint_->costs().unpack);
+  const bool obs_on = obs_switch_on();
 
   // Mirror of the send-side striping decision.
   if (rails_ != nullptr && !striping_ && smode == SendMode::kCheaper &&
       rmode == ReceiveMode::kCheaper && out.size() >= rails_->threshold()) {
     if (recv_bmm_ != nullptr) {
-      if (obs_switch_on()) {
+      if (obs_on) {
         obs::trace_event(obs::Category::kSwitch, "switch.checkout",
                          "stripe");
       }
@@ -242,30 +329,48 @@ void Connection::unpack_impl(std::span<std::byte> out, SendMode smode,
 
   // Mirror of the send-side Switch: the same pure selection functions run
   // on the same (mandatorily symmetric) arguments, so the TM sequence
-  // matches the sender's without any mode information on the wire.
-  Tm& tm = endpoint_->pmm().select_tm(out.size(), smode, rmode);
-  const BmmKind kind = select_bmm_kind(tm, smode, rmode);
-  RecvBmm* bmm = recv_bmm_for(&tm, kind);
-  if (obs_switch_on()) {
+  // matches the sender's without any mode information on the wire. The
+  // dispatch table replays the same resolved decisions.
+  Tm* tm;
+  BmmKind kind;
+  RecvBmm* bmm;
+  TmCounters* counters;
+  if (DispatchEntry* entry = dispatch_entry(out.size(), smode, rmode)) {
+    ++stats_.switching.fast_selects;
+    if (entry->recv_bmm == nullptr) {
+      entry->recv_bmm = recv_bmm_for(entry->tm, entry->kind);
+      entry->received = &stats_.received_by_tm[std::string(entry->tm->name())];
+    }
+    tm = entry->tm;
+    kind = entry->kind;
+    bmm = entry->recv_bmm;
+    counters = entry->received;
+  } else {
+    ++stats_.switching.legacy_selects;
+    tm = &endpoint_->pmm().select_tm(out.size(), smode, rmode);
+    kind = select_bmm_kind(*tm, smode, rmode);
+    bmm = recv_bmm_for(tm, kind);
+    counters = &stats_.received_by_tm[std::string(tm->name())];
+  }
+  if (obs_on) {
     obs::trace_event(obs::Category::kSwitch, "switch.tm_replay",
-                     tm.name().data(), out.size(),
+                     tm->name().data(), out.size(),
                      static_cast<std::uint64_t>(kind));
   }
-  if (bmm != recv_bmm_ || &tm != recv_tm_) {
+  if (bmm != recv_bmm_ || tm != recv_tm_) {
     if (recv_bmm_ != nullptr) {
-      if (obs_switch_on()) {
+      if (obs_on) {
         obs::trace_event(obs::Category::kSwitch, "switch.checkout",
                          "tm_change");
       }
       recv_bmm_->checkout(*this, *recv_tm_);
     }
-    recv_tm_ = &tm;
+    recv_tm_ = tm;
     recv_bmm_ = bmm;
   }
-  TmCounters& counters = stats_.received_by_tm[std::string(tm.name())];
-  ++counters.blocks;
-  counters.bytes += out.size();
-  bmm->unpack(*this, tm, out, smode, rmode);
+  ++counters->blocks;
+  counters->bytes += out.size();
+  bmm->unpack(*this, *tm, out, smode, rmode);
 }
 
 bool Connection::unpack_borrow(std::size_t len, SendMode smode,
@@ -284,11 +389,19 @@ bool Connection::unpack_borrow(std::size_t len, SendMode smode,
   }
   // Replay the Switch decision *before* touching any state, so a refusal
   // leaves the stream exactly where a copying unpack expects it.
-  Tm& tm = endpoint_->pmm().select_tm(len, smode, rmode);
-  const BmmKind kind = select_bmm_kind(tm, smode, rmode);
+  const SwitchDecision decision = probe_switch(len, smode, rmode);
+  if (decision.from_table) {
+    ++stats_.switching.fast_selects;
+  } else {
+    ++stats_.switching.legacy_selects;
+  }
+  Tm& tm = *decision.tm;
+  const BmmKind kind = decision.kind;
   if (kind != BmmKind::kStaticCopy) return false;
 
   node().charge_cpu(endpoint_->costs().unpack);
+  stats_.switching.unpack_cpu_ticks +=
+      static_cast<std::uint64_t>(endpoint_->costs().unpack);
   RecvBmm* bmm = recv_bmm_for(&tm, kind);
   if (bmm != recv_bmm_ || &tm != recv_tm_) {
     if (recv_bmm_ != nullptr) recv_bmm_->checkout(*this, *recv_tm_);
@@ -305,8 +418,9 @@ bool Connection::unpack_borrow(std::size_t len, SendMode smode,
 
 void Connection::end_unpacking() {
   MAD2_CHECK(unpacking_, "end_unpacking without begin_unpacking");
+  const bool obs_on = obs_switch_on();
   if (recv_bmm_ != nullptr) {
-    if (obs_switch_on()) {
+    if (obs_on) {
       obs::trace_event(obs::Category::kSwitch, "switch.checkout",
                        "end_unpacking");
     }
@@ -328,13 +442,15 @@ void Connection::end_unpacking() {
       obs_hist_e2e_->record(now - sent);
     }
   }
-  if (obs_switch_on()) {
+  if (obs_on) {
     obs::recorder()->record(obs::Category::kSwitch, "msg.unpack", nullptr,
                             obs_unpack_start_,
                             obs_now() - obs_unpack_start_,
                             stats_.messages_received, remote_);
   }
   node().charge_cpu(endpoint_->costs().end_unpacking);
+  stats_.switching.unpack_cpu_ticks +=
+      static_cast<std::uint64_t>(endpoint_->costs().end_unpacking);
 }
 
 }  // namespace mad2::mad

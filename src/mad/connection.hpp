@@ -89,6 +89,18 @@ class Connection {
     return *static_cast<T*>(state_.get());
   }
 
+  /// Resolve the Switch decision for a hypothetical block without touching
+  /// any message state — the dispatch-table equivalence sweep in
+  /// tests/fastpath_test.cpp compares this against the legacy query.
+  /// `from_table` says whether the flat dispatch table answered.
+  struct SwitchDecision {
+    Tm* tm = nullptr;
+    BmmKind kind{};
+    bool from_table = false;
+  };
+  [[nodiscard]] SwitchDecision probe_switch(std::size_t len, SendMode smode,
+                                            ReceiveMode rmode);
+
  private:
   friend class ChannelEndpoint;
   friend class RailSet;
@@ -112,6 +124,33 @@ class Connection {
 
   SendBmm* send_bmm_for(Tm* tm, BmmKind kind);
   RecvBmm* recv_bmm_for(Tm* tm, BmmKind kind);
+
+  // --- flat dispatch table (docs/PERFORMANCE.md) --------------------------
+  // The Switch decision — TM, BMM kind, BMM instance, stats counters — is
+  // a pure function of (size class, send mode, receive mode), so for PMMs
+  // that declare their size-class boundaries (Pmm::selection_breakpoints)
+  // it is resolved once here and the per-block hot path becomes a bounded
+  // scan over at most a handful of boundaries plus one indexed load: no
+  // virtual select_tm call, no std::map find, no per-block string key.
+  // Entries resolve through send_bmm_for/recv_bmm_for, so the table and
+  // the legacy path share BMM instances and the flush-on-change pointer
+  // comparisons stay exact. Built lazily on first use (after setup).
+  struct DispatchEntry {
+    Tm* tm = nullptr;
+    BmmKind kind{};
+    SendBmm* send_bmm = nullptr;
+    RecvBmm* recv_bmm = nullptr;
+    TmCounters* sent = nullptr;
+    TmCounters* received = nullptr;
+  };
+  void build_dispatch();
+  [[nodiscard]] DispatchEntry* dispatch_entry(std::size_t len, SendMode smode,
+                                              ReceiveMode rmode);
+  static constexpr std::size_t kModePairs = 6;  // 3 send x 2 receive modes
+  static std::size_t mode_pair(SendMode smode, ReceiveMode rmode) {
+    return static_cast<std::size_t>(smode) * 2 +
+           static_cast<std::size_t>(rmode);
+  }
 
   // --- madtrace bindings (obs/) ------------------------------------------
   /// Rebind the cached histogram/flow state when the ambient recorder or
@@ -170,6 +209,12 @@ class Connection {
   Tm* recv_tm_ = nullptr;
   RecvBmm* recv_bmm_ = nullptr;
   std::map<std::pair<Tm*, BmmKind>, std::unique_ptr<RecvBmm>> recv_bmms_;
+
+  // Flat dispatch table state (see build_dispatch).
+  bool dispatch_built_ = false;
+  bool dispatch_enabled_ = false;
+  std::vector<std::size_t> dispatch_breaks_;  // sorted class upper bounds
+  std::vector<DispatchEntry> dispatch_;  // [mode_pair * classes + class]
 };
 
 }  // namespace mad2::mad

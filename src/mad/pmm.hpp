@@ -8,7 +8,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string_view>
+#include <vector>
 
 #include "mad/tm.hpp"
 #include "mad/types.hpp"
@@ -39,6 +41,19 @@ class Pmm {
   /// its arguments — the receive side replays it to stay symmetric.
   virtual Tm& select_tm(std::size_t len, SendMode smode,
                         ReceiveMode rmode) = 0;
+
+  /// Size-class boundaries of select_tm, for the Switch's flat dispatch
+  /// tables (see Connection): each value `b` marks that the verdict may
+  /// change between `len <= b` and `len > b`, and the verdict must be
+  /// constant on every interval between consecutive boundaries (for every
+  /// send/receive-mode pair). An engaged empty vector means selection is
+  /// size-independent. Returning nullopt (the default) keeps the Switch on
+  /// the per-call virtual query — the right answer for PMMs whose
+  /// selection cannot be described as size intervals.
+  [[nodiscard]] virtual std::optional<std::vector<std::size_t>>
+  selection_breakpoints() const {
+    return std::nullopt;
+  }
 
   /// Block until the first packet of a new incoming message is available
   /// on this channel; returns the remote global node id. Called by

@@ -53,11 +53,52 @@ std::unique_ptr<Pmm::ConnState> BipPmm::make_conn_state(
 }
 
 void BipPmm::finish_setup() {
+  // Pre-size the pools so the steady state never allocates: the credit
+  // window caps the slots a peer can have in flight or checked out at
+  // `credits` (retained borrows stay under credits/2 on top), and staging
+  // buffers are released right after each send. Growth past these sizes
+  // is still possible and is then counted against the node.
+  const std::size_t peers = states_.size();
+  const std::size_t slots = peers * options_.credits * 2;
+  slot_slab_.resize(slots);
+  slot_free_.reserve(slots);
+  for (std::size_t i = 0; i < slots; ++i) {
+    slot_free_.push_back(static_cast<std::uint32_t>(i));
+  }
+  const std::size_t stages = peers * 4;
+  staging_.reserve(stages);
+  staging_free_.reserve(stages);
+  for (std::size_t i = 0; i < stages; ++i) {
+    staging_.emplace_back(short_capacity());
+    staging_free_.push_back(i);
+  }
+
+  // Fastpath: owed credits accumulate for the node's progress tick.
+  const SessionConfig& config = endpoint_.session().config();
+  if (config.fastpath.has_value() && config.fastpath->defer_bip_credits) {
+    engine_ = endpoint_.session().progress_engine(endpoint_.local());
+    doorbell_ = engine_->register_client(this, [](void* ctx) {
+      static_cast<BipPmm*>(ctx)->flush_owed_credits();
+    });
+    defer_credits_ = true;
+  }
+
   // The pump needs every connection's state; spawn it only now.
   endpoint_.session().simulator().spawn_daemon(
       "mad.bip.pump." + endpoint_.channel().name() + "." +
           std::to_string(endpoint_.local()),
       [this] { pump_loop(); });
+}
+
+void BipPmm::flush_owed_credits() {
+  for (auto& [remote, state] : states_) {
+    if (state->credit_owed == 0) continue;
+    // Zero before sending: send_ctrl can block, and the inline
+    // flush-before-block safety net must not double-return these.
+    const std::uint64_t owed = state->credit_owed;
+    state->credit_owed = 0;
+    send_ctrl(*state, CtrlKind::kCredit, owed);
+  }
 }
 
 Tm& BipPmm::select_tm(std::size_t len, SendMode, ReceiveMode) {
@@ -78,39 +119,55 @@ void BipPmm::pump_loop() {
   const std::uint32_t data_base = channel_id * 2 * kMaxPorts;
 
   for (;;) {
-    const std::uint32_t tag = port_->wait_short_multi(tags);
-    net::BipShortSlot slot = port_->recv_short(tag);
-    const bool is_ctrl = tag >= ctrl_base;
-    const std::uint32_t sender_port =
-        is_ctrl ? tag - ctrl_base : tag - data_base;
-    auto remote_it = by_port_.find(sender_port);
-    MAD2_CHECK(remote_it != by_port_.end(), "packet from unknown port");
-    State& state = *states_.at(remote_it->second);
+    std::uint32_t tag = port_->wait_short_multi(tags);
+    // Batched drain: after the blocking wait delivers one packet, keep
+    // consuming everything already queued on any of our tags before
+    // sleeping again — a burst of N packets costs one pump wakeup, not N.
+    // Per-packet handling (and its virtual-time charges) is unchanged.
+    for (;;) {
+      net::BipShortSlot slot = port_->recv_short(tag);
+      const bool is_ctrl = tag >= ctrl_base;
+      const std::uint32_t sender_port =
+          is_ctrl ? tag - ctrl_base : tag - data_base;
+      auto remote_it = by_port_.find(sender_port);
+      MAD2_CHECK(remote_it != by_port_.end(), "packet from unknown port");
+      State& state = *states_.at(remote_it->second);
 
-    if (is_ctrl) {
-      MAD2_CHECK(slot.data.size() == 9, "malformed BIP control packet");
-      const auto kind = static_cast<CtrlKind>(slot.data[0]);
-      const std::uint64_t value = load_u64(slot.data.data() + 1);
-      port_->release_short(slot);
-      switch (kind) {
-        case CtrlKind::kCredit:
-          state.credits += value;
-          state.credits_wq.notify_all();
-          break;
-        case CtrlKind::kReq:
-          state.reqs.push_back(value);
-          state.recv_wq.notify_all();
-          break;
-        case CtrlKind::kAck:
-          ++state.acks;
-          state.ack_wq.notify_all();
-          break;
+      if (is_ctrl) {
+        MAD2_CHECK(slot.data.size() == 9, "malformed BIP control packet");
+        const auto kind = static_cast<CtrlKind>(slot.data[0]);
+        const std::uint64_t value = load_u64(slot.data.data() + 1);
+        port_->release_short(slot);
+        switch (kind) {
+          case CtrlKind::kCredit:
+            state.credits += value;
+            state.credits_wq.notify_all();
+            break;
+          case CtrlKind::kReq:
+            state.reqs.push_back(value);
+            state.recv_wq.notify_all();
+            break;
+          case CtrlKind::kAck:
+            ++state.acks;
+            state.ack_wq.notify_all();
+            break;
+        }
+      } else {
+        state.data_slots.push_back(slot);
+        state.recv_wq.notify_all();
       }
-    } else {
-      state.data_slots.push_back(slot);
-      state.recv_wq.notify_all();
+      incoming_wq_->notify_all();
+
+      bool more = false;
+      for (std::uint32_t candidate : tags) {
+        if (port_->short_pending(candidate)) {
+          tag = candidate;
+          more = true;
+          break;
+        }
+      }
+      if (!more) break;
     }
-    incoming_wq_->notify_all();
   }
 }
 
@@ -143,8 +200,11 @@ StaticBuffer BipPmm::obtain_staging() {
     index = staging_free_.back();
     staging_free_.pop_back();
   } else {
+    // Pool exhausted (never in steady state — finish_setup pre-sizes it):
+    // an honest heap allocation, charged to the node.
     index = staging_.size();
     staging_.emplace_back(short_capacity());
+    endpoint_.node().count_alloc();
   }
   return StaticBuffer{std::span<std::byte>(staging_[index]), 0,
                       /*handle=*/index + 1};
@@ -157,23 +217,36 @@ void BipPmm::release_staging(StaticBuffer& buffer) {
 }
 
 StaticBuffer BipPmm::wrap_slot(net::BipShortSlot slot) {
-  const std::uint64_t handle = next_handle_++;
+  std::uint32_t index;
+  if (!slot_free_.empty()) {
+    index = slot_free_.back();
+    slot_free_.pop_back();
+  } else {
+    // Slab exhausted (never in steady state — the credit window bounds
+    // checked-out slots): grow, and charge the allocation to the node.
+    index = static_cast<std::uint32_t>(slot_slab_.size());
+    slot_slab_.emplace_back();
+    endpoint_.node().count_alloc();
+  }
+  slot_slab_[index] = slot;
   StaticBuffer buffer;
   // The slot's backing store is owned by the driver until release; the
   // receive BMM only reads from it, so the const_cast is contained here.
   buffer.memory = std::span<std::byte>(
       const_cast<std::byte*>(slot.data.data()), slot.data.size());
   buffer.used = slot.data.size();
-  buffer.handle = handle;
-  checked_out_.emplace(handle, slot);
+  buffer.handle = index + 1;
   return buffer;
 }
 
 net::BipShortSlot BipPmm::unwrap_slot(const StaticBuffer& buffer) {
-  auto it = checked_out_.find(buffer.handle);
-  MAD2_CHECK(it != checked_out_.end(), "unknown static buffer handle");
-  net::BipShortSlot slot = it->second;
-  checked_out_.erase(it);
+  MAD2_CHECK(buffer.handle != 0 && buffer.handle <= slot_slab_.size(),
+             "unknown static buffer handle");
+  const std::size_t index = buffer.handle - 1;
+  net::BipShortSlot slot = slot_slab_[index];
+  MAD2_CHECK(slot.data.data() != nullptr, "stale static buffer handle");
+  slot_slab_[index] = net::BipShortSlot{};
+  slot_free_.push_back(static_cast<std::uint32_t>(index));
   return slot;
 }
 
@@ -232,10 +305,16 @@ void BipShortTm::release_static_buffer(Connection& connection,
   net::BipShortSlot slot = pmm_->unwrap_slot(buffer);
   pmm_->port().release_short(slot);
   buffer = StaticBuffer{};
-  // Return credits in batches to amortize the control traffic.
+  // Return credits in batches to amortize the control traffic. Fastpath:
+  // the progress tick sends one coalesced return per indebted peer; the
+  // flush-before-block net in receive_static_buffer covers stragglers.
   if (++state.credit_owed >= pmm_->options().credit_batch) {
-    pmm_->send_ctrl(state, BipPmm::CtrlKind::kCredit, state.credit_owed);
-    state.credit_owed = 0;
+    if (pmm_->defer_credits()) {
+      pmm_->ring_doorbell();
+    } else {
+      pmm_->send_ctrl(state, BipPmm::CtrlKind::kCredit, state.credit_owed);
+      state.credit_owed = 0;
+    }
   }
 }
 

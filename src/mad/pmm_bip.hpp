@@ -108,6 +108,11 @@ class BipPmm final : public Pmm {
   std::unique_ptr<ConnState> make_conn_state(std::uint32_t remote) override;
   void finish_setup() override;
   Tm& select_tm(std::size_t len, SendMode smode, ReceiveMode rmode) override;
+  /// Two TMs split at the driver's short capacity.
+  [[nodiscard]] std::optional<std::vector<std::size_t>> selection_breakpoints()
+      const override {
+    return std::vector<std::size_t>{short_capacity()};
+  }
   std::uint32_t wait_incoming() override;
   [[nodiscard]] double bandwidth_hint_mbs() const override;
 
@@ -129,8 +134,16 @@ class BipPmm final : public Pmm {
   StaticBuffer wrap_slot(net::BipShortSlot slot);
   net::BipShortSlot unwrap_slot(const StaticBuffer& buffer);
 
+  /// Deferred credit returns (fastpath): true when owed credits should
+  /// accumulate for the progress tick instead of going out inline.
+  [[nodiscard]] bool defer_credits() const { return defer_credits_; }
+  void ring_doorbell() { engine_->ring(doorbell_); }
+
  private:
   void pump_loop();
+  /// Progress-tick client: return every connection's owed credits, one
+  /// control packet per indebted peer.
+  void flush_owed_credits();
 
   ChannelEndpoint& endpoint_;
   BipPmmOptions options_;
@@ -142,12 +155,20 @@ class BipPmm final : public Pmm {
   std::unique_ptr<sim::WaitQueue> incoming_wq_;
   std::vector<std::uint32_t> peer_order_;  // round-robin for wait_incoming
   std::size_t rr_next_ = 0;
-  // Staging pool for outgoing short buffers.
+  // Staging pool for outgoing short buffers. Pre-sized at finish_setup so
+  // the steady state never allocates; growth past the pre-size is counted
+  // against the node (hw::MemCounters::alloc_count).
   std::vector<std::vector<std::byte>> staging_;
   std::vector<std::size_t> staging_free_;
-  // Checked-out incoming slots, keyed by StaticBuffer::handle.
-  std::map<std::uint64_t, net::BipShortSlot> checked_out_;
-  std::uint64_t next_handle_ = 1;
+  // Checked-out incoming slots: a fixed slab indexed by StaticBuffer::
+  // handle - 1 plus a free list — no per-receive map-node allocation. An
+  // empty data span marks a vacant slab entry (driver slots never are).
+  std::vector<net::BipShortSlot> slot_slab_;
+  std::vector<std::uint32_t> slot_free_;
+  // Fastpath state (inert without the session stanza).
+  ProgressEngine* engine_ = nullptr;
+  std::size_t doorbell_ = 0;
+  bool defer_credits_ = false;
 };
 
 }  // namespace mad2::mad

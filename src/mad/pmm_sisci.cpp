@@ -64,6 +64,17 @@ Tm& SciPmm::select_tm(std::size_t len, SendMode, ReceiveMode) {
   return pio_tm_;
 }
 
+std::optional<std::vector<std::size_t>> SciPmm::selection_breakpoints()
+    const {
+  std::vector<std::size_t> breaks{options_.short_capacity};
+  // The DMA cutoff is `len >= dma_min_bytes`, i.e. the verdict changes
+  // between len <= dma_min_bytes - 1 and anything larger.
+  if (options_.enable_dma && options_.dma_min_bytes > 0) {
+    breaks.push_back(options_.dma_min_bytes - 1);
+  }
+  return breaks;
+}
+
 bool SciPmm::incoming_ready(const State& state) {
   auto ring = port_->segment_memory(state.rx_ring);
   const std::uint64_t short_off =

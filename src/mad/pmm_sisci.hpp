@@ -83,6 +83,9 @@ class SciPmm final : public Pmm {
   std::unique_ptr<ConnState> make_conn_state(std::uint32_t remote) override;
   void finish_setup() override;
   Tm& select_tm(std::size_t len, SendMode smode, ReceiveMode rmode) override;
+  /// short | PIO | (optionally) DMA, split purely by length.
+  [[nodiscard]] std::optional<std::vector<std::size_t>> selection_breakpoints()
+      const override;
   std::uint32_t wait_incoming() override;
   [[nodiscard]] double bandwidth_hint_mbs() const override;
 

@@ -13,7 +13,21 @@ void TcpTm::send_buffer(Connection& connection,
   if (data.empty()) return;
   MAD2_TRACE_SPAN(span, obs::Category::kTm, "tcp.send");
   span.args(data.size());
-  connection.state<TcpPmm::State>().stream->send(data);
+  net::TcpStream* stream = connection.state<TcpPmm::State>().stream;
+  // Fastpath: small blocks stage without a kernel crossing; the progress
+  // tick (or the staging threshold) flushes the coalesced batch with one
+  // syscall. Large blocks keep the direct path — send() pushes any staged
+  // bytes first, so ordering holds across the mix.
+  if (pmm_->fastpath() && data.size() < kCoalesceMax) {
+    stream->send_deferred(data);
+    if (stream->pending_bytes() >= pmm_->flush_bytes()) {
+      stream->flush_pending();
+    } else {
+      pmm_->ring_doorbell();
+    }
+    return;
+  }
+  stream->send(data);
 }
 
 void TcpTm::receive_buffer(Connection& connection,
@@ -125,20 +139,38 @@ std::unique_ptr<Pmm::ConnState> TcpPmm::make_conn_state(
 
 Tm& TcpPmm::select_tm(std::size_t, SendMode, ReceiveMode) { return tm_; }
 
-std::uint32_t TcpPmm::wait_incoming() {
-  std::uint32_t found = 0;
-  port_->wait_any([&] {
-    for (std::size_t k = 0; k < peers_.size(); ++k) {
-      const std::size_t idx = (rr_next_ + k) % peers_.size();
-      if (peer_streams_[idx]->readable()) {
-        found = peers_[idx];
-        rr_next_ = (idx + 1) % peers_.size();
-        return true;
-      }
-    }
-    return false;
+void TcpPmm::finish_setup() {
+  Session& session = endpoint_.session();
+  if (!session.config().fastpath.has_value()) return;
+  fast_flush_bytes_ = session.config().fastpath->tcp_flush_bytes;
+  engine_ = session.progress_engine(endpoint_.local());
+  doorbell_ = engine_->register_client(this, [](void* ctx) {
+    static_cast<TcpPmm*>(ctx)->flush_pending_streams();
   });
-  return found;
+  for (net::TcpStream* stream : peer_streams_) stream->set_fastpath(true);
+  fast_ = true;
+}
+
+void TcpPmm::flush_pending_streams() {
+  for (net::TcpStream* stream : peer_streams_) stream->flush_pending();
+}
+
+std::uint32_t TcpPmm::wait_incoming() {
+  if (!incoming_pred_) {
+    incoming_pred_ = [this] {
+      for (std::size_t k = 0; k < peers_.size(); ++k) {
+        const std::size_t idx = (rr_next_ + k) % peers_.size();
+        if (peer_streams_[idx]->readable()) {
+          incoming_found_ = peers_[idx];
+          rr_next_ = (idx + 1) % peers_.size();
+          return true;
+        }
+      }
+      return false;
+    };
+  }
+  port_->wait_any(incoming_pred_);
+  return incoming_found_;
 }
 
 

@@ -66,19 +66,45 @@ class TcpPmm final : public Pmm {
 
   std::unique_ptr<ConnState> make_conn_state(std::uint32_t remote) override;
   Tm& select_tm(std::size_t len, SendMode smode, ReceiveMode rmode) override;
+  /// Single TM: selection is size-independent.
+  [[nodiscard]] std::optional<std::vector<std::size_t>> selection_breakpoints()
+      const override {
+    return std::vector<std::size_t>{};
+  }
+  /// Wires the fastpath when the session has the stanza: streams switch to
+  /// staged receives and this PMM registers a flush client with the node's
+  /// progress engine for deferred small sends.
+  void finish_setup() override;
   std::uint32_t wait_incoming() override;
   [[nodiscard]] double bandwidth_hint_mbs() const override;
 
   [[nodiscard]] ChannelEndpoint& endpoint() { return endpoint_; }
   [[nodiscard]] net::TcpPort& port() { return *port_; }
 
+  // --- fastpath hooks for TcpTm ------------------------------------------
+  [[nodiscard]] bool fastpath() const { return fast_; }
+  /// Inline-flush threshold for a stream's deferred-send staging.
+  [[nodiscard]] std::size_t flush_bytes() const { return fast_flush_bytes_; }
+  void ring_doorbell() { engine_->ring(doorbell_); }
+
  private:
+  void flush_pending_streams();
+
   ChannelEndpoint& endpoint_;
   net::TcpPort* port_;
   TcpTm tm_;
   std::vector<std::uint32_t> peers_;  // global ids, for fair round-robin
   std::vector<net::TcpStream*> peer_streams_;
   std::size_t rr_next_ = 0;
+  // wait_incoming's select predicate, built once (no per-message
+  // std::function churn); the result passes through incoming_found_.
+  std::function<bool()> incoming_pred_;
+  std::uint32_t incoming_found_ = 0;
+  // Fastpath state (inert without the session stanza).
+  ProgressEngine* engine_ = nullptr;
+  std::size_t doorbell_ = 0;
+  bool fast_ = false;
+  std::size_t fast_flush_bytes_ = 8 * 1024;
 };
 
 }  // namespace mad2::mad

@@ -114,6 +114,11 @@ class ViaPmm final : public Pmm {
   std::unique_ptr<ConnState> make_conn_state(std::uint32_t remote) override;
   void finish_setup() override;
   Tm& select_tm(std::size_t len, SendMode smode, ReceiveMode rmode) override;
+  /// Short vs rendezvous, split at the packet payload capacity.
+  [[nodiscard]] std::optional<std::vector<std::size_t>> selection_breakpoints()
+      const override {
+    return std::vector<std::size_t>{kShortCapacity};
+  }
   std::uint32_t wait_incoming() override;
   [[nodiscard]] double bandwidth_hint_mbs() const override;
 

@@ -1,0 +1,49 @@
+#include "mad/progress.hpp"
+
+#include "util/status.hpp"
+
+namespace mad2::mad {
+
+ProgressEngine::ProgressEngine(sim::Simulator* simulator, std::string name)
+    : simulator_(simulator), name_(std::move(name)), wq_(simulator) {}
+
+std::size_t ProgressEngine::register_client(void* ctx, FlushFn fn) {
+  MAD2_CHECK(fn != nullptr, "progress client without a flush callback");
+  clients_.push_back(Client{ctx, fn, false});
+  return clients_.size() - 1;
+}
+
+void ProgressEngine::ring(std::size_t client) {
+  MAD2_CHECK(client < clients_.size(), "ring on an unregistered doorbell");
+  ++counters_.doorbells;
+  if (clients_[client].pending) return;
+  clients_[client].pending = true;
+  if (++pending_count_ == 1) wq_.notify_all();
+}
+
+void ProgressEngine::start() {
+  if (started_) return;
+  started_ = true;
+  simulator_->spawn_daemon("mad.progress." + name_, [this] { loop(); });
+}
+
+void ProgressEngine::loop() {
+  for (;;) {
+    while (pending_count_ == 0) wq_.wait();
+    ++counters_.ticks;
+    // One pass per schedule: every doorbell rung by the fibers that ran
+    // since the last tick drains here, so a burst of N messages costs one
+    // wakeup and one coalesced flush per client instead of N. A client's
+    // callback may block (socket-buffer room, driver hand-off); doorbells
+    // rung meanwhile are picked up by the next pass.
+    for (Client& client : clients_) {
+      if (!client.pending) continue;
+      client.pending = false;
+      --pending_count_;
+      ++counters_.flushes;
+      client.fn(client.ctx);
+    }
+  }
+}
+
+}  // namespace mad2::mad

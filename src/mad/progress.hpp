@@ -1,0 +1,90 @@
+// Batched progress engine (ROADMAP item 4, LCI-style).
+//
+// One ProgressEngine runs per node when the session's `fastpath` stanza is
+// present: a daemon fiber that drains every pending doorbell in a single
+// pass per schedule instead of one wakeup per message. Protocol modules
+// register a flush callback once at setup and ring their doorbell from the
+// hot path — a bit set plus one wait-queue notify, no allocation, no
+// std::function construction per message. The tick then coalesces the
+// deferred work: a TCP endpoint pushes every pending deferred send with
+// one kernel crossing per stream, a BIP endpoint returns all owed credits
+// with one control packet per peer.
+//
+// Without the stanza no engine exists and every driver keeps its legacy
+// per-message behavior — virtual time and the wire stay bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/sync.hpp"
+
+namespace mad2::mad {
+
+/// `fastpath` config stanza: opt-in hot-path batching (see
+/// docs/PERFORMANCE.md). Presence of the stanza enables the per-node
+/// progress engines; the fields tune the batching thresholds.
+struct FastPathConfig {
+  /// A TCP stream whose deferred-send staging reaches this many bytes
+  /// flushes inline (bounding staging memory and worst-case latency)
+  /// instead of waiting for the next progress tick.
+  std::size_t tcp_flush_bytes = 8 * 1024;
+  /// BIP: owed receive credits are returned by the progress tick, one
+  /// control packet per peer per tick, instead of inline on the app fiber
+  /// at the batching threshold. The flush-before-block safety net in the
+  /// short TM stays either way.
+  bool defer_bip_credits = true;
+};
+
+/// What the engine did, exported via Session::export_metrics
+/// ("progress.nodeN.*") and surfaced in the bench JSON sidecars.
+struct ProgressCounters {
+  std::uint64_t ticks = 0;      ///< daemon passes that found work
+  std::uint64_t doorbells = 0;  ///< ring() calls from hot paths
+  std::uint64_t flushes = 0;    ///< client callbacks run
+};
+
+class ProgressEngine {
+ public:
+  ProgressEngine(sim::Simulator* simulator, std::string name);
+
+  /// Plain function pointer on purpose: registration happens once at
+  /// setup, the hot path never builds a std::function.
+  using FlushFn = void (*)(void* ctx);
+
+  /// Register a flush client; returns its doorbell id. Must be called
+  /// before the simulation runs the first tick that rings it.
+  std::size_t register_client(void* ctx, FlushFn fn);
+
+  /// Ring `client`'s doorbell: mark it pending and wake the tick fiber.
+  /// Idempotent while already pending.
+  void ring(std::size_t client);
+
+  /// Spawn the tick daemon (idempotent; the session calls it once).
+  void start();
+
+  [[nodiscard]] const ProgressCounters& counters() const {
+    return counters_;
+  }
+
+ private:
+  void loop();
+
+  struct Client {
+    void* ctx;
+    FlushFn fn;
+    bool pending;
+  };
+
+  sim::Simulator* simulator_;
+  std::string name_;
+  std::vector<Client> clients_;
+  sim::WaitQueue wq_;
+  std::size_t pending_count_ = 0;
+  bool started_ = false;
+  ProgressCounters counters_;
+};
+
+}  // namespace mad2::mad

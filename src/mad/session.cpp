@@ -303,6 +303,18 @@ RailSet& Session::rail_set(const std::string& name) {
   MAD2_CHECK(false, "unknown rail set name");
 }
 
+ProgressEngine* Session::progress_engine(std::uint32_t node) {
+  if (!config_.fastpath.has_value()) return nullptr;
+  MAD2_CHECK(node < nodes_.size(), "unknown node id");
+  if (progress_.empty()) progress_.resize(nodes_.size());
+  if (progress_[node] == nullptr) {
+    progress_[node] = std::make_unique<ProgressEngine>(
+        &simulator_, "node" + std::to_string(node));
+    progress_[node]->start();
+  }
+  return progress_[node].get();
+}
+
 std::uint64_t Session::add_failure_listener(FailureListener listener) {
   const std::uint64_t id = next_listener_id_++;
   failure_listeners_.emplace_back(id, std::move(listener));
@@ -392,6 +404,14 @@ void Session::export_metrics(obs::MetricsRegistry& registry) {
     registry.set_value(prefix + "messages_sent", u(total.messages_sent));
     registry.set_value(prefix + "messages_received",
                        u(total.messages_received));
+    registry.set_value(prefix + "switch.fast_selects",
+                       u(total.switching.fast_selects));
+    registry.set_value(prefix + "switch.legacy_selects",
+                       u(total.switching.legacy_selects));
+    registry.set_value(prefix + "switch.pack_cpu_ticks",
+                       u(total.switching.pack_cpu_ticks));
+    registry.set_value(prefix + "switch.unpack_cpu_ticks",
+                       u(total.switching.unpack_cpu_ticks));
     for (const auto& [tm, counters] : total.sent_by_tm) {
       registry.set_value(prefix + "tx." + tm + ".blocks",
                          u(counters.blocks));
@@ -419,6 +439,15 @@ void Session::export_metrics(obs::MetricsRegistry& registry) {
     registry.set_value(prefix + "memcpy_bytes", u(mem.memcpy_bytes));
     registry.set_value(prefix + "allocs", u(mem.alloc_count));
     registry.set_value(prefix + "pool_recycles", u(mem.pool_recycle_count));
+  }
+  // Progress-engine activity (fastpath sessions only).
+  for (std::size_t i = 0; i < progress_.size(); ++i) {
+    if (progress_[i] == nullptr) continue;
+    const ProgressCounters& c = progress_[i]->counters();
+    const std::string prefix = "progress.node" + std::to_string(i) + ".";
+    registry.set_value(prefix + "ticks", u(c.ticks));
+    registry.set_value(prefix + "doorbells", u(c.doorbells));
+    registry.set_value(prefix + "flushes", u(c.flushes));
   }
   // Link-level reliable-shim work, once per (network, port).
   for (auto& network : networks_) {

@@ -18,6 +18,7 @@
 #include "mad/connection.hpp"
 #include "mad/hostdb.hpp"
 #include "mad/bip_options.hpp"
+#include "mad/progress.hpp"
 #include "mad/rail_set.hpp"
 #include "mad/sci_options.hpp"
 #include "net/bip.hpp"
@@ -127,6 +128,12 @@ struct SessionConfig {
   /// docs/ROUTING.md). Absent = single-gateway routing, wire-identical
   /// to earlier releases.
   std::optional<TopologyConfig> topology;
+  /// `fastpath` stanza: allocation-free short-message path and batched
+  /// progress engine (see docs/PERFORMANCE.md). Each node gets a
+  /// ProgressEngine daemon; drivers coalesce small sends and deferred
+  /// credit returns through it. Absent = all off, wire bit-identical to
+  /// earlier releases.
+  std::optional<FastPathConfig> fastpath;
 };
 
 /// A session network instance: the driver plus the global-node -> local
@@ -296,6 +303,11 @@ class Session {
   /// defs; gateway roles registered by virtual channels).
   [[nodiscard]] Hostdb& hostdb() { return hostdb_; }
 
+  /// The node's batched progress engine, or nullptr when the session has
+  /// no `fastpath` stanza. Drivers register flush clients during
+  /// finish_setup and ring doorbells from their hot paths.
+  [[nodiscard]] ProgressEngine* progress_engine(std::uint32_t node);
+
   /// A routing layer's claim on network failures. Return the domain that
   /// absorbed the failure, or kUnknown to pass it to the next listener.
   using FailureListener = std::function<FailureDomain(const NetworkFailure&)>;
@@ -334,6 +346,10 @@ class Session {
   Status health_;
   Hostdb hostdb_;
   std::vector<std::unique_ptr<hw::Node>> nodes_;
+  /// Per-node progress engines; empty unless config_.fastpath is set.
+  /// Populated lazily by progress_engine() so only nodes whose drivers
+  /// actually batch pay for a daemon fiber.
+  std::vector<std::unique_ptr<ProgressEngine>> progress_;
   std::vector<std::unique_ptr<NetworkInstance>> networks_;
   std::vector<std::unique_ptr<Channel>> channels_;
   std::vector<std::unique_ptr<RailSet>> rail_sets_;

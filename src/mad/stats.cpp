@@ -46,6 +46,7 @@ net::ReliabilityCounters newest(const net::ReliabilityCounters& a,
 void TrafficStats::merge(const TrafficStats& other) {
   messages_sent += other.messages_sent;
   messages_received += other.messages_received;
+  switching.merge(other.switching);
   for (const auto& [tm, counters] : other.sent_by_tm) {
     sent_by_tm[tm].blocks += counters.blocks;
     sent_by_tm[tm].bytes += counters.bytes;
@@ -154,6 +155,16 @@ std::string TrafficStats::to_string() const {
                     static_cast<unsigned long long>(counters.dup_drops));
       out += line;
     }
+  }
+  if (switching.fast_selects != 0 || switching.legacy_selects != 0) {
+    std::snprintf(line, sizeof line,
+                  "  switch %8llu fast %8llu legacy selects "
+                  "%12llu/%llu pack/unpack cpu ticks\n",
+                  static_cast<unsigned long long>(switching.fast_selects),
+                  static_cast<unsigned long long>(switching.legacy_selects),
+                  static_cast<unsigned long long>(switching.pack_cpu_ticks),
+                  static_cast<unsigned long long>(switching.unpack_cpu_ticks));
+    out += line;
   }
   if (reliability.data_frames != 0 || reliability.give_ups != 0) {
     out += "  " + reliability.to_string() + "\n";

@@ -149,8 +149,32 @@ TcpStream::TcpStream(TcpPort* port, std::uint32_t peer,
 }
 
 void TcpStream::send(std::span<const std::byte> data) {
+  if (!pending_.empty()) flush_pending();  // keep byte order
   const TcpParams& params = port_->network_->params_;
   port_->node_->charge_cpu(params.send_syscall);
+  enqueue_tx(data);
+}
+
+void TcpStream::send_deferred(std::span<const std::byte> data) {
+  // One user-space staging copy; the kernel crossing waits for the batch.
+  port_->node_->charge_memcpy(data.size());
+  pending_.insert(pending_.end(), data.begin(), data.end());
+}
+
+void TcpStream::flush_pending() {
+  if (pending_.empty()) return;
+  const TcpParams& params = port_->network_->params_;
+  port_->node_->charge_cpu(params.send_syscall);
+  // Swap out the batch before enqueueing: enqueue_tx can block on socket-
+  // buffer room, and a fiber staging more bytes meanwhile must land them
+  // in the *next* batch, not a vector being iterated.
+  std::vector<std::byte> batch;
+  batch.swap(pending_);
+  enqueue_tx(batch);
+}
+
+void TcpStream::enqueue_tx(std::span<const std::byte> data) {
+  const TcpParams& params = port_->network_->params_;
   // Kernel copies user data into the socket buffer (checksum + copy).
   std::size_t done = 0;
   while (done < data.size()) {
@@ -213,7 +237,7 @@ void TcpStream::on_frame(std::vector<std::byte> data) {
 
 void TcpStream::recv(std::span<std::byte> out) {
   const TcpParams& params = port_->network_->params_;
-  port_->node_->charge_cpu(params.recv_syscall);
+  if (!fast_) port_->node_->charge_cpu(params.recv_syscall);
   std::size_t done = 0;
   while (done < out.size()) {
     while (rx_buffer_.empty() && failed_.is_ok()) rx_data_->wait();
@@ -229,24 +253,37 @@ void TcpStream::recv(std::span<std::byte> out) {
       std::fill(out.begin() + done, out.end(), std::byte{0});
       return;
     }
-    const std::size_t chunk =
-        std::min(rx_buffer_.size(), out.size() - done);
+    // Fastpath: one syscall drains everything the kernel has buffered;
+    // reads served out of that staged drain are user-space copies only.
+    if (fast_ && rx_staged_ == 0) {
+      port_->node_->charge_cpu(params.recv_syscall);
+      rx_staged_ = rx_buffer_.size();
+    }
+    std::size_t chunk = std::min(rx_buffer_.size(), out.size() - done);
+    if (fast_) chunk = std::min(chunk, rx_staged_);
     port_->node_->charge_memcpy(chunk);
     std::copy(rx_buffer_.begin(), rx_buffer_.begin() + chunk,
               out.begin() + done);
     rx_buffer_.erase(rx_buffer_.begin(), rx_buffer_.begin() + chunk);
+    if (fast_) rx_staged_ -= chunk;
     done += chunk;
   }
 }
 
 std::size_t TcpStream::recv_some(std::span<std::byte> out) {
   const TcpParams& params = port_->network_->params_;
-  port_->node_->charge_cpu(params.recv_syscall);
+  if (!fast_) port_->node_->charge_cpu(params.recv_syscall);
   while (rx_buffer_.empty()) rx_data_->wait();
-  const std::size_t chunk = std::min(rx_buffer_.size(), out.size());
+  if (fast_ && rx_staged_ == 0) {
+    port_->node_->charge_cpu(params.recv_syscall);
+    rx_staged_ = rx_buffer_.size();
+  }
+  std::size_t chunk = std::min(rx_buffer_.size(), out.size());
+  if (fast_) chunk = std::min(chunk, rx_staged_);
   port_->node_->charge_memcpy(chunk);
   std::copy(rx_buffer_.begin(), rx_buffer_.begin() + chunk, out.begin());
   rx_buffer_.erase(rx_buffer_.begin(), rx_buffer_.begin() + chunk);
+  if (fast_) rx_staged_ -= chunk;
   return chunk;
 }
 
@@ -265,6 +302,7 @@ void TcpStream::fail(const Status& status) {
 }
 
 Status TcpStream::send_checked(std::span<const std::byte> data) {
+  if (!pending_.empty()) flush_pending();  // keep byte order
   const TcpParams& params = port_->network_->params_;
   port_->node_->charge_cpu(params.send_syscall);
   std::size_t done = 0;
@@ -302,6 +340,7 @@ Status TcpStream::recv_some_checked(std::span<std::byte> out,
 }
 
 Status TcpStream::flush() {
+  if (!pending_.empty()) flush_pending();
   // tx_loop notifies tx_room_ after every chunk it takes, including the
   // one that empties the buffer, so this wait set is complete.
   while (failed_.is_ok() && !tx_buffer_.empty()) tx_room_->wait();

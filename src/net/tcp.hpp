@@ -141,6 +141,22 @@ class TcpStream {
   /// OK from flush() therefore means delivered, not merely queued.
   Status flush();
 
+  // --- fastpath (mad/progress.hpp; see docs/PERFORMANCE.md) --------------
+  // Small writes stage in a user-space buffer (one memcpy, no syscall) and
+  // a later flush_pending() pushes the whole batch with a single kernel
+  // crossing — writev-style coalescing. On the receive side, one syscall
+  // drains everything the kernel buffered; reads served from that staged
+  // drain are free until it is consumed. Ordering is preserved: any direct
+  // send/flush first pushes the staged bytes.
+
+  /// Opt this stream into staged receives (and mark it as batch-managed).
+  void set_fastpath(bool on) { fast_ = on; }
+  /// Stage `data` for the next flush_pending(); no syscall charge.
+  void send_deferred(std::span<const std::byte> data);
+  /// Push everything staged by send_deferred() with one syscall charge.
+  void flush_pending();
+  [[nodiscard]] std::size_t pending_bytes() const { return pending_.size(); }
+
  private:
   friend class TcpPort;
   friend class TcpNetwork;
@@ -149,6 +165,9 @@ class TcpStream {
   void tx_loop();
   void on_frame(std::vector<std::byte> data);
   void fail(const Status& status);
+  /// send() minus the syscall charge: checksum+copy into the socket
+  /// buffer, blocking while it is full.
+  void enqueue_tx(std::span<const std::byte> data);
 
   TcpPort* port_;
   std::uint32_t peer_;
@@ -159,6 +178,9 @@ class TcpStream {
   std::unique_ptr<sim::WaitQueue> tx_room_;
   std::unique_ptr<sim::WaitQueue> tx_data_;
   std::unique_ptr<sim::WaitQueue> rx_data_;
+  bool fast_ = false;
+  std::vector<std::byte> pending_;  // deferred-send staging
+  std::size_t rx_staged_ = 0;       // bytes covered by the last recv syscall
 };
 
 class TcpPort {
