@@ -390,14 +390,17 @@ bool Connection::unpack_borrow(std::size_t len, SendMode smode,
   // Replay the Switch decision *before* touching any state, so a refusal
   // leaves the stream exactly where a copying unpack expects it.
   const SwitchDecision decision = probe_switch(len, smode, rmode);
+  Tm& tm = *decision.tm;
+  const BmmKind kind = decision.kind;
+  // A refused borrow falls back to a copying unpack, which re-runs the
+  // selection and counts it there; counting the probe too would tally
+  // the same block twice. Only an accepted borrow owns its count.
+  if (kind != BmmKind::kStaticCopy) return false;
   if (decision.from_table) {
     ++stats_.switching.fast_selects;
   } else {
     ++stats_.switching.legacy_selects;
   }
-  Tm& tm = *decision.tm;
-  const BmmKind kind = decision.kind;
-  if (kind != BmmKind::kStaticCopy) return false;
 
   node().charge_cpu(endpoint_->costs().unpack);
   stats_.switching.unpack_cpu_ticks +=

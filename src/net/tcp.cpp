@@ -148,8 +148,30 @@ TcpStream::TcpStream(TcpPort* port, std::uint32_t peer,
                           [this] { tx_loop(); });
 }
 
+// Blocks until no other fiber is inside enqueue_tx() on this stream, then
+// claims the writer turn for the scope. tx_room_ doubles as the turn wait
+// queue: both room and turn waiters re-check their condition in a loop, so
+// sharing wakeups is safe.
+struct TcpStream::TxWriter {
+  explicit TxWriter(TcpStream& stream) : stream_(stream) {
+    while (stream_.tx_writing_) stream_.tx_room_->wait();
+    stream_.tx_writing_ = true;
+  }
+  ~TxWriter() {
+    stream_.tx_writing_ = false;
+    stream_.tx_room_->notify_all();
+  }
+  TxWriter(const TxWriter&) = delete;
+  TxWriter& operator=(const TxWriter&) = delete;
+  TcpStream& stream_;
+};
+
 void TcpStream::send(std::span<const std::byte> data) {
-  if (!pending_.empty()) flush_pending();  // keep byte order
+  TxWriter writer(*this);
+  // Re-check pending under the writer turn: a tick's flush may have been
+  // in flight when we arrived, and more bytes may have been staged while
+  // we waited for it. Flushing here keeps byte order.
+  flush_pending_locked();
   const TcpParams& params = port_->network_->params_;
   port_->node_->charge_cpu(params.send_syscall);
   enqueue_tx(data);
@@ -157,20 +179,30 @@ void TcpStream::send(std::span<const std::byte> data) {
 
 void TcpStream::send_deferred(std::span<const std::byte> data) {
   // One user-space staging copy; the kernel crossing waits for the batch.
+  // No writer turn needed: pending_ is only drained under the turn, and
+  // appending never touches tx_buffer_.
   port_->node_->charge_memcpy(data.size());
   pending_.insert(pending_.end(), data.begin(), data.end());
 }
 
 void TcpStream::flush_pending() {
   if (pending_.empty()) return;
+  TxWriter writer(*this);
+  flush_pending_locked();
+}
+
+void TcpStream::flush_pending_locked() {
+  if (pending_.empty()) return;
   const TcpParams& params = port_->network_->params_;
   port_->node_->charge_cpu(params.send_syscall);
   // Swap out the batch before enqueueing: enqueue_tx can block on socket-
   // buffer room, and a fiber staging more bytes meanwhile must land them
-  // in the *next* batch, not a vector being iterated.
-  std::vector<std::byte> batch;
-  batch.swap(pending_);
-  enqueue_tx(batch);
+  // in the *next* batch, not a vector being iterated. Swapping with the
+  // (empty, capacitated) flush buffer keeps both capacities alive, so
+  // steady-state batches allocate nothing.
+  pending_.swap(pending_flushing_);
+  enqueue_tx(pending_flushing_);
+  pending_flushing_.clear();
 }
 
 void TcpStream::enqueue_tx(std::span<const std::byte> data) {
@@ -251,6 +283,9 @@ void TcpStream::recv(std::span<std::byte> out) {
     // failed stream (see RailSet::drain_segment).
     if (rx_buffer_.empty()) {
       std::fill(out.begin() + done, out.end(), std::byte{0});
+      // The staged drain is void along with the stream: bytes arriving
+      // after this point must charge their own recv syscall.
+      rx_staged_ = 0;
       return;
     }
     // Fastpath: one syscall drains everything the kernel has buffered;
@@ -294,6 +329,10 @@ void TcpStream::wait_readable() {
 void TcpStream::fail(const Status& status) {
   if (!failed_.is_ok()) return;  // first failure wins
   failed_ = status;
+  // Any staged recv drain dies with the link: post-failure reads (the
+  // rail drains deliberately keep reading a poisoned stream) must charge
+  // their own recv syscall rather than ride a stale staging window.
+  rx_staged_ = 0;
   // Unpark everyone; rx_buffer_ keeps its bytes (delivered data always
   // wins over the failure) and checked callers observe status().
   tx_room_->notify_all();
@@ -302,7 +341,8 @@ void TcpStream::fail(const Status& status) {
 }
 
 Status TcpStream::send_checked(std::span<const std::byte> data) {
-  if (!pending_.empty()) flush_pending();  // keep byte order
+  TxWriter writer(*this);
+  flush_pending_locked();  // keep byte order (see send())
   const TcpParams& params = port_->network_->params_;
   port_->node_->charge_cpu(params.send_syscall);
   std::size_t done = 0;
@@ -342,8 +382,13 @@ Status TcpStream::recv_some_checked(std::span<std::byte> out,
 Status TcpStream::flush() {
   if (!pending_.empty()) flush_pending();
   // tx_loop notifies tx_room_ after every chunk it takes, including the
-  // one that empties the buffer, so this wait set is complete.
-  while (failed_.is_ok() && !tx_buffer_.empty()) tx_room_->wait();
+  // one that empties the buffer, and ~TxWriter notifies when a writer
+  // turn ends, so this wait set is complete. Waiting out tx_writing_
+  // covers a concurrent writer parked mid-copy whose remaining bytes are
+  // not yet in tx_buffer_.
+  while (failed_.is_ok() && (tx_writing_ || !tx_buffer_.empty())) {
+    tx_room_->wait();
+  }
   if (!failed_.is_ok()) return failed_;
   ReliableNetwork* reliable = port_->network_->reliable_.get();
   if (reliable != nullptr) {

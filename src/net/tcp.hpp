@@ -162,12 +162,20 @@ class TcpStream {
   friend class TcpNetwork;
   TcpStream(TcpPort* port, std::uint32_t peer, std::uint32_t stream_id);
 
+  /// RAII writer turn: enqueue_tx() can park mid-copy on a full socket
+  /// buffer, and two fibers interleaving mss-sized refills would corrupt
+  /// the stream's byte order. Every span handed to enqueue_tx therefore
+  /// lands under one of these, serializing writers per stream.
+  struct TxWriter;
+
   void tx_loop();
   void on_frame(std::vector<std::byte> data);
   void fail(const Status& status);
   /// send() minus the syscall charge: checksum+copy into the socket
-  /// buffer, blocking while it is full.
+  /// buffer, blocking while it is full. Caller holds the TxWriter turn.
   void enqueue_tx(std::span<const std::byte> data);
+  /// flush_pending() body; caller holds the TxWriter turn.
+  void flush_pending_locked();
 
   TcpPort* port_;
   std::uint32_t peer_;
@@ -179,7 +187,11 @@ class TcpStream {
   std::unique_ptr<sim::WaitQueue> tx_data_;
   std::unique_ptr<sim::WaitQueue> rx_data_;
   bool fast_ = false;
+  bool tx_writing_ = false;         // a TxWriter turn is in flight
   std::vector<std::byte> pending_;  // deferred-send staging
+  // Batch being pushed by flush_pending(); swapped with pending_ so the
+  // staging capacity survives the flush (no steady-state reallocation).
+  std::vector<std::byte> pending_flushing_;
   std::size_t rx_staged_ = 0;       // bytes covered by the last recv syscall
 };
 

@@ -2,6 +2,8 @@
 // stream ids, flow control, and calibration (latency ~75 us, ~11.5 MB/s).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "net/tcp.hpp"
 #include "sim/time.hpp"
 #include "testbed.hpp"
@@ -127,6 +129,40 @@ TEST(Tcp, SendBlocksOnFullSocketBufferUntilReceiverDrains) {
   ASSERT_TRUE(bed.simulator.run().is_ok());
   EXPECT_GT(send_done, sim::milliseconds(4));  // was throttled
   EXPECT_GT(recv_done, send_done);
+}
+
+TEST(Tcp, DirectSendWaitsForInFlightPendingFlush) {
+  // Regression: a flush_pending() parked mid-batch on socket-buffer room
+  // must finish its whole span before a racing direct send() may start
+  // copying, or the two writers refill the drained buffer in alternating
+  // mss-sized chunks and corrupt the stream's byte order.
+  TcpBed bed(2);
+  const std::size_t batch = 100 * 1024;  // beyond the 64 kB socket buffer
+  const std::size_t direct = 8 * 1024;
+  const auto staged = make_pattern_buffer(batch, 1);
+  const auto block = make_pattern_buffer(direct, 2);
+  bed.simulator.spawn("tick", [&] {
+    auto& stream = bed.network.port(0).stream(1);
+    stream.send_deferred(staged);
+    stream.flush_pending();  // parks once tx fills; pending_ already swapped
+  });
+  bed.simulator.spawn("app", [&] {
+    // 2 ms: past the staging memcpy and the initial 64 kB fill, but well
+    // before the flush finishes draining at wire speed (~4.3 ms) — the
+    // flush is parked with pending_ empty, so a pre-fix send() saw
+    // nothing to flush and walked straight into enqueue_tx.
+    bed.simulator.advance(sim::milliseconds(2));
+    bed.network.port(0).stream(1).send(block);
+  });
+  bed.simulator.spawn("receiver", [&] {
+    bed.simulator.advance(sim::milliseconds(2));  // both writers parked
+    std::vector<std::byte> out(batch + direct);
+    bed.network.port(1).stream(0).recv(out);
+    EXPECT_TRUE(
+        std::equal(out.begin(), out.begin() + batch, staged.begin()));
+    EXPECT_TRUE(std::equal(out.begin() + batch, out.end(), block.begin()));
+  });
+  ASSERT_TRUE(bed.simulator.run().is_ok());
 }
 
 TEST(Tcp, WaitReadableAndReadableAgree) {
