@@ -142,6 +142,7 @@ int run_json_mode() {
       {"bip", mad::NetworkKind::kBip},
       {"sisci", mad::NetworkKind::kSisci},
       {"tcp", mad::NetworkKind::kTcp},
+      {"ib", mad::NetworkKind::kIb},
   };
   const std::vector<std::uint64_t> sizes{64, 4096, 64 * 1024};
 

@@ -29,11 +29,21 @@ struct MemCounters {
   std::uint64_t memcpy_bytes = 0;
   std::uint64_t alloc_count = 0;
   std::uint64_t pool_recycle_count = 0;
+  /// Bytes currently pinned for NIC access (a gauge: registration adds,
+  /// deregistration subtracts), plus cumulative pin/unpin counts — fed by
+  /// the registration-capable drivers (IB, VIA) so registration-cache
+  /// behaviour is observable like alloc/memcpy already are.
+  std::uint64_t pinned_bytes = 0;
+  std::uint64_t reg_count = 0;
+  std::uint64_t dereg_count = 0;
 
   void merge(const MemCounters& other) {
     memcpy_bytes += other.memcpy_bytes;
     alloc_count += other.alloc_count;
     pool_recycle_count += other.pool_recycle_count;
+    pinned_bytes += other.pinned_bytes;
+    reg_count += other.reg_count;
+    dereg_count += other.dereg_count;
   }
 };
 
@@ -77,6 +87,14 @@ class Node {
   [[nodiscard]] const MemCounters& mem() const { return mem_; }
   void count_alloc() { ++mem_.alloc_count; }
   void count_pool_recycle() { ++mem_.pool_recycle_count; }
+  void count_mem_register(std::uint64_t bytes) {
+    mem_.pinned_bytes += bytes;
+    ++mem_.reg_count;
+  }
+  void count_mem_deregister(std::uint64_t bytes) {
+    mem_.pinned_bytes -= bytes <= mem_.pinned_bytes ? bytes : mem_.pinned_bytes;
+    ++mem_.dereg_count;
+  }
 
   /// Charge a fixed CPU cost (protocol bookkeeping, syscalls, ...).
   /// Free outside fiber context (session setup).

@@ -98,10 +98,54 @@ Result<SessionConfig> parse_session_config(std::string_view text) {
         net.kind = NetworkKind::kVia;
       } else if (kind == "sbp") {
         net.kind = NetworkKind::kSbp;
+      } else if (kind == "ib") {
+        net.kind = NetworkKind::kIb;
       } else {
         return error_at(line_number, "unknown network kind '" + kind + "'");
       }
+      bool saw_knob = false;
       for (std::size_t i = 3; i < tokens.size(); ++i) {
+        // Trailing key=value tokens tune the adapter (IB only: they size
+        // HCA resources shared by every channel on the port).
+        if (tokens[i].find('=') != std::string::npos) {
+          saw_knob = true;
+          if (net.kind != NetworkKind::kIb) {
+            return error_at(line_number,
+                            "network option '" + tokens[i] +
+                                "' is only valid for kind 'ib'");
+          }
+          if (!net.ib_params.has_value()) {
+            net.ib_params = net::IbParams::mellanox_like();
+          }
+          const std::string& token = tokens[i];
+          if (token.rfind("qp_depth=", 0) == 0) {
+            std::uint32_t depth = 0;
+            if (!parse_u32(token.substr(9), &depth) || depth == 0) {
+              return error_at(line_number,
+                              "invalid qp_depth '" + token +
+                                  "' (send queue depth and eager credit "
+                                  "window; must be positive)");
+            }
+            net.ib_params->qp_depth = depth;
+          } else if (token.rfind("regcache_capacity=", 0) == 0) {
+            std::uint32_t capacity = 0;
+            if (!parse_u32(token.substr(18), &capacity)) {
+              return error_at(line_number,
+                              "invalid regcache_capacity '" + token +
+                                  "' (0 disables the registration cache)");
+            }
+            net.ib_params->regcache_capacity = capacity;
+          } else {
+            return error_at(line_number,
+                            "unknown ib option '" + token +
+                                "' (expected qp_depth=, "
+                                "regcache_capacity=)");
+          }
+          continue;
+        }
+        if (saw_knob) {
+          return error_at(line_number, "node ids must precede ib options");
+        }
         std::uint32_t node = 0;
         if (!parse_u32(tokens[i], &node)) {
           return error_at(line_number, "invalid node id '" + tokens[i] +
@@ -119,14 +163,18 @@ Result<SessionConfig> parse_session_config(std::string_view text) {
         }
         net.nodes.push_back(node);
       }
+      if (net.nodes.empty()) {
+        return error_at(line_number, "network lists no nodes");
+      }
       config.networks.push_back(std::move(net));
       continue;
     }
 
     if (directive == "channel") {
-      if (tokens.size() != 3 && tokens.size() != 4) {
-        return error_at(line_number,
-                        "usage: channel NAME NETWORK [paranoid]");
+      if (tokens.size() < 3) {
+        return error_at(
+            line_number,
+            "usage: channel NAME NETWORK [paranoid] [eager_cutoff=N]");
       }
       ChannelDef channel;
       channel.name = tokens[1];
@@ -137,20 +185,37 @@ Result<SessionConfig> parse_session_config(std::string_view text) {
                           "duplicate channel name '" + channel.name + "'");
         }
       }
-      bool network_exists = false;
+      const NetworkDef* channel_net = nullptr;
       for (const NetworkDef& net : config.networks) {
-        if (net.name == channel.network) network_exists = true;
+        if (net.name == channel.network) channel_net = &net;
       }
-      if (!network_exists) {
+      if (channel_net == nullptr) {
         return error_at(line_number,
                         "unknown network '" + channel.network + "'");
       }
-      if (tokens.size() == 4) {
-        if (tokens[3] != "paranoid") {
+      for (std::size_t i = 3; i < tokens.size(); ++i) {
+        const std::string& token = tokens[i];
+        if (token == "paranoid") {
+          channel.paranoid = true;
+        } else if (token.rfind("eager_cutoff=", 0) == 0) {
+          if (channel_net->kind != NetworkKind::kIb) {
+            return error_at(line_number,
+                            "eager_cutoff= is only valid on ib channels");
+          }
+          std::uint32_t cutoff = 0;
+          if (!parse_u32(token.substr(13), &cutoff) || cutoff < 64) {
+            return error_at(line_number,
+                            "invalid eager_cutoff '" + token +
+                                "' (must be at least 64 bytes)");
+          }
+          if (!channel.ib_options.has_value()) {
+            channel.ib_options = IbPmmOptions{};
+          }
+          channel.ib_options->eager_cutoff = cutoff;
+        } else {
           return error_at(line_number,
-                          "unknown channel option '" + tokens[3] + "'");
+                          "unknown channel option '" + token + "'");
         }
-        channel.paranoid = true;
       }
       config.channels.push_back(std::move(channel));
       continue;

@@ -12,8 +12,15 @@
 //
 // Directives:
 //   nodes N                       total node count (required, first)
-//   network NAME KIND NODE...     KIND in {bip, sisci, tcp, via}
-//   channel NAME NETWORK [paranoid]
+//   network NAME KIND NODE...     KIND in {bip, sisci, tcp, via, sbp, ib}
+//       ib networks take trailing adapter knobs after the node list:
+//       qp_depth=N (send-queue depth, doubles as the eager credit
+//       window) and regcache_capacity=N (registration-cache entries per
+//       port; 0 registers/deregisters on every access — the ablation
+//       switch of bench/abl_ib). See net/ib.hpp and docs/RDMA.md.
+//   channel NAME NETWORK [paranoid] [eager_cutoff=N]
+//       eager_cutoff= (ib channels only, >= 64) splits eager copies from
+//       RDMA rendezvous at N bytes (see mad/ib_options.hpp)
 //   rails NAME CHANNEL CHANNEL... [threshold=N]
 //       stripe large blocks of the first (primary) channel across all
 //       members (see mad/rail_set.hpp); members must be non-paranoid,

@@ -1,0 +1,21 @@
+// Tunables of the IB protocol module, exposed separately so channel
+// definitions can carry per-channel overrides (the network-level knobs —
+// qp_depth, regcache_capacity — live in net::IbParams, since they size
+// adapter resources shared by every channel on the port).
+#pragma once
+
+#include <cstddef>
+
+namespace mad2::mad {
+
+struct IbPmmOptions {
+  /// Messages up to this many bytes go eager (copied through pre-posted
+  /// registered buffers); larger blocks rendezvous via RDMA. Also sizes
+  /// the eager buffers, so raising it trades pinned memory for a later
+  /// protocol switch — the abl_ib crossover sweep measures the trade.
+  std::size_t eager_cutoff = 8192;
+  /// Receiver returns eager credits in batches of this size.
+  std::size_t credit_batch = 4;
+};
+
+}  // namespace mad2::mad

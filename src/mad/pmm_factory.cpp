@@ -1,6 +1,7 @@
 #include "mad/pmm_factory.hpp"
 
 #include "mad/pmm_bip.hpp"
+#include "mad/pmm_ib.hpp"
 #include "mad/pmm_sbp.hpp"
 #include "mad/pmm_sisci.hpp"
 #include "mad/pmm_tcp.hpp"
@@ -27,6 +28,11 @@ std::unique_ptr<Pmm> make_pmm(ChannelEndpoint& endpoint) {
       return std::make_unique<ViaPmm>(endpoint);
     case NetworkKind::kSbp:
       return std::make_unique<SbpPmm>(endpoint);
+    case NetworkKind::kIb: {
+      const auto& overrides = endpoint.channel().def().ib_options;
+      return std::make_unique<IbPmm>(
+          endpoint, overrides.value_or(IbPmmOptions{}));
+    }
     case NetworkKind::kCustom:
       return endpoint.channel().network().def.custom_pmm(endpoint);
   }

@@ -1,0 +1,636 @@
+#include "mad/pmm_ib.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "obs/trace.hpp"
+#include "util/bytes.hpp"
+
+namespace mad2::mad {
+
+namespace {
+
+// CTS payload: u32 block count, then (rkey u64, offset u64) per block.
+// RTS_READ payload: u32 block count, then (rkey u64, offset u64, len u64).
+constexpr std::size_t kCtsEntryBytes = 16;
+constexpr std::size_t kReadEntryBytes = 24;
+
+IbPmm::MsgKind imm_kind(std::uint64_t imm) {
+  return static_cast<IbPmm::MsgKind>(imm & 0xff);
+}
+std::uint64_t imm_value(std::uint64_t imm) { return imm >> 8; }
+
+}  // namespace
+
+IbPmm::IbPmm(ChannelEndpoint& endpoint, IbPmmOptions options)
+    : endpoint_(endpoint),
+      options_(options),
+      eager_tm_(this),
+      write_tm_(this),
+      read_tm_(this) {
+  NetworkInstance& network = endpoint_.channel().network();
+  MAD2_CHECK(network.ib != nullptr, "IbPmm on a non-IB network");
+  port_ = &network.ib->port(network.port(endpoint_.local()));
+  incoming_wq_ =
+      std::make_unique<sim::WaitQueue>(&endpoint_.session().simulator());
+  MAD2_CHECK(options_.eager_cutoff >= 64, "IB eager cutoff too small");
+  MAD2_CHECK(options_.credit_batch * 2 <= window(),
+             "credit batching must not exhaust the QP window");
+}
+
+std::uint32_t IbPmm::qp() const { return endpoint_.channel().id(); }
+
+std::size_t IbPmm::window() const { return port_->params().qp_depth; }
+
+std::unique_ptr<Pmm::ConnState> IbPmm::make_conn_state(std::uint32_t remote) {
+  auto state = std::make_unique<State>(&endpoint_.session().simulator());
+  state->remote = remote;
+  state->remote_port = endpoint_.channel().network().port(remote);
+  state->credits = window();
+  // Eager receive pool: every incoming send consumes a posted receive, so
+  // the pool must back the peer's full data window plus control headroom.
+  const std::size_t pool_size = window() + kCtrlHeadroom;
+  state->pool.resize(pool_size);
+  for (auto& buffer : state->pool) {
+    buffer.resize(options_.eager_cutoff);
+    (void)port_->register_memory(buffer);
+    port_->post_recv(state->remote_port, qp(), buffer);
+  }
+  states_[remote] = state.get();
+  by_port_[state->remote_port] = remote;
+  peer_order_.push_back(remote);
+  return state;
+}
+
+void IbPmm::finish_setup() {
+  Session& session = endpoint_.session();
+  if (session.config().fastpath.has_value()) {
+    // CQ reaping as a progress-engine client: the CQ doorbell rings the
+    // engine, one drain pass per scheduled batch reaps every completion.
+    engine_ = session.progress_engine(endpoint_.local());
+    doorbell_ = engine_->register_client(
+        this, [](void* ctx) { static_cast<IbPmm*>(ctx)->drain_cq(); });
+    port_->set_cq_callback(qp(), [this] { engine_->ring(doorbell_); });
+    engine_mode_ = true;
+    return;
+  }
+  session.simulator().spawn_daemon(
+      "mad.ib.pump." + endpoint_.channel().name() + "." +
+          std::to_string(endpoint_.local()),
+      [this] { pump_loop(); });
+}
+
+Tm& IbPmm::select_tm(std::size_t len, SendMode, ReceiveMode rmode) {
+  if (len <= options_.eager_cutoff) return eager_tm_;
+  if (rmode == ReceiveMode::kCheaper) return read_tm_;
+  return write_tm_;
+}
+
+std::uint32_t IbPmm::wait_incoming() {
+  for (;;) {
+    drain_cq();
+    for (std::size_t k = 0; k < peer_order_.size(); ++k) {
+      const std::size_t idx = (rr_next_ + k) % peer_order_.size();
+      State& state = *states_.at(peer_order_[idx]);
+      if (!state.data_pkts.empty() || !state.rts.empty() ||
+          !state.rts_read.empty()) {
+        rr_next_ = (idx + 1) % peer_order_.size();
+        return peer_order_[idx];
+      }
+    }
+    incoming_wq_->wait();
+  }
+}
+
+double IbPmm::bandwidth_hint_mbs() const {
+  const net::IbParams& p = port_->params();
+  return std::min(p.fabric.wire_mbs, p.pci_dma_mbs);
+}
+
+IbPmm::State& IbPmm::state_of_port(std::uint32_t port) {
+  return *states_.at(by_port_.at(port));
+}
+
+std::size_t IbPmm::pool_index(State& state, const std::byte* data) {
+  for (std::size_t i = 0; i < state.pool.size(); ++i) {
+    if (state.pool[i].data() == data) return i;
+  }
+  MAD2_CHECK(false, "IB completion on unknown eager buffer");
+  return 0;
+}
+
+void IbPmm::repost(State& state, std::size_t index) {
+  port_->post_recv(state.remote_port, qp(), state.pool[index]);
+}
+
+void IbPmm::mark_dead(State& state, const Status& status) {
+  if (state.dead) return;
+  state.dead = true;
+  state.dead_status = status.is_ok()
+                          ? Status(ErrorCode::kUnavailable, "ib: link dead")
+                          : status;
+  state.credits_wq.notify_all();
+  state.rdv_wq.notify_all();
+  state.recv_wq.notify_all();
+  incoming_wq_->notify_all();
+}
+
+bool IbPmm::check_dead(State& state) {
+  if (state.dead) return true;
+  const Status& status = port_->link_status(state.remote_port);
+  if (!status.is_ok()) {
+    mark_dead(state, status);
+    return true;
+  }
+  return false;
+}
+
+bool IbPmm::wait_or_give_up(State& state, sim::WaitQueue& wq,
+                            sim::Time deadline) {
+  if (wq.wait(deadline)) {
+    // The handshake went quiet past the give-up deadline: declare the
+    // link dead ourselves (no-op if a timer beat us to it).
+    port_->fail_link(state.remote_port,
+                     Status(ErrorCode::kUnavailable,
+                            "ib: rendezvous handshake timed out"));
+    check_dead(state);
+    return false;
+  }
+  return !check_dead(state);
+}
+
+void IbPmm::pump_loop() {
+  if (states_.empty()) return;
+  for (;;) {
+    net::IbCompletion completion = port_->wait_cq(qp());
+    dispatch(completion);
+  }
+}
+
+void IbPmm::drain_cq() {
+  if (drain_active_) return;
+  drain_active_ = true;
+  while (auto completion = port_->poll_cq(qp())) dispatch(*completion);
+  drain_active_ = false;
+}
+
+void IbPmm::dispatch(const net::IbCompletion& completion) {
+  State& state = state_of_port(completion.peer);
+  if (!completion.ok) {
+    mark_dead(state, port_->link_status(completion.peer));
+    // Error-flushed WRs still resolve their waiters' counters below.
+  }
+  switch (completion.kind) {
+    case net::IbCompletion::Kind::kRecv: {
+      const MsgKind kind = imm_kind(completion.imm);
+      const std::uint64_t value = imm_value(completion.imm);
+      const std::size_t index = pool_index(state, completion.buffer.data());
+      switch (kind) {
+        case MsgKind::kData:
+          state.data_pkts.emplace_back(index, completion.bytes);
+          state.recv_wq.notify_all();
+          break;  // buffer handed to the app; reposted on release
+        case MsgKind::kCredit:
+          state.credits += value;
+          state.credits_wq.notify_all();
+          repost(state, index);
+          break;
+        case MsgKind::kRts:
+          state.rts.push_back(value);
+          state.recv_wq.notify_all();
+          repost(state, index);
+          break;
+        case MsgKind::kCts: {
+          Cts cts;
+          cts.seq = value;
+          const std::byte* p = completion.buffer.data();
+          const std::uint32_t count = load_u32(p);
+          p += 4;
+          cts.blocks.resize(count);
+          for (std::uint32_t i = 0; i < count; ++i) {
+            cts.blocks[i].rkey = load_u64(p);
+            cts.blocks[i].offset = load_u64(p + 8);
+            p += kCtsEntryBytes;
+          }
+          state.cts_queue.push_back(std::move(cts));
+          state.rdv_wq.notify_all();
+          repost(state, index);
+          break;
+        }
+        case MsgKind::kRtsRead: {
+          const std::byte* p = completion.buffer.data();
+          const std::uint32_t count = load_u32(p);
+          p += 4;
+          std::vector<ReadBlock> blocks(count);
+          for (std::uint32_t i = 0; i < count; ++i) {
+            blocks[i].rkey = load_u64(p);
+            blocks[i].offset = load_u64(p + 8);
+            blocks[i].len = load_u64(p + 16);
+            p += kReadEntryBytes;
+          }
+          state.rts_read.push_back(std::move(blocks));
+          state.recv_wq.notify_all();
+          repost(state, index);
+          break;
+        }
+        case MsgKind::kDone:
+          ++state.read_done_acks;
+          state.rdv_wq.notify_all();
+          repost(state, index);
+          break;
+        case MsgKind::kFin:
+          MAD2_CHECK(false, "kFin arrives as a write immediate, not a send");
+          break;
+      }
+      incoming_wq_->notify_all();
+      break;
+    }
+    case net::IbCompletion::Kind::kWriteImm:
+      MAD2_CHECK(imm_kind(completion.imm) == MsgKind::kFin,
+                 "unexpected write immediate");
+      state.write_imms.push_back(imm_value(completion.imm));
+      state.rdv_wq.notify_all();
+      break;
+    case net::IbCompletion::Kind::kRdmaWrite:
+      ++state.write_acks;
+      state.rdv_wq.notify_all();
+      break;
+    case net::IbCompletion::Kind::kRdmaRead:
+      ++state.read_dones;
+      state.rdv_wq.notify_all();
+      break;
+    case net::IbCompletion::Kind::kSend:
+      break;  // eager sends are unsignaled; only error flushes land here
+  }
+}
+
+void IbPmm::send_ctrl(State& state, MsgKind kind, std::uint64_t value,
+                      std::span<const std::byte> payload) {
+  MAD2_CHECK(payload.size() <= options_.eager_cutoff,
+             "IB control payload exceeds the eager buffer size");
+  (void)port_->post_send(state.remote_port, qp(), payload,
+                         encode_imm(kind, value));
+}
+
+// -------------------------------------------------------------- IbEagerTm ---
+
+void IbEagerTm::send_buffer(Connection&, std::span<const std::byte>) {
+  MAD2_CHECK(false, "IB eager TM only moves static buffers");
+}
+
+void IbEagerTm::receive_buffer(Connection&, std::span<std::byte>) {
+  MAD2_CHECK(false, "IB eager TM only moves static buffers");
+}
+
+StaticBuffer IbEagerTm::obtain_static_buffer(Connection&) {
+  std::size_t index;
+  if (!pmm_->staging_free_.empty()) {
+    index = pmm_->staging_free_.back();
+    pmm_->staging_free_.pop_back();
+  } else {
+    index = pmm_->staging_.size();
+    pmm_->staging_.emplace_back(pmm_->options().eager_cutoff);
+    (void)pmm_->port().register_memory(pmm_->staging_.back());
+  }
+  return StaticBuffer{std::span<std::byte>(pmm_->staging_[index]), 0,
+                      index + 1};
+}
+
+void IbEagerTm::send_static_buffer(Connection& connection,
+                                   StaticBuffer& buffer) {
+  auto& state = connection.state<IbPmm::State>();
+  const std::size_t index = buffer.handle - 1;
+  if (state.credits == 0) {
+    MAD2_TRACE_SPAN(wait, obs::Category::kTm, "ib.credit_wait");
+    wait.args(buffer.used);
+    pmm_->drain_cq();
+    while (state.credits == 0) state.credits_wq.wait();
+  }
+  --state.credits;
+  // post_send copies at post time: the staging buffer recycles at once.
+  (void)pmm_->port().post_send(
+      state.remote_port, pmm_->qp(),
+      std::span<const std::byte>(pmm_->staging_[index]).first(buffer.used),
+      IbPmm::encode_imm(IbPmm::MsgKind::kData, 0));
+  pmm_->staging_free_.push_back(index);
+  buffer = StaticBuffer{};
+}
+
+StaticBuffer IbEagerTm::receive_static_buffer(Connection& connection) {
+  auto& state = connection.state<IbPmm::State>();
+  pmm_->drain_cq();
+  if (state.data_pkts.empty() && state.credit_owed > 0) {
+    // About to block: flush owed credits, the sender may be starved
+    // below the batching threshold.
+    pmm_->send_ctrl(state, IbPmm::MsgKind::kCredit, state.credit_owed);
+    state.credit_owed = 0;
+  }
+  while (state.data_pkts.empty()) state.recv_wq.wait();
+  auto [index, bytes] = state.data_pkts.front();
+  state.data_pkts.pop_front();
+  return StaticBuffer{std::span<std::byte>(state.pool[index]).first(bytes),
+                      bytes, index + 1};
+}
+
+void IbEagerTm::release_static_buffer(Connection& connection,
+                                      StaticBuffer& buffer) {
+  auto& state = connection.state<IbPmm::State>();
+  const std::size_t index = buffer.handle - 1;
+  pmm_->repost(state, index);
+  buffer = StaticBuffer{};
+  if (++state.credit_owed >= pmm_->options().credit_batch) {
+    pmm_->send_ctrl(state, IbPmm::MsgKind::kCredit, state.credit_owed);
+    state.credit_owed = 0;
+  }
+}
+
+bool IbEagerTm::try_retain_static_buffer(Connection& connection) {
+  auto& state = connection.state<IbPmm::State>();
+  if (state.retained >= pmm_->window() / 2) return false;
+  ++state.retained;
+  return true;
+}
+
+void IbEagerTm::release_retained_static_buffer(Connection& connection,
+                                               StaticBuffer& buffer) {
+  auto& state = connection.state<IbPmm::State>();
+  MAD2_CHECK(state.retained > 0,
+             "retained-slot release without a matching retain");
+  --state.retained;
+  release_static_buffer(connection, buffer);
+}
+
+// ---------------------------------------------------------- IbRdmaWriteTm ---
+
+void IbRdmaWriteTm::send_buffer(Connection& connection,
+                                std::span<const std::byte> data) {
+  send_buffer_group(connection, {data});
+}
+
+void IbRdmaWriteTm::send_buffer_group(
+    Connection& connection,
+    const std::vector<std::span<const std::byte>>& group) {
+  auto& state = connection.state<IbPmm::State>();
+  std::uint64_t total = 0;
+  for (const auto& block : group) total += block.size();
+
+  pmm_->send_ctrl(state, IbPmm::MsgKind::kRts, total);
+  {
+    MAD2_TRACE_SPAN(wait, obs::Category::kTm, "ib.cts_wait");
+    wait.args(total, group.size());
+    pmm_->drain_cq();
+    while (state.cts_queue.empty() && !state.dead) state.rdv_wq.wait();
+  }
+  if (state.dead) return;  // session is failing; nothing sane to send
+  IbPmm::Cts cts = std::move(state.cts_queue.front());
+  state.cts_queue.pop_front();
+  MAD2_CHECK(cts.blocks.size() == group.size(),
+             "rendezvous block-count mismatch: asymmetric pack/unpack "
+             "sequences");
+
+  // Pin the source blocks through the registration cache and write them
+  // straight into the advertised landing regions; the immediate on the
+  // last block raises the receiver's completion (no FIN round).
+  std::vector<net::IbMr> mrs;
+  mrs.reserve(group.size());
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    mrs.push_back(
+        pmm_->port().reg_cache().acquire(group[i].data(), group[i].size()));
+    const bool last = i + 1 == group.size();
+    (void)pmm_->port().post_rdma_write(
+        state.remote_port, pmm_->qp(), group[i], cts.blocks[i].rkey,
+        cts.blocks[i].offset,
+        last ? IbPmm::encode_imm(IbPmm::MsgKind::kFin, cts.seq) : 0);
+  }
+  {
+    MAD2_TRACE_SPAN(wait, obs::Category::kTm, "ib.write_ack_wait");
+    wait.args(total);
+    while (state.write_acks < group.size() && !state.dead) {
+      state.rdv_wq.wait();
+    }
+  }
+  if (state.write_acks >= group.size()) state.write_acks -= group.size();
+  for (const net::IbMr& mr : mrs) pmm_->port().reg_cache().release(mr);
+}
+
+void IbRdmaWriteTm::receive_buffer(Connection& connection,
+                                   std::span<std::byte> out) {
+  std::vector<std::span<std::byte>> group{out};
+  receive_sub_buffer_group(connection, group);
+}
+
+void IbRdmaWriteTm::receive_sub_buffer_group(
+    Connection& connection, const std::vector<std::span<std::byte>>& group) {
+  auto& state = connection.state<IbPmm::State>();
+  pmm_->drain_cq();
+  while (state.rts.empty() && !state.dead) state.recv_wq.wait();
+  if (state.dead) return;
+  const std::uint64_t announced = state.rts.front();
+  state.rts.pop_front();
+
+  std::uint64_t total = 0;
+  for (const auto& block : group) total += block.size();
+  MAD2_CHECK(announced == total,
+             "rendezvous size mismatch: asymmetric pack/unpack sequences");
+
+  // Pin the landing blocks and advertise their rkeys in the CTS.
+  MAD2_CHECK(4 + group.size() * kCtsEntryBytes <= pmm_->options().eager_cutoff,
+             "rendezvous group too large for one CTS");
+  const std::uint64_t seq = state.next_seq++;
+  std::vector<net::IbMr> mrs;
+  mrs.reserve(group.size());
+  std::vector<std::byte> payload(4 + group.size() * kCtsEntryBytes);
+  store_u32(payload.data(), static_cast<std::uint32_t>(group.size()));
+  std::byte* p = payload.data() + 4;
+  for (const auto& block : group) {
+    const net::IbMr mr =
+        pmm_->port().reg_cache().acquire(block.data(), block.size());
+    store_u64(p, mr.key);
+    store_u64(p + 8,
+              reinterpret_cast<std::uintptr_t>(block.data()) - mr.base);
+    p += kCtsEntryBytes;
+    mrs.push_back(mr);
+  }
+  pmm_->send_ctrl(state, IbPmm::MsgKind::kCts, seq, payload);
+  {
+    MAD2_TRACE_SPAN(wait, obs::Category::kTm, "ib.write_imm_wait");
+    wait.args(total, group.size());
+    while (state.write_imms.empty() && !state.dead) state.rdv_wq.wait();
+  }
+  if (!state.write_imms.empty()) {
+    MAD2_CHECK(state.write_imms.front() == seq,
+               "write-rendezvous completion out of order");
+    state.write_imms.pop_front();
+  }
+  for (const net::IbMr& mr : mrs) pmm_->port().reg_cache().release(mr);
+}
+
+// ----------------------------------------------------------- IbRdmaReadTm ---
+
+void IbRdmaReadTm::send_buffer(Connection& connection,
+                               std::span<const std::byte> data) {
+  send_buffer_group(connection, {data});
+}
+
+void IbRdmaReadTm::send_buffer_group(
+    Connection& connection,
+    const std::vector<std::span<const std::byte>>& group) {
+  auto& state = connection.state<IbPmm::State>();
+  std::uint64_t total = 0;
+  for (const auto& block : group) total += block.size();
+
+  // Pin the source blocks and advertise them; the receiver pulls with
+  // RDMA reads whenever it lands the data (receiver-driven CHEAPER).
+  MAD2_CHECK(
+      4 + group.size() * kReadEntryBytes <= pmm_->options().eager_cutoff,
+      "rendezvous group too large for one RTS_READ");
+  std::vector<net::IbMr> mrs;
+  mrs.reserve(group.size());
+  std::vector<std::byte> payload(4 + group.size() * kReadEntryBytes);
+  store_u32(payload.data(), static_cast<std::uint32_t>(group.size()));
+  std::byte* p = payload.data() + 4;
+  for (const auto& block : group) {
+    const net::IbMr mr =
+        pmm_->port().reg_cache().acquire(block.data(), block.size());
+    store_u64(p, mr.key);
+    store_u64(p + 8,
+              reinterpret_cast<std::uintptr_t>(block.data()) - mr.base);
+    store_u64(p + 16, block.size());
+    p += kReadEntryBytes;
+    mrs.push_back(mr);
+  }
+  pmm_->send_ctrl(state, IbPmm::MsgKind::kRtsRead, total, payload);
+  {
+    MAD2_TRACE_SPAN(wait, obs::Category::kTm, "ib.read_done_wait");
+    wait.args(total, group.size());
+    pmm_->drain_cq();
+    while (state.read_done_acks == 0 && !state.dead) state.rdv_wq.wait();
+  }
+  if (state.read_done_acks > 0) --state.read_done_acks;
+  for (const net::IbMr& mr : mrs) pmm_->port().reg_cache().release(mr);
+}
+
+void IbRdmaReadTm::receive_buffer(Connection& connection,
+                                  std::span<std::byte> out) {
+  std::vector<std::span<std::byte>> group{out};
+  receive_sub_buffer_group(connection, group);
+}
+
+void IbRdmaReadTm::receive_sub_buffer_group(
+    Connection& connection, const std::vector<std::span<std::byte>>& group) {
+  auto& state = connection.state<IbPmm::State>();
+  pmm_->drain_cq();
+  while (state.rts_read.empty() && !state.dead) state.recv_wq.wait();
+  if (state.dead) return;
+  std::vector<IbPmm::ReadBlock> blocks = std::move(state.rts_read.front());
+  state.rts_read.pop_front();
+  MAD2_CHECK(blocks.size() == group.size(),
+             "rendezvous block-count mismatch: asymmetric pack/unpack "
+             "sequences");
+
+  std::vector<net::IbMr> mrs;
+  mrs.reserve(group.size());
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    MAD2_CHECK(blocks[i].len == group[i].size(),
+               "rendezvous size mismatch: asymmetric pack/unpack sequences");
+    mrs.push_back(
+        pmm_->port().reg_cache().acquire(group[i].data(), group[i].size()));
+    (void)pmm_->port().post_rdma_read(state.remote_port, pmm_->qp(),
+                                      group[i], blocks[i].rkey,
+                                      blocks[i].offset);
+  }
+  {
+    MAD2_TRACE_SPAN(wait, obs::Category::kTm, "ib.read_wait");
+    wait.args(group.size());
+    while (state.read_dones < group.size() && !state.dead) {
+      state.rdv_wq.wait();
+    }
+  }
+  if (state.read_dones >= group.size()) state.read_dones -= group.size();
+  for (const net::IbMr& mr : mrs) pmm_->port().reg_cache().release(mr);
+  // Fire-and-forget: the source only needs to know its pins can drop.
+  pmm_->send_ctrl(state, IbPmm::MsgKind::kDone, 0);
+}
+
+// ------------------------------------------------- checked rail segments ---
+
+Status IbPmm::segment_send_checked(Connection& connection,
+                                   std::span<const std::byte> data) {
+  auto& state = connection.state<State>();
+  if (check_dead(state)) return state.dead_status;
+  const sim::Time deadline =
+      endpoint_.session().simulator().now() + port_->params().op_timeout;
+
+  send_ctrl(state, MsgKind::kRts, data.size());
+  drain_cq();
+  while (state.cts_queue.empty()) {
+    if (check_dead(state)) return state.dead_status;
+    if (!wait_or_give_up(state, state.rdv_wq, deadline)) {
+      return state.dead_status;
+    }
+  }
+  Cts cts = std::move(state.cts_queue.front());
+  state.cts_queue.pop_front();
+  MAD2_CHECK(cts.blocks.size() == 1, "checked segment expects one block");
+
+  const net::IbMr mr = port_->reg_cache().acquire(data.data(), data.size());
+  (void)port_->post_rdma_write(state.remote_port, qp(), data,
+                               cts.blocks[0].rkey, cts.blocks[0].offset,
+                               encode_imm(MsgKind::kFin, cts.seq));
+  while (state.write_acks == 0) {
+    if (state.dead) break;  // error CQE resolves write_acks; fall through
+    if (!wait_or_give_up(state, state.rdv_wq, deadline)) break;
+  }
+  if (state.write_acks > 0) --state.write_acks;
+  port_->reg_cache().release(mr);
+  // All-or-nothing: a dead link means the segment is not claimed
+  // delivered, even if some fragments landed (the receiver re-lands the
+  // resubmitted copy bit-identically).
+  return state.dead ? state.dead_status : Status::ok();
+}
+
+Status IbPmm::segment_recv_checked(Connection& connection,
+                                   std::span<std::byte> out) {
+  auto& state = connection.state<State>();
+  if (check_dead(state)) return state.dead_status;
+  const sim::Time deadline =
+      endpoint_.session().simulator().now() + port_->params().op_timeout;
+
+  drain_cq();
+  while (state.rts.empty()) {
+    if (check_dead(state)) return state.dead_status;
+    if (!wait_or_give_up(state, state.recv_wq, deadline)) {
+      return state.dead_status;
+    }
+  }
+  const std::uint64_t announced = state.rts.front();
+  state.rts.pop_front();
+  MAD2_CHECK(announced == out.size(),
+             "checked rail segment size mismatch");
+
+  const net::IbMr mr = port_->reg_cache().acquire(out.data(), out.size());
+  const std::uint64_t seq = state.next_seq++;
+  std::vector<std::byte> payload(4 + kCtsEntryBytes);
+  store_u32(payload.data(), 1);
+  store_u64(payload.data() + 4, mr.key);
+  store_u64(payload.data() + 12,
+            reinterpret_cast<std::uintptr_t>(out.data()) - mr.base);
+  send_ctrl(state, MsgKind::kCts, seq, payload);
+  while (state.write_imms.empty()) {
+    if (check_dead(state)) {
+      port_->reg_cache().release(mr);
+      return state.dead_status;
+    }
+    if (!wait_or_give_up(state, state.rdv_wq, deadline)) {
+      port_->reg_cache().release(mr);
+      return state.dead_status;
+    }
+  }
+  MAD2_CHECK(state.write_imms.front() == seq,
+             "checked segment completion out of order");
+  state.write_imms.pop_front();
+  port_->reg_cache().release(mr);
+  return Status::ok();
+}
+
+}  // namespace mad2::mad

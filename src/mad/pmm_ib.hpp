@@ -1,0 +1,252 @@
+// InfiniBand protocol management module (ROADMAP item 3).
+//
+// Three transmission modules over one queue pair per connection, the
+// protocol family of "Design and Implementation of MPICH2 over InfiniBand
+// with RDMA Support" (PAPERS.md):
+//  - the *eager* TM copies short messages through pre-registered,
+//    pre-posted buffers under a credit window sized by the QP depth (a
+//    send with no posted receive breaks the QP, so the window is load-
+//    bearing); the message kind rides in the 64-bit immediate;
+//  - the *rendezvous-write* TM: RTS announces the block, the receiver
+//    pins the landing area through the registration cache and answers CTS
+//    with its rkeys, the sender RDMA-writes straight from (cache-pinned)
+//    user memory with an immediate on the last block — the write-with-
+//    immediate completion replaces a FIN round;
+//  - the *rendezvous-read* TM (receiver-driven, for CHEAPER landings):
+//    the source pins its blocks and advertises rkeys; the receiver pulls
+//    them with RDMA reads whenever it gets around to landing the data,
+//    then fires DONE.
+// Completion-queue reaping is either a per-endpoint pump fiber (legacy)
+// or — under the session's `fastpath` stanza — a ProgressEngine client
+// that drains the CQ once per scheduled batch, with the CQ's doorbell
+// callback ringing the engine.
+//
+// Rail integration: segment_send_checked / segment_recv_checked run the
+// write rendezvous with Status propagation and a give-up deadline instead
+// of aborting, so an IB rail inside a RailSet survives mid-rendezvous
+// link death (the RailSet resubmits the segment elsewhere).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "mad/ib_options.hpp"
+#include "mad/pmm.hpp"
+#include "mad/session.hpp"
+#include "net/ib.hpp"
+
+namespace mad2::mad {
+
+class IbPmm;
+
+class IbEagerTm final : public Tm {
+ public:
+  explicit IbEagerTm(IbPmm* pmm) : pmm_(pmm) {}
+  [[nodiscard]] std::string_view name() const override { return "ib-eager"; }
+  [[nodiscard]] bool uses_static_buffers() const override { return true; }
+
+  void send_buffer(Connection&, std::span<const std::byte>) override;
+  void receive_buffer(Connection&, std::span<std::byte>) override;
+  StaticBuffer obtain_static_buffer(Connection& connection) override;
+  void send_static_buffer(Connection& connection,
+                          StaticBuffer& buffer) override;
+  StaticBuffer receive_static_buffer(Connection& connection) override;
+  void release_static_buffer(Connection& connection,
+                             StaticBuffer& buffer) override;
+  [[nodiscard]] bool try_retain_static_buffer(Connection& connection) override;
+  void release_retained_static_buffer(Connection& connection,
+                                      StaticBuffer& buffer) override;
+
+ private:
+  IbPmm* pmm_;
+};
+
+class IbRdmaWriteTm final : public Tm {
+ public:
+  explicit IbRdmaWriteTm(IbPmm* pmm) : pmm_(pmm) {}
+  [[nodiscard]] std::string_view name() const override { return "ib-write"; }
+
+  void send_buffer(Connection& connection,
+                   std::span<const std::byte> data) override;
+  void send_buffer_group(
+      Connection& connection,
+      const std::vector<std::span<const std::byte>>& group) override;
+  void receive_buffer(Connection& connection,
+                      std::span<std::byte> out) override;
+  void receive_sub_buffer_group(
+      Connection& connection,
+      const std::vector<std::span<std::byte>>& group) override;
+
+ private:
+  IbPmm* pmm_;
+};
+
+class IbRdmaReadTm final : public Tm {
+ public:
+  explicit IbRdmaReadTm(IbPmm* pmm) : pmm_(pmm) {}
+  [[nodiscard]] std::string_view name() const override { return "ib-read"; }
+
+  void send_buffer(Connection& connection,
+                   std::span<const std::byte> data) override;
+  void send_buffer_group(
+      Connection& connection,
+      const std::vector<std::span<const std::byte>>& group) override;
+  void receive_buffer(Connection& connection,
+                      std::span<std::byte> out) override;
+  void receive_sub_buffer_group(
+      Connection& connection,
+      const std::vector<std::span<std::byte>>& group) override;
+
+ private:
+  IbPmm* pmm_;
+};
+
+class IbPmm final : public Pmm {
+ public:
+  /// Posted-receive headroom beyond the data credit window: at most
+  /// 1 RTS + 1 CTS + 1 DONE + 2 batched credit returns are ever in flight
+  /// toward one peer on top of the credited data messages.
+  static constexpr std::size_t kCtrlHeadroom = 6;
+
+  IbPmm(ChannelEndpoint& endpoint, IbPmmOptions options);
+
+  [[nodiscard]] std::string_view name() const override { return "ib"; }
+
+  /// Message kind, carried in the low byte of the 64-bit immediate; the
+  /// remaining 56 bits are the kind-specific value.
+  enum class MsgKind : std::uint64_t {
+    kData = 1,     ///< eager payload (length = completion bytes)
+    kCredit = 2,   ///< value = returned credit count
+    kRts = 3,      ///< value = total bytes (write rendezvous announce)
+    kCts = 4,      ///< value = seq; payload = u32 count + (rkey,off) pairs
+    kRtsRead = 5,  ///< value = total; payload = u32 count + (rkey,off,len)
+    kDone = 6,     ///< read rendezvous finished
+    kFin = 7,      ///< write-with-immediate marker; value = seq
+  };
+
+  /// A peer block advertised in a CTS (write rendezvous).
+  struct RemoteBlock {
+    std::uint64_t rkey = 0;
+    std::uint64_t offset = 0;  // within the registered region
+  };
+  /// A source block advertised in an RTS_READ (read rendezvous).
+  struct ReadBlock {
+    std::uint64_t rkey = 0;
+    std::uint64_t offset = 0;
+    std::uint64_t len = 0;
+  };
+  struct Cts {
+    std::uint64_t seq = 0;
+    std::vector<RemoteBlock> blocks;
+  };
+
+  struct State : ConnState {
+    explicit State(sim::Simulator* simulator)
+        : credits_wq(simulator), rdv_wq(simulator), recv_wq(simulator) {}
+    std::uint32_t remote = 0;
+    std::uint32_t remote_port = 0;
+    // --- send side ---
+    std::size_t credits = 0;  // window = IbParams::qp_depth
+    sim::WaitQueue credits_wq;
+    std::deque<Cts> cts_queue;       // answers to our RTS
+    std::size_t write_acks = 0;      // kRdmaWrite completions reaped
+    std::size_t read_done_acks = 0;  // kDone messages received
+    sim::WaitQueue rdv_wq;
+    // --- receive side (filled by the CQ dispatch) ---
+    std::deque<std::pair<std::size_t, std::size_t>> data_pkts;
+    std::deque<std::uint64_t> rts;           // announced write totals
+    std::deque<std::vector<ReadBlock>> rts_read;
+    std::deque<std::uint64_t> write_imms;    // landed write seqs
+    std::size_t read_dones = 0;              // kRdmaRead completions
+    sim::WaitQueue recv_wq;
+    std::size_t credit_owed = 0;
+    std::size_t retained = 0;
+    std::uint64_t next_seq = 1;
+    // Pre-registered, pre-posted eager receive pool.
+    std::vector<std::vector<std::byte>> pool;
+    // Set once the link died (error CQE or give-up deadline); every
+    // checked wait bails with dead_status.
+    bool dead = false;
+    Status dead_status;
+  };
+
+  std::unique_ptr<ConnState> make_conn_state(std::uint32_t remote) override;
+  void finish_setup() override;
+  Tm& select_tm(std::size_t len, SendMode smode, ReceiveMode rmode) override;
+  /// Eager vs rendezvous, split at the eager cutoff.
+  [[nodiscard]] std::optional<std::vector<std::size_t>> selection_breakpoints()
+      const override {
+    return std::vector<std::size_t>{options_.eager_cutoff};
+  }
+  std::uint32_t wait_incoming() override;
+  [[nodiscard]] double bandwidth_hint_mbs() const override;
+
+  // --- helpers used by the TMs ---
+  [[nodiscard]] net::IbPort& port() { return *port_; }
+  [[nodiscard]] ChannelEndpoint& endpoint() { return endpoint_; }
+  [[nodiscard]] const IbPmmOptions& options() const { return options_; }
+  [[nodiscard]] std::uint32_t qp() const;
+  [[nodiscard]] std::size_t window() const;
+
+  static std::uint64_t encode_imm(MsgKind kind, std::uint64_t value) {
+    return static_cast<std::uint64_t>(kind) | (value << 8);
+  }
+
+  void send_ctrl(State& state, MsgKind kind, std::uint64_t value,
+                 std::span<const std::byte> payload = {});
+
+  /// Drain every reaped completion into the per-connection state. Safe to
+  /// call from anywhere; re-entry (engine tick vs inline drain) no-ops.
+  void drain_cq();
+
+  // --- RailSet integration (see rail_set.cpp) -----------------------------
+  /// One checked write-rendezvous segment: like the write TM, but link
+  /// death (error completions, or a give-up deadline on a handshake that
+  /// went quiet) returns a Status instead of wedging. All-or-nothing: an
+  /// error means nothing of `data` is claimed delivered.
+  Status segment_send_checked(Connection& connection,
+                              std::span<const std::byte> data);
+  Status segment_recv_checked(Connection& connection,
+                              std::span<std::byte> out);
+
+ private:
+  void pump_loop();
+  void dispatch(const net::IbCompletion& completion);
+  State& state_of_port(std::uint32_t port);
+  std::size_t pool_index(State& state, const std::byte* data);
+  void repost(State& state, std::size_t index);
+  void mark_dead(State& state, const Status& status);
+  /// True once the connection is unusable (local flag or poisoned port).
+  bool check_dead(State& state);
+  /// Deadline-guarded wait on `wq`: returns false and kills the
+  /// connection if `deadline` passes first.
+  bool wait_or_give_up(State& state, sim::WaitQueue& wq, sim::Time deadline);
+
+  ChannelEndpoint& endpoint_;
+  IbPmmOptions options_;
+  net::IbPort* port_;
+  IbEagerTm eager_tm_;
+  IbRdmaWriteTm write_tm_;
+  IbRdmaReadTm read_tm_;
+  std::map<std::uint32_t, State*> states_;          // remote -> state
+  std::map<std::uint32_t, std::uint32_t> by_port_;  // remote port -> remote
+  std::vector<std::uint32_t> peer_order_;
+  std::size_t rr_next_ = 0;
+  std::unique_ptr<sim::WaitQueue> incoming_wq_;
+  // Staging pool for outgoing eager buffers (registered once).
+  std::vector<std::vector<std::byte>> staging_;
+  std::vector<std::size_t> staging_free_;
+  // Fastpath state (inert without the session stanza).
+  ProgressEngine* engine_ = nullptr;
+  std::size_t doorbell_ = 0;
+  bool engine_mode_ = false;
+  bool drain_active_ = false;
+
+  friend class IbEagerTm;
+  friend class IbRdmaWriteTm;
+  friend class IbRdmaReadTm;
+};
+
+}  // namespace mad2::mad

@@ -56,6 +56,38 @@ void SciPmm::finish_setup() {
     state->rx_feedback =
         port_->connect(state->remote_port, peer_state.tx_feedback);
   }
+
+  // Fastpath: consumed-counter feedback accumulates for the node's
+  // progress tick instead of one PIO write per consumed unit.
+  const SessionConfig& config = endpoint_.session().config();
+  if (config.fastpath.has_value() && config.fastpath->defer_sci_feedback) {
+    engine_ = endpoint_.session().progress_engine(endpoint_.local());
+    doorbell_ = engine_->register_client(this, [](void* ctx) {
+      static_cast<SciPmm*>(ctx)->flush_owed_feedback();
+    });
+    defer_feedback_ = true;
+  }
+}
+
+void SciPmm::flush_owed_feedback() {
+  for (auto& [remote, state] : states_) {
+    if (state->short_fb_written < state->short_rcvd) {
+      // Capture-then-write: pio_write can yield, and a concurrent inline
+      // flush must not double-write or regress the counter.
+      const std::uint64_t upto = state->short_rcvd;
+      state->short_fb_written = upto;
+      std::byte counter[4];
+      store_u32(counter, static_cast<std::uint32_t>(upto));
+      port_->pio_write(state->rx_feedback, 0, counter);
+    }
+    if (state->bulk_fb_written < state->bulk_rcvd) {
+      const std::uint64_t upto = state->bulk_rcvd;
+      state->bulk_fb_written = upto;
+      std::byte counter[4];
+      store_u32(counter, static_cast<std::uint32_t>(upto));
+      port_->pio_write(state->rx_feedback, 4, counter);
+    }
+  }
 }
 
 Tm& SciPmm::select_tm(std::size_t len, SendMode, ReceiveMode) {
@@ -90,6 +122,20 @@ bool SciPmm::incoming_ready(const State& state) {
 }
 
 std::uint32_t SciPmm::wait_incoming() {
+  // About to sleep until a peer writes: owed feedback goes out first (the
+  // peer may need those credits to produce the very unit we wait for).
+  // Skipped when a unit already arrived — then nobody is starved and the
+  // counters ride the next progress tick.
+  if (defer_feedback_) {
+    bool ready = false;
+    for (const std::uint32_t remote : peer_order_) {
+      if (incoming_ready(*states_.at(remote))) {
+        ready = true;
+        break;
+      }
+    }
+    if (!ready) flush_owed_feedback();
+  }
   std::uint32_t found = 0;
   port_->wait_delivery([&] {
     for (std::size_t k = 0; k < peer_order_.size(); ++k) {
@@ -114,12 +160,16 @@ void SciPmm::send_short_unit(Connection& connection,
   MAD2_TRACE_SPAN(span, obs::Category::kTm, "sci.send_short");
   span.args(data.size());
 
-  // Flow control: wait until the target slot has been consumed.
+  // Flow control: wait until the target slot has been consumed. When the
+  // window is full, owed feedback flushes first — the peer may be blocked
+  // on our counters in the opposite direction.
   auto feedback = port_->segment_memory(state.tx_feedback);
-  port_->wait_segment(state.tx_feedback, [&] {
+  const auto slot_free = [&] {
     return state.short_sent - load_u32(feedback.data()) <
            options_.short_slots;
-  });
+  };
+  if (!slot_free()) maybe_flush_owed();
+  port_->wait_segment(state.tx_feedback, slot_free);
 
   // One PIO transaction: header + payload assembled in a scratch buffer.
   // (Packet delivery is atomic in the driver, so writing the header first
@@ -141,10 +191,12 @@ void SciPmm::recv_short_unit(Connection& connection,
   auto ring = port_->segment_memory(state.rx_ring);
   const std::uint64_t offset =
       short_slot_offset(state.short_rcvd % options_.short_slots);
-  port_->wait_segment(state.rx_ring, [&] {
+  const auto arrived = [&] {
     return load_u32(ring.data() + offset) ==
            static_cast<std::uint32_t>(state.short_rcvd + 1);
-  });
+  };
+  if (!arrived()) maybe_flush_owed();
+  port_->wait_segment(state.rx_ring, arrived);
   const std::uint32_t len = load_u32(ring.data() + offset + 4);
   MAD2_CHECK(len == out.size(),
              "short unit size mismatch: asymmetric pack/unpack sequences");
@@ -152,7 +204,13 @@ void SciPmm::recv_short_unit(Connection& connection,
   std::memcpy(out.data(), ring.data() + offset + kHeaderBytes, len);
   ++state.short_rcvd;
 
-  // Return slot credits in batches.
+  if (defer_feedback_) {
+    // Deferred: the progress tick writes the counter; ring() is a bit set
+    // plus one notify while a flush is already pending.
+    engine_->ring(doorbell_);
+    return;
+  }
+  // Legacy path: return slot credits in batches.
   if (state.short_rcvd - state.short_fb_written >=
       options_.short_feedback_batch) {
     std::byte counter[4];
@@ -174,10 +232,12 @@ void SciPmm::send_bulk(Connection& connection,
     const std::size_t chunk =
         std::min<std::size_t>(data.size() - done, options_.bulk_capacity);
     // Dual buffering: block only when all ring buffers are in flight.
-    port_->wait_segment(state.tx_feedback, [&] {
+    const auto buffer_free = [&] {
       return state.bulk_sent - load_u32(feedback.data() + 4) <
              options_.bulk_buffers;
-    });
+    };
+    if (!buffer_free()) maybe_flush_owed();
+    port_->wait_segment(state.tx_feedback, buffer_free);
     const std::uint64_t offset =
         bulk_buffer_offset(state.bulk_sent % options_.bulk_buffers);
     const auto piece = data.subspan(done, chunk);
@@ -209,10 +269,12 @@ void SciPmm::recv_bulk(Connection& connection, std::span<std::byte> out) {
         std::min<std::size_t>(out.size() - done, options_.bulk_capacity);
     const std::uint64_t offset =
         bulk_buffer_offset(state.bulk_rcvd % options_.bulk_buffers);
-    port_->wait_segment(state.rx_ring, [&] {
+    const auto arrived = [&] {
       return load_u32(ring.data() + offset) ==
              static_cast<std::uint32_t>(state.bulk_rcvd + 1);
-    });
+    };
+    if (!arrived()) maybe_flush_owed();
+    port_->wait_segment(state.rx_ring, arrived);
     const std::uint32_t len = load_u32(ring.data() + offset + 4);
     MAD2_CHECK(len == expected,
                "bulk unit size mismatch: asymmetric pack/unpack sequences");
@@ -220,10 +282,18 @@ void SciPmm::recv_bulk(Connection& connection, std::span<std::byte> out) {
     std::memcpy(out.data() + done, ring.data() + offset + kHeaderBytes, len);
     ++state.bulk_rcvd;
     done += len;
-    // Prompt per-buffer feedback keeps the 2-deep pipeline moving.
+    if (defer_feedback_) {
+      // The next iteration's flush-before-block (or the progress tick,
+      // whichever comes first) returns the buffer — the 2-deep pipeline
+      // stays full without a PIO write per buffer.
+      engine_->ring(doorbell_);
+      continue;
+    }
+    // Legacy path: prompt per-buffer feedback keeps the pipeline moving.
     std::byte counter[4];
     store_u32(counter, static_cast<std::uint32_t>(state.bulk_rcvd));
     port_->pio_write(state.rx_feedback, 4, counter);
+    state.bulk_fb_written = state.bulk_rcvd;
   }
 }
 

@@ -15,6 +15,12 @@
 // (short slots + bulk buffers, each with a {seq, len} header written after
 // the payload) and a feedback segment on the sender where the receiver
 // PIO-writes consumed counters (slot reuse / dual-buffer pacing).
+//
+// Under the session's `fastpath` stanza the per-unit feedback writes are
+// deferred to the node's ProgressEngine tick (one PIO write per dirty
+// counter per tick), with a flush-before-block safety net; see
+// docs/PERFORMANCE.md. Without the stanza the legacy per-message flush is
+// bit-identical to earlier releases.
 #pragma once
 
 #include <map>
@@ -78,6 +84,7 @@ class SciPmm final : public Pmm {
     std::uint64_t short_rcvd = 0;
     std::uint64_t bulk_rcvd = 0;
     std::uint64_t short_fb_written = 0;
+    std::uint64_t bulk_fb_written = 0;
   };
 
   std::unique_ptr<ConnState> make_conn_state(std::uint32_t remote) override;
@@ -110,6 +117,15 @@ class SciPmm final : public Pmm {
   void recv_bulk(Connection& connection, std::span<std::byte> out);
 
  private:
+  /// Progress-tick callback (fastpath only): PIO-write every dirty
+  /// consumed counter, one write per counter per peer.
+  void flush_owed_feedback();
+  /// Flush-before-block safety net: a fiber about to sleep returns its
+  /// owed feedback inline so a peer waiting on slot/buffer credits is
+  /// never serialized behind the next progress tick.
+  void maybe_flush_owed() {
+    if (defer_feedback_) flush_owed_feedback();
+  }
   ChannelEndpoint& endpoint_;
   SciPmmOptions options_;
   net::SciPort* port_;
@@ -119,6 +135,10 @@ class SciPmm final : public Pmm {
   std::map<std::uint32_t, State*> states_;
   std::vector<std::uint32_t> peer_order_;
   std::size_t rr_next_ = 0;
+  // Fastpath feedback deferral (docs/PERFORMANCE.md).
+  ProgressEngine* engine_ = nullptr;
+  std::size_t doorbell_ = 0;
+  bool defer_feedback_ = false;
 };
 
 }  // namespace mad2::mad

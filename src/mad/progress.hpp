@@ -36,6 +36,13 @@ struct FastPathConfig {
   /// at the batching threshold. The flush-before-block safety net in the
   /// short TM stays either way.
   bool defer_bip_credits = true;
+  /// SISCI: consumed-counter feedback (short-slot and bulk-buffer
+  /// credits) is PIO-written by the progress tick, one write per dirty
+  /// counter per peer per tick, instead of per consumed unit on the app
+  /// fiber. A fiber about to block still flushes its owed counters first
+  /// so a peer waiting on them is never stalled behind the tick. VIA and
+  /// SBP keep their legacy per-message behavior.
+  bool defer_sci_feedback = true;
 };
 
 /// What the engine did, exported via Session::export_metrics

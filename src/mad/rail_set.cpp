@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "mad/connection.hpp"
+#include "mad/pmm_ib.hpp"
 #include "mad/pmm_tcp.hpp"
 #include "mad/session.hpp"
 #include "net/tcp.hpp"
@@ -489,6 +490,13 @@ Status RailSet::send_segment(std::size_t rail, std::uint32_t src,
     if (status.is_ok()) status = stream->flush();
     return status;
   }
+  if (network.ib != nullptr) {
+    // Fallible RDMA rail: the checked write rendezvous returns link death
+    // as a Status (all-or-nothing), so a dead HCA link resubmits the
+    // whole segment on the survivors instead of aborting the session.
+    return static_cast<IbPmm&>(endpoint.pmm())
+        .segment_send_checked(conn, data);
+  }
   Tm& tm = endpoint.pmm().select_tm(data.size(), SendMode::kCheaper,
                                     ReceiveMode::kCheaper);
   if (tm.uses_static_buffers()) {
@@ -530,6 +538,12 @@ Status RailSet::recv_segment(std::size_t rail, std::uint32_t src,
     }
     return Status::ok();
   }
+  if (network.ib != nullptr) {
+    const Status status = static_cast<IbPmm&>(endpoint.pmm())
+                              .segment_recv_checked(conn, out);
+    if (status.is_ok()) *got = out.size();
+    return status;
+  }
   Tm& tm = endpoint.pmm().select_tm(out.size(), SendMode::kCheaper,
                                     ReceiveMode::kCheaper);
   if (tm.uses_static_buffers()) {
@@ -551,11 +565,16 @@ Status RailSet::recv_segment(std::size_t rail, std::uint32_t src,
 
 void RailSet::drain_segment(std::size_t rail, std::uint32_t src,
                             std::uint32_t dst, std::span<std::byte> out) {
-  // Only TCP rails can report failure, so a partially-landed segment is
-  // always stream-backed. recv_some ignores the poison and the delivery
-  // pump keeps filling rx until the shim's queue is empty, so this
-  // terminates exactly at the segment boundary.
+  // A partially-landed segment with a sender-side OK is always
+  // stream-backed: IB rails are all-or-nothing (the sender's write ack
+  // exists only after the receiver's completion was pushed, so sender-OK
+  // implies the receiver sees the landing too and never reaches this
+  // drain). recv_some ignores the poison and the delivery pump keeps
+  // filling rx until the shim's queue is empty, so this terminates
+  // exactly at the segment boundary.
   Channel& channel = *rails_[rail].channel;
+  MAD2_CHECK(channel.network().tcp != nullptr,
+             "drained a non-stream rail");
   Connection& conn = channel.endpoint(dst).connection(src);
   net::TcpStream* stream = conn.state<TcpPmm::State>().stream;
   std::size_t got = 0;

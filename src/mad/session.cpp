@@ -17,6 +17,8 @@ std::string_view to_string(NetworkKind kind) {
       return "via";
     case NetworkKind::kSbp:
       return "sbp";
+    case NetworkKind::kIb:
+      return "ib";
     case NetworkKind::kCustom:
       return "custom";
   }
@@ -222,6 +224,28 @@ Session::Session(SessionConfig config) : config_(std::move(config)) {
         instance->sbp = std::make_unique<net::SbpNetwork>(
             &simulator_, members,
             def.sbp_params.value_or(net::SbpParams::fast_ethernet()));
+        break;
+      case NetworkKind::kIb:
+        instance->ib = std::make_unique<net::IbNetwork>(
+            &simulator_, members,
+            def.ib_params.value_or(net::IbParams::mellanox_like()));
+        // Same triage as TCP: an HCA gives up on a peer (work-request
+        // timeout, scripted fault) and the session decides whether a
+        // rail set absorbs it or the run fails cleanly.
+        instance->ib->set_link_error_handler(
+            [this, raw = instance.get()](std::uint32_t a, std::uint32_t b,
+                                         const Status& status) {
+              NetworkFailure failure;
+              failure.network = raw;
+              failure.status = status;
+              if (a < raw->node_of_port.size()) {
+                failure.src_node = raw->node_of_port[a];
+              }
+              if (b < raw->node_of_port.size()) {
+                failure.dst_node = raw->node_of_port[b];
+              }
+              route_network_failure(failure);
+            });
         break;
       case NetworkKind::kCustom:
         MAD2_CHECK(static_cast<bool>(def.custom_pmm),
@@ -439,6 +463,9 @@ void Session::export_metrics(obs::MetricsRegistry& registry) {
     registry.set_value(prefix + "memcpy_bytes", u(mem.memcpy_bytes));
     registry.set_value(prefix + "allocs", u(mem.alloc_count));
     registry.set_value(prefix + "pool_recycles", u(mem.pool_recycle_count));
+    registry.set_value(prefix + "pinned_bytes", u(mem.pinned_bytes));
+    registry.set_value(prefix + "regs", u(mem.reg_count));
+    registry.set_value(prefix + "deregs", u(mem.dereg_count));
   }
   // Progress-engine activity (fastpath sessions only).
   for (std::size_t i = 0; i < progress_.size(); ++i) {
@@ -448,6 +475,30 @@ void Session::export_metrics(obs::MetricsRegistry& registry) {
     registry.set_value(prefix + "ticks", u(c.ticks));
     registry.set_value(prefix + "doorbells", u(c.doorbells));
     registry.set_value(prefix + "flushes", u(c.flushes));
+  }
+  // IB verbs activity plus registration-cache effectiveness, once per
+  // (network, port).
+  for (auto& network : networks_) {
+    if (network->ib == nullptr) continue;
+    for (const auto& [node, port_index] : network->port_of_node) {
+      net::IbPort& port = network->ib->port(port_index);
+      const net::IbCounters& c = port.counters();
+      const net::IbRegCacheStats& rc = port.reg_cache().stats();
+      const std::string prefix =
+          "ib." + network->def.name + ":" + std::to_string(port_index) + ".";
+      registry.set_value(prefix + "send_wrs", u(c.send_wrs));
+      registry.set_value(prefix + "recv_posts", u(c.recv_posts));
+      registry.set_value(prefix + "write_wrs", u(c.write_wrs));
+      registry.set_value(prefix + "read_wrs", u(c.read_wrs));
+      registry.set_value(prefix + "cqes", u(c.cqes));
+      registry.set_value(prefix + "cq_polls", u(c.cq_polls));
+      registry.set_value(prefix + "regcache.hits", u(rc.hits));
+      registry.set_value(prefix + "regcache.misses", u(rc.misses));
+      registry.set_value(prefix + "regcache.evictions", u(rc.evictions));
+      registry.set_value(prefix + "regcache.invalidations",
+                         u(rc.invalidations));
+      registry.set_value(prefix + "regcache.merges", u(rc.merges));
+    }
   }
   // Link-level reliable-shim work, once per (network, port).
   for (auto& network : networks_) {

@@ -18,10 +18,12 @@
 #include "mad/connection.hpp"
 #include "mad/hostdb.hpp"
 #include "mad/bip_options.hpp"
+#include "mad/ib_options.hpp"
 #include "mad/progress.hpp"
 #include "mad/rail_set.hpp"
 #include "mad/sci_options.hpp"
 #include "net/bip.hpp"
+#include "net/ib.hpp"
 #include "net/sbp.hpp"
 #include "net/sisci.hpp"
 #include "net/tcp.hpp"
@@ -46,6 +48,12 @@ enum class NetworkKind {
   /// Ethernet — the Section 6.1 example of an interface that requires all
   /// data to be written into specific buffers before sending.
   kSbp,
+  /// InfiniBand-style RDMA HCA (PAPERS.md: "Design and Implementation of
+  /// MPICH2 over InfiniBand with RDMA Support"): queue pairs, explicit
+  /// memory registration with pin-down cost, RDMA write/read, completion
+  /// queues. The IbPmm splits eager send/recv from RDMA rendezvous at a
+  /// configurable cutoff and shares a per-port registration cache.
+  kIb,
   /// No built-in driver: the channel's protocol module comes from
   /// NetworkDef::custom_pmm. This is how Madeleine runs "on top of common
   /// MPI implementations" (paper Section 5.3/Conclusion) — see
@@ -67,6 +75,7 @@ struct NetworkDef {
   std::optional<net::TcpParams> tcp_params;
   std::optional<net::ViaParams> via_params;
   std::optional<net::SbpParams> sbp_params;
+  std::optional<net::IbParams> ib_params;
   /// For kCustom: builds the protocol module of each endpoint.
   std::function<std::unique_ptr<class Pmm>(ChannelEndpoint&)> custom_pmm;
 };
@@ -84,6 +93,9 @@ struct ChannelDef {
   std::optional<SciPmmOptions> sci_options;
   /// BIP-channel override (credit window sizing); ignored elsewhere.
   std::optional<BipPmmOptions> bip_options;
+  /// IB-channel override (eager cutoff, credit batching); ignored
+  /// elsewhere.
+  std::optional<IbPmmOptions> ib_options;
   /// Debug aid: prepend a check block to every packed block so asymmetric
   /// pack/unpack sequences fail loudly at the first divergence instead of
   /// corrupting data ("unspecified behavior" per paper Section 2.2). Both
@@ -145,6 +157,7 @@ struct NetworkInstance {
   std::unique_ptr<net::TcpNetwork> tcp;
   std::unique_ptr<net::ViaNetwork> via;
   std::unique_ptr<net::SbpNetwork> sbp;
+  std::unique_ptr<net::IbNetwork> ib;
   std::map<std::uint32_t, std::uint32_t> port_of_node;
   /// Reverse lookup (port index -> global node id); same order as
   /// def.nodes since ports are assigned by membership order.

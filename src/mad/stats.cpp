@@ -16,6 +16,14 @@ hw::MemCounters newest(const hw::MemCounters& a, const hw::MemCounters& b) {
   out.alloc_count = std::max(a.alloc_count, b.alloc_count);
   out.pool_recycle_count =
       std::max(a.pool_recycle_count, b.pool_recycle_count);
+  out.reg_count = std::max(a.reg_count, b.reg_count);
+  out.dereg_count = std::max(a.dereg_count, b.dereg_count);
+  // pinned_bytes is a gauge, so "max" would resurrect freed pins: take it
+  // from whichever snapshot saw more registration activity (i.e. is more
+  // recent on this monotonic family).
+  out.pinned_bytes = a.reg_count + a.dereg_count >= b.reg_count + b.dereg_count
+                         ? a.pinned_bytes
+                         : b.pinned_bytes;
   return out;
 }
 
@@ -177,6 +185,15 @@ std::string TrafficStats::to_string() const {
                   static_cast<unsigned long long>(mem.memcpy_bytes),
                   static_cast<unsigned long long>(mem.alloc_count),
                   static_cast<unsigned long long>(mem.pool_recycle_count));
+    out += line;
+  }
+  if (mem.reg_count != 0 || mem.dereg_count != 0) {
+    std::snprintf(line, sizeof line,
+                  "  pin %12llu pinned bytes %8llu registrations %8llu "
+                  "deregistrations\n",
+                  static_cast<unsigned long long>(mem.pinned_bytes),
+                  static_cast<unsigned long long>(mem.reg_count),
+                  static_cast<unsigned long long>(mem.dereg_count));
     out += line;
   }
   return out;

@@ -1,0 +1,651 @@
+#include "net/ib.hpp"
+
+#include <algorithm>
+
+namespace mad2::net {
+
+IbParams IbParams::mellanox_like() {
+  IbParams p;
+  p.fabric.name = "ib";
+  p.fabric.wire_mbs = 800.0;
+  p.fabric.propagation = sim::from_us(1.3);
+  p.fabric.per_packet = sim::from_us(0.3);
+  p.fabric.wire_chunk_bytes = 2048;
+  p.fabric.rx_slots = 256;
+  return p;
+}
+
+// --- IbRegCache -----------------------------------------------------------
+
+IbRegCache::IbRegCache(IbPort* port, std::size_t capacity)
+    : port_(port), capacity_(capacity) {}
+
+IbMr IbRegCache::acquire(const std::byte* addr, std::size_t len) {
+  const auto a = reinterpret_cast<std::uintptr_t>(addr);
+  if (capacity_ == 0) {
+    // Cache disabled: pin per acquire, unpin per release.
+    ++stats_.misses;
+    return port_->register_memory({addr, len});
+  }
+  ++clock_;
+  for (Entry& entry : entries_) {
+    if (entry.mr.base <= a && a + len <= entry.mr.base + entry.mr.bytes) {
+      ++stats_.hits;
+      entry.last_use = clock_;
+      return entry.mr;
+    }
+  }
+  ++stats_.misses;
+  // Re-register the union of the request and every cached region it
+  // overlaps or abuts, so adjacent partial registrations coalesce instead
+  // of accumulating.
+  std::uintptr_t lo = a;
+  std::uintptr_t hi = a + len;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const std::uintptr_t begin = it->mr.base;
+    const std::uintptr_t end = begin + it->mr.bytes;
+    if (begin <= hi && lo <= end) {
+      lo = std::min(lo, begin);
+      hi = std::max(hi, end);
+      ++stats_.merges;
+      port_->deregister(it->mr);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  const IbMr mr = port_->register_memory(
+      {reinterpret_cast<const std::byte*>(lo), hi - lo});
+  while (entries_.size() >= capacity_) evict_lru();
+  entries_.push_back(Entry{mr, clock_});
+  return mr;
+}
+
+void IbRegCache::release(const IbMr& mr) {
+  if (capacity_ == 0) port_->deregister(mr);
+  // Cached pins stay hot until eviction or invalidation.
+}
+
+void IbRegCache::invalidate(const std::byte* addr, std::size_t len) {
+  const auto a = reinterpret_cast<std::uintptr_t>(addr);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const std::uintptr_t begin = it->mr.base;
+    const std::uintptr_t end = begin + it->mr.bytes;
+    if (begin < a + len && a < end) {
+      ++stats_.invalidations;
+      port_->deregister(it->mr);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void IbRegCache::evict_lru() {
+  MAD2_CHECK(!entries_.empty(), "evict_lru on empty registration cache");
+  auto victim = entries_.begin();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->last_use < victim->last_use) victim = it;
+  }
+  ++stats_.evictions;
+  port_->deregister(victim->mr);
+  entries_.erase(victim);
+}
+
+// --- IbNetwork ------------------------------------------------------------
+
+IbNetwork::IbNetwork(sim::Simulator* simulator, std::vector<hw::Node*> nodes,
+                     IbParams params)
+    : simulator_(simulator),
+      params_(std::move(params)),
+      fabric_(simulator, params_.fabric) {
+  for (hw::Node* node : nodes) {
+    const std::uint32_t rank = fabric_.add_port();
+    ports_.emplace_back(new IbPort(this, node, rank));
+  }
+}
+
+IbNetwork::~IbNetwork() = default;
+
+void IbNetwork::fail_link(std::uint32_t a, std::uint32_t b,
+                          const Status& status) {
+  ports_[a]->fail_link(b, status);
+}
+
+void IbNetwork::report_link_failure(std::uint32_t reporter,
+                                    std::uint32_t peer,
+                                    const Status& status) {
+  // Poison both directions before the handler runs, so a re-entrant
+  // fail_link from the handler (or a racing give-up timer) no-ops.
+  ports_[reporter]->poison_peer(peer, status);
+  ports_[peer]->poison_peer(reporter, status);
+  if (link_error_handler_) link_error_handler_(reporter, peer, status);
+}
+
+// --- IbPort ---------------------------------------------------------------
+
+IbPort::IbPort(IbNetwork* network, hw::Node* node, std::uint32_t rank)
+    : network_(network), node_(node), rank_(rank) {
+  tx_stage_ = std::make_unique<sim::BoundedChannel<Packet>>(
+      network_->simulator_, network_->params_.tx_stage_depth);
+  tx_work_ = std::make_unique<sim::WaitQueue>(network_->simulator_);
+  reg_cache_ =
+      std::make_unique<IbRegCache>(this, network_->params_.regcache_capacity);
+  network_->simulator_->spawn_daemon("ib.tx." + std::to_string(rank),
+                                     [this] { tx_loop(); });
+  network_->simulator_->spawn_daemon("ib.rx." + std::to_string(rank),
+                                     [this] { rx_loop(); });
+}
+
+IbPort::QpState& IbPort::qp_state(std::uint32_t peer, std::uint32_t qp) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(peer) << 32) | qp;
+  QpState& state = qps_[key];
+  if (!state.sq_wq) {
+    state.sq_wq = std::make_unique<sim::WaitQueue>(network_->simulator_);
+  }
+  return state;
+}
+
+const IbPort::QpState* IbPort::qp_if_exists(std::uint32_t peer,
+                                            std::uint32_t qp) const {
+  const std::uint64_t key = (static_cast<std::uint64_t>(peer) << 32) | qp;
+  auto it = qps_.find(key);
+  return it == qps_.end() ? nullptr : &it->second;
+}
+
+IbPort::Cq& IbPort::cq(std::uint32_t qp) {
+  Cq& queue = cqs_[qp];
+  if (!queue.wq) {
+    queue.wq = std::make_unique<sim::WaitQueue>(network_->simulator_);
+  }
+  return queue;
+}
+
+void IbPort::push_cqe(std::uint32_t qp, IbCompletion completion) {
+  Cq& queue = cq(qp);
+  queue.cqes.push_back(completion);
+  ++counters_.cqes;
+  queue.wq->notify_all();
+  if (queue.callback) queue.callback();
+}
+
+void IbPort::sq_acquire(std::uint32_t peer, std::uint32_t qp) {
+  QpState& state = qp_state(peer, qp);
+  while (state.sq_outstanding >= params().qp_depth &&
+         peer_status_.find(peer) == peer_status_.end()) {
+    state.sq_wq->wait();
+  }
+  ++state.sq_outstanding;
+}
+
+void IbPort::sq_release(std::uint32_t peer, std::uint32_t qp) {
+  QpState& state = qp_state(peer, qp);
+  MAD2_CHECK(state.sq_outstanding > 0, "SQ release without acquire");
+  --state.sq_outstanding;
+  state.sq_wq->notify_one();
+}
+
+void IbPort::charge_dma(std::uint64_t bytes) {
+  // The HCA masters its own 64-bit PCI segment (see ib.hpp): DMA is
+  // charged at the adapter's rate, not the host's legacy-bus rate.
+  node_->pci_bus().transfer(bytes, params().pci_dma_mbs, hw::TxClass::kDma,
+                            node_->nic_initiator_id(4));
+}
+
+IbMr IbPort::register_memory(std::span<const std::byte> region) {
+  const IbParams& params = network_->params_;
+  const std::uint64_t pages =
+      (region.size() + params.page_bytes - 1) / params.page_bytes;
+  node_->charge_cpu(params.register_base +
+                    static_cast<sim::Duration>(pages) *
+                        params.register_per_page);
+  IbMr mr{next_key_++, reinterpret_cast<std::uintptr_t>(region.data()),
+          region.size()};
+  regions_[mr.key] = mr;
+  node_->count_mem_register(region.size());
+  return mr;
+}
+
+void IbPort::deregister(const IbMr& mr) {
+  auto it = regions_.find(mr.key);
+  MAD2_CHECK(it != regions_.end(), "deregister of unknown memory region");
+  node_->charge_cpu(network_->params_.deregister_base);
+  node_->count_mem_deregister(it->second.bytes);
+  regions_.erase(it);
+}
+
+void IbPort::post_recv(std::uint32_t peer, std::uint32_t qp,
+                       std::span<std::byte> buffer) {
+  ++counters_.recv_posts;
+  qp_state(peer, qp).posted.push_back(RecvDescriptor{buffer, 0});
+}
+
+void IbPort::stage(Packet packet) {
+  tx_stage_->send(std::move(packet));
+  tx_work_->notify_all();
+}
+
+void IbPort::stage_fragments(Packet prototype,
+                             std::span<const std::byte> data) {
+  // prototype.offset carries the base offset (0 for op-relative sends /
+  // read responses, the region offset for RDMA writes).
+  const IbParams& params = network_->params_;
+  const std::uint64_t base = prototype.offset;
+  const std::uint64_t total = data.size();
+  std::uint64_t offset = 0;
+  do {
+    const std::uint64_t chunk =
+        std::min<std::uint64_t>(total - offset, params.mtu);
+    // The HCA pulls descriptor data from pinned host memory.
+    charge_dma(chunk + params.header_bytes);
+    Packet packet = prototype;
+    packet.offset = base + offset;
+    packet.data.assign(data.begin() + offset, data.begin() + offset + chunk);
+    stage(std::move(packet));
+    offset += chunk;
+  } while (offset < total);
+}
+
+std::uint64_t IbPort::post_send(std::uint32_t peer, std::uint32_t qp,
+                                std::span<const std::byte> data,
+                                std::uint64_t imm, bool signaled) {
+  node_->charge_cpu(params().doorbell);
+  ++counters_.send_wrs;
+  const std::uint64_t wr = next_wr_++;
+  sq_acquire(peer, qp);
+  if (peer_status_.find(peer) != peer_status_.end()) {
+    sq_release(peer, qp);
+    if (signaled) {
+      IbCompletion completion;
+      completion.kind = IbCompletion::Kind::kSend;
+      completion.peer = peer;
+      completion.wr_id = wr;
+      completion.ok = false;
+      push_cqe(qp, completion);
+    }
+    return wr;
+  }
+  Packet prototype;
+  prototype.kind = Packet::Kind::kSend;
+  prototype.src = rank_;
+  prototype.dst = peer;
+  prototype.qp = qp;
+  prototype.wr = signaled ? wr : 0;  // 0 = unsignaled (no CQE)
+  prototype.total = data.size();
+  prototype.imm = imm;
+  prototype.offset = 0;
+  stage_fragments(std::move(prototype), data);
+  return wr;
+}
+
+std::uint64_t IbPort::post_rdma_write(std::uint32_t peer, std::uint32_t qp,
+                                      std::span<const std::byte> local,
+                                      std::uint64_t rkey,
+                                      std::uint64_t roffset,
+                                      std::uint64_t imm) {
+  MAD2_CHECK(!local.empty(), "RDMA write of an empty buffer");
+  node_->charge_cpu(params().doorbell);
+  ++counters_.write_wrs;
+  const std::uint64_t wr = next_wr_++;
+  sq_acquire(peer, qp);
+  if (peer_status_.find(peer) != peer_status_.end()) {
+    sq_release(peer, qp);
+    IbCompletion completion;
+    completion.kind = IbCompletion::Kind::kRdmaWrite;
+    completion.peer = peer;
+    completion.wr_id = wr;
+    completion.ok = false;
+    push_cqe(qp, completion);
+    return wr;
+  }
+  pending_[wr] =
+      PendingOp{peer, qp, IbCompletion::Kind::kRdmaWrite, {}, 0, local.size()};
+  Packet prototype;
+  prototype.kind = Packet::Kind::kWriteData;
+  prototype.src = rank_;
+  prototype.dst = peer;
+  prototype.qp = qp;
+  prototype.wr = wr;
+  prototype.key = rkey;
+  prototype.total = local.size();
+  prototype.imm = imm;
+  prototype.offset = roffset;  // region-absolute landing offset
+  stage_fragments(std::move(prototype), local);
+  arm_op_timeout(peer, wr);
+  return wr;
+}
+
+std::uint64_t IbPort::post_rdma_read(std::uint32_t peer, std::uint32_t qp,
+                                     std::span<std::byte> local,
+                                     std::uint64_t rkey,
+                                     std::uint64_t roffset) {
+  MAD2_CHECK(!local.empty(), "RDMA read into an empty buffer");
+  node_->charge_cpu(params().doorbell);
+  ++counters_.read_wrs;
+  const std::uint64_t wr = next_wr_++;
+  sq_acquire(peer, qp);
+  if (peer_status_.find(peer) != peer_status_.end()) {
+    sq_release(peer, qp);
+    IbCompletion completion;
+    completion.kind = IbCompletion::Kind::kRdmaRead;
+    completion.peer = peer;
+    completion.wr_id = wr;
+    completion.ok = false;
+    push_cqe(qp, completion);
+    return wr;
+  }
+  pending_[wr] = PendingOp{peer, qp, IbCompletion::Kind::kRdmaRead, local, 0,
+                           local.size()};
+  Packet request;
+  request.kind = Packet::Kind::kReadReq;
+  request.src = rank_;
+  request.dst = peer;
+  request.qp = qp;
+  request.wr = wr;
+  request.key = rkey;
+  request.offset = roffset;  // region-absolute source offset
+  request.total = local.size();
+  charge_dma(params().header_bytes);
+  stage(std::move(request));
+  arm_op_timeout(peer, wr);
+  return wr;
+}
+
+void IbPort::arm_op_timeout(std::uint32_t peer, std::uint64_t wr) {
+  network_->simulator_->post_after(params().op_timeout, [this, peer, wr] {
+    auto it = pending_.find(wr);
+    if (it == pending_.end()) return;  // completed in time
+    if (peer_status_.find(peer) == peer_status_.end()) {
+      fail_link(peer,
+                Status(ErrorCode::kUnavailable,
+                       "ib: work request give-up timer expired (link to "
+                       "peer presumed dead)"));
+      return;  // poison_peer flushed the WR in error
+    }
+    // The link was already declared dead but this WR slipped in after the
+    // poison pass: flush it directly.
+    const PendingOp op = it->second;
+    pending_.erase(it);
+    sq_release(op.peer, op.qp);
+    IbCompletion completion;
+    completion.kind = op.kind;
+    completion.peer = op.peer;
+    completion.wr_id = wr;
+    completion.ok = false;
+    push_cqe(op.qp, completion);
+  });
+}
+
+void IbPort::tx_loop() {
+  const IbParams& params = network_->params_;
+  for (;;) {
+    // HCA-originated responses (write acks, read data) first: they must
+    // never queue behind host posts, or two rendezvous peers could
+    // deadlock with full staging channels.
+    if (!nic_tx_.empty()) {
+      Packet packet = std::move(nic_tx_.front());
+      nic_tx_.pop_front();
+      if (packet.kind == Packet::Kind::kReadData) {
+        // Read responses DMA out of pinned host memory on their way to
+        // the wire.
+        charge_dma(packet.data.size() + params.header_bytes);
+      }
+      const std::uint32_t dst = packet.dst;
+      const std::uint64_t wire_bytes = packet.data.size() + params.header_bytes;
+      network_->fabric_.ship(rank_, dst, std::move(packet), wire_bytes);
+      continue;
+    }
+    if (auto staged = tx_stage_->try_receive()) {
+      const Packet::Kind kind = staged->kind;
+      const std::uint32_t dst = staged->dst;
+      const std::uint32_t qp = staged->qp;
+      const std::uint64_t wr = staged->wr;
+      const std::uint64_t total = staged->total;
+      const bool final_fragment =
+          staged->offset + staged->data.size() >= staged->total;
+      const std::uint64_t wire_bytes =
+          staged->data.size() + params.header_bytes;
+      network_->fabric_.ship(rank_, dst, std::move(*staged), wire_bytes);
+      if (kind == Packet::Kind::kSend && final_fragment) {
+        // The SQ slot frees once the last fragment has serialized; a
+        // signaled send additionally raises its local CQE.
+        sq_release(dst, qp);
+        if (wr != 0) {
+          IbCompletion completion;
+          completion.kind = IbCompletion::Kind::kSend;
+          completion.peer = dst;
+          completion.wr_id = wr;
+          completion.bytes = total;
+          push_cqe(qp, completion);
+        }
+      }
+      continue;
+    }
+    tx_work_->wait();
+  }
+}
+
+void IbPort::rx_loop() {
+  for (;;) {
+    Packet packet = network_->fabric_.receive(rank_);
+    handle_rx(packet);
+  }
+}
+
+void IbPort::handle_rx(Packet& packet) {
+  const IbParams& params = network_->params_;
+  if (peer_status_.find(packet.src) != peer_status_.end()) {
+    return;  // late arrival on a link already declared dead
+  }
+  switch (packet.kind) {
+    case Packet::Kind::kSend: {
+      charge_dma(packet.data.size() + params.header_bytes);
+      QpState& state = qp_state(packet.src, packet.qp);
+      MAD2_CHECK(!state.posted.empty(),
+                 "IB send with no posted receive descriptor: the QP is "
+                 "broken (the IbPmm's credit window must pre-post)");
+      // Sends funnel through the peer's single tx fiber, so fragments and
+      // messages arrive in order: the front descriptor is the filling one.
+      RecvDescriptor& descriptor = state.posted.front();
+      MAD2_CHECK(
+          descriptor.buffer.size() >= packet.offset + packet.data.size(),
+          "IB send overflows the posted receive descriptor");
+      std::copy(packet.data.begin(), packet.data.end(),
+                descriptor.buffer.begin() + packet.offset);
+      descriptor.received += packet.data.size();
+      if (descriptor.received >= packet.total) {
+        IbCompletion completion;
+        completion.kind = IbCompletion::Kind::kRecv;
+        completion.peer = packet.src;
+        completion.imm = packet.imm;
+        completion.bytes = packet.total;
+        completion.buffer = descriptor.buffer;
+        state.posted.pop_front();
+        push_cqe(packet.qp, completion);
+      }
+      break;
+    }
+    case Packet::Kind::kWriteData: {
+      charge_dma(packet.data.size() + params.header_bytes);
+      auto it = regions_.find(packet.key);
+      MAD2_CHECK(it != regions_.end(),
+                 "RDMA write against an unknown rkey (region freed or "
+                 "never registered)");
+      const IbMr& mr = it->second;
+      MAD2_CHECK(packet.offset + packet.data.size() <= mr.bytes,
+                 "RDMA write overflows the registered region");
+      // The HCA lands bytes directly in the pinned region: no host
+      // memcpy, no receive descriptor consumed, target CPU never runs.
+      std::copy(packet.data.begin(), packet.data.end(),
+                reinterpret_cast<std::byte*>(mr.base) + packet.offset);
+      WriteLanding& landing = landings_[{packet.src, packet.wr}];
+      landing.received += packet.data.size();
+      if (landing.received >= packet.total) {
+        landings_.erase({packet.src, packet.wr});
+        if (packet.imm != 0) {
+          IbCompletion completion;
+          completion.kind = IbCompletion::Kind::kWriteImm;
+          completion.peer = packet.src;
+          completion.imm = packet.imm;
+          completion.bytes = packet.total;
+          push_cqe(packet.qp, completion);
+        }
+        Packet ack;
+        ack.kind = Packet::Kind::kWriteAck;
+        ack.src = rank_;
+        ack.dst = packet.src;
+        ack.qp = packet.qp;
+        ack.wr = packet.wr;
+        nic_tx_.push_back(std::move(ack));
+        tx_work_->notify_all();
+      }
+      break;
+    }
+    case Packet::Kind::kWriteAck: {
+      charge_dma(params.header_bytes);
+      auto it = pending_.find(packet.wr);
+      if (it == pending_.end()) break;  // already flushed in error
+      const PendingOp op = it->second;
+      pending_.erase(it);
+      sq_release(op.peer, op.qp);
+      IbCompletion completion;
+      completion.kind = IbCompletion::Kind::kRdmaWrite;
+      completion.peer = op.peer;
+      completion.wr_id = packet.wr;
+      completion.bytes = op.total;
+      push_cqe(op.qp, completion);
+      break;
+    }
+    case Packet::Kind::kReadReq: {
+      charge_dma(params.header_bytes);
+      auto it = regions_.find(packet.key);
+      MAD2_CHECK(it != regions_.end(),
+                 "RDMA read against an unknown rkey (region freed or "
+                 "never registered)");
+      const IbMr& mr = it->second;
+      MAD2_CHECK(packet.offset + packet.total <= mr.bytes,
+                 "RDMA read overruns the registered region");
+      const auto* base =
+          reinterpret_cast<const std::byte*>(mr.base) + packet.offset;
+      std::uint64_t offset = 0;
+      do {
+        const std::uint64_t chunk =
+            std::min<std::uint64_t>(packet.total - offset, params.mtu);
+        Packet response;
+        response.kind = Packet::Kind::kReadData;
+        response.src = rank_;
+        response.dst = packet.src;
+        response.qp = packet.qp;
+        response.wr = packet.wr;
+        response.offset = offset;  // op-relative
+        response.total = packet.total;
+        response.data.assign(base + offset, base + offset + chunk);
+        nic_tx_.push_back(std::move(response));
+        offset += chunk;
+      } while (offset < packet.total);
+      tx_work_->notify_all();
+      break;
+    }
+    case Packet::Kind::kReadData: {
+      charge_dma(packet.data.size() + params.header_bytes);
+      auto it = pending_.find(packet.wr);
+      if (it == pending_.end()) break;  // already flushed in error
+      PendingOp& op = it->second;
+      MAD2_CHECK(op.local.size() >= packet.offset + packet.data.size(),
+                 "RDMA read response overflows the landing buffer");
+      std::copy(packet.data.begin(), packet.data.end(),
+                op.local.begin() + packet.offset);
+      op.received += packet.data.size();
+      if (op.received >= op.total) {
+        const PendingOp done = op;
+        pending_.erase(it);
+        sq_release(done.peer, done.qp);
+        IbCompletion completion;
+        completion.kind = IbCompletion::Kind::kRdmaRead;
+        completion.peer = done.peer;
+        completion.wr_id = packet.wr;
+        completion.bytes = done.total;
+        push_cqe(done.qp, completion);
+      }
+      break;
+    }
+  }
+}
+
+std::optional<IbCompletion> IbPort::poll_cq(std::uint32_t qp) {
+  Cq& queue = cq(qp);
+  if (queue.cqes.empty()) return std::nullopt;  // empty polls are free
+  IbCompletion completion = queue.cqes.front();
+  queue.cqes.pop_front();
+  ++counters_.cq_polls;
+  node_->charge_cpu(params().cq_poll);
+  return completion;
+}
+
+IbCompletion IbPort::wait_cq(std::uint32_t qp) {
+  Cq& queue = cq(qp);
+  while (queue.cqes.empty()) queue.wq->wait();
+  IbCompletion completion = queue.cqes.front();
+  queue.cqes.pop_front();
+  ++counters_.cq_polls;
+  node_->charge_cpu(params().cq_poll);
+  return completion;
+}
+
+bool IbPort::cq_ready(std::uint32_t qp) const {
+  auto it = cqs_.find(qp);
+  return it != cqs_.end() && !it->second.cqes.empty();
+}
+
+void IbPort::set_cq_callback(std::uint32_t qp, std::function<void()> fn) {
+  cq(qp).callback = std::move(fn);
+}
+
+std::size_t IbPort::outstanding(std::uint32_t peer, std::uint32_t qp) const {
+  const QpState* state = qp_if_exists(peer, qp);
+  return state == nullptr ? 0 : state->sq_outstanding;
+}
+
+std::size_t IbPort::posted_count(std::uint32_t peer, std::uint32_t qp) const {
+  const QpState* state = qp_if_exists(peer, qp);
+  return state == nullptr ? 0 : state->posted.size();
+}
+
+const Status& IbPort::link_status(std::uint32_t peer) const {
+  auto it = peer_status_.find(peer);
+  return it == peer_status_.end() ? ok_status_ : it->second;
+}
+
+void IbPort::fail_link(std::uint32_t peer, const Status& status) {
+  if (peer_status_.find(peer) != peer_status_.end()) return;
+  network_->report_link_failure(rank_, peer, status);
+}
+
+void IbPort::poison_peer(std::uint32_t peer, const Status& status) {
+  if (peer_status_.find(peer) != peer_status_.end()) return;
+  peer_status_.emplace(peer, status);
+  // Flush every outstanding remote-dependent WR toward the peer in error.
+  std::vector<std::uint64_t> doomed;
+  for (const auto& [wr, op] : pending_) {
+    if (op.peer == peer) doomed.push_back(wr);
+  }
+  for (const std::uint64_t wr : doomed) {
+    const PendingOp op = pending_[wr];
+    pending_.erase(wr);
+    sq_release(op.peer, op.qp);
+    IbCompletion completion;
+    completion.kind = op.kind;
+    completion.peer = op.peer;
+    completion.wr_id = wr;
+    completion.ok = false;
+    push_cqe(op.qp, completion);
+  }
+  // Wake SQ-slot waiters so blocked posters re-check the link status.
+  for (auto& [key, state] : qps_) {
+    if (static_cast<std::uint32_t>(key >> 32) == peer && state.sq_wq) {
+      state.sq_wq->notify_all();
+    }
+  }
+}
+
+}  // namespace mad2::net

@@ -203,7 +203,7 @@ INSTANTIATE_TEST_SUITE_P(
         BadCase{"nodes 2\nnetwork n tcp 0 4294967296\n", "invalid node id"},
         BadCase{"nodes 2\nchannel c\n", "usage: channel"},
         BadCase{"nodes 2\nnetwork n tcp 0 1\nchannel c n paranoid extra\n",
-                "usage: channel"},
+                "unknown channel option"},
         // Rail-set stanza misuse: contradictory sets must be rejected at
         // parse time with an explanation, not die in the scheduler.
         BadCase{"nodes 2\nrails r\n", "usage: rails"},

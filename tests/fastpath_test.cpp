@@ -107,13 +107,19 @@ TEST(FastPathDispatch, SbpMatchesLegacy) {
   check_dispatch_equivalence(one_network_config(NetworkKind::kSbp));
 }
 
+TEST(FastPathDispatch, IbMatchesLegacy) {
+  // The IB driver's table covers the eager cutoff and the EXPRESS/CHEAPER
+  // split between RDMA-write and RDMA-read rendezvous.
+  check_dispatch_equivalence(one_network_config(NetworkKind::kIb));
+}
+
 TEST(FastPathDispatch, HotPathsUseTheTable) {
   // After real traffic, every selection must have come from the table
   // (fast_selects > 0, legacy_selects == 0) for a breakpoint-declaring
   // driver — the legacy path would mean the table silently disengaged.
   for (NetworkKind kind : {NetworkKind::kTcp, NetworkKind::kBip,
                            NetworkKind::kSisci, NetworkKind::kVia,
-                           NetworkKind::kSbp}) {
+                           NetworkKind::kSbp, NetworkKind::kIb}) {
     Session session(one_network_config(kind));
     session.spawn(0, "tx", [&](NodeRuntime& rt) {
       for (std::size_t size : {16, 300, 2000, 70000}) {
@@ -338,6 +344,56 @@ TEST(FastPathExplore, BipDeferredCreditsSurviveSchedules) {
       [] { return explore_fastpath_body(NetworkKind::kBip); }, options);
   EXPECT_TRUE(result.ok) << result.summary();
   EXPECT_GE(result.runs, 200);
+}
+
+TEST(FastPathExplore, SciDeferredFeedbackSurvivesSchedules) {
+  sim::ExploreOptions options;
+  options.random_runs = 200;
+  options.max_exhaustive_runs = 50;
+  const sim::ExploreResult result = sim::explore(
+      [] { return explore_fastpath_body(NetworkKind::kSisci); }, options);
+  EXPECT_TRUE(result.ok) << result.summary();
+  EXPECT_GE(result.runs, 200);
+}
+
+TEST(FastPathProgress, SciFeedbackRidesTheProgressTick) {
+  // A SISCI-only fastpath session: the per-unit feedback writes are gone,
+  // so any doorbells/flushes the engine reports came from the SciPmm
+  // client. Shorts flood the slot window and bulks cycle the 2-deep ring,
+  // both directions, so deferral is exercised under pressure.
+  Session session(one_network_config(NetworkKind::kSisci, /*fastpath=*/true));
+  const int shorts = 64;
+  session.spawn(0, "tx", [&](NodeRuntime& rt) {
+    for (int i = 0; i < shorts; ++i) {
+      auto payload = make_pattern_buffer(16, i);
+      auto& conn = rt.channel("ch0").begin_packing(1);
+      conn.pack(payload);
+      conn.end_packing();
+    }
+    auto bulk = make_pattern_buffer(100 * 1000, 77);
+    auto& conn = rt.channel("ch0").begin_packing(1);
+    conn.pack(bulk);
+    conn.end_packing();
+  });
+  session.spawn(1, "rx", [&](NodeRuntime& rt) {
+    for (int i = 0; i < shorts; ++i) {
+      auto& conn = rt.channel("ch0").begin_unpacking();
+      std::vector<std::byte> out(16);
+      conn.unpack(out);
+      conn.end_unpacking();
+      EXPECT_TRUE(verify_pattern(out, i));
+    }
+    auto& conn = rt.channel("ch0").begin_unpacking();
+    std::vector<std::byte> out(100 * 1000);
+    conn.unpack(out);
+    conn.end_unpacking();
+    EXPECT_TRUE(verify_pattern(out, 77));
+  });
+  ASSERT_TRUE(session.run().is_ok());
+  const ProgressEngine* engine = session.progress_engine(1);
+  ASSERT_NE(engine, nullptr);
+  EXPECT_GT(engine->counters().doorbells, 0u);
+  EXPECT_GT(engine->counters().flushes, 0u);
 }
 
 }  // namespace

@@ -162,21 +162,24 @@ TEST(RailStriping, StripedReceiveRefusesBorrow) {
 }
 
 TEST(RailStriping, MixedProtocolRails) {
-  // Primary on BIP/Myrinet, secondaries on SISCI and TCP: the scheduler
-  // must split by the very different driver bandwidth hints and move
-  // segments through three different protocol data paths.
+  // Primary on BIP/Myrinet, secondaries on SISCI, TCP, and IB: the
+  // scheduler must split by the very different driver bandwidth hints and
+  // move segments through four different protocol data paths — including
+  // the IB rail's checked RDMA rendezvous per segment.
   SessionConfig config;
   config.node_count = 2;
-  NetworkDef myri{"myri0", NetworkKind::kBip, {0, 1}, {}, {}, {}, {}, {},
+  NetworkDef myri{"myri0", NetworkKind::kBip, {0, 1}, {}, {}, {}, {}, {}, {},
                   nullptr};
-  NetworkDef sci{"sci0", NetworkKind::kSisci, {0, 1}, {}, {}, {}, {}, {},
+  NetworkDef sci{"sci0", NetworkKind::kSisci, {0, 1}, {}, {}, {}, {}, {}, {},
                  nullptr};
-  NetworkDef eth{"eth0", NetworkKind::kTcp, {0, 1}, {}, {}, {}, {}, {},
+  NetworkDef eth{"eth0", NetworkKind::kTcp, {0, 1}, {}, {}, {}, {}, {}, {},
                  nullptr};
-  config.networks = {myri, sci, eth};
+  NetworkDef ib{"ib0", NetworkKind::kIb, {0, 1}, {}, {}, {}, {}, {}, {},
+                nullptr};
+  config.networks = {myri, sci, eth, ib};
   config.channels = {ChannelDef{"ch0", "myri0"}, ChannelDef{"ch1", "sci0"},
-                     ChannelDef{"ch2", "eth0"}};
-  config.rail_sets.push_back(RailSetDef{"r", {"ch0", "ch1", "ch2"}});
+                     ChannelDef{"ch2", "eth0"}, ChannelDef{"ch3", "ib0"}};
+  config.rail_sets.push_back(RailSetDef{"r", {"ch0", "ch1", "ch2", "ch3"}});
   Session session(std::move(config));
   const Status run =
       run_transfer(session, {1 << 20, 64, 300 * 1000, 1 << 19});
@@ -186,6 +189,10 @@ TEST(RailStriping, MixedProtocolRails) {
       session.endpoint("ch0", 1).connection(0).stats();
   ASSERT_NE(stats.rails.find("ch0"), stats.rails.end());
   EXPECT_GT(stats.rails.at("ch0").bytes, 0u);
+  // The IB rail has the fattest bandwidth hint of the secondaries; it
+  // must have carried striped segments.
+  ASSERT_NE(stats.rails.find("ch3"), stats.rails.end());
+  EXPECT_GT(stats.rails.at("ch3").bytes, 0u);
 }
 
 TEST(RailStriping, ParsedConfigStripes) {
@@ -219,9 +226,9 @@ SessionConfig faulty_rail_config(net::FaultPlan* plan) {
   tcp.reliability.max_retransmits = 5;
   SessionConfig config;
   config.node_count = 2;
-  NetworkDef myri{"myri0", NetworkKind::kBip, {0, 1}, {}, {}, {}, {}, {},
+  NetworkDef myri{"myri0", NetworkKind::kBip, {0, 1}, {}, {}, {}, {}, {}, {},
                   nullptr};
-  NetworkDef eth{"eth0", NetworkKind::kTcp, {0, 1}, {}, {}, {}, {}, {},
+  NetworkDef eth{"eth0", NetworkKind::kTcp, {0, 1}, {}, {}, {}, {}, {}, {},
                  nullptr};
   eth.tcp_params = tcp;
   config.networks = {myri, eth};
