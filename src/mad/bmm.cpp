@@ -206,6 +206,14 @@ class StaticCopyRecvBmm final : public RecvBmm {
     std::size_t done = 0;
     while (done < out.size()) {
       if (!have_buffer_) obtain(connection, tm);
+      if (buffer_.memory.empty()) {
+        // The TM bailed on a dead link with nothing queued (an empty
+        // static buffer signals the broken stream). Leave the rest of
+        // `out` unfilled, like the rendezvous TMs: the session is
+        // failing and the fiber must not wedge or spin here.
+        release(connection, tm);
+        return;
+      }
       const std::size_t avail = buffer_.used - consumed_;
       const std::size_t chunk = std::min(avail, out.size() - done);
       connection.node().charge_memcpy(chunk);
@@ -235,6 +243,12 @@ class StaticCopyRecvBmm final : public RecvBmm {
     std::size_t done = 0;
     while (done < len) {
       if (!have_buffer_) obtain(connection, tm);
+      if (buffer_.memory.empty()) {
+        // Broken stream (see StaticCopyRecvBmm::unpack): bail instead of
+        // spinning on empty dead-link buffers.
+        release(connection, tm);
+        return true;
+      }
       const std::size_t avail = buffer_.used - consumed_;
       const std::size_t chunk = std::min(avail, len - done);
       if (hold_ != nullptr || tm.try_retain_static_buffer(connection)) {

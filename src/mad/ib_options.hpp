@@ -14,7 +14,9 @@ struct IbPmmOptions {
   /// the eager buffers, so raising it trades pinned memory for a later
   /// protocol switch — the abl_ib crossover sweep measures the trade.
   std::size_t eager_cutoff = 8192;
-  /// Receiver returns eager credits in batches of this size.
+  /// Receiver returns eager credits in batches of this size. Clamped by
+  /// the IbPmm to [1, qp_depth/2] so a shallow QP degrades batching
+  /// instead of starving the sender.
   std::size_t credit_batch = 4;
 };
 

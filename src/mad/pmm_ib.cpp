@@ -34,13 +34,32 @@ IbPmm::IbPmm(ChannelEndpoint& endpoint, IbPmmOptions options)
   incoming_wq_ =
       std::make_unique<sim::WaitQueue>(&endpoint_.session().simulator());
   MAD2_CHECK(options_.eager_cutoff >= 64, "IB eager cutoff too small");
-  MAD2_CHECK(options_.credit_batch * 2 <= window(),
-             "credit batching must not exhaust the QP window");
+  // Batch at most half the window so the sender is never starved waiting
+  // for a batch that cannot fill. The receive pool is sized for any batch
+  // (recv_pool_size), so a small qp_depth degrades batching to per-release
+  // credit returns instead of aborting the session on a config choice.
+  options_.credit_batch = std::max<std::size_t>(
+      1, std::min(options_.credit_batch, window() / 2));
 }
 
 std::uint32_t IbPmm::qp() const { return endpoint_.channel().id(); }
 
 std::size_t IbPmm::window() const { return port_->params().qp_depth; }
+
+std::size_t IbPmm::recv_pool_size() const {
+  // Worst-case simultaneous in-flight messages from one peer while our
+  // dispatcher is starved (adverse fiber scheduling):
+  //  - `window` credited eager data messages (the credit window bounds
+  //    them, and each holds its pool buffer until the app releases it);
+  //  - `window` credit-return messages: each carries >= 1 credit and at
+  //    most `window` credits are ever out, but the flush-before-block
+  //    path can make every one of them a 1-credit message, so the count
+  //    is bounded by `window`, not window/credit_batch;
+  //  - one RTS / RTS_READ (rendezvous announcements are serialized per
+  //    direction) and one CTS / DONE (answers to our own announcements),
+  //    plus slack for a checked rail-segment handshake racing a TM one.
+  return 2 * window() + 4;
+}
 
 std::unique_ptr<Pmm::ConnState> IbPmm::make_conn_state(std::uint32_t remote) {
   auto state = std::make_unique<State>(&endpoint_.session().simulator());
@@ -49,8 +68,7 @@ std::unique_ptr<Pmm::ConnState> IbPmm::make_conn_state(std::uint32_t remote) {
   state->credits = window();
   // Eager receive pool: every incoming send consumes a posted receive, so
   // the pool must back the peer's full data window plus control headroom.
-  const std::size_t pool_size = window() + kCtrlHeadroom;
-  state->pool.resize(pool_size);
+  state->pool.resize(recv_pool_size());
   for (auto& buffer : state->pool) {
     buffer.resize(options_.eager_cutoff);
     (void)port_->register_memory(buffer);
@@ -63,6 +81,17 @@ std::unique_ptr<Pmm::ConnState> IbPmm::make_conn_state(std::uint32_t remote) {
 }
 
 void IbPmm::finish_setup() {
+  // Learn of link death even when we hold no failable WR of our own: a
+  // give-up timer fires on whichever side owned the timed-out WR, but the
+  // poison pass runs on both ports, and this hook turns it into a
+  // mark_dead that wakes our blocked credit / rendezvous / receive
+  // waiters. Without it, a fiber waiting for eager credits (or a CTS)
+  // across a dead link would sleep forever.
+  port_->add_link_down_callback(
+      [this](std::uint32_t peer, const Status& status) {
+        const auto it = by_port_.find(peer);
+        if (it != by_port_.end()) mark_dead(*states_.at(it->second), status);
+      });
   Session& session = endpoint_.session();
   if (session.config().fastpath.has_value()) {
     // CQ reaping as a progress-engine client: the CQ doorbell rings the
@@ -300,11 +329,19 @@ void IbEagerTm::send_static_buffer(Connection& connection,
                                    StaticBuffer& buffer) {
   auto& state = connection.state<IbPmm::State>();
   const std::size_t index = buffer.handle - 1;
-  if (state.credits == 0) {
+  if (state.credits == 0 && !pmm_->check_dead(state)) {
     MAD2_TRACE_SPAN(wait, obs::Category::kTm, "ib.credit_wait");
     wait.args(buffer.used);
     pmm_->drain_cq();
-    while (state.credits == 0) state.credits_wq.wait();
+    while (state.credits == 0 && !state.dead) state.credits_wq.wait();
+  }
+  if (state.dead) {
+    // Link died while we waited for credits: the session is failing, so
+    // drop the message and recycle the staging slot instead of re-sleeping
+    // on a credit that can never arrive.
+    pmm_->staging_free_.push_back(index);
+    buffer = StaticBuffer{};
+    return;
   }
   --state.credits;
   // post_send copies at post time: the staging buffer recycles at once.
@@ -325,7 +362,13 @@ StaticBuffer IbEagerTm::receive_static_buffer(Connection& connection) {
     pmm_->send_ctrl(state, IbPmm::MsgKind::kCredit, state.credit_owed);
     state.credit_owed = 0;
   }
-  while (state.data_pkts.empty()) state.recv_wq.wait();
+  while (state.data_pkts.empty() && !state.dead) state.recv_wq.wait();
+  if (state.data_pkts.empty()) {
+    // Link died with nothing queued (already-landed data still drains
+    // above): hand back an empty buffer so the caller's unwind runs
+    // instead of wedging this fiber forever.
+    return StaticBuffer{};
+  }
   auto [index, bytes] = state.data_pkts.front();
   state.data_pkts.pop_front();
   return StaticBuffer{std::span<std::byte>(state.pool[index]).first(bytes),
@@ -335,6 +378,7 @@ StaticBuffer IbEagerTm::receive_static_buffer(Connection& connection) {
 void IbEagerTm::release_static_buffer(Connection& connection,
                                       StaticBuffer& buffer) {
   auto& state = connection.state<IbPmm::State>();
+  if (buffer.handle == 0) return;  // dead-link receive: nothing to repost
   const std::size_t index = buffer.handle - 1;
   pmm_->repost(state, index);
   buffer = StaticBuffer{};

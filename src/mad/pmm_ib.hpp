@@ -105,11 +105,6 @@ class IbRdmaReadTm final : public Tm {
 
 class IbPmm final : public Pmm {
  public:
-  /// Posted-receive headroom beyond the data credit window: at most
-  /// 1 RTS + 1 CTS + 1 DONE + 2 batched credit returns are ever in flight
-  /// toward one peer on top of the credited data messages.
-  static constexpr std::size_t kCtrlHeadroom = 6;
-
   IbPmm(ChannelEndpoint& endpoint, IbPmmOptions options);
 
   [[nodiscard]] std::string_view name() const override { return "ib"; }
@@ -189,6 +184,11 @@ class IbPmm final : public Pmm {
   [[nodiscard]] const IbPmmOptions& options() const { return options_; }
   [[nodiscard]] std::uint32_t qp() const;
   [[nodiscard]] std::size_t window() const;
+  /// Eager receive-pool size: the worst-case number of messages a peer
+  /// can have in flight toward us before our dispatcher runs (every
+  /// arrival consumes a posted receive, and a send with none posted
+  /// breaks the QP). See the definition for the derivation.
+  [[nodiscard]] std::size_t recv_pool_size() const;
 
   static std::uint64_t encode_imm(MsgKind kind, std::uint64_t value) {
     return static_cast<std::uint64_t>(kind) | (value << 8);

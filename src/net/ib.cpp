@@ -32,19 +32,23 @@ IbMr IbRegCache::acquire(const std::byte* addr, std::size_t len) {
     if (entry.mr.base <= a && a + len <= entry.mr.base + entry.mr.bytes) {
       ++stats_.hits;
       entry.last_use = clock_;
+      ++entry.refs;
       return entry.mr;
     }
   }
   ++stats_.misses;
-  // Re-register the union of the request and every cached region it
-  // overlaps or abuts, so adjacent partial registrations coalesce instead
-  // of accumulating.
+  // Re-register the union of the request and every *idle* cached region
+  // it overlaps or abuts, so adjacent partial registrations coalesce
+  // instead of accumulating. Referenced entries are left alone — their
+  // rkey may be advertised to a peer or backing an in-flight RDMA op
+  // (e.g. the previous block of the same buffer group) — so the new
+  // registration simply overlaps them.
   std::uintptr_t lo = a;
   std::uintptr_t hi = a + len;
   for (auto it = entries_.begin(); it != entries_.end();) {
     const std::uintptr_t begin = it->mr.base;
     const std::uintptr_t end = begin + it->mr.bytes;
-    if (begin <= hi && lo <= end) {
+    if (it->refs == 0 && begin <= hi && lo <= end) {
       lo = std::min(lo, begin);
       hi = std::max(hi, end);
       ++stats_.merges;
@@ -56,14 +60,25 @@ IbMr IbRegCache::acquire(const std::byte* addr, std::size_t len) {
   }
   const IbMr mr = port_->register_memory(
       {reinterpret_cast<const std::byte*>(lo), hi - lo});
-  while (entries_.size() >= capacity_) evict_lru();
-  entries_.push_back(Entry{mr, clock_});
+  while (entries_.size() >= capacity_ && evict_lru()) {
+  }
+  entries_.push_back(Entry{mr, clock_, 1});
   return mr;
 }
 
 void IbRegCache::release(const IbMr& mr) {
-  if (capacity_ == 0) port_->deregister(mr);
-  // Cached pins stay hot until eviction or invalidation.
+  if (capacity_ == 0) {
+    port_->deregister(mr);
+    return;
+  }
+  for (Entry& entry : entries_) {
+    if (entry.mr.key == mr.key) {
+      MAD2_CHECK(entry.refs > 0, "registration-cache release without acquire");
+      --entry.refs;
+      return;  // the pin stays hot until eviction or invalidation
+    }
+  }
+  MAD2_CHECK(false, "release of a region unknown to the registration cache");
 }
 
 void IbRegCache::invalidate(const std::byte* addr, std::size_t len) {
@@ -72,6 +87,9 @@ void IbRegCache::invalidate(const std::byte* addr, std::size_t len) {
     const std::uintptr_t begin = it->mr.base;
     const std::uintptr_t end = begin + it->mr.bytes;
     if (begin < a + len && a < end) {
+      MAD2_CHECK(it->refs == 0,
+                 "invalidate of a referenced region (buffer freed while an "
+                 "RDMA op still references it)");
       ++stats_.invalidations;
       port_->deregister(it->mr);
       it = entries_.erase(it);
@@ -81,15 +99,19 @@ void IbRegCache::invalidate(const std::byte* addr, std::size_t len) {
   }
 }
 
-void IbRegCache::evict_lru() {
-  MAD2_CHECK(!entries_.empty(), "evict_lru on empty registration cache");
-  auto victim = entries_.begin();
+bool IbRegCache::evict_lru() {
+  auto victim = entries_.end();
   for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-    if (it->last_use < victim->last_use) victim = it;
+    if (it->refs == 0 &&
+        (victim == entries_.end() || it->last_use < victim->last_use)) {
+      victim = it;
+    }
   }
+  if (victim == entries_.end()) return false;  // every entry is in use
   ++stats_.evictions;
   port_->deregister(victim->mr);
   entries_.erase(victim);
+  return true;
 }
 
 // --- IbNetwork ------------------------------------------------------------
@@ -621,6 +643,11 @@ void IbPort::fail_link(std::uint32_t peer, const Status& status) {
   network_->report_link_failure(rank_, peer, status);
 }
 
+void IbPort::add_link_down_callback(
+    std::function<void(std::uint32_t, const Status&)> fn) {
+  link_down_callbacks_.push_back(std::move(fn));
+}
+
 void IbPort::poison_peer(std::uint32_t peer, const Status& status) {
   if (peer_status_.find(peer) != peer_status_.end()) return;
   peer_status_.emplace(peer, status);
@@ -646,6 +673,9 @@ void IbPort::poison_peer(std::uint32_t peer, const Status& status) {
       state.sq_wq->notify_all();
     }
   }
+  // Last: tell the protocol modules, now that the flushed CQEs are
+  // already queued (a callback that drains the CQ sees the final state).
+  for (const auto& fn : link_down_callbacks_) fn(peer, status);
 }
 
 }  // namespace mad2::net

@@ -141,13 +141,19 @@ class IbPort;
 /// only drops the reference (the pin persists until eviction or
 /// invalidation) — that persistence is the entire win for repeated-buffer
 /// traffic.
+///
+/// Entries are refcounted between acquire() and release(): a referenced
+/// entry is never merged away, evicted, or invalidated, because its rkey
+/// may already be advertised to a peer or backing an in-flight RDMA op —
+/// deregistering it would make the peer's write/read hit "unknown rkey".
 class IbRegCache {
  public:
   IbRegCache(IbPort* port, std::size_t capacity);
 
   /// A registration covering [addr, addr+len). Cache hit: no cost. Miss:
-  /// registers the union of the request and any cached regions it
-  /// overlaps or abuts (those are deregistered and their stats merged).
+  /// registers the union of the request and any *idle* cached regions it
+  /// overlaps or abuts (those are deregistered and their stats merged);
+  /// referenced overlapping regions are left pinned and simply coexist.
   IbMr acquire(const std::byte* addr, std::size_t len);
 
   /// Drop the caller's use of a region obtained from acquire(). With the
@@ -168,9 +174,13 @@ class IbRegCache {
   struct Entry {
     IbMr mr;
     std::uint64_t last_use = 0;
+    std::size_t refs = 0;  ///< acquires not yet released
   };
 
-  void evict_lru();
+  /// Deregister the least-recently-used *idle* entry. False when every
+  /// entry is referenced (the cache then temporarily exceeds capacity:
+  /// in-use pins cannot be dropped).
+  bool evict_lru();
 
   IbPort* port_;
   std::size_t capacity_;
@@ -305,6 +315,14 @@ class IbPort {
   [[nodiscard]] const Status& link_status(std::uint32_t peer) const;
   /// Declare the link to `peer` dead (local poison + network handler).
   void fail_link(std::uint32_t peer, const Status& status);
+  /// Run `fn(peer, status)` after the link to `peer` is declared dead and
+  /// its outstanding WRs flushed (the poison pass). Protocol modules
+  /// register one each: a fiber blocked on protocol state (credits, a
+  /// rendezvous answer) holds no failable WR of its own, so without this
+  /// hook only the side that owned the timed-out WR would ever learn of
+  /// the death.
+  void add_link_down_callback(
+      std::function<void(std::uint32_t, const Status&)> fn);
 
   [[nodiscard]] const IbCounters& counters() const { return counters_; }
 
@@ -375,6 +393,8 @@ class IbPort {
   std::map<std::pair<std::uint32_t, std::uint64_t>, WriteLanding> landings_;
   std::map<std::uint64_t, IbMr> regions_;  // key -> pinned region
   std::map<std::uint32_t, Status> peer_status_;
+  std::vector<std::function<void(std::uint32_t, const Status&)>>
+      link_down_callbacks_;
   std::unique_ptr<sim::BoundedChannel<Packet>> tx_stage_;
   /// HCA-originated responses (write acks, read-response jobs): unbounded
   /// so the rx fiber never blocks shipping into its own full staging.

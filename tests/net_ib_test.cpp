@@ -366,6 +366,64 @@ TEST(IbRegCache, CapacityZeroRegistersEveryTime) {
   ASSERT_TRUE(bed.simulator.run().is_ok());
 }
 
+TEST(IbRegCache, ReferencedEntriesAreNotMergedAway) {
+  IbBed bed(1);
+  std::vector<std::byte> buffer(32 * 1024);
+  bed.simulator.spawn("f", [&] {
+    IbRegCache& cache = bed.network.port(0).reg_cache();
+    // Hold both registrations, as a TM does while the rkeys are advertised
+    // to a peer. The second region abuts the first, but merging would
+    // deregister `a` mid-flight — the adjacent regions must coexist.
+    const IbMr a = cache.acquire(buffer.data(), 8192);
+    const IbMr b = cache.acquire(buffer.data() + 8192, 8192);
+    EXPECT_NE(a.key, b.key);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.stats().merges, 0u);
+    EXPECT_EQ(bed.nodes[0]->mem().dereg_count, 0u);
+    cache.release(a);
+    cache.release(b);
+    // Idle again: a spanning acquire coalesces both into one union pin.
+    const IbMr all = cache.acquire(buffer.data(), 16384);
+    cache.release(all);
+    EXPECT_EQ(cache.stats().merges, 2u);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(all.bytes, 16384u);
+  });
+  ASSERT_TRUE(bed.simulator.run().is_ok());
+}
+
+TEST(IbRegCache, ReferencedEntriesAreNotEvicted) {
+  IbParams params = IbParams::mellanox_like();
+  params.regcache_capacity = 1;
+  IbBed bed(1, params);
+  std::vector<std::byte> buffer(64 * 1024);  // gaps keep the regions apart
+  std::byte* const a_ptr = buffer.data();
+  std::byte* const b_ptr = buffer.data() + 16384;
+  std::byte* const c_ptr = buffer.data() + 32768;
+  bed.simulator.spawn("f", [&] {
+    IbRegCache& cache = bed.network.port(0).reg_cache();
+    const IbMr a = cache.acquire(a_ptr, 4096);
+    // `a` is still referenced, so inserting `b` cannot evict it even at
+    // capacity 1: the cache temporarily exceeds capacity instead.
+    const IbMr b = cache.acquire(b_ptr, 4096);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+    EXPECT_EQ(bed.nodes[0]->mem().dereg_count, 0u);
+    cache.release(a);
+    // Now `a` is the only idle entry: inserting `c` evicts it, and only
+    // it (`b` is still in use).
+    const IbMr c = cache.acquire(c_ptr, 4096);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.size(), 2u);
+    cache.release(b);
+    cache.release(c);
+    // `b` survived the over-capacity episode: still a hit.
+    cache.release(cache.acquire(b_ptr, 4096));
+    EXPECT_EQ(cache.stats().hits, 1u);
+  });
+  ASSERT_TRUE(bed.simulator.run().is_ok());
+}
+
 // -------------------------------------------------------- fault overlay ---
 
 TEST(IbFault, PartitionTripsTheGiveUpTimerAndPoisonsTheLink) {

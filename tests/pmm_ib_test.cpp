@@ -6,6 +6,7 @@
 // mid-rendezvous rail death routed through Session::route_network_failure.
 #include <gtest/gtest.h>
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -129,6 +130,41 @@ TEST(PmmIb, GroupedBlocksShareOneRendezvous) {
     }
   });
   EXPECT_TRUE(session.run().is_ok());
+}
+
+TEST(PmmIb, AdjacentBlocksInOneGroupKeepTheirPins) {
+  // Three 48 KiB blocks cut from one allocation and packed back to back:
+  // every block's registration abuts the previous one. The registration
+  // cache must keep each pin alive while its rkey is advertised to the
+  // peer — merging a referenced entry would deregister an MR backing an
+  // in-flight rendezvous and the peer's RDMA op would hit "unknown
+  // rkey". Covers both the read (CHEAPER: source blocks adjacent) and
+  // write (EXPRESS: landing blocks adjacent too) rendezvous.
+  constexpr std::size_t kBlock = 48 * 1024;
+  for (ReceiveMode rmode : {receive_CHEAPER, receive_EXPRESS}) {
+    Session session(ib_net());
+    session.spawn(0, "tx", [&](NodeRuntime& rt) {
+      const auto payload = make_pattern_buffer(3 * kBlock, 9);
+      auto& conn = rt.channel("ch").begin_packing(1);
+      for (std::size_t i = 0; i < 3; ++i) {
+        conn.pack(std::span(payload).subspan(i * kBlock, kBlock),
+                  send_CHEAPER, rmode);
+      }
+      conn.end_packing();
+    });
+    session.spawn(1, "rx", [&](NodeRuntime& rt) {
+      std::vector<std::byte> out(3 * kBlock);
+      auto& conn = rt.channel("ch").begin_unpacking();
+      for (std::size_t i = 0; i < 3; ++i) {
+        conn.unpack(std::span(out).subspan(i * kBlock, kBlock),
+                    send_CHEAPER, rmode);
+      }
+      conn.end_unpacking();
+      EXPECT_TRUE(verify_pattern(out, 9));
+    });
+    ASSERT_TRUE(session.run().is_ok())
+        << (rmode == receive_CHEAPER ? "CHEAPER" : "EXPRESS");
+  }
 }
 
 TEST(PmmIb, CreditWindowThrottlesButNeverDeadlocks) {
@@ -339,6 +375,70 @@ TEST(PmmIb, DeadRailMidRendezvousExploredSchedules) {
   const sim::ExploreResult result = sim::explore(body, options);
   EXPECT_TRUE(result.ok) << result.summary();
   EXPECT_GE(result.runs, 200);
+}
+
+TEST(PmmIb, EagerWaitersSurviveLinkDeath) {
+  // Link death must unwedge *every* blocked eager fiber, not only the
+  // rendezvous waiters: a sender starved of credits and a receiver
+  // waiting for a message tail hold no failable work request of their
+  // own, so only the poison pass can wake them. The rail set absorbs the
+  // network failure (kRail), so a clean run() proves nobody wedged — a
+  // stuck fiber would surface as a deadlock report instead.
+  net::FaultPlan plan(/*seed=*/31);
+  plan.partition(0, 1, sim::microseconds(800));
+  SessionConfig config = ib_rail_config(&plan, sim::microseconds(300));
+  config.channels.push_back(ChannelDef{"ch2", "ib0"});
+  Session session(std::move(config));
+  const int packs = 20;  // > credit window even with returned credits
+  // node 0: a write rendezvous whose RDMA write crosses the partition —
+  // its give-up timer is what declares the link dead (~1005us).
+  session.spawn(0, "tx0", [&](NodeRuntime& rt) {
+    rt.simulator().advance(sim::microseconds(700));
+    const auto payload = make_pattern_buffer(64 * 1024, 11);
+    auto& conn = rt.channel("ch2").begin_packing(1);
+    conn.pack(payload, send_CHEAPER, receive_EXPRESS);
+    conn.end_packing();  // bails when the link dies; must not wedge
+  });
+  session.spawn(1, "rx1", [&](NodeRuntime& rt) {
+    auto& conn = rt.channel("ch2").begin_unpacking();
+    std::vector<std::byte> out(64 * 1024);
+    // Answers CTS, then waits for a write that never completes: woken by
+    // the poison pass on node 1 (which owns no timed-out WR itself).
+    conn.unpack(out, send_CHEAPER, receive_EXPRESS);
+    conn.end_unpacking();
+  });
+  // node 1 -> node 0: one eager message whose first block lands before
+  // the partition and whose tail is swallowed by it.
+  session.spawn(1, "tx1", [&](NodeRuntime& rt) {
+    const auto part = make_pattern_buffer(1024, 13);
+    auto& conn = rt.channel("ch2").begin_packing(0);
+    conn.pack(part, send_CHEAPER, receive_EXPRESS);  // arrives
+    rt.simulator().advance(sim::microseconds(820));
+    for (int i = 1; i < packs; ++i) {
+      // These vanish into the partition; one of them exhausts the credit
+      // window and blocks until the link is declared dead, the rest are
+      // dropped on the dead connection.
+      conn.pack(part, send_CHEAPER, receive_EXPRESS);
+    }
+    conn.end_packing();
+  });
+  session.spawn(0, "rx0", [&](NodeRuntime& rt) {
+    auto& conn = rt.channel("ch2").begin_unpacking();
+    std::vector<std::byte> first(1024);
+    conn.unpack(first, send_CHEAPER, receive_EXPRESS);
+    EXPECT_TRUE(verify_pattern(first, 13));
+    // The tail never arrives: this blocks in the eager receive until the
+    // poison pass marks the connection dead, then unwinds with the rest
+    // of the message unfilled.
+    std::vector<std::byte> rest(1024);
+    for (int i = 1; i < packs; ++i) {
+      conn.unpack(rest, send_CHEAPER, receive_EXPRESS);
+    }
+    conn.end_unpacking();
+  });
+  ASSERT_TRUE(session.run().is_ok());
+  // The IB rail died and claimed the failure; the session survived.
+  EXPECT_FALSE(session.rail_set("r").health().is_ok());
 }
 
 }  // namespace
