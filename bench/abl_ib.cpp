@@ -162,7 +162,8 @@ void write_ib_json(const std::vector<PerfSeries>& sweeps,
                    const CacheResult& cache_off) {
   FILE* out = std::fopen("BENCH_abl_ib.json", "w");
   MAD2_CHECK(out != nullptr, "cannot write bench JSON output");
-  std::fprintf(out, "{\n  \"figure\": \"abl_ib\",\n  \"series\": [\n");
+  std::fprintf(out, "{\n  \"figure\": \"abl_ib\",\n%s  \"series\": [\n",
+               bench::trace_sidecar_fields("abl_ib").c_str());
   for (std::size_t s = 0; s < sweeps.size(); ++s) {
     std::fprintf(out, "    {\"label\": \"%s\", \"points\": [\n",
                  sweeps[s].label.c_str());
@@ -170,10 +171,11 @@ void write_ib_json(const std::vector<PerfSeries>& sweeps,
       const PerfPoint& p = sweeps[s].points[i];
       std::fprintf(out,
                    "      {\"size\": %llu, \"latency_us\": %.3f, "
-                   "\"bandwidth_mbs\": %.3f}%s\n",
+                   "\"bandwidth_mbs\": %.3f, \"p50_us\": %.3f, "
+                   "\"p95_us\": %.3f, \"p99_us\": %.3f}%s\n",
                    static_cast<unsigned long long>(p.size_bytes),
-                   p.latency_us, p.bandwidth_mbs,
-                   i + 1 < sweeps[s].points.size() ? "," : "");
+                   p.latency_us, p.bandwidth_mbs, p.p50_us, p.p95_us,
+                   p.p99_us, i + 1 < sweeps[s].points.size() ? "," : "");
     }
     std::fprintf(out, "    ]},\n");
   }

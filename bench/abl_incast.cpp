@@ -97,6 +97,7 @@ mad::SessionConfig incast_config(std::size_t bulk_senders, bool fair) {
 
 struct IncastOutcome {
   double p50_us = 0.0;
+  double p95_us = 0.0;
   double p99_us = 0.0;
   double mean_us = 0.0;
 };
@@ -185,6 +186,7 @@ IncastOutcome run_incast(std::size_t bulk_senders, bool fair) {
 
   IncastOutcome outcome;
   outcome.p50_us = probe_latency.quantile(0.5);
+  outcome.p95_us = probe_latency.quantile(0.95);
   outcome.p99_us = probe_latency.quantile(0.99);
   double sum = 0.0;
   for (double sample : probe_latency.samples()) sum += sample;
@@ -217,6 +219,7 @@ int main(int argc, char** argv) {
       point.latency_us = outcome.mean_us;
       point.bandwidth_mbs = 0.0;  // latency-only figure
       point.p50_us = outcome.p50_us;
+      point.p95_us = outcome.p95_us;
       point.p99_us = outcome.p99_us;
       series[mode].points.push_back(point);
     }

@@ -11,9 +11,17 @@
 //     must stay within 1% of the same loop without the site (plus a
 //     small absolute guard, since sub-millisecond wall-clock deltas are
 //     timer noise).
+//  3. Hop-stamp trace propagation is cheap even when ON: a fig10-style
+//     forwarding run (SCI -> Myrinet through the gateway) with the
+//     `propagation` knob on must keep >= 95% of the propagation-off
+//     virtual-time bandwidth. The stamp rides as one extra EXPRESS block
+//     per packet (~200 B on a 32 KiB MTU), so the simulated wire cost is
+//     well under a percent; a regression here means the stamp grew or
+//     leaked onto a hot path.
 //
-// Exits non-zero when either gate fails, so CI's bench-smoke catches a
-// regression that makes tracing expensive when it is off.
+// Exits non-zero when any gate fails, so CI's bench-smoke catches a
+// regression that makes tracing expensive when it is off (or propagation
+// expensive when it is on).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -133,6 +141,26 @@ int main(int argc, char** argv) {
   // ~0.1 s legs) the relative figure is not meaningful.
   const bool site_ok = median_ratio <= 1.01 || traced - plain < 0.002;
 
+  // --- Gate 3: propagation-on forwarding keeps >= 95% of the off bw. ------
+  // One fig10 point: 1 MiB messages through the SCI -> Myrinet gateway
+  // with 32 KiB packets. Virtual time, so the comparison is exact — the
+  // only cost propagation is allowed is its extra wire bytes.
+  const std::vector<std::uint64_t> fwd_sizes{1024 * 1024};
+  const double fwd_off_mbs =
+      bench::forwarding_sweep(mad::NetworkKind::kSisci,
+                              mad::NetworkKind::kBip, 32 * 1024, fwd_sizes)
+          .front()
+          .bandwidth_mbs;
+  const double fwd_on_mbs =
+      bench::forwarding_sweep(mad::NetworkKind::kSisci,
+                              mad::NetworkKind::kBip, 32 * 1024, fwd_sizes,
+                              /*pipeline_depth=*/2, /*sender_rate_mbs=*/0.0,
+                              /*propagation=*/true)
+          .front()
+          .bandwidth_mbs;
+  const double propagation_ratio = fwd_on_mbs / fwd_off_mbs;
+  const bool propagation_ok = propagation_ratio >= 0.95;
+
   Table table({"measurement", "value"});
   table.add_row({"virtual time, tracing off (us)",
                  std::to_string(virtual_disabled_us)});
@@ -147,6 +175,14 @@ int main(int argc, char** argv) {
   std::snprintf(line, sizeof line, "%+.3f%%", overhead_pct);
   table.add_row({"disabled-site spin overhead", line});
   table.add_row({"disabled-site gate (<1%)", site_ok ? "pass" : "FAIL"});
+  std::snprintf(line, sizeof line, "%.3f", fwd_off_mbs);
+  table.add_row({"fwd bandwidth, propagation off (MB/s)", line});
+  std::snprintf(line, sizeof line, "%.3f", fwd_on_mbs);
+  table.add_row({"fwd bandwidth, propagation on (MB/s)", line});
+  std::snprintf(line, sizeof line, "%.4f", propagation_ratio);
+  table.add_row({"propagation bw ratio", line});
+  table.add_row({"propagation gate (>=0.95)",
+                 propagation_ok ? "pass" : "FAIL"});
   std::printf("== Ablation — madtrace overhead ==\n");
   table.print();
 
@@ -159,10 +195,15 @@ int main(int argc, char** argv) {
                  "  \"workload_wall_off_ms\": %.3f,\n"
                  "  \"workload_wall_on_ms\": %.3f,\n"
                  "  \"disabled_site_overhead_pct\": %.3f,\n"
-                 "  \"disabled_site_gate\": %s\n}\n",
+                 "  \"disabled_site_gate\": %s,\n"
+                 "  \"propagation_off_mbs\": %.3f,\n"
+                 "  \"propagation_on_mbs\": %.3f,\n"
+                 "  \"propagation_ratio\": %.4f,\n"
+                 "  \"propagation_gate\": %s\n}\n",
                  identical ? "true" : "false", wall_disabled * 1e3,
                  wall_enabled * 1e3, overhead_pct,
-                 site_ok ? "true" : "false");
+                 site_ok ? "true" : "false", fwd_off_mbs, fwd_on_mbs,
+                 propagation_ratio, propagation_ok ? "true" : "false");
     std::fclose(out);
     std::printf("wrote BENCH_abl_trace_overhead.json\n");
   }
@@ -177,6 +218,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "FAIL: disabled trace site costs %.3f%% (gate: 1%%)\n",
                  overhead_pct);
+    return 1;
+  }
+  if (!propagation_ok) {
+    std::fprintf(stderr,
+                 "FAIL: hop-stamp propagation keeps only %.1f%% of the "
+                 "propagation-off forwarding bandwidth (gate: 95%%)\n",
+                 100.0 * propagation_ratio);
     return 1;
   }
   return 0;

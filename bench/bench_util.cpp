@@ -80,6 +80,7 @@ PerfSeries sweep_with(
     PerfPoint point{size, latency, static_cast<double>(size) / latency};
     if (samples.count() > 0) {
       point.p50_us = samples.quantile(0.5);
+      point.p95_us = samples.quantile(0.95);
       point.p99_us = samples.quantile(0.99);
     }
     series.points.push_back(point);
@@ -331,7 +332,7 @@ PerfSeries nexus_sweep(const std::string& label, mad::NetworkKind kind,
 std::vector<FwdResult> forwarding_sweep(
     mad::NetworkKind from, mad::NetworkKind to, std::size_t mtu,
     const std::vector<std::uint64_t>& message_sizes,
-    std::size_t pipeline_depth, double sender_rate_mbs) {
+    std::size_t pipeline_depth, double sender_rate_mbs, bool propagation) {
   std::vector<FwdResult> results;
   for (std::uint64_t message : message_sizes) {
     mad::SessionConfig config;
@@ -354,6 +355,7 @@ std::vector<FwdResult> forwarding_sweep(
     def.mtu = mtu;
     def.pipeline_depth = pipeline_depth;
     def.sender_rate_mbs = sender_rate_mbs;
+    def.propagation = propagation;
     fwd::VirtualChannel vc(session, def);
 
     const int iterations = 4;
@@ -397,6 +399,7 @@ std::vector<FwdResult> forwarding_sweep(
                            (sim::to_seconds(end - start) * 1e6);
     result.latency_us = sim::to_us(end - start) / iterations;
     result.p50_us = landings.quantile(0.5);
+    result.p95_us = landings.quantile(0.95);
     result.p99_us = landings.quantile(0.99);
     const hw::MemCounters& gw = session.node(1).mem();
     result.gw_memcpy_bytes = gw.memcpy_bytes;
@@ -436,9 +439,11 @@ FILE* open_bench_json(const std::string& figure) {
   return out;
 }
 
-/// When tracing is on, dump the recorder / registry next to the bench
-/// JSON and return the "trace_file"/"metrics_file" lines referencing
-/// them; null values otherwise (so the schema is stable either way).
+}  // namespace
+
+// When tracing is on, dump the recorder / registry next to the bench
+// JSON and return the "trace_file"/"metrics_file" lines referencing
+// them; null values otherwise (so the schema is stable either way).
 std::string trace_sidecar_fields(const std::string& figure) {
   std::string fields = "  \"trace_file\": ";
   if (obs::recorder() != nullptr) {
@@ -462,8 +467,6 @@ std::string trace_sidecar_fields(const std::string& figure) {
   return fields;
 }
 
-}  // namespace
-
 void write_fwd_json(const std::string& figure,
                     const std::vector<FwdJsonSeries>& series) {
   FILE* out = open_bench_json(figure);
@@ -478,12 +481,12 @@ void write_fwd_json(const std::string& figure,
       std::fprintf(
           out,
           "      {\"size\": %llu, \"latency_us\": %.3f, "
-          "\"bandwidth_mbs\": %.3f, \"p50_us\": %.3f, \"p99_us\": %.3f, "
-          "\"gw_memcpy_bytes\": %llu, "
+          "\"bandwidth_mbs\": %.3f, \"p50_us\": %.3f, \"p95_us\": %.3f, "
+          "\"p99_us\": %.3f, \"gw_memcpy_bytes\": %llu, "
           "\"gw_alloc_count\": %llu, \"gw_pool_recycle_count\": %llu, "
           "\"forwarded_bytes\": %llu}%s\n",
           static_cast<unsigned long long>(r.message_bytes), r.latency_us,
-          r.bandwidth_mbs, r.p50_us, r.p99_us,
+          r.bandwidth_mbs, r.p50_us, r.p95_us, r.p99_us,
           static_cast<unsigned long long>(r.gw_memcpy_bytes),
           static_cast<unsigned long long>(r.gw_alloc_count),
           static_cast<unsigned long long>(r.gw_pool_recycle_count),
@@ -510,10 +513,10 @@ void write_series_json(const std::string& figure,
       std::fprintf(out,
                    "      {\"size\": %llu, \"latency_us\": %.3f, "
                    "\"bandwidth_mbs\": %.3f, \"p50_us\": %.3f, "
-                   "\"p99_us\": %.3f}%s\n",
+                   "\"p95_us\": %.3f, \"p99_us\": %.3f}%s\n",
                    static_cast<unsigned long long>(points[i].size_bytes),
                    points[i].latency_us, points[i].bandwidth_mbs,
-                   points[i].p50_us, points[i].p99_us,
+                   points[i].p50_us, points[i].p95_us, points[i].p99_us,
                    i + 1 < points.size() ? "," : "");
     }
     std::fprintf(out, "    ]}%s\n", s + 1 < series.size() ? "," : "");

@@ -54,6 +54,7 @@ struct FwdResult {
   /// Percentiles of receiver-side per-message landing time (inter-arrival
   /// of end_unpacking completions; the first message includes pipe fill).
   double p50_us = 0.0;
+  double p95_us = 0.0;
   double p99_us = 0.0;
   /// Gateway-node memory counters over the sweep point's session — the
   /// zero-copy forwarding evidence (hw::MemCounters, node 1).
@@ -63,10 +64,14 @@ struct FwdResult {
   /// Total payload bytes pushed through the gateway (messages x iters).
   std::uint64_t forwarded_bytes = 0;
 };
+/// `propagation` turns hop-stamp trace propagation on for the virtual
+/// channel (abl_trace_overhead measures its on-path cost against the
+/// default-off configuration).
 std::vector<FwdResult> forwarding_sweep(
     mad::NetworkKind from, mad::NetworkKind to, std::size_t mtu,
     const std::vector<std::uint64_t>& message_sizes,
-    std::size_t pipeline_depth = 2, double sender_rate_mbs = 0.0);
+    std::size_t pipeline_depth = 2, double sender_rate_mbs = 0.0,
+    bool propagation = false);
 
 /// --- Bench JSON trajectory -----------------------------------------------
 /// `--json` on a figure bench writes BENCH_<figure>.json next to the table
@@ -75,6 +80,12 @@ std::vector<FwdResult> forwarding_sweep(
 /// Chrome-trace JSON + metrics JSON next to the bench JSON and reference
 /// them from its "trace_file" / "metrics_file" keys.
 bool json_mode(int argc, char** argv);
+
+/// The "trace_file"/"metrics_file" JSON lines for a bench sidecar dump:
+/// writes BENCH_<figure>_trace.json / BENCH_<figure>_metrics.json when an
+/// ambient recorder / registry is installed, null values otherwise. For
+/// benches with hand-rolled JSON writers (abl_ib).
+std::string trace_sidecar_fields(const std::string& figure);
 
 /// One labeled forwarding curve for the JSON output.
 struct FwdJsonSeries {

@@ -6,6 +6,7 @@
 
 #include "fwd/fair_queue.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span_weaver.hpp"
 #include "obs/trace.hpp"
 #include "sim/sync.hpp"
 #include "util/bytes.hpp"
@@ -45,6 +46,11 @@ VirtualChannel::VirtualChannel(mad::Session& session, VirtualChannelDef def)
     topology_ = *def_.topology;
   } else if (session_->config().topology.has_value()) {
     topology_ = *session_->config().topology;
+  }
+  if (def_.propagation.has_value()) {
+    propagation_ = *def_.propagation;
+  } else if (session_->config().trace.has_value()) {
+    propagation_ = session_->config().trace->propagation;
   }
   if (topology_.enabled) {
     MAD2_CHECK(topology_.replay_quota > 0,
@@ -254,7 +260,7 @@ void VirtualChannel::send_packet(
     mad::ChannelEndpoint& hop_endpoint, std::uint32_t to, PacketHeader header,
     std::span<const std::span<const std::byte>> pieces,
     std::vector<std::uint32_t>& sizes_scratch, sim::Time stamp,
-    std::uint64_t seq) {
+    std::uint64_t seq, const HopStamp* trace) {
   header.n_pieces = static_cast<std::uint32_t>(pieces.size());
   sizes_scratch.clear();
   std::uint64_t total = 0;
@@ -284,6 +290,16 @@ void VirtualChannel::send_packet(
     // Resilient routing rides the per-flow sequence the same way: an
     // extra EXPRESS block only when the feature is on.
     mad::mad_pack_value(conn, seq, mad::send_CHEAPER, mad::receive_EXPRESS);
+  }
+  if (propagation_) {
+    // Trace-context propagation rides the hop stamps as one more EXPRESS
+    // block, after the seq and before the size list — never a payload
+    // piece, so it can never become an unpack_borrow candidate and never
+    // enters the copies-per-byte accounting. Off keeps the wire
+    // bit-identical, same rule as the stamp and seq above.
+    static const HopStamp kEmptyStamp{};
+    mad::mad_pack_value(conn, trace != nullptr ? *trace : kEmptyStamp,
+                        mad::send_CHEAPER, mad::receive_EXPRESS);
   }
   if (!sizes_scratch.empty()) {
     conn.pack(std::as_bytes(std::span(sizes_scratch)), mad::send_CHEAPER,
@@ -324,6 +340,13 @@ Packet VirtualChannel::receive_packet(mad::ChannelEndpoint& hop_endpoint,
           flow_control(packet.header.src, packet.header.dst);
       in_sequence = packet.seq == flow.expected_seq;
     }
+  }
+  if (propagation_) {
+    // The hop stamps unpack EXPRESS before the payload landing loop, so
+    // (like the stamp and seq) they are structurally outside the borrow /
+    // demand-landing machinery and the copies-per-byte accounting.
+    mad::mad_unpack_value(conn, packet.trace, mad::send_CHEAPER,
+                          mad::receive_EXPRESS);
   }
   // The stream is self-described, so a corrupted or hostile header could
   // otherwise drive the landing loop past the fixed-MTU buffer.
@@ -404,6 +427,7 @@ void VirtualChannel::spawn_gateway(std::uint32_t gateway, std::size_t hop_in,
                 hop_channels_[out]->endpoint(gateway);
             for (;;) {
               Packet packet = receive_packet(ep_in);
+              const sim::Time landed = session_->simulator().now();
               // Dead-check before the sanity CHECK: a poisoned stream
               // hands a dying gateway zero-filled truncated packets
               // whose garbage headers must not trip assertions.
@@ -423,8 +447,15 @@ void VirtualChannel::spawn_gateway(std::uint32_t gateway, std::size_t hop_in,
                               "store_forward");
               hop.args(packet.header.payload_len, packet.header.dst);
               ++forwarded_by_gateway_[gateway];
+              if (propagation_) {
+                // Store-and-forward holds no queue: the packet leaves the
+                // moment it landed, so residence collapses to a point.
+                const sim::Time t = session_->simulator().now();
+                packet.trace.push(gateway, landed, t, t);
+              }
               send_packet(ep_out, to, packet.header, packet.storage->pieces,
-                          packet.storage->sizes, packet.stamp, packet.seq);
+                          packet.storage->sizes, packet.stamp, packet.seq,
+                          &packet.trace);
             }
           });
       return;
@@ -459,6 +490,12 @@ void VirtualChannel::spawn_gateway(std::uint32_t gateway, std::size_t hop_in,
                      "forwarding packet addressed to the gateway itself");
           MAD2_TRACE_SPAN(stage, obs::Category::kFwd, "fwd.gw_enqueue");
           stage.args(packet.header.payload_len, packet.header.dst);
+          if (propagation_) {
+            // Queue residency opens here; the tx fiber closes it when the
+            // DRR schedule picks the packet (backpressure waits inside
+            // queue->send count as residency too).
+            packet.trace.push(gateway, session_->simulator().now(), 0, 0);
+          }
           queue->send(std::move(packet));
         }
       });
@@ -480,8 +517,15 @@ void VirtualChannel::spawn_gateway(std::uint32_t gateway, std::size_t hop_in,
           MAD2_TRACE_SPAN(hop, obs::Category::kFwd, "fwd.hop", "fair");
           hop.args(packet->header.payload_len, packet->header.dst);
           ++forwarded_by_gateway_[gateway];
+          if (propagation_ && packet->trace.hop_count > 0) {
+            HopStamp::Hop& here =
+                packet->trace.hops[packet->trace.hop_count - 1];
+            here.dequeue = session_->simulator().now();
+            here.wire = here.dequeue;
+          }
           send_packet(ep, to, packet->header, packet->storage->pieces,
-                      packet->storage->sizes, packet->stamp, packet->seq);
+                      packet->storage->sizes, packet->stamp, packet->seq,
+                      &packet->trace);
         }
       });
       return;
@@ -508,6 +552,9 @@ void VirtualChannel::spawn_gateway(std::uint32_t gateway, std::size_t hop_in,
         // the sending fiber shows up as a long enqueue).
         MAD2_TRACE_SPAN(stage, obs::Category::kFwd, "fwd.gw_enqueue");
         stage.args(packet.header.payload_len, packet.header.dst);
+        if (propagation_) {
+          packet.trace.push(gateway, session_->simulator().now(), 0, 0);
+        }
         queue->send(std::move(packet));
       }
     });
@@ -528,11 +575,18 @@ void VirtualChannel::spawn_gateway(std::uint32_t gateway, std::size_t hop_in,
         MAD2_TRACE_SPAN(hop, obs::Category::kFwd, "fwd.hop", "pipelined");
         hop.args(packet->header.payload_len, packet->header.dst);
         ++forwarded_by_gateway_[gateway];
+        if (propagation_ && packet->trace.hop_count > 0) {
+          HopStamp::Hop& here =
+              packet->trace.hops[packet->trace.hop_count - 1];
+          here.dequeue = session_->simulator().now();
+          here.wire = here.dequeue;
+        }
         // Re-emit the landed gather list as-is; the outgoing TM rides it
         // as one send_buffer_group. The received size list is dead by
         // now, so it doubles as the send-side scratch.
         send_packet(ep, to, packet->header, packet->storage->pieces,
-                    packet->storage->sizes, packet->stamp, packet->seq);
+                    packet->storage->sizes, packet->stamp, packet->seq,
+                    &packet->trace);
         // `packet` dies here: borrows release to the incoming TM and the
         // buffer recycles into the pool.
       }
@@ -693,8 +747,11 @@ void VirtualChannel::replay_pending_flows() {
               : std::span<const std::span<const std::byte>>(one_piece);
       MAD2_TRACE_SPAN(span, obs::Category::kFwd, "fwd.replay");
       span.args(static_cast<std::uint32_t>(retained.bytes.size()), dst);
+      // The retained trace stamp re-ships as-is: the replay inherits the
+      // original packet's trace identity, so the weaved span shows the
+      // journey that actually delivered.
       send_packet(ep, to, retained.header, pieces, sizes_scratch,
-                  retained.stamp, retained.seq);
+                  retained.stamp, retained.seq, &retained.trace);
       ++counters_.replayed_packets;
       counters_.replayed_bytes += retained.bytes.size();
       ++flow.replays;
@@ -787,6 +844,56 @@ void VirtualChannel::on_packet_delivered(const Packet& packet) {
   flow.window->on_delivered(delay);
   if (obs::MetricsRegistry* registry = obs::metrics()) {
     registry->histogram(flow.hist_name)->record(delay);
+  }
+}
+
+void VirtualChannel::note_packet_trace(Packet& packet) {
+  if (!propagation_) return;
+  const sim::Time now = session_->simulator().now();
+  // The delivery hop: landing time only, no queue and no outgoing wire.
+  packet.trace.push(packet.header.dst, now, now, 0);
+
+  obs::TraceRecorder* rec = obs::recorder();
+  const bool record_events = rec != nullptr &&
+                             obs::trace_enabled(obs::Category::kFwd) &&
+                             rec->channel_enabled(def_.name);
+  obs::MetricsRegistry* registry = obs::metrics();
+  if (!record_events && registry == nullptr) return;
+
+  FlowControl& flow = flow_control(packet.header.src, packet.header.dst);
+  const std::uint64_t id =
+      obs::flow_id(packet.header.src, packet.header.dst);
+  const HopStamp& trace = packet.trace;
+  for (std::uint32_t k = 0; k < trace.hop_count; ++k) {
+    const HopStamp::Hop& hop = trace.hops[k];
+    const bool last = k + 1 == trace.hop_count;
+    const sim::Duration queue_ns = hop.dequeue - hop.enqueue;
+    const sim::Duration wire_ns =
+        last ? 0 : trace.hops[k + 1].enqueue - hop.wire;
+    const std::uint64_t arg = obs::hop_arg(trace.seq, hop.node, k);
+    if (record_events) {
+      // Explicit timestamps: the events are written at delivery but dated
+      // back to when each hop actually happened, so the weaved timeline
+      // is causal, not delivery-batched. Nothing here charges time.
+      rec->record(obs::Category::kFwd, obs::kHopQueueEvent, nullptr,
+                  hop.enqueue, queue_ns, id, arg);
+      if (!last) {
+        rec->record(obs::Category::kFwd, obs::kHopWireEvent, nullptr,
+                    hop.wire, wire_ns, id, arg);
+      }
+    }
+    if (registry != nullptr) {
+      while (flow.hop_hists.size() <= k) {
+        const std::string stem =
+            def_.name + ".hop." + std::to_string(packet.header.src) + "-" +
+            std::to_string(packet.header.dst) + "." +
+            std::to_string(flow.hop_hists.size());
+        flow.hop_hists.emplace_back(registry->histogram(stem + ".queue"),
+                                    registry->histogram(stem + ".wire"));
+      }
+      flow.hop_hists[k].first->record(queue_ns);
+      if (!last) flow.hop_hists[k].second->record(wire_ns);
+    }
   }
 }
 
@@ -967,6 +1074,7 @@ void VirtualEndpoint::deliver_packet(Packet packet) {
       packet.header.payload_len > 0) {
     channel_->on_packet_delivered(packet);
   }
+  channel_->note_packet_trace(packet);
   if (channel_->resilient()) {
     // Advancing the receiver cursor doubles as confirming seq-1 to the
     // sender: its retain buffer trims against this watermark.
@@ -1148,6 +1256,15 @@ void VirtualConnection::flush_packet(bool last) {
   mad::ChannelEndpoint& ep =
       channel.session().channel(channel.def().hops[hop]).endpoint(local);
 
+  // Trace-context propagation: hop 0 opens at flush entry, so pacing,
+  // window admission and (resilient) mutex waits below all show up as
+  // sender-side queue residency instead of being misattributed to the
+  // wire.
+  HopStamp trace;
+  const bool tracing = channel.propagation_enabled();
+  const sim::Time flush_enter =
+      tracing ? channel.session().simulator().now() : 0;
+
   // Bandwidth control (paper future work): pace packet departures so the
   // inbound flow at the gateway stays below the configured rate.
   if (channel.def().sender_rate_mbs > 0.0 && taken > 0) {
@@ -1175,8 +1292,15 @@ void VirtualConnection::flush_packet(bool last) {
 
   if (!channel.resilient()) {
     const std::uint32_t to = channel.next_node(hop, local, remote_);
+    if (tracing) {
+      VirtualChannel::FlowControl& flow =
+          channel.flow_control(local, remote_);
+      trace.seq = flow.trace_seq++;
+      const sim::Time t = channel.session().simulator().now();
+      trace.push(local, flush_enter, t, t);
+    }
     channel.send_packet(ep, to, header, gather_scratch_, sizes_scratch_,
-                        stamp);
+                        stamp, 0, &trace);
   } else {
     // Resilient send: serialize with the repair fiber, then sequence and
     // retain the packet before it leaves, so a gateway death at any
@@ -1202,10 +1326,16 @@ void VirtualConnection::flush_packet(bool last) {
       mutex.lock();
     }
     const std::uint64_t seq = flow.next_seq++;
+    if (tracing) {
+      trace.seq = flow.trace_seq++;
+      const sim::Time t = channel.session().simulator().now();
+      trace.push(local, flush_enter, t, t);
+    }
     VirtualChannel::RetainedPacket retained;
     retained.header = header;
     retained.seq = seq;
     retained.stamp = stamp;
+    retained.trace = trace;
     retained.bytes.reserve(taken);
     for (const auto& piece : gather_scratch_) {
       retained.bytes.insert(retained.bytes.end(), piece.begin(),
@@ -1218,7 +1348,7 @@ void VirtualConnection::flush_packet(bool last) {
     // lands later replays it from the retain buffer.
     const std::uint32_t to = channel.next_node(hop, local, remote_);
     channel.send_packet(ep, to, header, gather_scratch_, sizes_scratch_,
-                        stamp, seq);
+                        stamp, seq, &trace);
     mutex.unlock();
   }
   // The packet is fully on the wire (end_packing committed every piece);

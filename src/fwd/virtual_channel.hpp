@@ -90,6 +90,43 @@ struct VirtualChannelDef {
   /// stanza; neither set keeps single-gateway routing and the wire
   /// format bit-identical to earlier releases.
   std::optional<mad::TopologyConfig> topology;
+  /// Trace-context propagation override (distributed madtrace). Unset
+  /// falls back to the `propagation` flag of the session's trace stanza;
+  /// neither set keeps the wire bit-identical to an untraced session.
+  std::optional<bool> propagation;
+};
+
+/// Per-packet trace context for distributed madtrace: the identity of the
+/// flow plus enqueue/dequeue/wire timestamps for every hop the packet has
+/// crossed so far. Travels as one extra EXPRESS block (after the
+/// congestion stamp and the resilient seq) ONLY when trace-context
+/// propagation is on — same bit-identical-wire rule as those blocks.
+/// Senders stamp hop 0, every gateway pump appends its hop, and the
+/// delivering endpoint appends the final hop and replays the whole
+/// journey into the trace ring (see obs/span_weaver.hpp for how the ring
+/// events weave back into cross-node spans).
+struct HopStamp {
+  /// Longest traceable route: sender + 4 gateways + receiver. Longer
+  /// routes truncate (push becomes a no-op) rather than corrupt.
+  static constexpr std::uint32_t kMaxHops = 6;
+  struct Hop {
+    std::uint32_t node = 0;
+    sim::Time enqueue = 0;  ///< entered this hop's send/forward queue
+    sim::Time dequeue = 0;  ///< left the queue (admitted / scheduled)
+    sim::Time wire = 0;     ///< handed to the outgoing wire
+  };
+  /// Per-flow packet counter (trace identity, NOT the resilient protocol
+  /// seq — replays reuse the original trace seq so a replayed packet
+  /// weaves into the same span).
+  std::uint64_t seq = 0;
+  std::uint32_t hop_count = 0;
+  Hop hops[kMaxHops] = {};
+
+  void push(std::uint32_t node, sim::Time enqueue, sim::Time dequeue,
+            sim::Time wire) {
+    if (hop_count >= kMaxHops) return;
+    hops[hop_count++] = Hop{node, enqueue, dequeue, wire};
+  }
 };
 
 class VirtualChannel;
@@ -186,6 +223,11 @@ struct Packet {
   /// Gateways forward it unchanged; the receiving endpoint uses it to
   /// drop replay duplicates and re-order around a failover.
   std::uint64_t seq = 0;
+  /// Hop-by-hop trace context; on the wire ONLY with trace-context
+  /// propagation enabled (an EXPRESS block after the seq). Unlike the
+  /// stamp/seq, gateways MUTATE it in flight — each pump appends its own
+  /// hop before re-sending.
+  HopStamp trace;
   PooledBuffer storage;
 };
 
@@ -302,6 +344,13 @@ class VirtualChannel {
   /// runtime failover are all active.
   [[nodiscard]] bool resilient() const { return topology_.enabled; }
 
+  /// Resolved trace-context propagation: the def's override, else the
+  /// session trace stanza's `propagation` flag, else off. When on, every
+  /// packet carries a HopStamp and deliveries replay per-hop events into
+  /// the trace ring; when off the wire is bit-identical to an untraced
+  /// session.
+  [[nodiscard]] bool propagation_enabled() const { return propagation_; }
+
   /// Declare gateway `node` dead right now (resilient mode only): mark it
   /// in the host directory (epoch bump), shrink every boundary's healthy
   /// set, drain its pump queues back to the pool, and replay unconfirmed
@@ -398,11 +447,15 @@ class VirtualChannel {
   /// With congestion control on, `stamp` (the flow's send time) rides as
   /// an extra EXPRESS block right after the header; in resilient mode
   /// `seq` rides likewise.
+  /// With trace-context propagation on, `trace` (the hop stamps gathered
+  /// so far) rides as one more EXPRESS block; null packs an empty stamp
+  /// so the wire shape stays uniform within a propagation-enabled run.
   void send_packet(mad::ChannelEndpoint& hop_endpoint, std::uint32_t to,
                    PacketHeader header,
                    std::span<const std::span<const std::byte>> pieces,
                    std::vector<std::uint32_t>& sizes_scratch,
-                   sim::Time stamp = 0, std::uint64_t seq = 0);
+                   sim::Time stamp = 0, std::uint64_t seq = 0,
+                   const HopStamp* trace = nullptr);
   /// Receive one packet into a pooled buffer. Pieces land, in order:
   /// directly in `demand`'s window (when given, the source matches, and
   /// the piece fits — endpoints only), as borrowed driver slots (static-
@@ -429,6 +482,10 @@ class VirtualChannel {
     PacketHeader header;
     std::uint64_t seq = 0;
     sim::Time stamp = 0;
+    /// Sender-hop trace context, kept so a failover replay re-ships the
+    /// packet under its original trace identity (the replay then weaves
+    /// into the same cross-node span as the lost original).
+    HopStamp trace;
     std::vector<std::byte> bytes;
   };
 
@@ -454,9 +511,23 @@ class VirtualChannel {
     std::map<std::uint64_t, Packet> ooo;  // seq -> stashed future packet
     std::uint64_t replays = 0;
     std::uint64_t dup_drops = 0;
+    // --- trace-context propagation state ---
+    /// Sender-side trace identity counter (independent of the resilient
+    /// protocol seq so propagation works without the topology stanza).
+    std::uint64_t trace_seq = 0;
+    /// Receiver-side cache of the per-hop attribution histograms
+    /// ("<vc>.hop.<src>-<dst>.<k>.{queue,wire}"): registry pointers are
+    /// stable, so after warm-up a delivery costs no string building.
+    std::vector<std::pair<obs::Histogram*, obs::Histogram*>> hop_hists;
   };
   FlowControl& flow_control(std::uint32_t src, std::uint32_t dst);
   void on_packet_delivered(const Packet& packet);
+  /// Delivery-side half of trace-context propagation: append the final
+  /// hop to `packet.trace`, replay the whole journey into the trace ring
+  /// as hop.queue / hop.wire events (explicit timestamps — nothing here
+  /// charges virtual time), and feed the per-(src,dst,hop) attribution
+  /// histograms. No-op with propagation off.
+  void note_packet_trace(Packet& packet);
 
   /// Gateway set joining hops i and i+1. `healthy` shrinks on deaths;
   /// `gateways` is the construction-time inventory.
@@ -503,6 +574,7 @@ class VirtualChannel {
   VirtualChannelDef def_;
   mad::CongestionConfig congestion_;  // resolved (def > session > off)
   mad::TopologyConfig topology_;      // resolved (def > session > off)
+  bool propagation_ = false;          // resolved (def > session > off)
   std::vector<mad::Channel*> hop_channels_;
   std::vector<Boundary> boundaries_;  // boundaries_[i] joins hop i, i+1
   std::vector<std::uint32_t> nodes_;

@@ -501,11 +501,51 @@ Result<SessionConfig> parse_session_config(std::string_view text) {
             if (comma == std::string::npos) break;
             start = comma + 1;
           }
+        } else if (token == "propagation") {
+          trace.propagation = true;
+        } else if (token.rfind("slo=", 0) == 0) {
+          // Comma-separated watchdog rules: slo=<channel>:<p99_us>,...
+          std::string rest = token.substr(4);
+          std::size_t start = 0;
+          while (start <= rest.size()) {
+            const std::size_t comma = rest.find(',', start);
+            const std::string rule =
+                rest.substr(start, comma == std::string::npos
+                                       ? std::string::npos
+                                       : comma - start);
+            const std::size_t colon = rule.find(':');
+            if (colon == std::string::npos || colon == 0) {
+              return error_at(line_number,
+                              "invalid trace slo rule '" + rule +
+                                  "' (expected <channel>:<p99_us>)");
+            }
+            obs::SloRule slo;
+            slo.channel = rule.substr(0, colon);
+            std::uint32_t threshold = 0;
+            if (!parse_u32(rule.substr(colon + 1), &threshold) ||
+                threshold == 0) {
+              return error_at(line_number,
+                              "invalid trace slo threshold in '" + rule +
+                                  "' (want a positive microsecond count)");
+            }
+            slo.p99_us = threshold;
+            bool known = false;
+            for (const ChannelDef& channel : config.channels) {
+              if (channel.name == slo.channel) known = true;
+            }
+            if (!known) {
+              return error_at(line_number, "unknown channel '" +
+                                               slo.channel + "' in trace slo");
+            }
+            trace.slo.push_back(std::move(slo));
+            if (comma == std::string::npos) break;
+            start = comma + 1;
+          }
         } else {
           return error_at(line_number,
                           "unknown trace option '" + token +
                               "' (expected categories=, ring_kb=, "
-                              "channels=)");
+                              "channels=, propagation, slo=)");
         }
       }
       config.trace = std::move(trace);

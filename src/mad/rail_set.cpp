@@ -432,6 +432,19 @@ void RailSet::send_lane(std::size_t rail,
     const sim::Time start = session_->simulator().now();
     MAD2_TRACE_SPAN(span, obs::Category::kRail, "rail.send_segment");
     span.args(job->len, rail);
+    // Segment-boundary instants for distributed madtrace: with
+    // trace-context propagation on, every striped segment marks the
+    // moment it was posted to its rail and the moment it landed, so a
+    // weaved cross-node timeline can line packet hops up against the
+    // rail schedule underneath them. Gated on the propagation flag like
+    // the forwarding hop stamps — plain kRail tracing is unchanged.
+    const bool boundaries =
+        obs::trace_enabled(obs::Category::kRail) &&
+        obs::recorder()->config().propagation;
+    if (boundaries) {
+      obs::trace_event(obs::Category::kRail, "rail.segment_post", "send",
+                       job->len, rail);
+    }
     const Status status =
         send_segment(rail, job->src, job->dst, {job->data, job->len});
     if (gate != nullptr) gate->release();
@@ -439,6 +452,10 @@ void RailSet::send_lane(std::size_t rail,
     lane.failed = !status.is_ok();
     if (status.is_ok()) {
       lane.done_bytes = job->len;
+      if (boundaries) {
+        obs::trace_event(obs::Category::kRail, "rail.segment_land", "send",
+                         job->len, rail);
+      }
       observe_throughput(rail, job->len,
                          session_->simulator().now() - start);
     } else {
@@ -456,6 +473,13 @@ void RailSet::recv_lane(std::size_t rail,
     const sim::Time start = session_->simulator().now();
     MAD2_TRACE_SPAN(span, obs::Category::kRail, "rail.recv_segment");
     span.args(job->len, rail);
+    const bool boundaries =
+        obs::trace_enabled(obs::Category::kRail) &&
+        obs::recorder()->config().propagation;
+    if (boundaries) {
+      obs::trace_event(obs::Category::kRail, "rail.segment_post", "recv",
+                       job->len, rail);
+    }
     std::size_t got = 0;
     const Status status =
         recv_segment(rail, job->src, job->dst, {job->out, job->len}, &got);
@@ -463,6 +487,10 @@ void RailSet::recv_lane(std::size_t rail,
     lane.done_bytes = got;
     lane.failed = !status.is_ok();
     if (status.is_ok()) {
+      if (boundaries) {
+        obs::trace_event(obs::Category::kRail, "rail.segment_land", "recv",
+                         job->len, rail);
+      }
       observe_throughput(rail, job->len,
                          session_->simulator().now() - start);
     } else {

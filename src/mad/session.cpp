@@ -1,6 +1,10 @@
 #include "mad/session.hpp"
 
+#include <algorithm>
+#include <cstdio>
+
 #include "mad/pmm_factory.hpp"
+#include "obs/span_weaver.hpp"
 #include "util/log.hpp"
 
 namespace mad2::mad {
@@ -417,6 +421,11 @@ void Session::fail(const Status& status) {
 
 void Session::export_metrics(obs::MetricsRegistry& registry) {
   const auto u = [](std::uint64_t v) { return static_cast<std::int64_t>(v); };
+  // Flight-recorder truncation: how many trace events the ring already
+  // overwrote. A nonzero value means dumps and weaved spans are partial.
+  if (const obs::TraceRecorder* rec = obs::recorder(); rec != nullptr) {
+    registry.set_value("trace.dropped_events", u(rec->dropped_events()));
+  }
   // Channel-level traffic: TM usage and rail activity, merged (and
   // identity-deduped) across the channel's endpoints.
   for (auto& channel : channels_) {
@@ -527,10 +536,57 @@ void Session::export_metrics(obs::MetricsRegistry& registry) {
 
 Status Session::run() {
   const Status status = simulator_.run();
+  check_slo_rules();
   // A recorded failure explains why the run stopped (stuck fibers are a
   // symptom, not the cause); report it instead.
   if (!health_.is_ok()) return health_;
   return status;
+}
+
+void Session::check_slo_rules() {
+  if (!config_.trace.has_value() || config_.trace->slo.empty()) return;
+  obs::MetricsRegistry* registry = obs::metrics();
+  if (registry == nullptr) return;
+  for (const obs::SloRule& rule : config_.trace->slo) {
+    // A rule covers the Switch's "<channel>.e2e" histogram and any
+    // per-flow "<channel>.flow.<src>-<dst>.e2e" overlays; the worst p99
+    // across them is what the operator promised to bound.
+    const std::string exact = rule.channel + ".e2e";
+    const std::string flow_prefix = rule.channel + ".flow.";
+    sim::Duration worst = 0;
+    for (const auto& [name, histogram] : registry->histograms()) {
+      const bool flow_match =
+          name.size() > flow_prefix.size() + 4 &&
+          name.compare(0, flow_prefix.size(), flow_prefix) == 0 &&
+          name.compare(name.size() - 4, 4, ".e2e") == 0;
+      if (name != exact && !flow_match) continue;
+      if (histogram.count() == 0) continue;
+      worst = std::max(worst, histogram.p99());
+    }
+    if (worst <= rule.p99_us * 1000) continue;
+    // Breach: count it, then reuse the invariant-failure dump path so the
+    // flight recorder's tail plus trace/metrics JSON land on disk, and
+    // pair the raw dump with the weaved cross-node span timeline.
+    registry->add_value("slo.breaches", 1);
+    char reason[160];
+    std::snprintf(reason, sizeof(reason),
+                  "slo breach: channel %s e2e p99 %.3fus > %lldus",
+                  rule.channel.c_str(), static_cast<double>(worst) / 1000.0,
+                  static_cast<long long>(rule.p99_us));
+    const std::string before_dump = obs::last_dump_path();
+    obs::dump_on_failure(reason);
+    // Only weave when this breach actually produced a dump file (a dump
+    // directory is configured) — never against a stale earlier path.
+    if (const std::string& raw = obs::last_dump_path();
+        !raw.empty() && raw != before_dump) {
+      std::string weaved = raw;
+      if (weaved.size() > 5 &&
+          weaved.compare(weaved.size() - 5, 5, ".json") == 0) {
+        weaved.resize(weaved.size() - 5);
+      }
+      obs::write_weaved_dump(weaved + "-weaved.json");
+    }
+  }
 }
 
 }  // namespace mad2::mad

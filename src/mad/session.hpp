@@ -349,6 +349,11 @@ class Session {
   void export_metrics(obs::MetricsRegistry& registry);
 
  private:
+  /// SLO watchdog: after the simulation finishes, compare every `slo=`
+  /// rule from the trace stanza against the matching e2e latency
+  /// histograms; on breach, bump `slo.breaches` and auto-dump the flight
+  /// recorder plus the weaved cross-node span timeline.
+  void check_slo_rules();
   SessionConfig config_;
   /// Config-driven madtrace state; owned here so a recorder installed by
   /// this session is uninstalled in ~Session (declared before the

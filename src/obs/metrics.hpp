@@ -54,6 +54,12 @@ class MetricsRegistry {
 
   void clear();
 
+  /// Fold another recorder's registry into this one: identically-named
+  /// histograms merge bucket-wise (Histogram::merge), values add, and the
+  /// e2e stamp FIFOs are skipped — stamps pair a live sender with a live
+  /// receiver and mean nothing across registries.
+  void merge(const MetricsRegistry& other);
+
   /// Flat JSON: {"values": {...}, "histograms": {name: {count, p50_us,
   /// p95_us, p99_us, max_us, mean_us}}}. Keys sorted (std::map), so the
   /// output is deterministic.

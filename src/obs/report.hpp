@@ -1,0 +1,107 @@
+// madreport: cluster-health aggregation over per-node metrics snapshots.
+//
+// Every Session (or simulated "process group" in the scale tests) can
+// write a MetricsRegistry JSON. madreport parses any number of those
+// files and folds them into one consolidated cluster report: per-flow
+// rollups (packets, cwnd, srtt, per-hop queue/wire latency from the
+// SpanWeaver histograms, e2e percentiles), plus cluster-wide loss and
+// retransmission totals from the reliable-shim and resilient-routing
+// counters. The `tools/madreport` binary is a thin CLI over this; the
+// scale tier calls it in-process so a 256-node run ships one JSON.
+//
+// The parser accepts exactly the MetricsRegistry::to_json shape (it is
+// the producer's contract, not a general JSON library) and is, like the
+// rest of obs, independent of the simulator.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mad2::obs {
+
+/// Summary row of one histogram as serialized by MetricsRegistry.
+struct HistogramSummary {
+  std::int64_t count = 0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// One parsed metrics file: {"values": {...}, "histograms": {...}}.
+struct ParsedMetrics {
+  std::map<std::string, std::int64_t> values;
+  std::map<std::string, HistogramSummary> histograms;
+};
+
+/// Parse a MetricsRegistry::to_json document. Returns false (and leaves
+/// `out` unspecified) on malformed input.
+[[nodiscard]] bool parse_metrics_json(std::string_view text,
+                                      ParsedMetrics* out);
+
+/// Per-hop latency attribution for one flow (from the SpanWeaver's
+/// `<channel>.hop.<src>-<dst>.<k>.{queue,wire}` histograms), rolled up
+/// across inputs: counts add, means are count-weighted, p99 takes the
+/// worst input (a quantile of merged summaries is not recoverable, the
+/// max is the honest upper bound).
+struct HopRollup {
+  std::uint32_t hop = 0;
+  std::int64_t samples = 0;
+  double queue_mean_us = 0.0;
+  double queue_p99_us = 0.0;
+  double wire_mean_us = 0.0;
+  double wire_p99_us = 0.0;
+};
+
+/// One "<channel>.flow.<src>-<dst>" rollup across all inputs.
+struct FlowRollup {
+  std::string channel;
+  std::string flow;  // "<src>-<dst>"
+  std::int64_t packets = 0;
+  /// Congestion window (packets, x1000 fixed point on the wire); the
+  /// worst (smallest) surviving window across inputs, -1 when no input
+  /// ran with congestion control.
+  std::int64_t cwnd_x1000 = -1;
+  std::int64_t srtt_us = 0;  // worst (largest) smoothed RTT seen
+  std::int64_t e2e_count = 0;
+  double e2e_p50_us = 0.0;
+  double e2e_p99_us = 0.0;  // worst input's p99
+  std::vector<HopRollup> hops;
+};
+
+/// The consolidated cluster view madreport emits.
+struct ClusterReport {
+  std::size_t inputs = 0;
+  std::vector<FlowRollup> flows;
+  // Cluster-wide reliability/loss totals (summed counters).
+  std::int64_t retransmits = 0;      // rel.*.retransmits
+  std::int64_t dup_frames = 0;       // rel.*.dup_frames
+  std::int64_t corrupt_frames = 0;   // rel.*.corrupt_frames
+  std::int64_t give_ups = 0;         // rel.*.give_ups
+  std::int64_t replayed_packets = 0; // *.routing.replayed_packets
+  std::int64_t dup_drops = 0;        // *.routing.dup_drops
+  std::int64_t discarded = 0;        // *.routing.discarded
+  std::int64_t gateway_kills = 0;    // *.routing.gateway_kills
+  std::int64_t dropped_trace_events = 0;  // trace.dropped_events
+  std::int64_t slo_breaches = 0;          // slo.breaches
+
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] std::string to_text() const;
+};
+
+/// Fold parsed per-node metrics into one report.
+[[nodiscard]] ClusterReport cluster_report(
+    const std::vector<ParsedMetrics>& inputs);
+
+/// Convenience for the CLI and tests: read `paths`, parse each, report.
+/// Unreadable or malformed files append a line to `*errors` (when given)
+/// and are skipped.
+[[nodiscard]] ClusterReport cluster_report_from_files(
+    const std::vector<std::string>& paths,
+    std::vector<std::string>* errors = nullptr);
+
+}  // namespace mad2::obs

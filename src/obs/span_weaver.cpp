@@ -1,0 +1,206 @@
+#include "obs/span_weaver.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <tuple>
+
+namespace mad2::obs {
+
+namespace {
+
+void append_us(std::string* out, std::int64_t ns) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.3f",
+                static_cast<double>(ns) / 1000.0);
+  out->append(buffer);
+}
+
+[[nodiscard]] bool is_hop_event(const TraceEvent& event) {
+  if (event.name == nullptr) return false;
+  return std::strcmp(event.name, kHopQueueEvent) == 0 ||
+         std::strcmp(event.name, kHopWireEvent) == 0;
+}
+
+}  // namespace
+
+sim::Time WeavedSpan::end() const {
+  if (hops.empty()) return 0;
+  const HopSpan& last = hops.back();
+  // The delivery hop records its landing time as `enqueue` and carries no
+  // queue/wire segments; intermediate tails (partial spans) end at the
+  // last timestamp we actually saw.
+  return std::max({last.enqueue, last.dequeue, last.wire + last.wire_ns});
+}
+
+void SpanWeaver::add(const TraceRecorder& recorder) {
+  add_events(recorder.snapshot());
+}
+
+void SpanWeaver::add_events(std::span<const TraceEvent> events) {
+  for (const TraceEvent& event : events) {
+    if (is_hop_event(event)) events_.push_back(event);
+  }
+}
+
+std::vector<WeavedSpan> SpanWeaver::weave() const {
+  // Key: (flow_id, seq). std::map gives the deterministic (src, dst, seq)
+  // output order for free — flow_id is src-major.
+  std::map<std::pair<std::uint64_t, std::uint32_t>,
+           std::map<std::uint32_t, HopSpan>>
+      packets;
+  for (const TraceEvent& event : events_) {
+    const HopArg arg = decode_hop_arg(event.a1);
+    HopSpan& hop = packets[{event.a0, arg.seq}][arg.hop];
+    hop.node = arg.node;
+    hop.hop = arg.hop;
+    const sim::Duration dur = event.dur >= 0 ? event.dur : 0;
+    if (std::strcmp(event.name, kHopQueueEvent) == 0) {
+      hop.enqueue = event.ts;
+      hop.dequeue = event.ts + dur;
+      hop.queue_ns = dur;
+    } else {
+      hop.wire = event.ts;
+      hop.wire_ns = dur;
+    }
+  }
+
+  std::vector<WeavedSpan> spans;
+  spans.reserve(packets.size());
+  for (const auto& [key, hops] : packets) {
+    WeavedSpan span;
+    span.src = flow_src(key.first);
+    span.dst = flow_dst(key.first);
+    span.seq = key.second;
+    span.hops.reserve(hops.size());
+    for (const auto& [index, hop] : hops) span.hops.push_back(hop);
+    spans.push_back(std::move(span));
+  }
+  return spans;
+}
+
+void SpanWeaver::export_metrics(const std::vector<WeavedSpan>& spans,
+                                const std::string& prefix,
+                                MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  for (const WeavedSpan& span : spans) {
+    const std::string flow = prefix + ".hop." + std::to_string(span.src) +
+                             "-" + std::to_string(span.dst) + ".";
+    for (const HopSpan& hop : span.hops) {
+      const std::string stem = flow + std::to_string(hop.hop);
+      registry->histogram(stem + ".queue")->record(hop.queue_ns);
+      // The delivery hop has no outgoing wire segment; recording its
+      // structural zero would drown the real wire distribution.
+      if (&hop != &span.hops.back()) {
+        registry->histogram(stem + ".wire")->record(hop.wire_ns);
+      }
+    }
+  }
+}
+
+std::string SpanWeaver::chrome_json(const std::vector<WeavedSpan>& spans) {
+  // Same envelope as chrome_trace_json, but tracks are synthetic per-node
+  // timelines (tid = node + 1; the real exporter's fiber tids start at 0)
+  // and consecutive hops of one packet are linked with Perfetto flow
+  // events ("s" start / "t" step / "f" finish sharing one id).
+  std::map<std::uint32_t, bool> nodes;
+  for (const WeavedSpan& span : spans) {
+    for (const HopSpan& hop : span.hops) nodes[hop.node] = true;
+  }
+
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  const auto emit = [&out, &first](const std::string& row) {
+    if (!first) out.append(",\n");
+    first = false;
+    out.append(" ");
+    out.append(row);
+  };
+
+  for (const auto& [node, unused] : nodes) {
+    (void)unused;
+    emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+         std::to_string(node + 1) + ",\"args\":{\"name\":\"node" +
+         std::to_string(node) + "\"}}");
+  }
+
+  std::uint64_t flow_event_id = 0;
+  for (const WeavedSpan& span : spans) {
+    const std::string args = ",\"args\":{\"src\":" +
+                             std::to_string(span.src) + ",\"dst\":" +
+                             std::to_string(span.dst) + ",\"seq\":" +
+                             std::to_string(span.seq) + "}";
+    for (std::size_t i = 0; i < span.hops.size(); ++i) {
+      const HopSpan& hop = span.hops[i];
+      const std::string tid = std::to_string(hop.node + 1);
+      {
+        std::string row = "{\"name\":\"hop.queue\",\"cat\":\"fwd\","
+                          "\"ph\":\"X\",\"ts\":";
+        append_us(&row, hop.enqueue);
+        row.append(",\"dur\":");
+        append_us(&row, hop.queue_ns);
+        row.append(",\"pid\":1,\"tid\":" + tid + args + "}");
+        emit(row);
+      }
+      if (i + 1 < span.hops.size()) {
+        std::string row = "{\"name\":\"hop.wire\",\"cat\":\"fwd\","
+                          "\"ph\":\"X\",\"ts\":";
+        append_us(&row, hop.wire);
+        row.append(",\"dur\":");
+        append_us(&row, hop.wire_ns);
+        row.append(",\"pid\":1,\"tid\":" + tid + args + "}");
+        emit(row);
+      }
+      // Flow arrow from this hop to the next: "s" leaves as the packet
+      // hits the wire, "t"/"f" bind to the next hop's queue span.
+      if (i + 1 < span.hops.size()) {
+        const std::uint64_t id =
+            i == 0 ? ++flow_event_id : flow_event_id;
+        const HopSpan& next = span.hops[i + 1];
+        const char* out_phase = i == 0 ? "s" : "t";
+        std::string row = "{\"name\":\"packet\",\"cat\":\"fwd\",\"ph\":\"";
+        row.append(out_phase);
+        row.append("\",\"id\":" + std::to_string(id) + ",\"ts\":");
+        append_us(&row, hop.wire);
+        row.append(",\"pid\":1,\"tid\":" + tid + "}");
+        emit(row);
+        if (i + 2 >= span.hops.size()) {
+          std::string fin = "{\"name\":\"packet\",\"cat\":\"fwd\","
+                            "\"ph\":\"f\",\"bp\":\"e\",\"id\":" +
+                            std::to_string(id) + ",\"ts\":";
+          append_us(&fin, next.enqueue);
+          fin.append(",\"pid\":1,\"tid\":" + std::to_string(next.node + 1) +
+                     "}");
+          emit(fin);
+        }
+      }
+    }
+  }
+
+  out.append("\n]}\n");
+  return out;
+}
+
+bool SpanWeaver::write_chrome_json(const std::vector<WeavedSpan>& spans,
+                                   const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const std::string json = chrome_json(spans);
+  const bool ok =
+      std::fwrite(json.data(), 1, json.size(), file) == json.size();
+  std::fclose(file);
+  return ok;
+}
+
+bool write_weaved_dump(const std::string& path) {
+  const TraceRecorder* rec = recorder();
+  if (rec == nullptr) return false;
+  SpanWeaver weaver;
+  weaver.add(*rec);
+  const bool ok = SpanWeaver::write_chrome_json(weaver.weave(), path);
+  if (ok) std::fprintf(stderr, "madtrace: wrote %s\n", path.c_str());
+  return ok;
+}
+
+}  // namespace mad2::obs

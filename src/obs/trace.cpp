@@ -193,9 +193,11 @@ void dump_on_failure(const char* reason) {
   const std::size_t begin =
       events.size() > kTail ? events.size() - kTail : 0;
   std::fprintf(stderr,
-               "madtrace: dumping last %zu of %llu events (reason: %s)\n",
+               "madtrace: dumping last %zu of %llu events "
+               "(%llu dropped to ring wrap; reason: %s)\n",
                events.size() - begin,
                static_cast<unsigned long long>(rec->recorded()),
+               static_cast<unsigned long long>(rec->dropped_events()),
                reason != nullptr ? reason : "?");
   for (std::size_t i = begin; i < events.size(); ++i) {
     const TraceEvent& event = events[i];

@@ -81,6 +81,15 @@ struct TraceEvent {
   Category cat = Category::kSwitch;
 };
 
+/// One SLO watchdog rule (`slo=<channel>:<p99_us>` on the trace stanza):
+/// after Session::run() the watchdog compares the channel's e2e latency
+/// histograms against the threshold and auto-dumps the weaved cross-node
+/// trace on breach (see Session::check_slo_rules).
+struct SloRule {
+  std::string channel;
+  std::int64_t p99_us = 0;
+};
+
 /// Recorder configuration (the session config `trace` stanza maps here).
 struct TraceConfig {
   std::uint32_t categories = kAllCategories;
@@ -88,6 +97,13 @@ struct TraceConfig {
   /// Channel names the Switch-level instrumentation is restricted to;
   /// empty means every channel. Other categories ignore this filter.
   std::vector<std::string> channels;
+  /// Trace-context propagation: virtual channels stamp every packet with
+  /// a per-hop HopStamp (an extra EXPRESS block, like the congestion
+  /// send-stamp) and rail lanes emit segment-boundary events. Off keeps
+  /// the wire byte stream bit-identical to an untraced session.
+  bool propagation = false;
+  /// SLO watchdog thresholds, checked after the session runs.
+  std::vector<SloRule> slo;
 };
 
 class TraceRecorder {
@@ -112,6 +128,11 @@ class TraceRecorder {
   [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
   /// Total record() calls; recorded() - size() events were overwritten.
   [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
+  /// Events lost to ring wrap (flight-recorder truncation). Exported as
+  /// the `trace.dropped_events` metric so a wrapped ring is never silent.
+  [[nodiscard]] std::uint64_t dropped_events() const {
+    return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+  }
   [[nodiscard]] std::size_t size() const;
   void clear();
 

@@ -78,6 +78,7 @@ struct PerfPoint {
   /// Per-iteration one-way latency percentiles (0 when the harness did
   /// not collect per-iteration samples for this point).
   double p50_us = 0.0;
+  double p95_us = 0.0;
   double p99_us = 0.0;
 };
 

@@ -87,6 +87,45 @@ TEST(Histogram, BucketLimitsAreMonotonic) {
   }
 }
 
+TEST(Histogram, QuantileAtExactBucketBoundaryIsExact) {
+  // An exact power of two sits on a bucket edge. Whatever bucket the
+  // implementation files it under, the min/max clamp must make every
+  // quantile of a single-valued histogram report that value exactly —
+  // not a bucket limit.
+  for (std::int64_t v : {std::int64_t{1}, std::int64_t{2},
+                         std::int64_t{1024}, std::int64_t{1} << 40}) {
+    obs::Histogram h;
+    for (int i = 0; i < 100; ++i) h.record(v);
+    EXPECT_EQ(h.percentile(0.0), v) << "value " << v;
+    EXPECT_EQ(h.p50(), v) << "value " << v;
+    EXPECT_EQ(h.p95(), v) << "value " << v;
+    EXPECT_EQ(h.p99(), v) << "value " << v;
+    EXPECT_EQ(h.percentile(1.0), v) << "value " << v;
+  }
+}
+
+TEST(Histogram, BoundaryValuesInAdjacentBucketsStayInRange) {
+  // 512 and 1024 are both bucket edges and land in adjacent buckets.
+  // Interpolated quantiles may sit anywhere inside the hit bucket but
+  // must stay within the recorded extremes and be monotone in q.
+  obs::Histogram h;
+  for (int i = 0; i < 50; ++i) h.record(512);
+  for (int i = 0; i < 50; ++i) h.record(1024);
+  EXPECT_EQ(h.min(), 512);
+  EXPECT_EQ(h.max(), 1024);
+  std::int64_t previous = 0;
+  for (double q : {0.0, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0}) {
+    const std::int64_t value = h.percentile(q);
+    EXPECT_GE(value, 512) << "q=" << q;
+    EXPECT_LE(value, 1024) << "q=" << q;
+    EXPECT_GE(value, previous) << "q=" << q;
+    previous = value;
+  }
+  // The top quantile interpolates to the hit bucket's upper limit (2048)
+  // and must be clamped back to the recorded maximum.
+  EXPECT_EQ(h.percentile(1.0), 1024);
+}
+
 // ------------------------------------------------------------ categories ---
 
 TEST(TraceCategories, ParseMasks) {
@@ -120,11 +159,24 @@ TEST(TraceRecorder, RingWrapsKeepingNewestEvents) {
   }
   EXPECT_EQ(recorder.recorded(), total);
   EXPECT_EQ(recorder.size(), cap);
+  // The wrap is accounted, never silent: exactly the five overwritten
+  // events show up as drops.
+  EXPECT_EQ(recorder.dropped_events(), 5u);
   const std::vector<obs::TraceEvent> events = recorder.snapshot();
   ASSERT_EQ(events.size(), cap);
   // Oldest five events were overwritten; snapshot starts at a0 == 5.
   EXPECT_EQ(events.front().a0, 5u);
   EXPECT_EQ(events.back().a0, total - 1);
+}
+
+TEST(TraceRecorder, NoWrapMeansNoDroppedEvents) {
+  obs::TraceRecorder recorder;
+  EXPECT_EQ(recorder.dropped_events(), 0u);
+  for (int i = 0; i < 100; ++i) {
+    recorder.record(obs::Category::kTm, "tick", nullptr,
+                    static_cast<sim::Time>(i), -1, 0, 0);
+  }
+  EXPECT_EQ(recorder.dropped_events(), 0u);
 }
 
 TEST(TraceRecorder, ChannelFilter) {
@@ -177,6 +229,34 @@ TEST(MetricsRegistry, ValuesAndStampFifo) {
   std::size_t drained = 0;
   while (registry.pop_stamp("one-sided", &t)) ++drained;
   EXPECT_LE(drained, obs::MetricsRegistry::kMaxStampsPerFlow);
+}
+
+TEST(MetricsRegistry, MergeAddsValuesAndMergesHistograms) {
+  obs::MetricsRegistry a;
+  obs::MetricsRegistry b;
+  a.set_value("shared", 3);
+  b.set_value("shared", 4);
+  b.set_value("only_b", 7);
+  a.histogram("lat")->record(100);
+  a.histogram("lat")->record(200);
+  b.histogram("lat")->record(10000);
+  b.histogram("only_b.lat")->record(5);
+  a.merge(b);
+
+  // Identically-named values add; other-only names appear.
+  EXPECT_EQ(a.value("shared"), 7);
+  EXPECT_EQ(a.value("only_b"), 7);
+  // Identically-named histograms bucket-merge (counts add, range widens).
+  const obs::Histogram& lat = a.histograms().at("lat");
+  EXPECT_EQ(lat.count(), 3u);
+  EXPECT_EQ(lat.min(), 100);
+  EXPECT_EQ(lat.max(), 10000);
+  EXPECT_GE(lat.p99(), 5000);
+  ASSERT_EQ(a.histograms().count("only_b.lat"), 1u);
+  EXPECT_EQ(a.histograms().at("only_b.lat").count(), 1u);
+  // The source registry is untouched.
+  EXPECT_EQ(b.value("shared"), 4);
+  EXPECT_EQ(b.histograms().at("lat").count(), 1u);
 }
 
 TEST(MetricsRegistry, JsonContainsHistogramsAndValues) {
@@ -238,6 +318,9 @@ TEST(SessionTrace, SwitchEventsAndLatencyHistograms) {
   run_traffic(kMessages);
   obs::uninstall_recorder(&recorder);
   obs::uninstall_metrics(&registry);
+  // The default ring holds this workload whole: wrap here would mean the
+  // flight recorder silently truncated a small trace.
+  EXPECT_EQ(recorder.dropped_events(), 0u);
 
   std::set<std::string> names;
   for (const obs::TraceEvent& event : recorder.snapshot()) {
@@ -321,6 +404,46 @@ TEST(SessionTrace, ExportMetricsPublishesTrafficStats) {
   EXPECT_GE(registry.value("mem.node0.memcpy_bytes"), 0);
 }
 
+TEST(SessionTrace, ExportMetricsSurfacesDroppedTraceEvents) {
+  // A deliberately tiny ring wraps under a normal workload; the drop
+  // count must surface as the trace.dropped_events metric so a truncated
+  // flight recording is visible in every metrics snapshot.
+  obs::TraceConfig config;
+  config.ring_kb = 1;
+  obs::TraceRecorder recorder(config);
+  obs::MetricsRegistry registry;
+  obs::install_recorder(&recorder);
+  obs::install_metrics(&registry);
+
+  mad::Session session(two_node_config());
+  session.spawn(0, "sender", [&](mad::NodeRuntime& rt) {
+    for (int i = 0; i < 8; ++i) {
+      auto payload = make_pattern_buffer(4096, i);
+      auto& conn = rt.channel("ch0").begin_packing(1);
+      conn.pack(payload);
+      conn.end_packing();
+    }
+  });
+  session.spawn(1, "receiver", [&](mad::NodeRuntime& rt) {
+    for (int i = 0; i < 8; ++i) {
+      auto& conn = rt.channel("ch0").begin_unpacking();
+      std::vector<std::byte> out(4096);
+      conn.unpack(out);
+      conn.end_unpacking();
+    }
+  });
+  ASSERT_TRUE(session.run().is_ok());
+  session.export_metrics(registry);
+  obs::uninstall_recorder(&recorder);
+  obs::uninstall_metrics(&registry);
+
+  EXPECT_GT(recorder.dropped_events(), 0u) << "ring unexpectedly fit";
+  EXPECT_EQ(registry.value("trace.dropped_events"),
+            static_cast<std::int64_t>(recorder.dropped_events()));
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("trace.dropped_events"), std::string::npos);
+}
+
 // -------------------------------------------------- Chrome trace exporter ---
 
 TEST(ChromeTrace, RoundTripInvariants) {
@@ -332,6 +455,7 @@ TEST(ChromeTrace, RoundTripInvariants) {
   obs::uninstall_recorder(&recorder);
   obs::uninstall_metrics(&registry);
   ASSERT_GT(recorder.size(), 0u);
+  EXPECT_EQ(recorder.dropped_events(), 0u);
 
   const std::string json = obs::chrome_trace_json(recorder);
   const auto parsed = obs::parse_chrome_trace(json);
@@ -440,6 +564,38 @@ TEST(ConfigTrace, RejectsBadStanzas) {
   EXPECT_FALSE(mad::parse_session_config(base + "trace\ntrace\n").is_ok());
 }
 
+TEST(ConfigTrace, PropagationAndSloParse) {
+  const auto result = mad::parse_session_config(
+      std::string(kBaseConfig) +
+      "trace propagation slo=ch0:2500\n");
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  ASSERT_TRUE(result.value().trace.has_value());
+  const obs::TraceConfig& trace = *result.value().trace;
+  EXPECT_TRUE(trace.propagation);
+  ASSERT_EQ(trace.slo.size(), 1u);
+  EXPECT_EQ(trace.slo[0].channel, "ch0");
+  EXPECT_EQ(trace.slo[0].p99_us, 2500);
+
+  // Defaults: a bare stanza leaves propagation off and no SLO rules.
+  const auto bare =
+      mad::parse_session_config(std::string(kBaseConfig) + "trace\n");
+  ASSERT_TRUE(bare.is_ok());
+  EXPECT_FALSE(bare.value().trace->propagation);
+  EXPECT_TRUE(bare.value().trace->slo.empty());
+}
+
+TEST(ConfigTrace, RejectsBadSloRules) {
+  const std::string base(kBaseConfig);
+  // Unknown channel, malformed rule, zero/garbage threshold.
+  EXPECT_FALSE(
+      mad::parse_session_config(base + "trace slo=nope:100\n").is_ok());
+  EXPECT_FALSE(mad::parse_session_config(base + "trace slo=ch0\n").is_ok());
+  EXPECT_FALSE(
+      mad::parse_session_config(base + "trace slo=ch0:0\n").is_ok());
+  EXPECT_FALSE(
+      mad::parse_session_config(base + "trace slo=ch0:abc\n").is_ok());
+}
+
 TEST(ConfigTrace, SessionInstallsAndRemovesStanzaRecorder) {
   const auto parsed = mad::parse_session_config(
       std::string(kBaseConfig) + "trace categories=all ring_kb=32\n");
@@ -519,6 +675,8 @@ TEST(AutoDump, ExploreInvariantFailureWritesChromeTrace) {
   obs::set_dump_directory("");
   obs::uninstall_recorder(&recorder);
   ASSERT_FALSE(dump.empty()) << "invariant failure produced no trace dump";
+  // The whole exploration fits the default ring: the dump lost nothing.
+  EXPECT_EQ(recorder.dropped_events(), 0u);
 
   std::ifstream in(dump);
   ASSERT_TRUE(in.good()) << dump;

@@ -9,12 +9,17 @@
 // the failover window itself.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "fwd/virtual_channel.hpp"
 #include "mad/hostdb.hpp"
 #include "net/fault.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "routing_testlib.hpp"
 #include "sim/explore.hpp"
 #include "testbed.hpp"
@@ -102,6 +107,76 @@ TEST(RoutingScale, FatTree256KilledGatewayMidTransfer) {
       EXPECT_NE(g, victim) << "dead gateway still in a healthy set";
     }
   }
+}
+
+TEST(RoutingScale, FatTree256MadreportConsolidatedReport) {
+  // Cluster-health reporting at scale: run cross-cluster traffic with
+  // trace propagation on, write per-"process" metrics snapshots the way
+  // a real deployment would (one per registry), and fold them with
+  // madreport into one consolidated JSON carrying per-flow hop-latency
+  // rollups. When CI sets MAD2_REPORT_DIR the artifacts land there for
+  // upload; otherwise they go to a scratch directory.
+  namespace fs = std::filesystem;
+  FatTreeBed bed = make_fat_tree(2, kFtLeaves, kFtGateways);
+  Session session(bed.config);
+  VirtualChannelDef def = resilient_vdef(bed.route(0, 1));
+  def.propagation = true;
+  VirtualChannel vc(session, def);
+  ASSERT_EQ(session.node_count(), 256u);
+
+  // Delivery-side hop replay records into the ambient registry.
+  obs::MetricsRegistry hop_metrics;
+  obs::install_metrics(&hop_metrics);
+  auto failure = run_flows(session, vc, cross_cluster_flows(bed, 6),
+                           /*messages=*/2, /*message_bytes=*/12 * 1024);
+  const Status run = session.run();
+  obs::uninstall_metrics(&hop_metrics);
+  ASSERT_TRUE(run.is_ok()) << run.to_string();
+  EXPECT_TRUE(failure->empty()) << *failure;
+  EXPECT_EQ(check_channel_drained(vc), "");
+  vc.export_metrics(hop_metrics);
+
+  obs::MetricsRegistry session_metrics;
+  session.export_metrics(session_metrics);
+
+  const char* report_env = std::getenv("MAD2_REPORT_DIR");
+  const fs::path dir = (report_env != nullptr && report_env[0] != '\0')
+                           ? fs::path(report_env)
+                           : fs::temp_directory_path() / "mad2_scale_report";
+  fs::create_directories(dir);
+  const std::string hop_path = (dir / "ft256_channel.json").string();
+  const std::string session_path = (dir / "ft256_session.json").string();
+  ASSERT_TRUE(hop_metrics.write_json(hop_path));
+  ASSERT_TRUE(session_metrics.write_json(session_path));
+
+  std::vector<std::string> errors;
+  const obs::ClusterReport report =
+      obs::cluster_report_from_files({hop_path, session_path}, &errors);
+  EXPECT_TRUE(errors.empty()) << errors.front();
+  EXPECT_EQ(report.inputs, 2u);
+
+  // Six cross-cluster flows, each attributed across all four hops of its
+  // leaf -> gateway -> gateway -> leaf journey.
+  ASSERT_EQ(report.flows.size(), 6u);
+  for (const obs::FlowRollup& flow : report.flows) {
+    EXPECT_EQ(flow.channel, "vc");
+    EXPECT_GT(flow.packets, 0) << flow.flow;
+    ASSERT_EQ(flow.hops.size(), 4u) << flow.flow;
+    for (const obs::HopRollup& hop : flow.hops) {
+      EXPECT_GT(hop.samples, 0) << flow.flow << " hop " << hop.hop;
+      // Every non-delivery hop saw real wire time.
+      if (hop.hop < 3) {
+        EXPECT_GT(hop.wire_mean_us, 0.0) << flow.flow << " hop " << hop.hop;
+      }
+    }
+  }
+
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"flows\""), std::string::npos);
+  EXPECT_NE(json.find("\"hops\""), std::string::npos);
+  std::ofstream out(dir / "ft256_madreport.json");
+  out << json;
+  ASSERT_TRUE(out.good());
 }
 
 // -------------------------------------------------- 1024-node torus ring
